@@ -1,0 +1,346 @@
+package camouflage
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (DESIGN.md §4 experiment index), plus ablations and
+// substrate micro-benchmarks. Custom metrics report the quantities the
+// paper's figures plot (cycles per call, relative overhead, ns per
+// iteration); wall-clock ns/op measures the simulator itself.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"camouflage/internal/attack"
+	"camouflage/internal/boot"
+	"camouflage/internal/codegen"
+	"camouflage/internal/figures"
+	"camouflage/internal/hyp"
+	"camouflage/internal/insn"
+	"camouflage/internal/kernel"
+	"camouflage/internal/lmbench"
+	"camouflage/internal/pac"
+	"camouflage/internal/qarma"
+	"camouflage/internal/workload"
+)
+
+// --- E1: key-switch cost (§6.1.1) ---
+
+func BenchmarkKeySwitch(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		st, err := figures.MeasureKeySwitch(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = st.Mean
+	}
+	b.ReportMetric(mean, "cycles/key")
+}
+
+// --- E2: Figure 2, per-call overhead by scheme ---
+
+func BenchmarkCallOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.MeasureFigure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				name := strings.NewReplacer(" ", "", "(", "", ")", "", "/", "-").Replace(r.Scheme.String())
+				b.ReportMetric(r.NsPerCall, name+"_ns/call")
+			}
+		}
+	}
+}
+
+// --- E3: Figure 3, lmbench rows ---
+
+func BenchmarkLmbench(b *testing.B) {
+	for _, bench := range lmbench.Suite() {
+		bench := bench
+		for _, lv := range lmbench.Levels() {
+			lv := lv
+			b.Run(fmt.Sprintf("%s/%s", bench.Name, lv.Name), func(b *testing.B) {
+				var r lmbench.Result
+				var err error
+				for i := 0; i < b.N; i++ {
+					r, err = lmbench.Measure(lv.Cfg, lv.Name, bench)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(r.NsPerIter, "model_ns/iter")
+				b.ReportMetric(r.CyclesPerIter, "model_cycles/iter")
+			})
+		}
+	}
+}
+
+// --- E4: Figure 4, user workloads ---
+
+func BenchmarkWorkload(b *testing.B) {
+	for _, wl := range workload.Suite() {
+		wl := wl
+		for _, lv := range []struct {
+			name string
+			cfg  func() *codegen.Config
+		}{
+			{"none", codegen.ConfigNone},
+			{"backward-edge", codegen.ConfigBackward},
+			{"full", codegen.ConfigFull},
+		} {
+			lv := lv
+			b.Run(fmt.Sprintf("%s/%s", wl.Name, lv.name), func(b *testing.B) {
+				var r workload.Result
+				var err error
+				for i := 0; i < b.N; i++ {
+					r, err = workload.Run(lv.cfg, lv.name, wl)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(r.Cycles), "model_cycles")
+			})
+		}
+	}
+}
+
+// --- E5/E6: Tables 1 and 2 ---
+
+func BenchmarkTable1Render(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := figures.RenderTable1(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Render(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := figures.RenderTable2(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: §5.3 Coccinelle statistics ---
+
+func BenchmarkCoccinelleStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := figures.RenderCoccinelle(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: §6.2 security evaluation ---
+
+func BenchmarkAttackROP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := attack.ROPFrameRecord(codegen.ConfigFull(), "full")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Outcome != attack.OutcomeDetected {
+			b.Fatalf("outcome = %v", r.Outcome)
+		}
+	}
+}
+
+func BenchmarkAttackFOpsSwap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := attack.FOpsSwap(codegen.ConfigFull(), "full")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Outcome != attack.OutcomeDetected {
+			b.Fatalf("outcome = %v", r.Outcome)
+		}
+	}
+}
+
+func BenchmarkBruteForceToHalt(b *testing.B) {
+	var attempts int
+	for i := 0; i < b.N; i++ {
+		rep, err := attack.BruteForcePAC(codegen.ConfigFull(), "full", 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		attempts = rep.Attempts
+	}
+	b.ReportMetric(float64(attempts), "attempts")
+}
+
+// --- E9: key-management ablation (XOM vs EL2 trap) ---
+
+func BenchmarkKeyManagementAblation(b *testing.B) {
+	k, err := kernel.New(kernel.Options{Config: codegen.ConfigFull(), Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := k.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("xom-setter", func(b *testing.B) {
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			before := k.CPU.Cycles
+			if err := k.CallGuest(k.Img.Symbols["key_setter"]); err != nil {
+				b.Fatal(err)
+			}
+			cycles = k.CPU.Cycles - before
+		}
+		b.ReportMetric(float64(cycles), "model_cycles")
+	})
+	b.Run("el2-trap", func(b *testing.B) {
+		k.Hyp.EscrowKeys(k.KernelKeysForTest())
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			before := k.CPU.Cycles
+			if err := k.Hyp.TrapInstallKeys(pac.KeyIB, pac.KeyIA, pac.KeyDB); err != nil {
+				b.Fatal(err)
+			}
+			cycles = k.CPU.Cycles - before
+		}
+		b.ReportMetric(float64(cycles), "model_cycles")
+		if hyp.TrapCycles < 100 {
+			b.Fatal("trap model implausibly cheap")
+		}
+	})
+}
+
+// --- E10: replay census ---
+
+func BenchmarkReplayCensus(b *testing.B) {
+	var collisions int
+	for i := 0; i < b.N; i++ {
+		r := attack.ReplayCensus(pac.ModifierClangSP, 16, 32, 16)
+		collisions = r.CollidingPairs
+	}
+	b.ReportMetric(float64(collisions), "clangsp_collisions")
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkQARMAEncrypt(b *testing.B) {
+	c := qarma.New(qarma.Key{W0: 1, K0: 2}, qarma.DefaultRounds)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = c.Encrypt(uint64(i), 42)
+	}
+	_ = sink
+}
+
+func BenchmarkPACSign(b *testing.B) {
+	s := pac.NewSigner(pac.DefaultConfig)
+	s.SetKey(pac.KeyIB, pac.Key{Hi: 1, Lo: 2})
+	ptr := uint64(pac.KernelBase) | 0x1234
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = s.Sign(ptr, uint64(i), pac.KeyIB)
+	}
+	_ = sink
+}
+
+// BenchmarkSimulatorMIPS measures raw interpreter throughput: a tight
+// guest ALU loop, reported as simulated instructions per host second.
+func BenchmarkSimulatorMIPS(b *testing.B) {
+	sys, err := NewSystem(LevelNone, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := kernel.BuildProgram("spin", func(u *kernel.UserASM) {
+		u.MovImm(insn.X5, 1_000_000_000) // effectively endless
+		u.A.Label("loop")
+		u.A.I(insn.SUBi(insn.X5, insn.X5, 1))
+		u.A.CBNZ(insn.X5, "loop")
+		u.Exit(0)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Kernel.RegisterProgram(1, prog)
+	if _, err := sys.Kernel.Spawn(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sys.Kernel.Run(uint64(b.N))
+	b.ReportMetric(float64(b.N), "instrs")
+}
+
+// BenchmarkBoot measures the full build+verify+boot pipeline.
+func BenchmarkBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSystem(LevelFull, Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyscallRoundTrip measures one getppid round trip on the
+// simulator under full protection (host time + model cycles).
+func BenchmarkSyscallRoundTrip(b *testing.B) {
+	for _, lv := range []struct {
+		name  string
+		level ProtectionLevel
+	}{
+		{"none", LevelNone},
+		{"full", LevelFull},
+	} {
+		lv := lv
+		b.Run(lv.name, func(b *testing.B) {
+			sys, err := NewSystem(lv.level, Options{Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := kernel.BuildProgram("getppid-loop", func(u *kernel.UserASM) {
+				u.MovImm(insn.X21, 1<<40)
+				u.A.Label("loop")
+				u.SyscallReg(kernel.SysGetppid)
+				u.A.I(insn.SUBi(insn.X21, insn.X21, 1))
+				u.A.CBNZ(insn.X21, "loop")
+				u.Exit(0)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Kernel.RegisterProgram(1, prog)
+			if _, err := sys.Kernel.Spawn(1); err != nil {
+				b.Fatal(err)
+			}
+			start := sys.Kernel.CPU.Cycles
+			startRet := sys.Kernel.CPU.Retired
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Step one full syscall iteration: run until the loop
+				// comes back around (~a few hundred instructions).
+				sys.Kernel.Run(2000)
+			}
+			b.StopTimer()
+			instrs := sys.Kernel.CPU.Retired - startRet
+			if instrs > 0 {
+				b.ReportMetric(float64(sys.Kernel.CPU.Cycles-start)/float64(instrs), "model_CPI")
+			}
+		})
+	}
+}
+
+// --- boot substrate ---
+
+func BenchmarkKeySetterEmission(b *testing.B) {
+	keys := boot.NewPRNG(1).GenerateKeys()
+	for i := 0; i < b.N; i++ {
+		a := newAsm()
+		boot.EmitKeySetter(a, "s", keys, boot.ModeV83)
+	}
+}

@@ -1,0 +1,84 @@
+// Package camouflage is a from-scratch Go reproduction of "Camouflage:
+// Hardware-assisted CFI for the ARM Linux kernel" (Denis-Courmont,
+// Liljestrand, Chinea, Ekberg — DAC 2020, arXiv:1912.04145).
+//
+// The library contains a cycle-approximate AArch64-subset simulator with
+// full ARMv8.3 pointer-authentication semantics (QARMA-64 PACs, real A64
+// instruction encodings, a two-stage VMSAv8 MMU), a hypervisor enforcing
+// execute-only memory and MMU lockdown, a bootloader that hides the kernel
+// PAuth keys inside the XOM key-setter's immediates, a miniature kernel
+// whose entry/exit paths switch keys exactly as the paper describes, the
+// compiler instrumentation for all the return-address schemes the paper
+// compares, a loadable-module subsystem with the §4.1 static-analysis
+// gate, an attack harness for the §6.2 security evaluation, and benchmark
+// suites regenerating every figure and table of the evaluation.
+//
+// Quick start:
+//
+//	sys, err := camouflage.NewSystem(camouflage.LevelFull, camouflage.Options{Seed: 1})
+//	if err != nil { ... }
+//	cycles, err := sys.RunProgram("hello", func(u *kernel.UserASM) {
+//	    u.SyscallReg(kernel.SysGetppid)
+//	    u.Exit(0)
+//	})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package camouflage
+
+import (
+	"io"
+
+	"camouflage/internal/core"
+	"camouflage/internal/figures"
+)
+
+// ProtectionLevel selects how much of the Camouflage design is enabled.
+type ProtectionLevel = core.ProtectionLevel
+
+// Protection levels (the three builds of Figures 3 and 4).
+const (
+	// LevelNone is the unprotected baseline kernel.
+	LevelNone = core.LevelNone
+	// LevelBackwardEdge enables hardened return-address protection only.
+	LevelBackwardEdge = core.LevelBackwardEdge
+	// LevelFull adds forward-edge CFI and data-flow integrity.
+	LevelFull = core.LevelFull
+)
+
+// Options tunes a System beyond its protection level.
+type Options = core.Options
+
+// System is a booted Camouflage machine.
+type System = core.System
+
+// Stats summarises machine counters.
+type Stats = core.Stats
+
+// NewSystem builds, statically verifies (§4.1) and boots a system.
+func NewSystem(level ProtectionLevel, opts Options) (*System, error) {
+	return core.New(level, opts)
+}
+
+// Experiment is one reproducible table or figure from the paper.
+type Experiment = figures.Experiment
+
+// Experiments returns the registry of every reproducible table and figure,
+// in paper order.
+func Experiments() []Experiment { return figures.All() }
+
+// RunExperiment regenerates one table or figure by ID (e.g. "fig3"),
+// writing its text rendering to w.
+func RunExperiment(id string, w io.Writer) error {
+	e, ok := figures.Lookup(id)
+	if !ok {
+		return errUnknownExperiment(id)
+	}
+	return e.Run(w)
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "camouflage: unknown experiment " + string(e) + " (see Experiments())"
+}

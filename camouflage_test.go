@@ -1,0 +1,60 @@
+package camouflage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"camouflage/internal/asm"
+	"camouflage/internal/kernel"
+)
+
+// newAsm keeps bench_test.go free of a direct asm import cycle concern.
+func newAsm() *asm.Assembler { return asm.New() }
+
+func TestFacadeBootAndRun(t *testing.T) {
+	sys, err := NewSystem(LevelFull, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := sys.RunProgram("t", func(u *kernel.UserASM) {
+		u.SyscallReg(kernel.SysGetppid)
+		u.Exit(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "keys", "fig2", "fig3", "fig4",
+		"cocci", "attacks", "ablation-keys", "ablation-replay"}
+	got := map[string]bool{}
+	for _, e := range Experiments() {
+		got[e.ID] = true
+		if e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+}
+
+func TestRunExperimentByID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("table1", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TABLE 1") {
+		t.Fatalf("unexpected output: %q", buf.String())
+	}
+	if err := RunExperiment("bogus", &buf); err == nil {
+		t.Fatal("bogus experiment id accepted")
+	}
+}

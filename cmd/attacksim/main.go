@@ -1,0 +1,21 @@
+// Command attacksim regenerates the §6.2 security evaluation: the attack
+// outcome matrix across kernel builds, the brute-force threshold
+// behaviour, and the replay-surface census of the modifier schemes.
+package main
+
+import (
+	"log"
+	"os"
+
+	"camouflage/internal/figures"
+)
+
+func main() {
+	for _, id := range []string{"attacks", "ablation-replay"} {
+		e, _ := figures.Lookup(id)
+		if err := e.Run(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.WriteString("\n")
+	}
+}

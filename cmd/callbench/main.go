@@ -1,0 +1,20 @@
+// Command callbench regenerates Figure 2 (per-call overhead of the three
+// return-address modifier schemes) and the §6.1.1 key-switch measurement.
+package main
+
+import (
+	"log"
+	"os"
+
+	"camouflage/internal/figures"
+)
+
+func main() {
+	for _, id := range []string{"fig2", "keys"} {
+		e, _ := figures.Lookup(id)
+		if err := e.Run(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.WriteString("\n")
+	}
+}

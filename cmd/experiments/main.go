@@ -1,0 +1,44 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation in one run (or a selected subset by ID).
+//
+// Usage:
+//
+//	experiments            — run everything, in paper order
+//	experiments fig3 fig4  — run selected experiments
+//	experiments -list      — list available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"camouflage"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs")
+	flag.Parse()
+
+	if *list {
+		for _, e := range camouflage.Experiments() {
+			fmt.Printf("  %-16s %-45s (%s)\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range camouflage.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		fmt.Printf("==== %s ====\n", id)
+		if err := camouflage.RunExperiment(id, os.Stdout); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,77 @@
+// Command kscan demonstrates the §4.1/§5.3 static analyses:
+//
+//	kscan         — scan demonstration module images (one benign, one
+//	                key-stealing, one SCTLR-tampering) and print verdicts;
+//	kscan -stats  — run the Coccinelle-analogue semantic search and print
+//	                the §5.3 statistics and a sample of the planned
+//	                get/set rewrites.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"camouflage/internal/analysis"
+	"camouflage/internal/asm"
+	"camouflage/internal/figures"
+	"camouflage/internal/insn"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print §5.3 semantic-search statistics")
+	flag.Parse()
+
+	if *stats {
+		e, _ := figures.Lookup("cocci")
+		if err := e.Run(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		c := analysis.GenerateLinux52Corpus(1)
+		rw := analysis.PlanRewrites(c)
+		fmt.Println("\nsample rewrites:")
+		for _, r := range rw[:5] {
+			conv := ""
+			if r.ConvertToOpsTable {
+				conv = "  [recommend read-only ops table]"
+			}
+			fmt.Printf("  %s.%s -> %s()/%s(), tc=%#04x%s\n",
+				r.Type, r.Member, r.Getter, r.Setter, r.TypeConst, conv)
+		}
+		return
+	}
+
+	scan := func(name string, build func(a *asm.Assembler)) {
+		a := asm.New()
+		build(a)
+		img, err := a.Link(map[string]uint64{".text": 0x1000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		text := img.Sections[".text"].Bytes
+		fmt.Printf("module %q (%d bytes):\n", name, len(text))
+		if err := analysis.VerifyModuleText(text); err != nil {
+			fmt.Printf("  REJECTED: %v\n", err)
+			return
+		}
+		fmt.Println("  ok: no key reads, no SCTLR writes")
+	}
+
+	scan("benign-driver", func(a *asm.Assembler) {
+		a.I(insn.PACIA(insn.LR, insn.SP))
+		a.I(insn.LDR(insn.X0, insn.X1, 8))
+		a.I(insn.AUTIA(insn.LR, insn.SP))
+		a.I(insn.RET())
+	})
+	scan("key-stealer", func(a *asm.Assembler) {
+		a.I(insn.MRS(insn.X0, insn.APIBKeyLo_EL1))
+		a.I(insn.MRS(insn.X1, insn.APIBKeyHi_EL1))
+		a.I(insn.RET())
+	})
+	scan("sctlr-tamper", func(a *asm.Assembler) {
+		a.I(insn.MOVZ(insn.X0, 0, 0))
+		a.I(insn.MSR(insn.SCTLR_EL1, insn.X0))
+		a.I(insn.RET())
+	})
+}

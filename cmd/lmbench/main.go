@@ -1,0 +1,18 @@
+// Command lmbench regenerates Figure 3: lmbench micro-benchmark latencies
+// under the three kernel protection levels, relative to the unprotected
+// baseline.
+package main
+
+import (
+	"log"
+	"os"
+
+	"camouflage/internal/figures"
+)
+
+func main() {
+	e, _ := figures.Lookup("fig3")
+	if err := e.Run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

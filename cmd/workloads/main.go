@@ -1,0 +1,18 @@
+// Command workloads regenerates Figure 4: user-space workload overheads
+// (JPEG resize, package build, network download) under the three kernel
+// protection levels, plus the geometric mean the paper headlines.
+package main
+
+import (
+	"log"
+	"os"
+
+	"camouflage/internal/figures"
+)
+
+func main() {
+	e, _ := figures.Lookup("fig4")
+	if err := e.Run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

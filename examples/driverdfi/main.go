@@ -1,0 +1,50 @@
+// Driver DFI: demonstrates §4.5 — why Camouflage must protect *data*
+// pointers to operations tables, not just function pointers. An attacker
+// with kernel write swaps an open file's f_ops to a forged table. Without
+// DFI the forged read() runs in kernel context; with DFI the transplanted
+// pointer fails authentication.
+//
+//	go run ./examples/driverdfi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"camouflage/internal/attack"
+	"camouflage/internal/codegen"
+)
+
+func main() {
+	fmt.Println("f_ops swap (forged operations table) vs kernel builds:")
+	for _, lv := range []struct {
+		name string
+		cfg  *codegen.Config
+	}{
+		{"backward-edge only", codegen.ConfigBackward()},
+		{"full (with DFI)", codegen.ConfigFull()},
+	} {
+		r, err := attack.FOpsSwap(lv.cfg, lv.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s -> %-12s %s\n", lv.name, r.Outcome, r.Detail)
+	}
+
+	fmt.Println("\nf_ops replay (signed pointer transplanted between objects):")
+	full, err := attack.FOpsReplay(codegen.ConfigFull(), "full")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-20s -> %-12s %s\n", "full (§4.3 modifier)", full.Outcome, full.Detail)
+	zc := codegen.ConfigFull()
+	zc.ZeroModifier = true
+	zero, err := attack.FOpsReplay(zc, "zero-modifier")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-20s -> %-12s %s\n", "zero modifier (§7)", zero.Outcome, zero.Detail)
+	fmt.Println("\nBinding the PAC to the containing object's address (48 bits) and a")
+	fmt.Println("16-bit type constant stops the transplant that Apple's zero-modifier")
+	fmt.Println("vtable scheme accepts.")
+}

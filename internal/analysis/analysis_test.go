@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"testing"
+
+	"camouflage/internal/insn"
+)
+
+func words(ins ...insn.Instr) []uint32 {
+	out := make([]uint32, len(ins))
+	for i, x := range ins {
+		out[i] = x.Encode()
+	}
+	return out
+}
+
+func TestScannerFindsKeyRead(t *testing.T) {
+	ws := words(
+		insn.NOP(),
+		insn.MRS(insn.X0, insn.APIBKeyLo_EL1),
+		insn.RET(),
+	)
+	fs := ScanWords(ws)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %d, want 1", len(fs))
+	}
+	if fs[0].Kind != FindingKeyRead || fs[0].Offset != 4 {
+		t.Fatalf("finding = %+v", fs[0])
+	}
+}
+
+func TestScannerFindsAllKeyRegisters(t *testing.T) {
+	for _, reg := range insn.PAuthKeyRegs {
+		fs := ScanWords(words(insn.MRS(insn.X3, reg)))
+		if len(fs) != 1 || fs[0].Kind != FindingKeyRead {
+			t.Errorf("MRS %v not flagged", reg)
+		}
+		fs = ScanWords(words(insn.MSR(reg, insn.X3)))
+		if len(fs) != 1 || fs[0].Kind != FindingKeyWrite {
+			t.Errorf("MSR %v not flagged", reg)
+		}
+	}
+}
+
+func TestScannerFindsSCTLRWrite(t *testing.T) {
+	fs := ScanWords(words(insn.MSR(insn.SCTLR_EL1, insn.X0)))
+	if len(fs) != 1 || fs[0].Kind != FindingSCTLRWrite {
+		t.Fatalf("findings = %+v", fs)
+	}
+	// Reading SCTLR is fine (feature probing).
+	if fs := ScanWords(words(insn.MRS(insn.X0, insn.SCTLR_EL1))); len(fs) != 0 {
+		t.Fatalf("MRS SCTLR flagged: %+v", fs)
+	}
+}
+
+func TestScannerIgnoresBenignCode(t *testing.T) {
+	ws := words(
+		insn.PACIA(insn.LR, insn.SP),
+		insn.AUTIA(insn.LR, insn.SP),
+		insn.MSR(insn.CONTEXTIDR_EL1, insn.X0),
+		insn.MRS(insn.X0, insn.CNTVCT_EL0),
+		insn.LDR(insn.X0, insn.X1, 8),
+		insn.RET(),
+	)
+	if fs := ScanWords(ws); len(fs) != 0 {
+		t.Fatalf("benign code flagged: %+v", fs)
+	}
+}
+
+func TestScanBytesHandlesFragment(t *testing.T) {
+	b := []byte{0x1F, 0x20, 0x03, 0xD5, 0xAA} // NOP + trailing byte
+	if fs := ScanBytes(b); len(fs) != 0 {
+		t.Fatalf("fragment scan: %+v", fs)
+	}
+}
+
+func TestVerifyModuleText(t *testing.T) {
+	good := words(insn.NOP(), insn.RET())
+	b := make([]byte, 0)
+	for _, w := range good {
+		b = append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	if err := VerifyModuleText(b); err != nil {
+		t.Fatalf("benign module rejected: %v", err)
+	}
+	bad := insn.MRS(insn.X0, insn.APGAKeyHi_EL1).Encode()
+	b = append(b, byte(bad), byte(bad>>8), byte(bad>>16), byte(bad>>24))
+	if err := VerifyModuleText(b); err == nil {
+		t.Fatal("key-reading module accepted")
+	}
+}
+
+func TestAllowedKeyWriters(t *testing.T) {
+	seq := words(
+		insn.NOP(),
+		insn.MSR(insn.APIBKeyLo_EL1, insn.X0), // offset 4: inside setter
+		insn.RET(),
+	)
+	b := make([]byte, 0)
+	for _, w := range seq {
+		b = append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	if err := AllowedKeyWriters(b, 4, 8); err != nil {
+		t.Fatalf("setter-resident key write rejected: %v", err)
+	}
+	if err := AllowedKeyWriters(b, 8, 12); err == nil {
+		t.Fatal("stray key write accepted")
+	}
+}
+
+// TestCoccinelleStats reproduces §5.3: 1285 run-time-assigned function
+// pointer members in 504 types, 229 of which have more than one.
+func TestCoccinelleStats(t *testing.T) {
+	c := GenerateLinux52Corpus(1)
+	s := SemanticSearch(c)
+	if s != Linux52Stats {
+		t.Fatalf("stats = %+v, want %+v", s, Linux52Stats)
+	}
+}
+
+func TestCoccinelleStatsSeedIndependent(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		if s := SemanticSearch(GenerateLinux52Corpus(seed)); s != Linux52Stats {
+			t.Fatalf("seed %d: stats = %+v", seed, s)
+		}
+	}
+}
+
+func TestPlanRewrites(t *testing.T) {
+	c := GenerateLinux52Corpus(2)
+	rw := PlanRewrites(c)
+	if len(rw) != Linux52Stats.RuntimeFuncPtrMembers {
+		t.Fatalf("rewrites = %d, want %d", len(rw), Linux52Stats.RuntimeFuncPtrMembers)
+	}
+	convert := 0
+	types := map[string]bool{}
+	for _, r := range rw {
+		if r.Getter == "" || r.Setter == "" {
+			t.Fatalf("missing accessor names: %+v", r)
+		}
+		if r.ConvertToOpsTable && !types[r.Type] {
+			types[r.Type] = true
+			convert++
+		}
+	}
+	if convert != Linux52Stats.TypesWithMultiple {
+		t.Fatalf("types recommended for ops-table conversion = %d, want %d",
+			convert, Linux52Stats.TypesWithMultiple)
+	}
+	// Deterministic ordering.
+	for i := 1; i < len(rw); i++ {
+		if rw[i-1].Type > rw[i].Type {
+			t.Fatal("rewrites not sorted")
+		}
+	}
+}
+
+func TestSemanticSearchIgnoresStaticOps(t *testing.T) {
+	c := &Corpus{Types: []Type{
+		{Name: "ro_ops", Members: []Member{
+			{Name: "read", Kind: KindFuncPtr, RuntimeAssigned: false},
+			{Name: "write", Kind: KindFuncPtr, RuntimeAssigned: false},
+		}},
+		{Name: "file", Members: []Member{
+			{Name: "f_ops", Kind: KindDataPtr, RuntimeAssigned: true},
+		}},
+	}}
+	s := SemanticSearch(c)
+	if s.RuntimeFuncPtrMembers != 0 || s.TypesWithRuntimeFP != 0 {
+		t.Fatalf("static/const members matched: %+v", s)
+	}
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"camouflage/internal/boot"
+	"camouflage/internal/pac"
+)
+
+// This file is the Coccinelle-analogue of §5.3: "A semantic search using
+// Coccinelle over the complete Linux version 5.2 source code yields 1285
+// function pointer members assigned at run-time, residing in 504 different
+// compound types. We expect that for 229 out of the 504 types — i.e.,
+// those with more than one function pointer — should follow existing
+// kernel practices and be converted to use read-only operations
+// structures."
+//
+// The 27-MLoC Linux tree is not available offline, so the search runs over
+// a synthetic source model whose distribution is generated to match the
+// published statistics exactly (see DESIGN.md); the search, classification
+// and rewrite-planning pipeline is the real artefact.
+
+// MemberKind classifies a struct member.
+type MemberKind int
+
+// Member kinds.
+const (
+	KindScalar MemberKind = iota
+	KindDataPtr
+	KindFuncPtr
+)
+
+// Member is one field of a compound type in the source model.
+type Member struct {
+	Name string
+	Kind MemberKind
+	// RuntimeAssigned is true when some statement outside a static
+	// initialiser writes the member (the Coccinelle match condition).
+	RuntimeAssigned bool
+}
+
+// Type is one compound type.
+type Type struct {
+	Name    string
+	Members []Member
+}
+
+// Corpus is the kernel-source model.
+type Corpus struct {
+	Types []Type
+}
+
+// Linux52Stats are the published §5.3 numbers.
+var Linux52Stats = Stats{
+	RuntimeFuncPtrMembers: 1285,
+	TypesWithRuntimeFP:    504,
+	TypesWithMultiple:     229,
+}
+
+// Stats summarises a semantic search.
+type Stats struct {
+	// RuntimeFuncPtrMembers counts function-pointer members assigned at
+	// run time.
+	RuntimeFuncPtrMembers int
+	// TypesWithRuntimeFP counts compound types containing at least one.
+	TypesWithRuntimeFP int
+	// TypesWithMultiple counts those with more than one (candidates for
+	// conversion to read-only operations structures).
+	TypesWithMultiple int
+}
+
+// GenerateLinux52Corpus synthesises a source model whose semantic-search
+// statistics match Linux 5.2's published numbers. The remaining structure
+// (noise types without protected members, scalar and data members) is
+// drawn deterministically from the seed.
+func GenerateLinux52Corpus(seed uint64) *Corpus {
+	rng := boot.NewPRNG(seed)
+	c := &Corpus{}
+
+	const (
+		singleTypes = 504 - 229 // types with exactly one runtime fptr
+		multiTypes  = 229
+	)
+	remaining := 1285 - singleTypes // members to spread over multi types
+
+	// Types with exactly one runtime-assigned function pointer: the "lone
+	// function pointers" of §4.4 that stay writable and need PACs.
+	for i := 0; i < singleTypes; i++ {
+		t := Type{Name: fmt.Sprintf("lone_dev_%03d", i)}
+		t.Members = append(t.Members, Member{Name: "callback", Kind: KindFuncPtr, RuntimeAssigned: true})
+		addNoiseMembers(&t, rng, 2+int(rng.Uint64()%5))
+		c.Types = append(c.Types, t)
+	}
+
+	// Types with more than one: §5.3 expects these to be converted to
+	// read-only operations structures. Distribute the remaining members
+	// so every such type gets ≥ 2.
+	base := remaining / multiTypes
+	extra := remaining % multiTypes
+	for i := 0; i < multiTypes; i++ {
+		n := base
+		if i < extra {
+			n++
+		}
+		if n < 2 {
+			n = 2 // invariant of the 229 bucket
+		}
+		t := Type{Name: fmt.Sprintf("driver_ops_host_%03d", i)}
+		for j := 0; j < n; j++ {
+			t.Members = append(t.Members, Member{
+				Name: fmt.Sprintf("op%d", j), Kind: KindFuncPtr, RuntimeAssigned: true,
+			})
+		}
+		addNoiseMembers(&t, rng, 1+int(rng.Uint64()%4))
+		c.Types = append(c.Types, t)
+	}
+
+	// Noise: types with only static-initialised function pointers (the
+	// existing read-only ops tables) and plain data types.
+	for i := 0; i < 300; i++ {
+		t := Type{Name: fmt.Sprintf("const_ops_%03d", i)}
+		for j := 0; j < 3+int(rng.Uint64()%6); j++ {
+			t.Members = append(t.Members, Member{
+				Name: fmt.Sprintf("op%d", j), Kind: KindFuncPtr, RuntimeAssigned: false,
+			})
+		}
+		c.Types = append(c.Types, t)
+	}
+	for i := 0; i < 500; i++ {
+		t := Type{Name: fmt.Sprintf("plain_%03d", i)}
+		addNoiseMembers(&t, rng, 3+int(rng.Uint64()%8))
+		c.Types = append(c.Types, t)
+	}
+	return c
+}
+
+func addNoiseMembers(t *Type, rng *boot.PRNG, n int) {
+	for j := 0; j < n; j++ {
+		kind := KindScalar
+		if rng.Uint64()%4 == 0 {
+			kind = KindDataPtr
+		}
+		t.Members = append(t.Members, Member{
+			Name: fmt.Sprintf("f%d_%d", len(t.Members), j), Kind: kind,
+		})
+	}
+}
+
+// SemanticSearch runs the Coccinelle-match over the corpus: function
+// pointer members assigned at run time.
+func SemanticSearch(c *Corpus) Stats {
+	var s Stats
+	for _, t := range c.Types {
+		n := 0
+		for _, m := range t.Members {
+			if m.Kind == KindFuncPtr && m.RuntimeAssigned {
+				n++
+			}
+		}
+		if n > 0 {
+			s.TypesWithRuntimeFP++
+			s.RuntimeFuncPtrMembers += n
+		}
+		if n > 1 {
+			s.TypesWithMultiple++
+		}
+	}
+	return s
+}
+
+// Rewrite is one planned source change of the §5.3 semantic patch:
+// "substitute the direct reading and writing of protected pointers with
+// explicit get and set inline functions".
+type Rewrite struct {
+	Type   string
+	Member string
+	// Getter and Setter are the generated accessor names (file_ops() /
+	// set_file_ops() in the paper's example).
+	Getter, Setter string
+	// TypeConst is the 16-bit modifier constant for the member (§4.3).
+	TypeConst uint16
+	// ConvertToOpsTable recommends migrating the whole type to a
+	// read-only operations structure instead of signing each member
+	// (types with more than one function pointer, §5.3).
+	ConvertToOpsTable bool
+}
+
+// PlanRewrites produces the rewrite list for every protected member, in
+// deterministic order.
+func PlanRewrites(c *Corpus) []Rewrite {
+	var out []Rewrite
+	for _, t := range c.Types {
+		n := 0
+		for _, m := range t.Members {
+			if m.Kind == KindFuncPtr && m.RuntimeAssigned {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		for _, m := range t.Members {
+			if m.Kind != KindFuncPtr || !m.RuntimeAssigned {
+				continue
+			}
+			out = append(out, Rewrite{
+				Type:              t.Name,
+				Member:            m.Name,
+				Getter:            t.Name + "_" + m.Name,
+				Setter:            "set_" + t.Name + "_" + m.Name,
+				TypeConst:         pac.TypeConst(t.Name, m.Name),
+				ConvertToOpsTable: n > 1,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Member < out[j].Member
+	})
+	return out
+}

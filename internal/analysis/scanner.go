@@ -1,0 +1,128 @@
+// Package analysis implements the two static-analysis components of the
+// paper:
+//
+//  1. the §4.1 code verifier — "we can use static code analysis to verify
+//     that no code exists in the kernel, including the loadable kernel
+//     modules, which would read the keys from system registers" and "that
+//     no code exists that would corrupt the PAuth flags in the SCTLR_EL1
+//     register" — implemented as an instruction-stream scanner over A64
+//     words (MRS addresses its register immediately, so key reads "can be
+//     trivially found and rejected, e.g. when loading a module", §6.2.2);
+//
+//  2. the §5.3 Coccinelle-analogue — a semantic search over a kernel-source
+//     model that finds function-pointer members assigned at run time,
+//     classifies the containing types, and plans the getter/setter rewrite
+//     the paper applies semi-automatically.
+package analysis
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"camouflage/internal/insn"
+)
+
+// FindingKind classifies a scanner hit.
+type FindingKind int
+
+// Finding kinds.
+const (
+	// FindingKeyRead is an MRS from a PAuth key register (always fatal).
+	FindingKeyRead FindingKind = iota
+	// FindingSCTLRWrite is an MSR to SCTLR_EL1 (fatal in modules: a
+	// loadable module has no business touching the PAuth enable bits).
+	FindingSCTLRWrite
+	// FindingKeyWrite is an MSR to a PAuth key register outside the
+	// known key-setter (fatal in modules).
+	FindingKeyWrite
+)
+
+// String names the finding kind.
+func (k FindingKind) String() string {
+	switch k {
+	case FindingKeyRead:
+		return "PAuth key read (MRS)"
+	case FindingSCTLRWrite:
+		return "SCTLR_EL1 write (MSR)"
+	case FindingKeyWrite:
+		return "PAuth key write (MSR)"
+	}
+	return "finding?"
+}
+
+// Finding is one scanner hit.
+type Finding struct {
+	Kind   FindingKind
+	Offset uint64 // byte offset of the word within the scanned image
+	Word   uint32
+	Instr  insn.Instr
+}
+
+// String renders the finding for a rejection log.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s at +%#x: %s", f.Kind, f.Offset, f.Instr)
+}
+
+// ScanWords scans a sequence of instruction words.
+func ScanWords(words []uint32) []Finding {
+	var out []Finding
+	for i, w := range words {
+		ins := insn.Decode(w)
+		off := uint64(i) * insn.Size
+		switch ins.Op {
+		case insn.OpMRS:
+			if ins.Sys.IsPAuthKey() {
+				out = append(out, Finding{FindingKeyRead, off, w, ins})
+			}
+		case insn.OpMSR:
+			if ins.Sys == insn.SCTLR_EL1 {
+				out = append(out, Finding{FindingSCTLRWrite, off, w, ins})
+			} else if ins.Sys.IsPAuthKey() {
+				out = append(out, Finding{FindingKeyWrite, off, w, ins})
+			}
+		}
+	}
+	return out
+}
+
+// ScanBytes scans little-endian code bytes (length must be a multiple of
+// four; a trailing fragment is ignored, as the hardware could never fetch
+// it).
+func ScanBytes(b []byte) []Finding {
+	words := make([]uint32, 0, len(b)/4)
+	for i := 0; i+4 <= len(b); i += 4 {
+		words = append(words, binary.LittleEndian.Uint32(b[i:i+4]))
+	}
+	return ScanWords(words)
+}
+
+// VerifyModuleText applies the module-load gate: any finding rejects the
+// module (§4.1). The returned error lists every finding.
+func VerifyModuleText(text []byte) error {
+	findings := ScanBytes(text)
+	if len(findings) == 0 {
+		return nil
+	}
+	msg := "analysis: module rejected:"
+	for _, f := range findings {
+		msg += "\n  " + f.String()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// AllowedKeyWriters verifies a full kernel image: key writes may appear
+// only inside [setterStart, setterEnd) (the XOM key-setter), and no key
+// reads may appear anywhere.
+func AllowedKeyWriters(text []byte, setterStart, setterEnd uint64) error {
+	for _, f := range ScanBytes(text) {
+		switch f.Kind {
+		case FindingKeyRead:
+			return fmt.Errorf("analysis: kernel image contains %s", f)
+		case FindingKeyWrite:
+			if f.Offset < setterStart || f.Offset >= setterEnd {
+				return fmt.Errorf("analysis: key write outside key-setter: %s", f)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package asm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"camouflage/internal/insn"
+)
+
+func TestLinkSimple(t *testing.T) {
+	a := New()
+	a.Label("start")
+	a.I(insn.MOVZ(insn.X0, 1, 0))
+	a.I(insn.HLT(0))
+	img, err := a.Link(map[string]uint64{".text": 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Symbols["start"] != 0x1000 {
+		t.Fatalf("start = %#x", img.Symbols["start"])
+	}
+	sec := img.Sections[".text"]
+	if len(sec.Bytes) != 8 {
+		t.Fatalf("section size = %d", len(sec.Bytes))
+	}
+	w := binary.LittleEndian.Uint32(sec.Bytes[:4])
+	if got := insn.Decode(w); got.Op != insn.OpMOVZ {
+		t.Fatalf("first word decodes to %v", got.Op)
+	}
+}
+
+func TestBranchRelocation(t *testing.T) {
+	a := New()
+	a.Label("start")
+	a.BL("target")
+	a.I(insn.HLT(0))
+	a.Label("target")
+	a.I(insn.RET())
+	img, err := a.Link(map[string]uint64{".text": 0x8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := binary.LittleEndian.Uint32(img.Sections[".text"].Bytes[:4])
+	i := insn.Decode(w)
+	if i.Op != insn.OpBL || i.Imm != 8 {
+		t.Fatalf("BL decoded as %+v, want offset 8", i)
+	}
+}
+
+func TestBackwardBranch(t *testing.T) {
+	a := New()
+	a.Label("loop")
+	a.I(insn.SUBi(insn.X0, insn.X0, 1))
+	a.CBNZ(insn.X0, "loop")
+	img, err := a.Link(map[string]uint64{".text": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := binary.LittleEndian.Uint32(img.Sections[".text"].Bytes[4:8])
+	i := insn.Decode(w)
+	if i.Op != insn.OpCBNZ || i.Imm != -4 {
+		t.Fatalf("CBNZ decoded as %+v, want offset -4", i)
+	}
+}
+
+func TestCrossSectionRelocation(t *testing.T) {
+	a := New()
+	a.Label("f")
+	a.ADR(insn.X0, "data")
+	a.MOVAddr(insn.X1, "data")
+	a.Section(".data")
+	a.Label("data")
+	a.Quad(0xDEADBEEF)
+	a.QuadAddr("f", 4)
+	img, err := a.Link(map[string]uint64{".text": 0x10000, ".data": 0x20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := img.Sections[".text"].Bytes
+	adr := insn.Decode(binary.LittleEndian.Uint32(text[:4]))
+	if adr.Op != insn.OpADR || adr.Imm != 0x10000 {
+		t.Fatalf("ADR = %+v, want +0x10000", adr)
+	}
+	// MOVAddr materialises the absolute data address.
+	var v uint64
+	for k := 0; k < 4; k++ {
+		i := insn.Decode(binary.LittleEndian.Uint32(text[4+4*k : 8+4*k]))
+		switch i.Op {
+		case insn.OpMOVZ:
+			v = uint64(uint16(i.Imm)) << i.Shift
+		case insn.OpMOVK:
+			v = v&^(uint64(0xFFFF)<<i.Shift) | uint64(uint16(i.Imm))<<i.Shift
+		case insn.OpNOP:
+		default:
+			t.Fatalf("unexpected op %v in MOVAddr chain", i.Op)
+		}
+	}
+	if v != 0x20000 {
+		t.Fatalf("MOVAddr chain loads %#x", v)
+	}
+	data := img.Sections[".data"].Bytes
+	if got := binary.LittleEndian.Uint64(data[:8]); got != 0xDEADBEEF {
+		t.Fatalf("Quad = %#x", got)
+	}
+	if got := binary.LittleEndian.Uint64(data[8:16]); got != 0x10004 {
+		t.Fatalf("QuadAddr = %#x, want f+4", got)
+	}
+}
+
+func TestAlignAndPadTo(t *testing.T) {
+	a := New()
+	a.I(insn.NOP())
+	a.Align(16)
+	if a.Offset() != 16 {
+		t.Fatalf("offset after align = %d", a.Offset())
+	}
+	a.PadTo(0x80)
+	if a.Offset() != 0x80 {
+		t.Fatalf("offset after PadTo = %d", a.Offset())
+	}
+	a.Label("here")
+	img, err := a.Link(map[string]uint64{".text": 0x4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Symbols["here"] != 0x4080 {
+		t.Fatalf("here = %#x", img.Symbols["here"])
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	a := New()
+	a.BL("nowhere")
+	if _, err := a.Link(map[string]uint64{".text": 0}); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestMissingSectionBase(t *testing.T) {
+	a := New()
+	a.I(insn.NOP())
+	a.Section(".data")
+	a.Quad(1)
+	if _, err := a.Link(map[string]uint64{".text": 0}); err == nil {
+		t.Fatal("missing base accepted")
+	}
+}
+
+func TestOverlapDetected(t *testing.T) {
+	a := New()
+	a.Zero(0x100)
+	a.Section(".data")
+	a.Zero(0x100)
+	if _, err := a.Link(map[string]uint64{".text": 0x1000, ".data": 0x1080}); err == nil {
+		t.Fatal("overlapping sections accepted")
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate label did not panic")
+		}
+	}()
+	a := New()
+	a.Label("x")
+	a.Label("x")
+}
+
+func TestPadToBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards PadTo did not panic")
+		}
+	}()
+	a := New()
+	a.Zero(0x100)
+	a.PadTo(0x80)
+}

@@ -1,0 +1,442 @@
+// Package attack implements the adversary of the paper's threat model
+// (§3.1): full control of unprivileged user processes plus a kernel
+// memory-corruption primitive giving arbitrary read/write of kernel
+// memory (modelled as direct host access to guest RAM). The attacker
+// cannot modify write-protected memory (rodata, XOM) and does not know
+// the PAuth keys.
+//
+// The harness reproduces the security evaluation of §6.2: pointer
+// injection, pointer reuse/replay, brute force against the 15-bit PAC,
+// and verification-oracle probing — each against the protection levels
+// the paper compares.
+package attack
+
+import (
+	"fmt"
+
+	"camouflage/internal/codegen"
+	"camouflage/internal/insn"
+	"camouflage/internal/kernel"
+	"camouflage/internal/pac"
+)
+
+// Outcome classifies an attack run.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeHijacked: attacker-chosen code executed in kernel context.
+	OutcomeHijacked Outcome = iota
+	// OutcomeDetected: the corruption was caught (PAC failure → fault).
+	OutcomeDetected
+	// OutcomeInconclusive: neither marker fired within budget.
+	OutcomeInconclusive
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHijacked:
+		return "HIJACKED"
+	case OutcomeDetected:
+		return "detected"
+	}
+	return "inconclusive"
+}
+
+// Report is the result of one attack under one configuration.
+type Report struct {
+	Attack  string
+	Level   string
+	Outcome Outcome
+	// PACFailures observed during the attack.
+	PACFailures int
+	Detail      string
+}
+
+// gadgetCounter reads the hijack marker: the work counter incremented by
+// work_handler, which all attacks use as their "attacker code" target.
+func gadgetCounter(k *kernel.Kernel) uint64 {
+	return k.CPU.Bus.RAM.Read64(kernel.KVAToPA(kernel.DataBase) + kernel.StaticWorkOffset + kernel.WorkData)
+}
+
+// classify turns post-run state into an outcome. Hijack wins: if the
+// gadget ran, detection afterwards does not undo the damage.
+func classify(k *kernel.Kernel, before uint64) (Outcome, string) {
+	if gadgetCounter(k) > before {
+		return OutcomeHijacked, fmt.Sprintf("gadget executed %d time(s)", gadgetCounter(k)-before)
+	}
+	if k.PACFailures > 0 {
+		return OutcomeDetected, fmt.Sprintf("%d PAC failure(s), offender killed", k.PACFailures)
+	}
+	for _, o := range k.Oops {
+		if o.Kernel {
+			return OutcomeDetected, "kernel fault without PAC (crash, not hijack)"
+		}
+	}
+	return OutcomeInconclusive, ""
+}
+
+// bootWith builds and boots a kernel for an attack run.
+func bootWith(cfg *codegen.Config, seed uint64) (*kernel.Kernel, error) {
+	k, err := kernel.New(kernel.Options{Config: cfg, Seed: seed, FailureThreshold: 64})
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Boot(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// FOpsSwap is the forward-edge/DFI attack of §4.5: replace an open file's
+// f_ops pointer with a forged operations table in writable memory whose
+// read member is the attacker's gadget.
+func FOpsSwap(cfg *codegen.Config, level string) (Report, error) {
+	k, err := bootWith(cfg, 21)
+	if err != nil {
+		return Report{}, err
+	}
+	prog, err := kernel.BuildProgram("victim", func(u *kernel.UserASM) {
+		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0)
+		u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
+		u.A.Label("spin")
+		u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
+		u.MovImm(insn.X1, kernel.UserDataBase)
+		u.MovImm(insn.X2, 8)
+		u.SyscallReg(kernel.SysRead)
+		u.A.B("spin")
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	k.RegisterProgram(1, prog)
+	if _, err := k.Spawn(1); err != nil {
+		return Report{}, err
+	}
+	k.Run(400_000) // open + a few benign reads
+	fileVA := k.FileAddrByFD(0)
+	if fileVA == 0 {
+		return Report{}, fmt.Errorf("fopsswap: victim fd not open")
+	}
+
+	before := gadgetCounter(k)
+	// Arbitrary kernel R/W: forge an ops table pointing read at the
+	// gadget, then swap f_ops. (.rodata itself is unwritable — §3.1 — so
+	// the forgery must live in writable memory, which is exactly why the
+	// pointer *to* the table needs DFI.)
+	forged := k.AllocScratch(kernel.OpsSize)
+	ram := k.CPU.Bus.RAM
+	ram.Write64(kernel.KVAToPA(forged)+kernel.OpsRead, k.Img.Symbols["work_handler"])
+	ram.Write64(kernel.KVAToPA(fileVA)+kernel.FileOps, forged)
+	k.CPU.InvalidateDecode()
+
+	k.Run(3_000_000)
+	out, detail := classify(k, before)
+	return Report{Attack: "f_ops swap (JOP)", Level: level, Outcome: out,
+		PACFailures: k.PACFailures, Detail: detail}, nil
+}
+
+// FOpsReplay is the §6.2.1 reuse attack: transplant a correctly signed
+// f_ops value from one file object into another of the same type. Under
+// the §4.3 address-bound modifier this fails; under the zero-modifier
+// ablation (Apple's vtable scheme, §7) it succeeds if the two files use
+// different operations tables (privilege confusion between drivers).
+func FOpsReplay(cfg *codegen.Config, level string) (Report, error) {
+	k, err := bootWith(cfg, 22)
+	if err != nil {
+		return Report{}, err
+	}
+	prog, err := kernel.BuildProgram("replayvictim", func(u *kernel.UserASM) {
+		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevNull, 0) // fd 0
+		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0) // fd 1
+		u.A.Label("spin")
+		// Keep reading fd 1 (/dev/zero): 8 bytes into the buffer.
+		u.Syscall(kernel.SysRead, 1, kernel.UserDataBase, 8)
+		u.A.B("spin")
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	k.RegisterProgram(1, prog)
+	if _, err := k.Spawn(1); err != nil {
+		return Report{}, err
+	}
+	k.Run(500_000)
+	nullFile := k.FileAddrByFD(0)
+	zeroFile := k.FileAddrByFD(1)
+	if nullFile == 0 || zeroFile == 0 {
+		return Report{}, fmt.Errorf("fopsreplay: fds not open")
+	}
+
+	// Transplant the signed f_ops of the *null* file into the *zero*
+	// file: subsequent reads of /dev/zero would dispatch through
+	// null_ops (read = EOF), silently redirecting the driver — the
+	// "pointer replaced with another pointer of the same type" case.
+	ram := k.CPU.Bus.RAM
+	signedNullOps := ram.Read64(kernel.KVAToPA(nullFile) + kernel.FileOps)
+	ram.Write64(kernel.KVAToPA(zeroFile)+kernel.FileOps, signedNullOps)
+	k.CPU.InvalidateDecode()
+
+	// Observe: fill the buffer with a sentinel; a genuine /dev/zero read
+	// zeroes it; a replayed null_ops read (EOF) leaves it untouched.
+	sentPA := kernel.UVAToPA(1, kernel.UserDataBase)
+	ram.Write64(sentPA, 0x5E5E5E5E5E5E5E5E)
+	k.Run(2_000_000)
+
+	if k.PACFailures > 0 {
+		return Report{Attack: "f_ops replay (reuse)", Level: level, Outcome: OutcomeDetected,
+			PACFailures: k.PACFailures, Detail: "cross-object transplant rejected"}, nil
+	}
+	if ram.Read64(sentPA) == 0x5E5E5E5E5E5E5E5E && k.Task(1) != nil {
+		return Report{Attack: "f_ops replay (reuse)", Level: level, Outcome: OutcomeHijacked,
+			Detail: "driver silently swapped: /dev/zero reads dispatch to null_ops"}, nil
+	}
+	return Report{Attack: "f_ops replay (reuse)", Level: level, Outcome: OutcomeInconclusive}, nil
+}
+
+// ROPFrameRecord is the backward-edge attack of §2.1: overwrite saved
+// return addresses in the frame records of a task blocked inside the
+// kernel, then let it resume.
+func ROPFrameRecord(cfg *codegen.Config, level string) (Report, error) {
+	k, err := bootWith(cfg, 23)
+	if err != nil {
+		return Report{}, err
+	}
+	prog, err := kernel.BuildProgram("blocker", func(u *kernel.UserASM) {
+		u.Syscall(kernel.SysPipe2, kernel.UserDataBase+0x100)
+		u.SyscallReg(kernel.SysClone)
+		u.A.CBZ(insn.X0, "child")
+		// Parent: yield a few times (attack window), then write the pipe.
+		u.CounterLoop("spins", insn.X21, 50, func() {
+			u.SyscallReg(kernel.SysSchedYield)
+		})
+		u.MovImm(insn.X9, kernel.UserDataBase+0x100)
+		u.A.I(insn.LDR(insn.X0, insn.X9, 8))
+		u.MovImm(insn.X1, kernel.UserDataBase)
+		u.MovImm(insn.X2, 8)
+		u.SyscallReg(kernel.SysWrite)
+		u.Exit(0)
+		// Child: block reading the empty pipe. Its kernel stack then
+		// holds live frame records.
+		u.A.Label("child")
+		u.MovImm(insn.X9, kernel.UserDataBase+0x100)
+		u.A.I(insn.LDR(insn.X0, insn.X9, 0))
+		u.MovImm(insn.X1, kernel.UserDataBase+0x40)
+		u.MovImm(insn.X2, 8)
+		u.SyscallReg(kernel.SysRead)
+		u.Exit(0)
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	k.RegisterProgram(1, prog)
+	if _, err := k.Spawn(1); err != nil {
+		return Report{}, err
+	}
+
+	// Run until the child (pid 2) is blocked in pipe_read.
+	var victim *kernel.Task
+	for i := 0; i < 300; i++ {
+		k.Run(5_000)
+		if t := k.Task(2); t != nil && t.State == kernel.TaskBlocked {
+			victim = t
+			break
+		}
+		if k.Halted {
+			break
+		}
+	}
+	if victim == nil {
+		return Report{}, fmt.Errorf("rop: victim never blocked")
+	}
+
+	before := gadgetCounter(k)
+	gadget := k.Img.Symbols["work_handler"]
+	textLo := k.Img.Symbols["start_kernel"] &^ 0xFFFF
+	textHi := textLo + 0x4_0000
+	// Scan the victim's kernel stack for saved return addresses (any
+	// quad whose PAC-stripped value lands in kernel text) and smash them.
+	ram := k.CPU.Bus.RAM
+	smashed := 0
+	stackBase := victim.StackTop - kernel.StackSize
+	for off := uint64(0); off < kernel.StackSize; off += 8 {
+		va := stackBase + off
+		v := ram.Read64(kernel.KVAToPA(va))
+		if v == 0 {
+			continue
+		}
+		stripped := k.CPU.Signer.Strip(v)
+		if stripped >= textLo && stripped < textHi {
+			ram.Write64(kernel.KVAToPA(va), gadget)
+			smashed++
+		}
+	}
+	if smashed == 0 {
+		return Report{}, fmt.Errorf("rop: no return addresses found on victim stack")
+	}
+	k.CPU.InvalidateDecode()
+	k.Run(5_000_000)
+	out, detail := classify(k, before)
+	return Report{Attack: "ROP (frame-record smash)", Level: level, Outcome: out,
+		PACFailures: k.PACFailures, Detail: fmt.Sprintf("%s; %d slots smashed", detail, smashed)}, nil
+}
+
+// BruteReport is the result of the §5.4 brute-force experiment.
+type BruteReport struct {
+	Level     string
+	Threshold int
+	Attempts  int
+	Halted    bool
+	// Succeeded is true if a guessed PAC authenticated (probability
+	// ~2^-15 per attempt; essentially never within the threshold).
+	Succeeded bool
+}
+
+// BruteForcePAC models the §5.4 attacker: an unprivileged process guesses
+// PAC bits for a forged f_ops pointer; every miss costs it the process,
+// and the kernel halts at the failure threshold.
+func BruteForcePAC(cfg *codegen.Config, level string, threshold int) (BruteReport, error) {
+	k, err := kernel.New(kernel.Options{Config: cfg, Seed: 31, FailureThreshold: threshold})
+	if err != nil {
+		return BruteReport{}, err
+	}
+	if err := k.Boot(); err != nil {
+		return BruteReport{}, err
+	}
+	prog, err := kernel.BuildProgram("bruteforcer", func(u *kernel.UserASM) {
+		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0)
+		u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
+		u.A.Label("spin")
+		u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
+		u.MovImm(insn.X1, kernel.UserDataBase)
+		u.MovImm(insn.X2, 8)
+		u.SyscallReg(kernel.SysRead)
+		u.A.B("spin")
+	})
+	if err != nil {
+		return BruteReport{}, err
+	}
+	k.RegisterProgram(1, prog)
+
+	rep := BruteReport{Level: level, Threshold: threshold}
+	forgedTarget := k.AllocScratch(kernel.OpsSize)
+	ram := k.CPU.Bus.RAM
+	ram.Write64(kernel.KVAToPA(forgedTarget)+kernel.OpsRead, k.Img.Symbols["work_handler"])
+
+	mask, _ := k.CPU.Signer.Config().PACField(true)
+	before := gadgetCounter(k)
+	for rep.Attempts = 0; rep.Attempts < threshold+8 && !k.Halted; rep.Attempts++ {
+		if _, err := k.Spawn(1); err != nil {
+			return rep, err
+		}
+		k.Run(400_000)
+		fileVA := k.FileAddrByFD(0)
+		if fileVA == 0 {
+			return rep, fmt.Errorf("bruteforce: fd not open")
+		}
+		// Guess: forged pointer with attempt-indexed PAC bits.
+		guess := (forgedTarget &^ mask) | (uint64(rep.Attempts*0x9E37+1) << 48 & mask)
+		ram.Write64(kernel.KVAToPA(fileVA)+kernel.FileOps, guess)
+		k.CPU.InvalidateDecode()
+		k.Run(3_000_000)
+		if gadgetCounter(k) > before {
+			rep.Succeeded = true
+			return rep, nil
+		}
+	}
+	rep.Halted = k.Halted
+	return rep, nil
+}
+
+// Levels enumerates the §6.2 comparison configurations.
+func Levels() []struct {
+	Name string
+	Cfg  func() *codegen.Config
+} {
+	zero := func() *codegen.Config {
+		c := codegen.ConfigFull()
+		c.ZeroModifier = true
+		return c
+	}
+	return []struct {
+		Name string
+		Cfg  func() *codegen.Config
+	}{
+		{"none", codegen.ConfigNone},
+		{"backward-edge", codegen.ConfigBackward},
+		{"full", codegen.ConfigFull},
+		{"full/zero-mod", zero},
+	}
+}
+
+// Matrix runs every attack against every configuration: the §6.2
+// security-evaluation table.
+func Matrix() ([]Report, error) {
+	var out []Report
+	for _, lv := range Levels() {
+		for _, run := range []func(*codegen.Config, string) (Report, error){
+			ROPFrameRecord, FOpsSwap, FOpsReplay, CredSwap,
+		} {
+			r, err := run(lv.Cfg(), lv.Name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// --- replay-surface census (E10) ---
+
+// CensusResult counts modifier collisions across contexts for one
+// return-address scheme.
+type CensusResult struct {
+	Scheme pac.ModifierScheme
+	// Contexts is the number of (thread, depth, function) sign contexts.
+	Contexts int
+	// CollidingPairs counts distinct context pairs with equal modifiers —
+	// each is a replay opportunity.
+	CollidingPairs int
+}
+
+// ReplayCensus enumerates kernel sign contexts — threads with 16 KiB-
+// strided stacks (§4.2), call depths, and return sites — and counts
+// modifier collisions per scheme. It quantifies §4.2 and §7: the SP-only
+// modifier collides across functions at equal depth and across threads;
+// PARTS collides across stacks 64 KiB apart; Camouflage collides only
+// when thread stacks alias at 4 GiB spacing, which the census never
+// reaches.
+func ReplayCensus(scheme pac.ModifierScheme, threads, depths, funcs int) CensusResult {
+	type ctx struct{ modifier uint64 }
+	var ctxs []ctx
+	for th := 0; th < threads; th++ {
+		stackTop := kernel.StackBase + uint64(th+1)*kernel.StackSize
+		for d := 0; d < depths; d++ {
+			sp := stackTop - uint64(d+1)*32
+			for f := 0; f < funcs; f++ {
+				fnAddr := kernel.TextBase + uint64(f)*0x80
+				var m uint64
+				switch scheme {
+				case pac.ModifierClangSP:
+					m = pac.ReturnModifierClangSP(sp)
+				case pac.ModifierPARTS:
+					m = pac.ReturnModifierPARTS(sp, uint64(f+1))
+				case pac.ModifierCamouflage:
+					m = pac.ReturnModifierCamouflage(sp, fnAddr)
+				default:
+					m = 0 // unprotected: everything collides
+				}
+				ctxs = append(ctxs, ctx{m})
+			}
+		}
+	}
+	seen := map[uint64]int{}
+	pairs := 0
+	for _, c := range ctxs {
+		pairs += seen[c.modifier]
+		seen[c.modifier]++
+	}
+	return CensusResult{Scheme: scheme, Contexts: len(ctxs), CollidingPairs: pairs}
+}

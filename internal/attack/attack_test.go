@@ -1,0 +1,211 @@
+package attack
+
+import (
+	"testing"
+
+	"camouflage/internal/codegen"
+	"camouflage/internal/pac"
+)
+
+// TestROPMatrix pins §6.2.1 for the backward edge: the frame-record smash
+// hijacks the unprotected kernel and is detected by every PAuth build.
+func TestROPMatrix(t *testing.T) {
+	r, err := ROPFrameRecord(codegen.ConfigNone(), "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcome != OutcomeHijacked {
+		t.Errorf("unprotected ROP: %s (%s), want HIJACKED", r.Outcome, r.Detail)
+	}
+	for _, lv := range []struct {
+		name string
+		cfg  *codegen.Config
+	}{
+		{"backward-edge", codegen.ConfigBackward()},
+		{"full", codegen.ConfigFull()},
+	} {
+		r, err := ROPFrameRecord(lv.cfg, lv.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Outcome != OutcomeDetected {
+			t.Errorf("%s ROP: %s (%s), want detected", lv.name, r.Outcome, r.Detail)
+		}
+		if r.PACFailures == 0 {
+			t.Errorf("%s ROP: no PAC failures recorded", lv.name)
+		}
+	}
+}
+
+// TestFOpsSwapMatrix pins §4.5: without DFI the ops-table pointer swap
+// hijacks control flow; with DFI it is detected. This is the paper's
+// justification for protecting *data* pointers to operations tables.
+func TestFOpsSwapMatrix(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		cfg  *codegen.Config
+		want Outcome
+	}{
+		{"none", codegen.ConfigNone(), OutcomeHijacked},
+		{"backward-edge", codegen.ConfigBackward(), OutcomeHijacked},
+		{"full", codegen.ConfigFull(), OutcomeDetected},
+	} {
+		r, err := FOpsSwap(c.cfg, c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Outcome != c.want {
+			t.Errorf("%s f_ops swap: %s (%s), want %s", c.name, r.Outcome, r.Detail, c.want)
+		}
+	}
+}
+
+// TestFOpsReplayMatrix pins §6.2.1/§7: the cross-object transplant of a
+// correctly signed pointer succeeds under the Apple-style zero modifier
+// but fails under the §4.3 address-bound modifier.
+func TestFOpsReplayMatrix(t *testing.T) {
+	full, err := FOpsReplay(codegen.ConfigFull(), "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Outcome != OutcomeDetected {
+		t.Errorf("full: replay %s (%s), want detected", full.Outcome, full.Detail)
+	}
+	zc := codegen.ConfigFull()
+	zc.ZeroModifier = true
+	zero, err := FOpsReplay(zc, "full/zero-mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Outcome != OutcomeHijacked {
+		t.Errorf("zero-modifier: replay %s (%s), want HIJACKED (Apple-scheme weakness, §7)",
+			zero.Outcome, zero.Detail)
+	}
+}
+
+// TestBruteForceHaltsAtThreshold pins §5.4: guessing the 15-bit PAC is
+// cut off by the failure threshold long before the search space is
+// covered.
+func TestBruteForceHaltsAtThreshold(t *testing.T) {
+	rep, err := BruteForcePAC(codegen.ConfigFull(), "full", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded {
+		t.Fatalf("brute force guessed a valid PAC in %d attempts (p≈2^-15 each)", rep.Attempts)
+	}
+	if !rep.Halted {
+		t.Fatal("system did not halt at the failure threshold")
+	}
+	if rep.Attempts > rep.Threshold+1 {
+		t.Fatalf("attacker got %d attempts against threshold %d", rep.Attempts, rep.Threshold)
+	}
+}
+
+// TestMatrixComplete runs the full §6.2 table and checks the headline
+// property: the full build detects everything; the unprotected build is
+// hijacked by everything.
+func TestMatrixComplete(t *testing.T) {
+	reports, err := Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4*4 {
+		t.Fatalf("matrix has %d cells, want 16", len(reports))
+	}
+	for _, r := range reports {
+		switch {
+		case r.Level == "full" && r.Outcome != OutcomeDetected:
+			t.Errorf("full vs %s: %s (%s)", r.Attack, r.Outcome, r.Detail)
+		case r.Level == "none" && r.Outcome != OutcomeHijacked:
+			t.Errorf("none vs %s: %s (%s)", r.Attack, r.Outcome, r.Detail)
+		}
+	}
+}
+
+// TestReplayCensus pins the E10 ablation: collision counts order as
+// none ≫ Clang-SP > PARTS > Camouflage (= 0).
+func TestReplayCensus(t *testing.T) {
+	const threads, depths, funcs = 8, 16, 8
+	clang := ReplayCensus(pac.ModifierClangSP, threads, depths, funcs)
+	parts := ReplayCensus(pac.ModifierPARTS, threads, depths, funcs)
+	camo := ReplayCensus(pac.ModifierCamouflage, threads, depths, funcs)
+
+	if camo.CollidingPairs != 0 {
+		t.Errorf("Camouflage census found %d colliding pairs, want 0", camo.CollidingPairs)
+	}
+	if parts.CollidingPairs == 0 {
+		t.Error("PARTS census found no collisions; 16 KiB-strided stacks must alias at 64 KiB (§7)")
+	}
+	if clang.CollidingPairs <= parts.CollidingPairs {
+		t.Errorf("Clang-SP (%d) should collide more than PARTS (%d)",
+			clang.CollidingPairs, parts.CollidingPairs)
+	}
+	if clang.Contexts != threads*depths*funcs {
+		t.Errorf("census enumerated %d contexts, want %d", clang.Contexts, threads*depths*funcs)
+	}
+}
+
+// TestClangSPCollidesAcrossFunctions pins the specific §4.2 weakness: at
+// one SP, every return site shares the Clang-SP modifier.
+func TestClangSPCollidesAcrossFunctions(t *testing.T) {
+	r := ReplayCensus(pac.ModifierClangSP, 1, 1, 16)
+	// 16 functions, one SP: all 16 modifiers equal → C(16,2) pairs.
+	if want := 16 * 15 / 2; r.CollidingPairs != want {
+		t.Fatalf("collisions = %d, want %d", r.CollidingPairs, want)
+	}
+	c := ReplayCensus(pac.ModifierCamouflage, 1, 1, 16)
+	if c.CollidingPairs != 0 {
+		t.Fatalf("Camouflage collides across functions: %d", c.CollidingPairs)
+	}
+}
+
+// TestPARTSCollidesAt64K pins §7's PARTS analysis in the census setting.
+func TestPARTSCollidesAt64K(t *testing.T) {
+	// Threads 0 and 4 have stacks exactly 64 KiB apart (16 KiB stride):
+	// identical low 16 SP bits → identical PARTS modifiers.
+	r := ReplayCensus(pac.ModifierPARTS, 5, 1, 1)
+	if r.CollidingPairs == 0 {
+		t.Fatal("no PARTS collision among 5 threads at 16 KiB stride")
+	}
+	c := ReplayCensus(pac.ModifierCamouflage, 5, 1, 1)
+	if c.CollidingPairs != 0 {
+		t.Fatalf("Camouflage collided: %d", c.CollidingPairs)
+	}
+}
+
+// TestCredSwapMatrix pins the §4.5 f_cred scenario: without DFI the
+// forged credentials are consulted silently; with DFI the swap faults.
+func TestCredSwapMatrix(t *testing.T) {
+	none, err := CredSwap(codegen.ConfigNone(), "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Outcome != OutcomeHijacked {
+		t.Errorf("none: cred swap %s (%s), want HIJACKED", none.Outcome, none.Detail)
+	}
+	full, err := CredSwap(codegen.ConfigFull(), "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Outcome != OutcomeDetected {
+		t.Errorf("full: cred swap %s (%s), want detected", full.Outcome, full.Detail)
+	}
+}
+
+// TestVerificationOracle pins §6.2.3: user keys cannot verify
+// kernel-signed pointers; kernel keys can.
+func TestVerificationOracle(t *testing.T) {
+	for seed := uint64(40); seed < 44; seed++ {
+		r, err := VerificationOracle(codegen.ConfigFull(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.KernelAuthSucceeded {
+			t.Fatalf("seed %d: kernel keys failed to verify their own PAC", seed)
+		}
+		if r.UserAuthSucceeded {
+			t.Fatalf("seed %d: user keys verified a kernel PAC — oracle exists", seed)
+		}
+	}
+}

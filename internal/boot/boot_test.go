@@ -1,0 +1,159 @@
+package boot
+
+import (
+	"testing"
+
+	"camouflage/internal/asm"
+	"camouflage/internal/cpu"
+	"camouflage/internal/insn"
+	"camouflage/internal/pac"
+)
+
+func TestPRNGDeterministic(t *testing.T) {
+	a, b := NewPRNG(42), NewPRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("PRNG not deterministic")
+		}
+	}
+	c := NewPRNG(43)
+	if NewPRNG(42).Uint64() == c.Uint64() {
+		t.Fatal("different seeds produced identical first outputs")
+	}
+}
+
+func TestPRNGDistribution(t *testing.T) {
+	// Crude sanity: bit balance over many draws.
+	p := NewPRNG(7)
+	ones := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := p.Uint64()
+		for b := 0; b < 64; b++ {
+			if v&(1<<b) != 0 {
+				ones++
+			}
+		}
+	}
+	frac := float64(ones) / float64(n*64)
+	if frac < 0.49 || frac > 0.51 {
+		t.Fatalf("bit balance %f, want ~0.5", frac)
+	}
+}
+
+func TestGenerateKeysDistinct(t *testing.T) {
+	ks := NewPRNG(1).GenerateKeys()
+	seen := map[pac.Key]bool{}
+	for _, k := range ks.Keys {
+		if k.IsZero() {
+			t.Fatal("generated zero key")
+		}
+		if seen[k] {
+			t.Fatal("duplicate key generated")
+		}
+		seen[k] = true
+	}
+}
+
+// TestKeySetterInstallsKeys assembles the setter, runs it on the CPU and
+// checks that exactly the three kernel keys are installed and x0 is
+// scrubbed.
+func TestKeySetterInstallsKeys(t *testing.T) {
+	keys := NewPRNG(99).GenerateKeys()
+	a := asm.New()
+	a.Label("entry")
+	a.BL("key_setter")
+	a.I(insn.HLT(0))
+	EmitKeySetter(a, "key_setter", keys, ModeV83)
+	img, err := a.Link(map[string]uint64{".text": 0x8_0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Features{PAuth: true})
+	for _, s := range img.Sections {
+		c.Bus.RAM.WriteBytes(s.Base, s.Bytes)
+	}
+	c.SetSP(1, 0x10_0000)
+	c.PC = img.Symbols["entry"]
+	stop := c.Run(1000)
+	if stop.Kind != cpu.StopHLT {
+		t.Fatalf("stop = %+v", stop)
+	}
+	for _, id := range KernelKeys {
+		if got := c.Signer.Key(id); got != keys.Keys[id] {
+			t.Fatalf("key %v = %+v, want %+v", id, got, keys.Keys[id])
+		}
+	}
+	// Keys not in the kernel set stay unset.
+	if !c.Signer.Key(pac.KeyGA).IsZero() {
+		t.Fatal("GA key installed unexpectedly")
+	}
+	if c.X[0] != 0 {
+		t.Fatalf("x0 = %#x after setter; key material leaked in GPR", c.X[0])
+	}
+}
+
+// TestKeySetterConstantLength: the emitted setter length must not depend
+// on the key value (timing/layout side channel).
+func TestKeySetterConstantLength(t *testing.T) {
+	sizeOf := func(keys pac.KeySet) uint64 {
+		a := asm.New()
+		EmitKeySetter(a, "s", keys, ModeV83)
+		img, err := a.Link(map[string]uint64{".text": 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uint64(len(img.Sections[".text"].Bytes))
+	}
+	var zeroish pac.KeySet // many zero halfwords
+	for i := range zeroish.Keys {
+		zeroish.Keys[i] = pac.Key{Hi: 1, Lo: 0x1_0000}
+	}
+	random := NewPRNG(5).GenerateKeys()
+	if sizeOf(zeroish) != sizeOf(random) {
+		t.Fatal("setter length depends on key value")
+	}
+}
+
+// TestKeySetterV80Compat: the backwards-compatible build writes
+// CONTEXTIDR_EL1 instead of key registers and skips data keys (§5.5).
+func TestKeySetterV80Compat(t *testing.T) {
+	keys := NewPRNG(3).GenerateKeys()
+	a := asm.New()
+	a.Label("entry")
+	a.BL("key_setter")
+	a.I(insn.HLT(0))
+	EmitKeySetter(a, "key_setter", keys, ModeV80)
+	img, err := a.Link(map[string]uint64{".text": 0x8_0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Features{PAuth: false}) // v8.0 core
+	for _, s := range img.Sections {
+		c.Bus.RAM.WriteBytes(s.Base, s.Bytes)
+	}
+	c.SetSP(1, 0x10_0000)
+	c.PC = img.Symbols["entry"]
+	stop := c.Run(1000)
+	if stop.Kind != cpu.StopHLT || stop.Code != 0 {
+		t.Fatalf("stop = %+v (setter must not fault on a v8.0 core)", stop)
+	}
+	// CONTEXTIDR received the last write.
+	if c.CONTEXTIDR == 0 {
+		t.Fatal("CONTEXTIDR untouched; PA-analogue writes missing")
+	}
+}
+
+func TestBootInfoRoundTrip(t *testing.T) {
+	in := Info{Seed: 0xABCDEF, KeySetter: uint64(pac.KernelBase) | 0x1000, MemBytes: 1 << 30}
+	got, ok := DecodeInfo(in.Encode())
+	if !ok || got != in {
+		t.Fatalf("round trip = (%+v, %v)", got, ok)
+	}
+	if _, ok := DecodeInfo(make([]byte, 32)); ok {
+		t.Fatal("zero block accepted")
+	}
+	if _, ok := DecodeInfo(nil); ok {
+		t.Fatal("short block accepted")
+	}
+}

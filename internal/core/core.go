@@ -1,0 +1,183 @@
+// Package core composes the Camouflage system — the paper's primary
+// contribution — from its substrates: the bootloader generates kernel
+// PAuth keys and synthesises the XOM key-setter; the hypervisor enforces
+// XOM and MMU lockdown; the instrumented kernel switches keys on every
+// EL0/EL1 transition, signs return addresses with the hardened Listing-3
+// modifier, and protects writable function pointers and operations-table
+// pointers with object-bound PACs; and the §4.1 static verifier checks the
+// final image before it boots.
+package core
+
+import (
+	"fmt"
+
+	"camouflage/internal/analysis"
+	"camouflage/internal/boot"
+	"camouflage/internal/codegen"
+	"camouflage/internal/cpu"
+	"camouflage/internal/kernel"
+	"camouflage/internal/pac"
+)
+
+// ProtectionLevel selects how much of the Camouflage design is enabled —
+// the three configurations of Figures 3 and 4.
+type ProtectionLevel int
+
+// Protection levels.
+const (
+	// LevelNone is the unprotected baseline kernel.
+	LevelNone ProtectionLevel = iota
+	// LevelBackwardEdge enables return-address protection only (Listing
+	// 3, key IB).
+	LevelBackwardEdge
+	// LevelFull adds forward-edge CFI (key IA) and DFI for operations-
+	// table and other sensitive data pointers (key DB).
+	LevelFull
+)
+
+// String names the level as the figures do.
+func (l ProtectionLevel) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelBackwardEdge:
+		return "backward-edge"
+	case LevelFull:
+		return "full"
+	}
+	return "level?"
+}
+
+// Config returns the codegen configuration for a level.
+func (l ProtectionLevel) Config() *codegen.Config {
+	switch l {
+	case LevelBackwardEdge:
+		return codegen.ConfigBackward()
+	case LevelFull:
+		return codegen.ConfigFull()
+	}
+	return codegen.ConfigNone()
+}
+
+// Options tunes a System beyond its protection level.
+type Options struct {
+	// Seed drives all boot-time randomness.
+	Seed uint64
+	// FailureThreshold overrides the §5.4 brute-force halt threshold.
+	FailureThreshold int
+	// Compat builds the §5.5 backwards-compatible kernel and runs it on
+	// an ARMv8.0 core.
+	Compat bool
+	// Scheme overrides the backward-edge scheme (for Figure 2 studies);
+	// zero value keeps the level's default.
+	Scheme codegen.Scheme
+}
+
+// System is a booted Camouflage machine.
+type System struct {
+	// Kernel is the underlying kernel runtime.
+	Kernel *kernel.Kernel
+	// Level is the protection level the system was built with.
+	Level ProtectionLevel
+}
+
+// New builds, statically verifies, and boots a system.
+func New(level ProtectionLevel, opts Options) (*System, error) {
+	cfg := level.Config()
+	if opts.Scheme != codegen.SchemeNone {
+		cfg.Scheme = opts.Scheme
+	}
+	kopts := kernel.Options{
+		Config:           cfg,
+		Seed:             opts.Seed,
+		FailureThreshold: opts.FailureThreshold,
+	}
+	if opts.Compat {
+		kopts.Compat = boot.ModeV80
+		kopts.V80 = true
+		cfg.Scheme = codegen.SchemeCamouflageCompat
+		cfg.ForwardCFI = false
+		cfg.DFI = false
+	}
+	k, err := kernel.New(kopts)
+	if err != nil {
+		return nil, err
+	}
+
+	// §4.1 static verification of the built image: "no code exists in the
+	// kernel ... which would read the keys from system registers". Key
+	// *writes* are legitimate in exactly two places — the XOM setter and
+	// the user-key restore of kernel exit — but key *reads* are forbidden
+	// everywhere.
+	for _, sec := range []string{".text", ".xom", ".vectors"} {
+		for _, f := range analysis.ScanBytes(k.Img.Sections[sec].Bytes) {
+			if f.Kind == analysis.FindingKeyRead {
+				return nil, fmt.Errorf("core: kernel %s reads keys: %s", sec, f)
+			}
+		}
+	}
+
+	if err := k.Boot(); err != nil {
+		return nil, err
+	}
+	return &System{Kernel: k, Level: level}, nil
+}
+
+// RunProgram builds a user program, spawns it as pid 1 and runs it to
+// completion, returning consumed cycles.
+func (s *System) RunProgram(name string, build func(u *kernel.UserASM)) (uint64, error) {
+	prog, err := kernel.BuildProgram(name, build)
+	if err != nil {
+		return 0, err
+	}
+	s.Kernel.RegisterProgram(1, prog)
+	if _, err := s.Kernel.Spawn(1); err != nil {
+		return 0, err
+	}
+	start := s.Kernel.CPU.Cycles
+	stop := s.Kernel.Run(2_000_000_000)
+	if stop.Kind != cpu.StopHLT {
+		return 0, fmt.Errorf("core: program %q did not halt: %+v", name, stop)
+	}
+	return s.Kernel.CPU.Cycles - start, nil
+}
+
+// Stats summarises the machine state for reporting.
+type Stats struct {
+	Cycles      uint64
+	Instrs      uint64
+	PACFailures int
+	OopsCount   int
+	BootCycles  uint64
+	Halted      bool
+}
+
+// Stats returns current counters.
+func (s *System) Stats() Stats {
+	return Stats{
+		Cycles:      s.Kernel.CPU.Cycles,
+		Instrs:      s.Kernel.CPU.Retired,
+		PACFailures: s.Kernel.PACFailures,
+		OopsCount:   len(s.Kernel.Oops),
+		BootCycles:  s.Kernel.BootCycles,
+		Halted:      s.Kernel.Halted,
+	}
+}
+
+// KernelKeyInstalled reports whether the given key slot holds the
+// bootloader-generated kernel key (sanity for examples and tests).
+func (s *System) KernelKeyInstalled(id pac.KeyID) bool {
+	return s.Kernel.CPU.Signer.Key(id) == s.Kernel.KernelKeysForTest().Keys[id]
+}
+
+// scanForKeyReads returns the key-read findings in a code image (exposed
+// for the verifier's own tests).
+func scanForKeyReads(text []byte) []analysis.Finding {
+	var out []analysis.Finding
+	for _, f := range analysis.ScanBytes(text) {
+		if f.Kind == analysis.FindingKeyRead {
+			out = append(out, f)
+		}
+	}
+	return out
+}

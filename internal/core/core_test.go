@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"camouflage/internal/boot"
+	"camouflage/internal/codegen"
+	"camouflage/internal/insn"
+	"camouflage/internal/kernel"
+	"camouflage/internal/pac"
+)
+
+func TestNewBootsAllLevels(t *testing.T) {
+	for _, lv := range []ProtectionLevel{LevelNone, LevelBackwardEdge, LevelFull} {
+		s, err := New(lv, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", lv, err)
+		}
+		if s.Stats().BootCycles == 0 {
+			t.Errorf("%v: no boot cycles", lv)
+		}
+		if lv != LevelNone && !s.KernelKeyInstalled(pac.KeyIB) {
+			t.Errorf("%v: IB key not installed", lv)
+		}
+	}
+}
+
+func TestRunProgram(t *testing.T) {
+	s, err := New(LevelFull, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := s.RunProgram("demo", func(u *kernel.UserASM) {
+		u.SyscallReg(kernel.SysGetppid)
+		u.Exit(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Fatal("no cycles consumed")
+	}
+	if s.Stats().PACFailures != 0 {
+		t.Fatal("PAC failures in benign program")
+	}
+}
+
+func TestCompatSystem(t *testing.T) {
+	s, err := New(LevelBackwardEdge, Options{Seed: 3, Compat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunProgram("compat", func(u *kernel.UserASM) {
+		u.SyscallReg(kernel.SysGetpid)
+		u.Exit(0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeOverride(t *testing.T) {
+	s, err := New(LevelBackwardEdge, Options{Seed: 4, Scheme: codegen.SchemeClangSP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kernel.Cfg.Scheme != codegen.SchemeClangSP {
+		t.Fatalf("scheme = %v", s.Kernel.Cfg.Scheme)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	if LevelNone.String() != "none" || LevelBackwardEdge.String() != "backward-edge" ||
+		LevelFull.String() != "full" {
+		t.Fatal("level names wrong")
+	}
+}
+
+// TestVerifierRejectsKeyReadingKernel plants an MRS-of-key in the built
+// image and checks that core.New refuses to boot it.
+func TestVerifierRejectsKeyReadingKernel(t *testing.T) {
+	// Build a normal kernel, then corrupt the image under test via the
+	// scanner directly: core.New embeds the scan, so simulate by checking
+	// the scanner behaviour on a poisoned copy of the text section.
+	k, err := kernel.New(kernel.Options{Config: codegen.ConfigFull(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := append([]byte(nil), k.Img.Sections[".text"].Bytes...)
+	bad := insn.MRS(insn.X0, insn.APIBKeyLo_EL1).Encode()
+	text[0] = byte(bad)
+	text[1] = byte(bad >> 8)
+	text[2] = byte(bad >> 16)
+	text[3] = byte(bad >> 24)
+	// The same check core.New performs must now fire.
+	found := false
+	for _, f := range scanForKeyReads(text) {
+		_ = f
+		found = true
+	}
+	if !found {
+		t.Fatal("planted key read not detected")
+	}
+}
+
+func TestBootKeysDifferAcrossSeeds(t *testing.T) {
+	s1, err := New(LevelFull, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(LevelFull, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := s1.Kernel.KernelKeysForTest().Keys[pac.KeyIB]
+	k2 := s2.Kernel.KernelKeysForTest().Keys[pac.KeyIB]
+	if k1 == k2 {
+		t.Fatal("kernel keys identical across seeds")
+	}
+	_ = boot.ModeV83
+}

@@ -1,0 +1,442 @@
+// Package cpu implements the simulated AArch64 core: architectural state,
+// the fetch–decode–execute loop with a decode cache, the exception model,
+// PAuth execution semantics driven by the pac package, and a cycle model
+// calibrated to the paper's PA-analogue (see cost.go).
+package cpu
+
+import (
+	"fmt"
+
+	"camouflage/internal/insn"
+	"camouflage/internal/mem"
+	"camouflage/internal/mmu"
+	"camouflage/internal/pac"
+)
+
+// Features selects the architecture revision of the simulated core.
+type Features struct {
+	// PAuth is true on ARMv8.3-A cores. When false (ARMv8.0), the
+	// register-form PAuth instructions are undefined, the HINT-space
+	// forms (PACIB1716 etc.) execute as NOPs, and MSR to key registers is
+	// undefined — the situation the paper's backwards-compatible build
+	// targets (§5.5).
+	PAuth bool
+}
+
+// Exception classes (ESR_EL1.EC).
+const (
+	ECUnknown     = 0x00
+	ECSVC64       = 0x15
+	ECIAbortLower = 0x20
+	ECIAbortSame  = 0x21
+	ECDAbortLower = 0x24
+	ECDAbortSame  = 0x25
+)
+
+// Vector table offsets from VBAR_EL1 (the subset Linux uses).
+const (
+	VecSyncCurrent = 0x200 // synchronous exception from the current EL
+	VecIRQCurrent  = 0x280
+	VecSyncLower   = 0x400 // synchronous exception from a lower EL
+	VecIRQLower    = 0x480
+)
+
+// StopKind says why Run returned.
+type StopKind int
+
+// Stop reasons.
+const (
+	StopLimit StopKind = iota // instruction budget exhausted
+	StopHLT                   // guest executed HLT
+	StopError                 // unrecoverable simulation error
+)
+
+// Stop describes why Run returned.
+type Stop struct {
+	Kind StopKind
+	// Code is the HLT immediate for StopHLT.
+	Code uint16
+	// Err holds detail for StopError.
+	Err error
+}
+
+// MSRHook observes or intercepts system-register writes. Returning true
+// consumes the write (the hypervisor lockdown uses this to deny MMU
+// control writes after boot).
+type MSRHook func(reg insn.SysReg, val uint64) bool
+
+// CPU is one simulated core.
+type CPU struct {
+	// X holds the general-purpose registers X0..X30.
+	X [31]uint64
+	// PC is the program counter.
+	PC uint64
+	// EL is the current exception level (0 or 1).
+	EL int
+	// NZCV condition flags.
+	N, Z, C, V bool
+	// IRQMasked is PSTATE.I.
+	IRQMasked bool
+
+	// sp is banked per EL (SP_EL0, SP_EL1).
+	sp [2]uint64
+
+	// Named system registers.
+	SCTLR      uint64
+	VBAR       uint64
+	ELR        uint64
+	SPSR       uint64
+	ESR        uint64
+	FAR        uint64
+	TTBR0      uint64
+	TTBR1      uint64
+	CONTEXTIDR uint64
+	TPIDR      uint64
+
+	// Bus is the physical memory system.
+	Bus *mem.Bus
+	// MMU performs address translation.
+	MMU *mmu.MMU
+	// Signer implements the PAC primitive; its key bank mirrors the
+	// APxKey system registers.
+	Signer *pac.Signer
+	// Feat is the architecture revision.
+	Feat Features
+
+	// Cycles counts simulated cycles; Retired counts instructions.
+	Cycles  uint64
+	Retired uint64
+
+	// PACFailures counts AUT* mismatches (the poisoned-pointer events the
+	// kernel's brute-force mitigation watches, §5.4).
+	PACFailures uint64
+
+	// OnMSR, if set, is consulted before any system-register write.
+	OnMSR MSRHook
+
+	// IRQPending is set by devices; checked between instructions when
+	// unmasked at EL0 (the model takes IRQs only from EL0, as the paper's
+	// measurements do not exercise nested kernel interrupts).
+	IRQPending bool
+
+	decode map[uint64]insn.Instr
+	tracer Tracer
+}
+
+// New returns a CPU wired to a fresh bus and MMU using the default VMSAv8
+// layout, starting at EL1 with PAuth available.
+func New(feat Features) *CPU {
+	cfg := pac.DefaultConfig
+	c := &CPU{
+		Bus:       mem.NewBus(),
+		MMU:       mmu.New(cfg),
+		Signer:    pac.NewSigner(cfg),
+		Feat:      feat,
+		EL:        1,
+		IRQMasked: true,
+		decode:    make(map[uint64]insn.Instr),
+	}
+	return c
+}
+
+// Reg reads Xn (register 31 reads as zero).
+func (c *CPU) Reg(r insn.Reg) uint64 {
+	if r >= 31 {
+		return 0
+	}
+	return c.X[r]
+}
+
+// SetReg writes Xn (writes to register 31 are discarded).
+func (c *CPU) SetReg(r insn.Reg, v uint64) {
+	if r < 31 {
+		c.X[r] = v
+	}
+}
+
+// regSP reads Xn with register 31 meaning SP (current EL).
+func (c *CPU) regSP(r insn.Reg) uint64 {
+	if r == 31 {
+		return c.sp[c.EL]
+	}
+	return c.X[r]
+}
+
+// setRegSP writes Xn with register 31 meaning SP.
+func (c *CPU) setRegSP(r insn.Reg, v uint64) {
+	if r == 31 {
+		c.sp[c.EL] = v
+		return
+	}
+	c.X[r] = v
+}
+
+// SP returns the stack pointer of the given EL.
+func (c *CPU) SP(el int) uint64 { return c.sp[el] }
+
+// SetSP sets the stack pointer of the given EL.
+func (c *CPU) SetSP(el int, v uint64) { c.sp[el] = v }
+
+// CurrentSP returns the active stack pointer.
+func (c *CPU) CurrentSP() uint64 { return c.sp[c.EL] }
+
+// keyFor maps a PAuth key system register to (key id, is-high-half).
+func keyFor(r insn.SysReg) (pac.KeyID, bool, bool) {
+	switch r {
+	case insn.APIAKeyLo_EL1:
+		return pac.KeyIA, false, true
+	case insn.APIAKeyHi_EL1:
+		return pac.KeyIA, true, true
+	case insn.APIBKeyLo_EL1:
+		return pac.KeyIB, false, true
+	case insn.APIBKeyHi_EL1:
+		return pac.KeyIB, true, true
+	case insn.APDAKeyLo_EL1:
+		return pac.KeyDA, false, true
+	case insn.APDAKeyHi_EL1:
+		return pac.KeyDA, true, true
+	case insn.APDBKeyLo_EL1:
+		return pac.KeyDB, false, true
+	case insn.APDBKeyHi_EL1:
+		return pac.KeyDB, true, true
+	case insn.APGAKeyLo_EL1:
+		return pac.KeyGA, false, true
+	case insn.APGAKeyHi_EL1:
+		return pac.KeyGA, true, true
+	}
+	return 0, false, false
+}
+
+// WriteSys performs an MSR write (also used by the bootloader to establish
+// initial state).
+func (c *CPU) WriteSys(r insn.SysReg, v uint64) error {
+	if c.OnMSR != nil && c.OnMSR(r, v) {
+		return nil
+	}
+	if id, hi, isKey := keyFor(r); isKey {
+		if !c.Feat.PAuth {
+			return fmt.Errorf("cpu: MSR %v undefined without PAuth", r)
+		}
+		k := c.Signer.Key(id)
+		if hi {
+			k.Hi = v
+		} else {
+			k.Lo = v
+		}
+		c.Signer.SetKey(id, k)
+		return nil
+	}
+	switch r {
+	case insn.SCTLR_EL1:
+		c.SCTLR = v
+	case insn.VBAR_EL1:
+		c.VBAR = v
+	case insn.ELR_EL1:
+		c.ELR = v
+	case insn.SPSR_EL1:
+		c.SPSR = v
+	case insn.ESR_EL1:
+		c.ESR = v
+	case insn.FAR_EL1:
+		c.FAR = v
+	case insn.TTBR0_EL1:
+		c.TTBR0 = v
+	case insn.TTBR1_EL1:
+		c.TTBR1 = v
+	case insn.CONTEXTIDR_EL1:
+		c.CONTEXTIDR = v
+	case insn.TPIDR_EL1:
+		c.TPIDR = v
+	case insn.SP_EL0:
+		c.sp[0] = v
+	default:
+		return fmt.Errorf("cpu: MSR to unknown register %v", r)
+	}
+	return nil
+}
+
+// ReadSys performs an MRS read.
+func (c *CPU) ReadSys(r insn.SysReg) (uint64, error) {
+	if id, hi, isKey := keyFor(r); isKey {
+		if !c.Feat.PAuth {
+			return 0, fmt.Errorf("cpu: MRS %v undefined without PAuth", r)
+		}
+		k := c.Signer.Key(id)
+		if hi {
+			return k.Hi, nil
+		}
+		return k.Lo, nil
+	}
+	switch r {
+	case insn.SCTLR_EL1:
+		return c.SCTLR, nil
+	case insn.VBAR_EL1:
+		return c.VBAR, nil
+	case insn.ELR_EL1:
+		return c.ELR, nil
+	case insn.SPSR_EL1:
+		return c.SPSR, nil
+	case insn.ESR_EL1:
+		return c.ESR, nil
+	case insn.FAR_EL1:
+		return c.FAR, nil
+	case insn.TTBR0_EL1:
+		return c.TTBR0, nil
+	case insn.TTBR1_EL1:
+		return c.TTBR1, nil
+	case insn.CONTEXTIDR_EL1:
+		return c.CONTEXTIDR, nil
+	case insn.TPIDR_EL1:
+		return c.TPIDR, nil
+	case insn.SP_EL0:
+		return c.sp[0], nil
+	case insn.PMCCNTR_EL0:
+		return c.Cycles, nil
+	case insn.CNTFRQ_EL0:
+		return ClockHz, nil
+	case insn.CNTVCT_EL0:
+		return c.Cycles, nil // 1:1 timer for simplicity
+	}
+	return 0, fmt.Errorf("cpu: MRS from unknown register %v", r)
+}
+
+// loadMem translates and loads size bytes.
+func (c *CPU) loadMem(va uint64, size int) (uint64, *mmu.Fault, error) {
+	pa, f := c.MMU.Translate(va, mmu.Load, c.EL)
+	if f != nil {
+		return 0, f, nil
+	}
+	v, err := c.Bus.Load(pa, size)
+	return v, nil, err
+}
+
+// storeMem translates and stores size bytes, invalidating any decode-cache
+// entries the store covers (self-modifying code, bootloader patching).
+func (c *CPU) storeMem(va uint64, size int, v uint64) (*mmu.Fault, error) {
+	pa, f := c.MMU.Translate(va, mmu.Store, c.EL)
+	if f != nil {
+		return f, nil
+	}
+	for a := pa &^ 3; a < pa+uint64(size); a += 4 {
+		delete(c.decode, a)
+	}
+	return nil, c.Bus.Store(pa, size, v)
+}
+
+// fetch translates PC and returns the decoded instruction.
+func (c *CPU) fetch() (insn.Instr, *mmu.Fault, error) {
+	pa, f := c.MMU.Translate(c.PC, mmu.Fetch, c.EL)
+	if f != nil {
+		return insn.Instr{}, f, nil
+	}
+	if i, ok := c.decode[pa]; ok {
+		return i, nil, nil
+	}
+	w, err := c.Bus.Load(pa, 4)
+	if err != nil {
+		return insn.Instr{}, nil, err
+	}
+	i := insn.Decode(uint32(w))
+	c.decode[pa] = i
+	return i, nil, nil
+}
+
+// InvalidateDecode drops the whole decode cache (used after host-side
+// writes to guest code, e.g. module loading).
+func (c *CPU) InvalidateDecode() {
+	c.decode = make(map[uint64]insn.Instr)
+}
+
+// TakeException vectors to EL1. kind is a Vec* offset, ec the exception
+// class and iss the syndrome detail; far is captured for aborts.
+func (c *CPU) TakeException(vec uint64, ec uint64, iss uint64, far uint64) {
+	spsr := c.pstate()
+	c.SPSR = spsr
+	c.ELR = c.PC
+	c.ESR = ec<<26 | iss&0x1FFFFFF
+	c.FAR = far
+	c.EL = 1
+	c.IRQMasked = true
+	c.PC = c.VBAR + vec
+	c.Cycles += costExcEntry
+}
+
+// pstate packs the PSTATE bits the model keeps into SPSR format: mode in
+// bits 3:0 (0 = EL0t, 5 = EL1h), IRQ mask in bit 7, NZCV in bits 31:28.
+func (c *CPU) pstate() uint64 {
+	var v uint64
+	if c.EL == 1 {
+		v = 5
+	}
+	if c.IRQMasked {
+		v |= 1 << 7
+	}
+	if c.V {
+		v |= 1 << 28
+	}
+	if c.C {
+		v |= 1 << 29
+	}
+	if c.Z {
+		v |= 1 << 30
+	}
+	if c.N {
+		v |= 1 << 31
+	}
+	return v
+}
+
+// setPstate restores PSTATE from SPSR format.
+func (c *CPU) setPstate(v uint64) {
+	if v&0xF == 5 {
+		c.EL = 1
+	} else {
+		c.EL = 0
+	}
+	c.IRQMasked = v&(1<<7) != 0
+	c.V = v&(1<<28) != 0
+	c.C = v&(1<<29) != 0
+	c.Z = v&(1<<30) != 0
+	c.N = v&(1<<31) != 0
+}
+
+// pauthEnabled reports whether the SCTLR enable bit for the key is set.
+func (c *CPU) pauthEnabled(id pac.KeyID) bool {
+	switch id {
+	case pac.KeyIA:
+		return c.SCTLR&insn.SCTLREnIA != 0
+	case pac.KeyIB:
+		return c.SCTLR&insn.SCTLREnIB != 0
+	case pac.KeyDA:
+		return c.SCTLR&insn.SCTLREnDA != 0
+	case pac.KeyDB:
+		return c.SCTLR&insn.SCTLREnDB != 0
+	}
+	return true // GA has no enable bit
+}
+
+// pacSign signs value in register rd with modifier from rn under key id.
+func (c *CPU) pacSign(rd, rn insn.Reg, id pac.KeyID) {
+	if !c.pauthEnabled(id) {
+		return // architectural NOP when disabled
+	}
+	v := c.Reg(rd)
+	mod := c.regSP(rn)
+	c.SetReg(rd, c.Signer.Sign(v, mod, id))
+}
+
+// pacAuth authenticates register rd with modifier from rn under key id,
+// returning the result (poisoned on failure).
+func (c *CPU) pacAuth(rd, rn insn.Reg, id pac.KeyID) uint64 {
+	v := c.Reg(rd)
+	if !c.pauthEnabled(id) {
+		return v
+	}
+	mod := c.regSP(rn)
+	out, ok := c.Signer.Auth(v, mod, id)
+	if !ok {
+		c.PACFailures++
+	}
+	c.SetReg(rd, out)
+	return out
+}

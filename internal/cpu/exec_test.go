@@ -1,0 +1,409 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"camouflage/internal/asm"
+	"camouflage/internal/insn"
+	"camouflage/internal/pac"
+)
+
+// runSnippet assembles and executes a code fragment ending in HLT, with
+// optional pre-set registers, and returns the CPU.
+func runSnippet(t *testing.T, setup func(c *CPU), build func(a *asm.Assembler)) *CPU {
+	t.Helper()
+	a := asm.New()
+	a.Label("entry")
+	build(a)
+	img, err := a.Link(map[string]uint64{".text": textBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Features{PAuth: true})
+	c.SCTLR = insn.SCTLRPAuthAll
+	for _, s := range img.Sections {
+		c.Bus.RAM.WriteBytes(s.Base, s.Bytes)
+	}
+	c.SetSP(1, stackTop)
+	if setup != nil {
+		setup(c)
+	}
+	c.PC = img.Symbols["entry"]
+	stop := c.Run(100000)
+	if stop.Kind != StopHLT {
+		t.Fatalf("stop = %+v", stop)
+	}
+	return c
+}
+
+func TestMOVNAndMOVK32(t *testing.T) {
+	c := runSnippet(t, nil, func(a *asm.Assembler) {
+		a.I(insn.MOVN(insn.X0, 0, 0))       // x0 = ^0
+		a.I(insn.MOVN(insn.X1, 0xFFFF, 48)) // x1 = ^(0xFFFF<<48)
+		a.I(insn.MOVZW(insn.X2, 0xFB45, 0)) // w2 = 0xFB45 (upper cleared)
+		a.I(insn.HLT(0))
+	})
+	if c.X[0] != ^uint64(0) {
+		t.Errorf("movn zero = %#x", c.X[0])
+	}
+	if c.X[1] != 0x0000_FFFF_FFFF_FFFF {
+		t.Errorf("movn shifted = %#x", c.X[1])
+	}
+	if c.X[2] != 0xFB45 {
+		t.Errorf("movz w-form = %#x", c.X[2])
+	}
+}
+
+func TestADRP(t *testing.T) {
+	c := runSnippet(t, nil, func(a *asm.Assembler) {
+		a.I(insn.ADRP(insn.X0, 2)) // PC page + 2 pages
+		a.I(insn.HLT(0))
+	})
+	want := textBase&^uint64(4095) + 2*4096
+	if c.X[0] != want {
+		t.Fatalf("adrp = %#x, want %#x", c.X[0], want)
+	}
+}
+
+func TestUDIVByZeroGivesZero(t *testing.T) {
+	c := runSnippet(t, func(c *CPU) {
+		c.X[1] = 100
+		c.X[2] = 0
+		c.X[4] = 7
+	}, func(a *asm.Assembler) {
+		a.I(insn.UDIV(insn.X0, insn.X1, insn.X2)) // 100/0 = 0 on ARM
+		a.I(insn.UDIV(insn.X3, insn.X1, insn.X4)) // 100/7 = 14
+		a.I(insn.HLT(0))
+	})
+	if c.X[0] != 0 {
+		t.Errorf("div by zero = %d, want 0 (ARM semantics)", c.X[0])
+	}
+	if c.X[3] != 14 {
+		t.Errorf("100/7 = %d", c.X[3])
+	}
+}
+
+func TestShiftsByRegister(t *testing.T) {
+	c := runSnippet(t, func(c *CPU) {
+		c.X[1] = 0xF0
+		c.X[2] = 4
+	}, func(a *asm.Assembler) {
+		a.I(insn.LSLV(insn.X0, insn.X1, insn.X2))
+		a.I(insn.LSRV(insn.X3, insn.X1, insn.X2))
+		a.I(insn.HLT(0))
+	})
+	if c.X[0] != 0xF00 || c.X[3] != 0xF {
+		t.Fatalf("lslv=%#x lsrv=%#x", c.X[0], c.X[3])
+	}
+}
+
+// TestCSELAllConditions drives every condition code through a compare.
+func TestCSELAllConditions(t *testing.T) {
+	// After CMP 5, 7 (5-7): N=1 Z=0 C=0 V=0.
+	expect := map[insn.Cond]bool{
+		insn.EQ: false, insn.NE: true,
+		insn.CS: false, insn.CC: true,
+		insn.MI: true, insn.PL: false,
+		insn.VS: false, insn.VC: true,
+		insn.HI: false, insn.LS: true,
+		insn.GE: false, insn.LT: true,
+		insn.GT: false, insn.LE: true,
+		insn.AL: true, insn.NV: true,
+	}
+	for cond, want := range expect {
+		c := runSnippet(t, func(c *CPU) {
+			c.X[1] = 5
+			c.X[2] = 7
+			c.X[3] = 111 // selected when cond holds
+			c.X[4] = 222
+		}, func(a *asm.Assembler) {
+			a.I(insn.CMP(insn.X1, insn.X2))
+			a.I(insn.CSEL(insn.X0, insn.X3, insn.X4, cond))
+			a.I(insn.HLT(0))
+		})
+		got := c.X[0] == 111
+		if got != want {
+			t.Errorf("csel %v: cond held=%v, want %v", cond, got, want)
+		}
+	}
+}
+
+func TestFlagsUnsignedOverflow(t *testing.T) {
+	// CMP 7, 5: C=1 (no borrow), Z=0, N=0.
+	c := runSnippet(t, func(c *CPU) {
+		c.X[1] = 7
+		c.X[2] = 5
+	}, func(a *asm.Assembler) {
+		a.I(insn.CMP(insn.X1, insn.X2))
+		a.I(insn.CSEL(insn.X0, insn.X1, insn.XZR, insn.CS))
+		a.I(insn.HLT(0))
+	})
+	if c.X[0] != 7 {
+		t.Fatal("carry not set for 7-5")
+	}
+	// Signed overflow: min_int64 - 1.
+	c = runSnippet(t, func(c *CPU) {
+		c.X[1] = 0x8000_0000_0000_0000
+		c.X[2] = 1
+	}, func(a *asm.Assembler) {
+		a.I(insn.CMP(insn.X1, insn.X2))
+		a.I(insn.CSEL(insn.X0, insn.X1, insn.XZR, insn.VS))
+		a.I(insn.HLT(0))
+	})
+	if c.X[0] != 0x8000_0000_0000_0000 {
+		t.Fatal("V not set for min_int64 - 1")
+	}
+}
+
+func TestByteAndWordAccess(t *testing.T) {
+	c := runSnippet(t, func(c *CPU) {
+		c.X[1] = dataBase
+		c.X[2] = 0x1122334455667788
+	}, func(a *asm.Assembler) {
+		a.I(insn.STR(insn.X2, insn.X1, 0))
+		a.I(insn.LDRB(insn.X3, insn.X1, 1))  // 0x77
+		a.I(insn.LDRW(insn.X4, insn.X1, 4))  // 0x11223344
+		a.I(insn.STRB(insn.X3, insn.X1, 8))  // write one byte
+		a.I(insn.LDR(insn.X5, insn.X1, 8))   // read it back zero-extended
+		a.I(insn.STRW(insn.X4, insn.X1, 16)) // 32-bit store
+		a.I(insn.LDR(insn.X6, insn.X1, 16))
+		a.I(insn.HLT(0))
+	})
+	if c.X[3] != 0x77 {
+		t.Errorf("ldrb = %#x", c.X[3])
+	}
+	if c.X[4] != 0x11223344 {
+		t.Errorf("ldrw = %#x", c.X[4])
+	}
+	if c.X[5] != 0x77 {
+		t.Errorf("byte store roundtrip = %#x", c.X[5])
+	}
+	if c.X[6] != 0x11223344 {
+		t.Errorf("word store roundtrip = %#x", c.X[6])
+	}
+}
+
+func TestPrePostIndexAddressing(t *testing.T) {
+	c := runSnippet(t, func(c *CPU) {
+		c.X[1] = dataBase + 64
+		c.X[2] = 42
+	}, func(a *asm.Assembler) {
+		a.I(insn.STRpre(insn.X2, insn.X1, -16)) // [x1-16] = 42; x1 -= 16
+		a.I(insn.LDRpost(insn.X3, insn.X1, 8))  // x3 = [x1]; x1 += 8
+		a.I(insn.HLT(0))
+	})
+	if c.X[3] != 42 {
+		t.Errorf("pre/post roundtrip = %d", c.X[3])
+	}
+	if c.X[1] != dataBase+64-16+8 {
+		t.Errorf("base after writeback = %#x", c.X[1])
+	}
+}
+
+func TestBFXILPath(t *testing.T) {
+	// BFI with lsb 0 exercises the s >= r (BFXIL-like) path.
+	c := runSnippet(t, func(c *CPU) {
+		c.X[1] = 0xABCD
+		c.X[0] = 0xFFFF_FFFF_FFFF_0000
+	}, func(a *asm.Assembler) {
+		a.I(insn.BFI(insn.X0, insn.X1, 0, 16))
+		a.I(insn.HLT(0))
+	})
+	if c.X[0] != 0xFFFF_FFFF_FFFF_ABCD {
+		t.Fatalf("bfi lsb=0 = %#x", c.X[0])
+	}
+}
+
+func TestUBFXAndSBFM(t *testing.T) {
+	c := runSnippet(t, func(c *CPU) {
+		c.X[1] = 0xFFEE_0000_0000_0000
+	}, func(a *asm.Assembler) {
+		a.I(insn.UBFX(insn.X0, insn.X1, 48, 16)) // 0xFFEE
+		a.I(insn.HLT(0))
+	})
+	if c.X[0] != 0xFFEE {
+		t.Fatalf("ubfx = %#x", c.X[0])
+	}
+}
+
+// TestSelfModifyingCodeInvalidatesDecodeCache: a guest store over an
+// upcoming instruction must take effect (bootloader-style patching).
+func TestSelfModifyingCodeInvalidatesDecodeCache(t *testing.T) {
+	a := asm.New()
+	a.Label("entry")
+	// First execute the target once so it enters the decode cache.
+	a.BL("target")
+	// Patch target's first instruction to movz x0, #7.
+	patch := insn.MOVZ(insn.X0, 7, 0).Encode()
+	a.I(insn.MOVImm64(insn.X9, uint64(patch))...)
+	a.ADR(insn.X10, "target")
+	a.I(insn.STRW(insn.X9, insn.X10, 0))
+	a.BL("target")
+	a.I(insn.HLT(0))
+	a.Label("target")
+	a.I(insn.MOVZ(insn.X0, 1, 0))
+	a.I(insn.RET())
+	img, err := a.Link(map[string]uint64{".text": textBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Features{PAuth: true})
+	for _, s := range img.Sections {
+		c.Bus.RAM.WriteBytes(s.Base, s.Bytes)
+	}
+	c.SetSP(1, stackTop)
+	c.PC = img.Symbols["entry"]
+	if stop := c.Run(1000); stop.Kind != StopHLT {
+		t.Fatalf("stop = %+v", stop)
+	}
+	if c.X[0] != 7 {
+		t.Fatalf("x0 = %d; stale decode cache served the old instruction", c.X[0])
+	}
+}
+
+func TestIRQDeliveryAtEL0(t *testing.T) {
+	a := asm.New()
+	a.Section(".user")
+	a.Label("user")
+	a.Label("spin")
+	a.I(insn.ADDi(insn.X0, insn.X0, 1))
+	a.B("spin")
+	buildVectors(a)
+	img, err := a.Link(map[string]uint64{
+		".text": textBase, ".user": userText, ".vectors": vbarBase,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Features{PAuth: true})
+	for _, s := range img.Sections {
+		c.Bus.RAM.WriteBytes(s.Base, s.Bytes)
+	}
+	c.VBAR = img.Symbols["vectors"]
+	c.EL = 0
+	c.IRQMasked = false
+	c.PC = img.Symbols["user"]
+	// Run a little, then assert the IRQ line.
+	c.Run(100)
+	c.IRQPending = true
+	stop := c.Run(100)
+	if stop.Kind != StopHLT || stop.Code != 0xE5 {
+		t.Fatalf("stop = %+v, want IRQ vector HLT 0xE5", stop)
+	}
+	if c.EL != 1 {
+		t.Fatal("IRQ did not enter EL1")
+	}
+}
+
+func TestPACGAInGuest(t *testing.T) {
+	c := runSnippet(t, func(c *CPU) {
+		c.Signer.SetKey(pac.KeyGA, pac.Key{Hi: 5, Lo: 6})
+		c.X[1] = 0x1234
+		c.X[2] = 0x5678
+	}, func(a *asm.Assembler) {
+		a.I(insn.PACGA(insn.X0, insn.X1, insn.X2))
+		a.I(insn.HLT(0))
+	})
+	if c.X[0] == 0 || c.X[0]&0xFFFF_FFFF != 0 {
+		t.Fatalf("pacga = %#x; MAC must be in the high half", c.X[0])
+	}
+}
+
+func TestXPACInGuest(t *testing.T) {
+	c := runSnippet(t, func(c *CPU) {
+		c.Signer.SetKey(pac.KeyIB, pac.Key{Hi: 1, Lo: 2})
+		c.X[0] = uint64(pac.KernelBase) | 0x1000
+		c.X[1] = 0x99 // modifier
+	}, func(a *asm.Assembler) {
+		a.I(insn.PACIB(insn.X0, insn.X1))
+		a.I(insn.XPACI(insn.X0))
+		a.I(insn.HLT(0))
+	})
+	if c.X[0] != uint64(pac.KernelBase)|0x1000 {
+		t.Fatalf("xpac = %#x", c.X[0])
+	}
+}
+
+func TestZeroRegisterSemantics(t *testing.T) {
+	c := runSnippet(t, func(c *CPU) {
+		c.X[1] = dataBase
+	}, func(a *asm.Assembler) {
+		a.I(insn.ADDi(insn.X2, insn.X2, 5))
+		a.I(insn.ORRr(insn.XZR, insn.XZR, insn.X2, 0)) // write to xzr discarded
+		a.I(insn.STR(insn.XZR, insn.X1, 0))            // store zero
+		a.I(insn.LDR(insn.X3, insn.X1, 0))
+		a.I(insn.HLT(0))
+	})
+	if c.X[3] != 0 {
+		t.Fatalf("str xzr stored %#x", c.X[3])
+	}
+}
+
+func TestRingTrace(t *testing.T) {
+	ring := NewRingTrace(4)
+	c := runSnippet(t, func(c *CPU) {
+		c.AttachTracer(ring)
+	}, func(a *asm.Assembler) {
+		a.I(insn.MOVZ(insn.X0, 1, 0))
+		a.I(insn.MOVZ(insn.X1, 2, 0))
+		a.I(insn.MOVZ(insn.X2, 3, 0))
+		a.I(insn.MOVZ(insn.X3, 4, 0))
+		a.I(insn.MOVZ(insn.X4, 5, 0))
+		a.I(insn.HLT(0))
+	})
+	_ = c
+	entries := ring.Entries()
+	if len(entries) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(entries))
+	}
+	// Ring keeps the most recent: movz x2..x4 + nothing for HLT (which
+	// retires via an early return) — the last entry must be movz x4.
+	last := entries[len(entries)-1]
+	if last.Ins.Op != insn.OpMOVZ || last.Ins.Rd != insn.X4 {
+		t.Fatalf("last traced = %+v", last.Ins)
+	}
+	if !strings.Contains(ring.String(), "movz") {
+		t.Fatal("trace rendering missing disassembly")
+	}
+	// Detach: no more entries recorded.
+	c2 := runSnippet(t, func(c *CPU) {
+		c.AttachTracer(ring)
+		c.AttachTracer(nil)
+	}, func(a *asm.Assembler) {
+		a.I(insn.MOVZ(insn.X9, 9, 0))
+		a.I(insn.HLT(0))
+	})
+	_ = c2
+	for _, e := range ring.Entries() {
+		if e.Ins.Op == insn.OpMOVZ && e.Ins.Rd == insn.X9 {
+			t.Fatal("detached tracer still recording")
+		}
+	}
+}
+
+func TestCyclesToNanos(t *testing.T) {
+	if got := CyclesToNanos(1_200_000_000); got != 1e9 {
+		t.Fatalf("1.2G cycles = %f ns, want 1e9", got)
+	}
+	if got := CyclesToNanos(12); got != 10 {
+		t.Fatalf("12 cycles = %f ns, want 10", got)
+	}
+}
+
+func TestBankedSPAcrossELs(t *testing.T) {
+	c := New(Features{PAuth: true})
+	c.SetSP(0, 0x1000)
+	c.SetSP(1, 0x2000)
+	c.EL = 0
+	if c.CurrentSP() != 0x1000 {
+		t.Fatal("EL0 SP wrong")
+	}
+	c.EL = 1
+	if c.CurrentSP() != 0x2000 {
+		t.Fatal("EL1 SP wrong")
+	}
+	if c.SP(0) != 0x1000 {
+		t.Fatal("banked SP lost")
+	}
+}

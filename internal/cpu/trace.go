@@ -1,0 +1,69 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+
+	"camouflage/internal/insn"
+)
+
+// Tracer observes retired instructions. Install with CPU.AttachTracer;
+// the hot loop pays one nil check when no tracer is attached.
+type Tracer interface {
+	// Retire is called after each instruction retires, with the PC it
+	// executed at and its current EL.
+	Retire(pc uint64, el int, ins insn.Instr)
+}
+
+// AttachTracer installs (or, with nil, removes) the tracer.
+func (c *CPU) AttachTracer(t Tracer) { c.tracer = t }
+
+// RingTrace is a fixed-capacity Tracer keeping the most recent
+// instructions — the crash-dump facility used when debugging guest code.
+type RingTrace struct {
+	entries []TraceEntry
+	next    int
+	full    bool
+}
+
+// TraceEntry is one retired instruction.
+type TraceEntry struct {
+	PC  uint64
+	EL  int
+	Ins insn.Instr
+}
+
+// NewRingTrace returns a ring holding the last n instructions.
+func NewRingTrace(n int) *RingTrace {
+	return &RingTrace{entries: make([]TraceEntry, n)}
+}
+
+// Retire implements Tracer.
+func (r *RingTrace) Retire(pc uint64, el int, ins insn.Instr) {
+	r.entries[r.next] = TraceEntry{PC: pc, EL: el, Ins: ins}
+	r.next++
+	if r.next == len(r.entries) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Entries returns the retired instructions in execution order.
+func (r *RingTrace) Entries() []TraceEntry {
+	if !r.full {
+		return append([]TraceEntry(nil), r.entries[:r.next]...)
+	}
+	out := make([]TraceEntry, 0, len(r.entries))
+	out = append(out, r.entries[r.next:]...)
+	out = append(out, r.entries[:r.next]...)
+	return out
+}
+
+// String renders a disassembly listing of the ring contents.
+func (r *RingTrace) String() string {
+	var b strings.Builder
+	for _, e := range r.Entries() {
+		fmt.Fprintf(&b, "EL%d %#016x  %s\n", e.EL, e.PC, e.Ins)
+	}
+	return b.String()
+}

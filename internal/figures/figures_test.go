@@ -1,0 +1,96 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun regenerates every registered table and figure and
+// checks the embedded invariants (each renderer validates its own shape
+// and returns an error on divergence).
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.PaperRef, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig2"); !ok {
+		t.Fatal("fig2 not found")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+// TestKeySwitchNineCycles pins E1: mean ≈ 9 cycles/key with ~zero
+// variance (paper: 8.88, variance 0.004).
+func TestKeySwitchNineCycles(t *testing.T) {
+	st, err := MeasureKeySwitch(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean < 8 || st.Mean > 10 {
+		t.Fatalf("per-key cost = %.2f cycles, want ≈9 (§6.1.1)", st.Mean)
+	}
+	if st.Variance > 0.1 {
+		t.Fatalf("variance = %.3f; the deterministic model should be ≈0", st.Variance)
+	}
+}
+
+// TestFigure2Shape pins E2's ordering and magnitudes.
+func TestFigure2Shape(t *testing.T) {
+	rows, err := MeasureFigure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig2Row{}
+	for _, r := range rows {
+		byName[r.Scheme.String()] = r
+	}
+	clang := byName["SP (Clang)"]
+	camo := byName["Camouflage"]
+	parts := byName["PARTS"]
+	if !(clang.NsPerCall < camo.NsPerCall && camo.NsPerCall < parts.NsPerCall) {
+		t.Fatalf("Figure 2 ordering violated: clang=%.2f camo=%.2f parts=%.2f ns",
+			clang.NsPerCall, camo.NsPerCall, parts.NsPerCall)
+	}
+	// Magnitudes: single-digit to low-double-digit nanoseconds at 1.2 GHz.
+	for _, r := range rows {
+		if r.NsPerCall < 1 || r.NsPerCall > 30 {
+			t.Errorf("%v: %.2f ns/call outside plausible range", r.Scheme, r.NsPerCall)
+		}
+	}
+}
+
+func TestRenderTable1Content(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTable1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Kernel", "Invalid", "User"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestRenderTable2Content(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTable2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "15") {
+		t.Error("Table 2 output missing the 15-bit kernel PAC")
+	}
+}

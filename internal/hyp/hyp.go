@@ -1,0 +1,132 @@
+// Package hyp models the EL2 hypervisor of the paper's trusted computing
+// base. The paper relies on a proprietary hypervisor (of the kind described
+// by Beniamini's RKP analysis [12]) for exactly two properties:
+//
+//  1. execute-only memory for the kernel key-setter page, expressed in the
+//     stage-2 translation tables (stage 1 cannot deny EL1 reads — Appendix
+//     A.2), and
+//  2. MMU lockdown: after boot, EL1 writes to the MMU control registers
+//     (TTBRn_EL1 and the MMU/PAuth-enable bits of SCTLR_EL1) are denied,
+//     so an attacker with kernel R/W cannot remap or disable protections.
+//
+// It also implements the Ferri-style alternative (§7): trap-based key
+// management, where EL1 never holds key material and every key install
+// traps to EL2. That path exists as an ablation baseline for benchmarks —
+// the paper's argument is that such traps are not designed for per-syscall
+// frequency.
+package hyp
+
+import (
+	"fmt"
+
+	"camouflage/internal/cpu"
+	"camouflage/internal/insn"
+	"camouflage/internal/mmu"
+	"camouflage/internal/pac"
+)
+
+// TrapCycles is the modelled cost of one EL1→EL2→EL1 trap round trip
+// (exception entry to EL2, handler work, ERET), used by the trap-based key
+// management ablation. Hypervisor calls on real cores cost hundreds of
+// cycles; 280 matches the order of magnitude of published HVC latencies on
+// Cortex-A53-class hardware.
+const TrapCycles = 280
+
+// Hypervisor is the EL2 monitor attached to one CPU.
+type Hypervisor struct {
+	cpu *cpu.CPU
+
+	// lockdown is set once the kernel has booted; after that, MMU control
+	// register writes from EL1 are denied.
+	lockdown bool
+
+	// DeniedWrites counts EL1 writes suppressed by the lockdown.
+	DeniedWrites uint64
+
+	// escrow holds the kernel keys for trap-based key management.
+	escrow pac.KeySet
+	// TrapInstalls counts trap-based key installations.
+	TrapInstalls uint64
+}
+
+// Attach installs the hypervisor on the CPU's system-register path.
+func Attach(c *cpu.CPU) *Hypervisor {
+	h := &Hypervisor{cpu: c}
+	prev := c.OnMSR
+	c.OnMSR = func(r insn.SysReg, v uint64) bool {
+		if prev != nil && prev(r, v) {
+			return true
+		}
+		return h.filterMSR(r, v)
+	}
+	return h
+}
+
+// filterMSR enforces the lockdown policy.
+func (h *Hypervisor) filterMSR(r insn.SysReg, v uint64) bool {
+	if !h.lockdown {
+		return false
+	}
+	switch r {
+	case insn.TTBR0_EL1, insn.TTBR1_EL1, insn.VBAR_EL1:
+		h.DeniedWrites++
+		return true
+	case insn.SCTLR_EL1:
+		// Deny any write that would clear a PAuth enable bit (§4.1); other
+		// SCTLR updates pass through with the PAuth bits forced on.
+		if v&insn.SCTLRPAuthAll != insn.SCTLRPAuthAll {
+			h.DeniedWrites++
+			return true
+		}
+	}
+	return false
+}
+
+// MapXOM maps the physical page(s) [pa, pa+size) execute-only in stage 2
+// and enables stage-2 enforcement.
+func (h *Hypervisor) MapXOM(pa, size uint64) {
+	h.cpu.MMU.S2.Enabled = true
+	for off := uint64(0); off < size; off += mmu.PageSize {
+		h.cpu.MMU.S2.Restrict(pa+off, mmu.S2Perm{X: true})
+	}
+}
+
+// ProtectReadOnly write-protects [pa, pa+size) at stage 2 (used for
+// .rodata operations structures: even an attacker who corrupts stage-1
+// tables cannot make them writable — §3.1's "locking down MMU ... via the
+// hypervisor").
+func (h *Hypervisor) ProtectReadOnly(pa, size uint64) {
+	h.cpu.MMU.S2.Enabled = true
+	for off := uint64(0); off < size; off += mmu.PageSize {
+		h.cpu.MMU.S2.Restrict(pa+off, mmu.S2Perm{R: true, X: true})
+	}
+}
+
+// Lockdown freezes the MMU configuration. Called by the kernel at the end
+// of early boot.
+func (h *Hypervisor) Lockdown() { h.lockdown = true }
+
+// LockedDown reports whether lockdown is active.
+func (h *Hypervisor) LockedDown() bool { return h.lockdown }
+
+// --- trap-based key management (Ferri et al. ablation, §7) ---
+
+// EscrowKeys stores the kernel keys at EL2 for the trap-based scheme.
+func (h *Hypervisor) EscrowKeys(ks pac.KeySet) { h.escrow = ks }
+
+// TrapInstallKeys models the EL1→EL2 trap that installs the escrowed
+// kernel keys: it charges the trap cost to the CPU and writes the key
+// registers directly (EL2 is above the MSR filter).
+func (h *Hypervisor) TrapInstallKeys(ids ...pac.KeyID) error {
+	if h.cpu == nil {
+		return fmt.Errorf("hyp: not attached")
+	}
+	h.cpu.Cycles += TrapCycles
+	for _, id := range ids {
+		h.cpu.Signer.SetKey(id, h.escrow.Keys[id])
+		// Each key write still costs the two MSRs at EL2.
+		h.cpu.Cycles += 9
+	}
+	h.TrapInstalls++
+	return nil
+}

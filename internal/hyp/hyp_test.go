@@ -1,0 +1,146 @@
+package hyp
+
+import (
+	"testing"
+
+	"camouflage/internal/cpu"
+	"camouflage/internal/insn"
+	"camouflage/internal/mmu"
+	"camouflage/internal/pac"
+)
+
+func TestLockdownDeniesMMUWrites(t *testing.T) {
+	c := cpu.New(cpu.Features{PAuth: true})
+	h := Attach(c)
+
+	// Before lockdown, writes pass.
+	if err := c.WriteSys(insn.TTBR1_EL1, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.TTBR1 != 0x1000 {
+		t.Fatal("pre-lockdown write lost")
+	}
+
+	h.Lockdown()
+	if !h.LockedDown() {
+		t.Fatal("LockedDown false")
+	}
+	if err := c.WriteSys(insn.TTBR1_EL1, 0xBAD); err != nil {
+		t.Fatal(err)
+	}
+	if c.TTBR1 != 0x1000 {
+		t.Fatalf("TTBR1 = %#x after lockdown write", c.TTBR1)
+	}
+	if err := c.WriteSys(insn.VBAR_EL1, 0xBAD); err != nil {
+		t.Fatal(err)
+	}
+	if c.VBAR == 0xBAD {
+		t.Fatal("VBAR write not denied")
+	}
+	if h.DeniedWrites != 2 {
+		t.Fatalf("DeniedWrites = %d", h.DeniedWrites)
+	}
+}
+
+// TestLockdownProtectsPAuthEnableBits pins §4.1: after lockdown, SCTLR
+// writes clearing EnIA/EnIB/EnDA/EnDB are denied; writes preserving them
+// pass.
+func TestLockdownProtectsPAuthEnableBits(t *testing.T) {
+	c := cpu.New(cpu.Features{PAuth: true})
+	h := Attach(c)
+	c.SCTLR = insn.SCTLRPAuthAll
+	h.Lockdown()
+
+	if err := c.WriteSys(insn.SCTLR_EL1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.SCTLR != insn.SCTLRPAuthAll {
+		t.Fatalf("SCTLR = %#x; PAuth disable not denied", c.SCTLR)
+	}
+	ok := uint64(insn.SCTLRPAuthAll) | 1 // harmless extra bit
+	if err := c.WriteSys(insn.SCTLR_EL1, ok); err != nil {
+		t.Fatal(err)
+	}
+	if c.SCTLR != ok {
+		t.Fatalf("benign SCTLR write denied: %#x", c.SCTLR)
+	}
+}
+
+func TestMapXOM(t *testing.T) {
+	c := cpu.New(cpu.Features{PAuth: true})
+	h := Attach(c)
+	h.MapXOM(0x4000_0000, 2*mmu.PageSize)
+	if !c.MMU.S2.Enabled {
+		t.Fatal("stage 2 not enabled")
+	}
+	if c.MMU.S2.Check(0x4000_0000, mmu.Load) {
+		t.Fatal("XOM page readable")
+	}
+	if !c.MMU.S2.Check(0x4000_1000, mmu.Fetch) {
+		t.Fatal("XOM page not executable")
+	}
+	if c.MMU.S2.Check(0x4000_1000, mmu.Store) {
+		t.Fatal("XOM page writable")
+	}
+	if !c.MMU.S2.Check(0x4000_2000, mmu.Load) {
+		t.Fatal("page outside XOM window restricted")
+	}
+}
+
+func TestProtectReadOnly(t *testing.T) {
+	c := cpu.New(cpu.Features{PAuth: true})
+	h := Attach(c)
+	h.ProtectReadOnly(0x5000_0000, mmu.PageSize)
+	if !c.MMU.S2.Check(0x5000_0000, mmu.Load) {
+		t.Fatal("RO page not readable")
+	}
+	if c.MMU.S2.Check(0x5000_0000, mmu.Store) {
+		t.Fatal("RO page writable at stage 2")
+	}
+}
+
+func TestTrapInstallKeys(t *testing.T) {
+	c := cpu.New(cpu.Features{PAuth: true})
+	h := Attach(c)
+	var ks pac.KeySet
+	ks.Keys[pac.KeyIB] = pac.Key{Hi: 0x11, Lo: 0x22}
+	h.EscrowKeys(ks)
+
+	before := c.Cycles
+	if err := h.TrapInstallKeys(pac.KeyIB); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Signer.Key(pac.KeyIB); got != ks.Keys[pac.KeyIB] {
+		t.Fatalf("key = %+v", got)
+	}
+	cost := c.Cycles - before
+	if cost < TrapCycles {
+		t.Fatalf("trap cost %d < TrapCycles %d", cost, TrapCycles)
+	}
+	// The paper's point: the trap path is an order of magnitude more
+	// expensive than the 9-cycle XOM install.
+	if cost < 10*9 {
+		t.Fatalf("trap cost %d not >> XOM cost", cost)
+	}
+	if h.TrapInstalls != 1 {
+		t.Fatalf("TrapInstalls = %d", h.TrapInstalls)
+	}
+}
+
+func TestHookChaining(t *testing.T) {
+	c := cpu.New(cpu.Features{PAuth: true})
+	calls := 0
+	c.OnMSR = func(r insn.SysReg, v uint64) bool {
+		calls++
+		return false
+	}
+	h := Attach(c)
+	h.Lockdown()
+	_ = c.WriteSys(insn.TTBR0_EL1, 1)
+	if calls != 1 {
+		t.Fatalf("previous hook not chained: %d calls", calls)
+	}
+	if c.TTBR0 == 1 {
+		t.Fatal("lockdown bypassed when chained")
+	}
+}

@@ -1,0 +1,395 @@
+package insn
+
+// Decode decodes a 32-bit A64 word into an Instr. Words outside the
+// supported subset decode to an Instr with Op == OpInvalid; the CPU raises
+// an undefined-instruction exception for those, and the §4.1 static
+// analyser treats them as opaque data.
+//
+// Decode(Encode(i)) == i for every builder-produced instruction; the
+// property tests in this package verify the round trip.
+func Decode(w uint32) Instr {
+	rd := Reg(w & 31)
+	rn := Reg(w >> 5 & 31)
+	rm := Reg(w >> 16 & 31)
+	ra := Reg(w >> 10 & 31)
+	sf := w>>31 == 1
+
+	base := Instr{Rd: XZR, Rn: XZR, Rm: XZR, Ra: XZR, SF: true}
+
+	switch {
+	// Fixed-word system instructions first.
+	case w == 0xD69F03E0:
+		i := base
+		i.Op = OpERET
+		return i
+	case w == 0xD5033FDF:
+		i := base
+		i.Op = OpISB
+		return i
+	case w == hintWord(0):
+		i := base
+		i.Op = OpNOP
+		return i
+	case w == hintWord(8):
+		i := base
+		i.Op = OpPACIA1716
+		return i
+	case w == hintWord(10):
+		i := base
+		i.Op = OpPACIB1716
+		return i
+	case w == hintWord(12):
+		i := base
+		i.Op = OpAUTIA1716
+		return i
+	case w == hintWord(14):
+		i := base
+		i.Op = OpAUTIB1716
+		return i
+	case w == 0xD65F0BFF:
+		i := base
+		i.Op = OpRETAA
+		i.Rn = LR
+		return i
+	case w == 0xD65F0FFF:
+		i := base
+		i.Op = OpRETAB
+		i.Rn = LR
+		return i
+
+	case w&0xFFE0001F == 0xD4000001:
+		i := base
+		i.Op = OpSVC
+		i.Imm = int64(w >> 5 & 0xFFFF)
+		return i
+	case w&0xFFE0001F == 0xD4400000:
+		i := base
+		i.Op = OpHLT
+		i.Imm = int64(w >> 5 & 0xFFFF)
+		return i
+
+	case w&0xFFD00000 == 0xD5100000:
+		// MSR/MRS with op0 in {2,3}: bit 21 selects the direction.
+		i := base
+		if w&(1<<21) != 0 {
+			i.Op = OpMRS
+		} else {
+			i.Op = OpMSR
+		}
+		i.Rd = rd
+		i.Sys = SysReg(w>>19&3)<<14 | SysReg(w>>16&7)<<11 | SysReg(w>>12&15)<<7 | SysReg(w>>8&15)<<3 | SysReg(w>>5&7)
+		return i
+
+	case w&0xFFFFFC1F == 0xD61F0000:
+		i := base
+		i.Op = OpBR
+		i.Rn = rn
+		return i
+	case w&0xFFFFFC1F == 0xD63F0000:
+		i := base
+		i.Op = OpBLR
+		i.Rn = rn
+		return i
+	case w&0xFFFFFC1F == 0xD65F0000:
+		i := base
+		i.Op = OpRET
+		i.Rn = rn
+		return i
+	case w&0xFFFFFC00 == 0xD71F0800:
+		i := base
+		i.Op = OpBRAA
+		i.Rn = rn
+		i.Rm = rd
+		return i
+	case w&0xFFFFFC00 == 0xD71F0C00:
+		i := base
+		i.Op = OpBRAB
+		i.Rn = rn
+		i.Rm = rd
+		return i
+	case w&0xFFFFFC00 == 0xD73F0800:
+		i := base
+		i.Op = OpBLRAA
+		i.Rn = rn
+		i.Rm = rd
+		return i
+	case w&0xFFFFFC00 == 0xD73F0C00:
+		i := base
+		i.Op = OpBLRAB
+		i.Rn = rn
+		i.Rm = rd
+		return i
+
+	case w&0xFFFFFBE0 == 0xDAC143E0:
+		i := base
+		i.Rd = rd
+		if w&(1<<10) == 0 {
+			i.Op = OpXPACI
+		} else {
+			i.Op = OpXPACD
+		}
+		return i
+
+	case w&0xFFFFE3E0 == 0xDAC123E0:
+		ops := [8]Op{OpPACIZA, OpPACIZB, OpPACDZA, OpPACDZB, OpAUTIZA, OpAUTIZB, OpAUTDZA, OpAUTDZB}
+		i := base
+		i.Op = ops[w>>10&7]
+		i.Rd = rd
+		i.Rn = XZR
+		return i
+
+	case w&0xFFFFE000 == 0xDAC10000:
+		ops := [8]Op{OpPACIA, OpPACIB, OpPACDA, OpPACDB, OpAUTIA, OpAUTIB, OpAUTDA, OpAUTDB}
+		i := base
+		i.Op = ops[w>>10&7]
+		i.Rd = rd
+		i.Rn = rn
+		return i
+
+	case w&0x7FE0FC00 == 0x1AC03000 && w>>31 == 1:
+		i := base
+		i.Op = OpPACGA
+		i.Rd = rd
+		i.Rn = rn
+		i.Rm = rm
+		return i
+
+	// Move wide.
+	case w&0x1F800000 == 0x12800000 && w&0x60000000 != 0x20000000:
+		i := base
+		switch w >> 29 & 3 {
+		case 0:
+			i.Op = OpMOVN
+		case 2:
+			i.Op = OpMOVZ
+		case 3:
+			i.Op = OpMOVK
+		}
+		i.Rd = rd
+		i.Imm = int64(w >> 5 & 0xFFFF)
+		i.Shift = uint8(w>>21&3) * 16
+		i.SF = sf
+		return i
+
+	// ADR/ADRP.
+	case w&0x1F000000 == 0x10000000:
+		i := base
+		if w>>31 == 1 {
+			i.Op = OpADRP
+		} else {
+			i.Op = OpADR
+		}
+		i.Rd = rd
+		off := int64(w>>5&0x7FFFF)<<2 | int64(w>>29&3)
+		i.Imm = signExtend(off, 21)
+		return i
+
+	// ADD/SUB immediate.
+	case w&0x1F800000 == 0x11000000:
+		i := base
+		if w&(1<<30) != 0 {
+			i.Op = OpSUBi
+		} else {
+			i.Op = OpADDi
+		}
+		if w&(1<<29) != 0 {
+			return Instr{Op: OpInvalid} // ADDS/SUBS imm unsupported
+		}
+		i.Rd = rd
+		i.Rn = rn
+		i.Imm = int64(w >> 10 & 0xFFF)
+		if w&(1<<22) != 0 {
+			i.Shift = 12
+		}
+		i.SF = sf
+		return i
+
+	// Bitfield.
+	case w&0x1F800000 == 0x13000000:
+		i := base
+		switch w >> 29 & 3 {
+		case 0:
+			i.Op = OpSBFM
+		case 1:
+			i.Op = OpBFM
+		case 2:
+			i.Op = OpUBFM
+		default:
+			return Instr{Op: OpInvalid}
+		}
+		i.Rd = rd
+		i.Rn = rn
+		i.ImmR = uint8(w >> 16 & 63)
+		i.ImmS = uint8(w >> 10 & 63)
+		i.SF = sf
+		return i
+
+	// Logical shifted register (LSL shift type only in this subset).
+	case w&0x1F200000 == 0x0A000000:
+		if w&0x00C00000 != 0 {
+			return Instr{Op: OpInvalid} // non-LSL shift types unsupported
+		}
+		ops := [4]Op{OpANDr, OpORRr, OpEORr, OpANDSr}
+		i := base
+		i.Op = ops[w>>29&3]
+		i.Rd = rd
+		i.Rn = rn
+		i.Rm = rm
+		i.Shift = uint8(w >> 10 & 63)
+		i.SF = sf
+		return i
+
+	// ADD/SUB shifted register.
+	case w&0x1F200000 == 0x0B000000:
+		if w&0x00C00000 != 0 {
+			return Instr{Op: OpInvalid}
+		}
+		i := base
+		switch w >> 29 & 3 {
+		case 0:
+			i.Op = OpADDr
+		case 2:
+			i.Op = OpSUBr
+		case 3:
+			i.Op = OpSUBSr
+		default:
+			return Instr{Op: OpInvalid} // ADDS shifted unsupported
+		}
+		i.Rd = rd
+		i.Rn = rn
+		i.Rm = rm
+		i.Shift = uint8(w >> 10 & 63)
+		i.SF = sf
+		return i
+
+	// MADD.
+	case w&0x7FE08000 == 0x1B000000:
+		i := base
+		i.Op = OpMADD
+		i.Rd = rd
+		i.Rn = rn
+		i.Rm = rm
+		i.Ra = ra & 31
+		i.SF = sf
+		return i
+
+	// UDIV / LSLV / LSRV.
+	case w&0x7FE0FC00 == 0x1AC00800:
+		i := base
+		i.Op = OpUDIV
+		i.Rd = rd
+		i.Rn = rn
+		i.Rm = rm
+		i.SF = sf
+		return i
+	case w&0x7FE0FC00 == 0x1AC02000:
+		i := base
+		i.Op = OpLSLV
+		i.Rd = rd
+		i.Rn = rn
+		i.Rm = rm
+		i.SF = sf
+		return i
+	case w&0x7FE0FC00 == 0x1AC02400:
+		i := base
+		i.Op = OpLSRV
+		i.Rd = rd
+		i.Rn = rn
+		i.Rm = rm
+		i.SF = sf
+		return i
+
+	// CSEL.
+	case w&0x7FE00C00 == 0x1A800000:
+		i := base
+		i.Op = OpCSEL
+		i.Rd = rd
+		i.Rn = rn
+		i.Rm = rm
+		i.Cond = Cond(w >> 12 & 15)
+		i.SF = sf
+		return i
+
+	// Loads/stores, unsigned scaled offset.
+	case w&0xFFC00000 == 0xF9000000:
+		return ldst(OpSTR, rd, rn, int64(w>>10&0xFFF)*8)
+	case w&0xFFC00000 == 0xF9400000:
+		return ldst(OpLDR, rd, rn, int64(w>>10&0xFFF)*8)
+	case w&0xFFC00000 == 0xB9000000:
+		return ldst32(OpSTRW, rd, rn, int64(w>>10&0xFFF)*4)
+	case w&0xFFC00000 == 0xB9400000:
+		return ldst32(OpLDRW, rd, rn, int64(w>>10&0xFFF)*4)
+	case w&0xFFC00000 == 0x39000000:
+		return ldst32(OpSTRB, rd, rn, int64(w>>10&0xFFF))
+	case w&0xFFC00000 == 0x39400000:
+		return ldst32(OpLDRB, rd, rn, int64(w>>10&0xFFF))
+
+	// Loads/stores, pre/post index.
+	case w&0xFFE00C00 == 0xF8400400:
+		return ldst(OpLDRpost, rd, rn, signExtend(int64(w>>12&0x1FF), 9))
+	case w&0xFFE00C00 == 0xF8000C00:
+		return ldst(OpSTRpre, rd, rn, signExtend(int64(w>>12&0x1FF), 9))
+
+	// Load/store pair.
+	case w&0xFFC00000 == 0xA9000000:
+		return ldp(OpSTP, w, rd, rn)
+	case w&0xFFC00000 == 0xA9400000:
+		return ldp(OpLDP, w, rd, rn)
+	case w&0xFFC00000 == 0xA9800000:
+		return ldp(OpSTPpre, w, rd, rn)
+	case w&0xFFC00000 == 0xA8C00000:
+		return ldp(OpLDPpost, w, rd, rn)
+
+	// Branches.
+	case w&0x7C000000 == 0x14000000:
+		i := base
+		if w>>31 == 1 {
+			i.Op = OpBL
+		} else {
+			i.Op = OpB
+		}
+		i.Imm = signExtend(int64(w&0x03FFFFFF), 26) * 4
+		return i
+
+	case w&0xFF000010 == 0x54000000:
+		i := base
+		i.Op = OpBcond
+		i.Cond = Cond(w & 15)
+		i.Imm = signExtend(int64(w>>5&0x7FFFF), 19) * 4
+		return i
+
+	case w&0x7E000000 == 0x34000000:
+		i := base
+		if w&(1<<24) != 0 {
+			i.Op = OpCBNZ
+		} else {
+			i.Op = OpCBZ
+		}
+		i.Rd = rd
+		i.Imm = signExtend(int64(w>>5&0x7FFFF), 19) * 4
+		i.SF = sf
+		return i
+	}
+
+	return Instr{Op: OpInvalid}
+}
+
+func ldst(op Op, rt, rn Reg, off int64) Instr {
+	return Instr{Op: op, Rd: rt, Rn: rn, Rm: XZR, Ra: XZR, Imm: off, SF: true}
+}
+
+func ldst32(op Op, rt, rn Reg, off int64) Instr {
+	return Instr{Op: op, Rd: rt, Rn: rn, Rm: XZR, Ra: XZR, Imm: off}
+}
+
+func ldp(op Op, w uint32, rt, rn Reg) Instr {
+	return Instr{
+		Op: op, Rd: rt, Rn: rn, Rm: Reg(w >> 10 & 31), Ra: XZR,
+		Imm: signExtend(int64(w>>15&0x7F), 7) * 8, SF: true,
+	}
+}
+
+func signExtend(v int64, bits uint) int64 {
+	shift := 64 - bits
+	return v << shift >> shift
+}

@@ -1,0 +1,310 @@
+package insn
+
+import "fmt"
+
+// Encode produces the 32-bit A64 instruction word. It panics on operands
+// that do not fit their encoding fields; the assembler validates ranges
+// before calling it.
+func (i Instr) Encode() uint32 {
+	sf := uint32(0)
+	if i.SF {
+		sf = 1 << 31
+	}
+	rd := uint32(i.Rd & 31)
+	rn := uint32(i.Rn & 31)
+	rm := uint32(i.Rm & 31)
+	ra := uint32(i.Ra & 31)
+
+	switch i.Op {
+	case OpMOVZ, OpMOVK, OpMOVN:
+		var opc uint32
+		switch i.Op {
+		case OpMOVN:
+			opc = 0
+		case OpMOVZ:
+			opc = 2
+		case OpMOVK:
+			opc = 3
+		}
+		if i.Shift%16 != 0 || i.Shift > 48 {
+			panic(fmt.Sprintf("insn: bad move-wide shift %d", i.Shift))
+		}
+		return sf | opc<<29 | 0x25<<23 | uint32(i.Shift/16)<<21 | uint32(uint16(i.Imm))<<5 | rd
+
+	case OpADR, OpADRP:
+		op := uint32(0)
+		if i.Op == OpADRP {
+			op = 1 << 31
+		}
+		off := i.Imm
+		if off < -(1<<20) || off >= 1<<20 {
+			panic(fmt.Sprintf("insn: ADR offset %d out of range", off))
+		}
+		u := uint32(off) & 0x1FFFFF
+		return op | (u&3)<<29 | 0x10<<24 | (u>>2)<<5 | rd
+
+	case OpADDi, OpSUBi:
+		op := uint32(0)
+		if i.Op == OpSUBi {
+			op = 1 << 30
+		}
+		sh := uint32(0)
+		if i.Shift == 12 {
+			sh = 1 << 22
+		} else if i.Shift != 0 {
+			panic("insn: ADDi/SUBi shift must be 0 or 12")
+		}
+		if i.Imm < 0 || i.Imm > 0xFFF {
+			panic(fmt.Sprintf("insn: imm12 %d out of range", i.Imm))
+		}
+		return sf | op | 0x22<<23 | sh | uint32(i.Imm)<<10 | rn<<5 | rd
+
+	case OpBFM, OpUBFM, OpSBFM:
+		var opc uint32
+		switch i.Op {
+		case OpSBFM:
+			opc = 0
+		case OpBFM:
+			opc = 1
+		case OpUBFM:
+			opc = 2
+		}
+		n := sf >> 9 // N (bit 22) = sf for our 64/32-bit forms
+		return sf | opc<<29 | 0x26<<23 | n | uint32(i.ImmR&63)<<16 | uint32(i.ImmS&63)<<10 | rn<<5 | rd
+
+	case OpANDr, OpORRr, OpEORr, OpANDSr:
+		var opc uint32
+		switch i.Op {
+		case OpANDr:
+			opc = 0
+		case OpORRr:
+			opc = 1
+		case OpEORr:
+			opc = 2
+		case OpANDSr:
+			opc = 3
+		}
+		return sf | opc<<29 | 0x0A<<24 | rm<<16 | uint32(i.Shift&63)<<10 | rn<<5 | rd
+
+	case OpADDr, OpSUBr, OpSUBSr:
+		var opS uint32
+		switch i.Op {
+		case OpADDr:
+			opS = 0
+		case OpSUBr:
+			opS = 1 << 30
+		case OpSUBSr:
+			opS = 1<<30 | 1<<29
+		}
+		return sf | opS | 0x0B<<24 | rm<<16 | uint32(i.Shift&63)<<10 | rn<<5 | rd
+
+	case OpMADD:
+		return sf | 0xD8<<21 | rm<<16 | ra<<10 | rn<<5 | rd
+
+	case OpUDIV:
+		return sf | 0xD6<<21 | rm<<16 | 0x2<<10 | rn<<5 | rd
+	case OpLSLV:
+		return sf | 0xD6<<21 | rm<<16 | 0x8<<10 | rn<<5 | rd
+	case OpLSRV:
+		return sf | 0xD6<<21 | rm<<16 | 0x9<<10 | rn<<5 | rd
+
+	case OpCSEL:
+		return sf | 0xD4<<21 | rm<<16 | uint32(i.Cond&15)<<12 | rn<<5 | rd
+
+	case OpLDR, OpSTR:
+		opc := uint32(0)
+		if i.Op == OpLDR {
+			opc = 1 << 22
+		}
+		if i.Imm < 0 || i.Imm > 32760 || i.Imm%8 != 0 {
+			panic(fmt.Sprintf("insn: LDR/STR offset %d invalid", i.Imm))
+		}
+		return 0xF9000000 | opc | uint32(i.Imm/8)<<10 | rn<<5 | rd
+
+	case OpLDRW, OpSTRW:
+		opc := uint32(0)
+		if i.Op == OpLDRW {
+			opc = 1 << 22
+		}
+		if i.Imm < 0 || i.Imm > 16380 || i.Imm%4 != 0 {
+			panic(fmt.Sprintf("insn: LDRW/STRW offset %d invalid", i.Imm))
+		}
+		return 0xB9000000 | opc | uint32(i.Imm/4)<<10 | rn<<5 | rd
+
+	case OpLDRB, OpSTRB:
+		opc := uint32(0)
+		if i.Op == OpLDRB {
+			opc = 1 << 22
+		}
+		if i.Imm < 0 || i.Imm > 4095 {
+			panic(fmt.Sprintf("insn: LDRB/STRB offset %d invalid", i.Imm))
+		}
+		return 0x39000000 | opc | uint32(i.Imm)<<10 | rn<<5 | rd
+
+	case OpLDRpost:
+		return 0xF8400400 | simm9(i.Imm)<<12 | rn<<5 | rd
+	case OpSTRpre:
+		return 0xF8000C00 | simm9(i.Imm)<<12 | rn<<5 | rd
+
+	case OpLDP, OpSTP, OpLDPpost, OpSTPpre:
+		var base uint32
+		switch i.Op {
+		case OpSTP:
+			base = 0xA9000000
+		case OpLDP:
+			base = 0xA9400000
+		case OpSTPpre:
+			base = 0xA9800000
+		case OpLDPpost:
+			base = 0xA8C00000
+		}
+		if i.Imm%8 != 0 || i.Imm < -512 || i.Imm > 504 {
+			panic(fmt.Sprintf("insn: LDP/STP offset %d invalid", i.Imm))
+		}
+		return base | (uint32(i.Imm/8)&0x7F)<<15 | rm<<10 | rn<<5 | rd
+
+	case OpB, OpBL:
+		op := uint32(0x14000000)
+		if i.Op == OpBL {
+			op = 0x94000000
+		}
+		return op | brOff(i.Imm, 26)
+
+	case OpBcond:
+		return 0x54000000 | brOff(i.Imm, 19)<<5 | uint32(i.Cond&15)
+
+	case OpCBZ, OpCBNZ:
+		op := uint32(0)
+		if i.Op == OpCBNZ {
+			op = 1 << 24
+		}
+		return sf | 0x34000000 | op | brOff(i.Imm, 19)<<5 | rd
+
+	case OpBR:
+		return 0xD61F0000 | rn<<5
+	case OpBLR:
+		return 0xD63F0000 | rn<<5
+	case OpRET:
+		return 0xD65F0000 | rn<<5
+	case OpRETAA:
+		return 0xD65F0BFF
+	case OpRETAB:
+		return 0xD65F0FFF
+	case OpBRAA:
+		return 0xD71F0800 | rn<<5 | rm
+	case OpBRAB:
+		return 0xD71F0C00 | rn<<5 | rm
+	case OpBLRAA:
+		return 0xD73F0800 | rn<<5 | rm
+	case OpBLRAB:
+		return 0xD73F0C00 | rn<<5 | rm
+
+	case OpPACIA, OpPACIB, OpPACDA, OpPACDB, OpAUTIA, OpAUTIB, OpAUTDA, OpAUTDB:
+		var op3 uint32
+		switch i.Op {
+		case OpPACIA:
+			op3 = 0
+		case OpPACIB:
+			op3 = 1
+		case OpPACDA:
+			op3 = 2
+		case OpPACDB:
+			op3 = 3
+		case OpAUTIA:
+			op3 = 4
+		case OpAUTIB:
+			op3 = 5
+		case OpAUTDA:
+			op3 = 6
+		case OpAUTDB:
+			op3 = 7
+		}
+		return 0xDAC10000 | op3<<10 | rn<<5 | rd
+
+	case OpPACIZA, OpPACIZB, OpPACDZA, OpPACDZB, OpAUTIZA, OpAUTIZB, OpAUTDZA, OpAUTDZB:
+		var idx uint32
+		switch i.Op {
+		case OpPACIZA:
+			idx = 0
+		case OpPACIZB:
+			idx = 1
+		case OpPACDZA:
+			idx = 2
+		case OpPACDZB:
+			idx = 3
+		case OpAUTIZA:
+			idx = 4
+		case OpAUTIZB:
+			idx = 5
+		case OpAUTDZA:
+			idx = 6
+		case OpAUTDZB:
+			idx = 7
+		}
+		return 0xDAC10000 | (8+idx)<<10 | 31<<5 | rd
+
+	case OpXPACI:
+		return 0xDAC143E0 | rd
+	case OpXPACD:
+		return 0xDAC147E0 | rd
+
+	case OpPACGA:
+		return 0x9AC03000 | rm<<16 | rn<<5 | rd
+
+	case OpNOP:
+		return hintWord(0)
+	case OpPACIA1716:
+		return hintWord(8)
+	case OpPACIB1716:
+		return hintWord(10)
+	case OpAUTIA1716:
+		return hintWord(12)
+	case OpAUTIB1716:
+		return hintWord(14)
+	case OpISB:
+		return 0xD5033FDF
+
+	case OpMSR:
+		return 0xD5000000 | sysFields(i.Sys) | rd
+	case OpMRS:
+		return 0xD5000000 | 1<<21 | sysFields(i.Sys) | rd
+
+	case OpSVC:
+		return 0xD4000001 | uint32(uint16(i.Imm))<<5
+	case OpHLT:
+		return 0xD4400000 | uint32(uint16(i.Imm))<<5
+	case OpERET:
+		return 0xD69F03E0
+	}
+	panic(fmt.Sprintf("insn: cannot encode op %v", i.Op))
+}
+
+func hintWord(n uint32) uint32 { return 0xD503201F | n<<5 }
+
+func sysFields(s SysReg) uint32 {
+	op0 := uint32(s>>14) & 3
+	op1 := uint32(s>>11) & 7
+	crn := uint32(s>>7) & 15
+	crm := uint32(s>>3) & 15
+	op2 := uint32(s) & 7
+	return op0<<19 | op1<<16 | crn<<12 | crm<<8 | op2<<5
+}
+
+func simm9(v int64) uint32 {
+	if v < -256 || v > 255 {
+		panic(fmt.Sprintf("insn: simm9 %d out of range", v))
+	}
+	return uint32(v) & 0x1FF
+}
+
+func brOff(byteOff int64, bits uint) uint32 {
+	if byteOff%4 != 0 {
+		panic(fmt.Sprintf("insn: branch offset %d not word aligned", byteOff))
+	}
+	w := byteOff / 4
+	lim := int64(1) << (bits - 1)
+	if w < -lim || w >= lim {
+		panic(fmt.Sprintf("insn: branch offset %d out of range for imm%d", byteOff, bits))
+	}
+	return uint32(w) & (1<<bits - 1)
+}

@@ -1,0 +1,523 @@
+package insn
+
+import "fmt"
+
+// Instr is a decoded (or to-be-encoded) instruction. Field meaning depends
+// on Op; the builder functions below construct canonical values, and
+// Decode(Encode(i)) == i for every builder-produced instruction (verified
+// by property tests).
+type Instr struct {
+	Op Op
+	// Rd is the destination register (Rt for loads/stores).
+	Rd Reg
+	// Rn is the base or first source register.
+	Rn Reg
+	// Rm is the second source register (Rt2 for pair loads/stores, the
+	// modifier register for BLRAA/BLRAB).
+	Rm Reg
+	// Ra is the addend register for MADD.
+	Ra Reg
+	// Imm is the immediate operand: a byte offset for memory and branch
+	// instructions, the 16-bit immediate for MOVZ/MOVK/MOVN/SVC/HLT, the
+	// 12-bit immediate for ADDi/SUBi.
+	Imm int64
+	// Shift is the left-shift applied to Imm (0/16/32/48 for move-wide,
+	// 0/12 for ADDi/SUBi) or the shift amount for shifted-register ALU ops.
+	Shift uint8
+	// ImmR and ImmS are the raw bitfield-move controls for BFM/UBFM/SBFM.
+	ImmR, ImmS uint8
+	// Cond is the condition for Bcond and CSEL.
+	Cond Cond
+	// Sys is the system register for MSR/MRS.
+	Sys SysReg
+	// SF selects 64-bit (true) or 32-bit (false) operation where the
+	// encoding has an sf bit. Builders default to 64-bit.
+	SF bool
+}
+
+// Size is the size of every A64 instruction in bytes.
+const Size = 4
+
+// --- data processing, immediate ---
+
+// MOVZ builds "movz xd, #imm16, lsl #shift" (shift ∈ {0,16,32,48}).
+func MOVZ(rd Reg, imm16 uint16, shift uint8) Instr {
+	return Instr{Op: OpMOVZ, Rd: rd, Rn: XZR, Rm: XZR, Ra: XZR, Imm: int64(imm16), Shift: shift, SF: true}
+}
+
+// MOVZW builds the 32-bit form "movz wd, #imm16" (shift ∈ {0,16}).
+func MOVZW(rd Reg, imm16 uint16, shift uint8) Instr {
+	i := MOVZ(rd, imm16, shift)
+	i.SF = false
+	return i
+}
+
+// MOVK builds "movk xd, #imm16, lsl #shift".
+func MOVK(rd Reg, imm16 uint16, shift uint8) Instr {
+	return Instr{Op: OpMOVK, Rd: rd, Rn: XZR, Rm: XZR, Ra: XZR, Imm: int64(imm16), Shift: shift, SF: true}
+}
+
+// MOVN builds "movn xd, #imm16, lsl #shift" (rd = ^(imm16<<shift)).
+func MOVN(rd Reg, imm16 uint16, shift uint8) Instr {
+	return Instr{Op: OpMOVN, Rd: rd, Rn: XZR, Rm: XZR, Ra: XZR, Imm: int64(imm16), Shift: shift, SF: true}
+}
+
+// ADR builds "adr xd, #off" with off a signed byte offset in ±1 MiB.
+func ADR(rd Reg, off int64) Instr {
+	return Instr{Op: OpADR, Rd: rd, Rn: XZR, Rm: XZR, Ra: XZR, Imm: off, SF: true}
+}
+
+// ADRP builds "adrp xd, #off" with off a signed 4 KiB-page offset.
+func ADRP(rd Reg, pages int64) Instr {
+	return Instr{Op: OpADRP, Rd: rd, Rn: XZR, Rm: XZR, Ra: XZR, Imm: pages, SF: true}
+}
+
+// ADDi builds "add xd, xn, #imm12" (rd/rn may be SP).
+func ADDi(rd, rn Reg, imm12 uint16) Instr {
+	return Instr{Op: OpADDi, Rd: rd, Rn: rn, Rm: XZR, Ra: XZR, Imm: int64(imm12 & 0xFFF), SF: true}
+}
+
+// SUBi builds "sub xd, xn, #imm12" (rd/rn may be SP).
+func SUBi(rd, rn Reg, imm12 uint16) Instr {
+	return Instr{Op: OpSUBi, Rd: rd, Rn: rn, Rm: XZR, Ra: XZR, Imm: int64(imm12 & 0xFFF), SF: true}
+}
+
+// MOVSP builds "mov xd, sp" / "mov sp, xn" (an ADD #0 alias, the only MOV
+// form that can address SP). Listing 3 uses it because SP is not a valid
+// BFI operand.
+func MOVSP(rd, rn Reg) Instr { return ADDi(rd, rn, 0) }
+
+// BFI builds "bfi xd, xn, #lsb, #width": insert the low width bits of xn
+// into xd at lsb.
+func BFI(rd, rn Reg, lsb, width uint8) Instr {
+	return Instr{Op: OpBFM, Rd: rd, Rn: rn, Rm: XZR, Ra: XZR,
+		ImmR: (64 - lsb) % 64, ImmS: width - 1, SF: true}
+}
+
+// UBFX builds "ubfx xd, xn, #lsb, #width": extract bits.
+func UBFX(rd, rn Reg, lsb, width uint8) Instr {
+	return Instr{Op: OpUBFM, Rd: rd, Rn: rn, Rm: XZR, Ra: XZR,
+		ImmR: lsb, ImmS: lsb + width - 1, SF: true}
+}
+
+// LSLi builds "lsl xd, xn, #sh" (a UBFM alias).
+func LSLi(rd, rn Reg, sh uint8) Instr {
+	return Instr{Op: OpUBFM, Rd: rd, Rn: rn, Rm: XZR, Ra: XZR,
+		ImmR: (64 - sh) % 64, ImmS: 63 - sh, SF: true}
+}
+
+// LSRi builds "lsr xd, xn, #sh" (a UBFM alias).
+func LSRi(rd, rn Reg, sh uint8) Instr {
+	return Instr{Op: OpUBFM, Rd: rd, Rn: rn, Rm: XZR, Ra: XZR,
+		ImmR: sh, ImmS: 63, SF: true}
+}
+
+// --- data processing, register ---
+
+func alu(op Op, rd, rn, rm Reg, shift uint8) Instr {
+	return Instr{Op: op, Rd: rd, Rn: rn, Rm: rm, Ra: XZR, Shift: shift, SF: true}
+}
+
+// ADDr builds "add xd, xn, xm, lsl #shift".
+func ADDr(rd, rn, rm Reg) Instr { return alu(OpADDr, rd, rn, rm, 0) }
+
+// SUBr builds "sub xd, xn, xm".
+func SUBr(rd, rn, rm Reg) Instr { return alu(OpSUBr, rd, rn, rm, 0) }
+
+// SUBSr builds "subs xd, xn, xm" (CMP when rd is XZR).
+func SUBSr(rd, rn, rm Reg) Instr { return alu(OpSUBSr, rd, rn, rm, 0) }
+
+// CMP builds "cmp xn, xm".
+func CMP(rn, rm Reg) Instr { return SUBSr(XZR, rn, rm) }
+
+// ANDr builds "and xd, xn, xm".
+func ANDr(rd, rn, rm Reg) Instr { return alu(OpANDr, rd, rn, rm, 0) }
+
+// ORRr builds "orr xd, xn, xm, lsl #shift".
+func ORRr(rd, rn, rm Reg, shift uint8) Instr { return alu(OpORRr, rd, rn, rm, shift) }
+
+// EORr builds "eor xd, xn, xm".
+func EORr(rd, rn, rm Reg) Instr { return alu(OpEORr, rd, rn, rm, 0) }
+
+// ANDSr builds "ands xd, xn, xm" (TST when rd is XZR).
+func ANDSr(rd, rn, rm Reg) Instr { return alu(OpANDSr, rd, rn, rm, 0) }
+
+// MOVr builds "mov xd, xm" (an ORR-with-XZR alias; not valid for SP).
+func MOVr(rd, rm Reg) Instr { return ORRr(rd, XZR, rm, 0) }
+
+// MADD builds "madd xd, xn, xm, xa" (xd = xa + xn*xm).
+func MADD(rd, rn, rm, ra Reg) Instr {
+	return Instr{Op: OpMADD, Rd: rd, Rn: rn, Rm: rm, Ra: ra, SF: true}
+}
+
+// MUL builds "mul xd, xn, xm".
+func MUL(rd, rn, rm Reg) Instr { return MADD(rd, rn, rm, XZR) }
+
+// UDIV builds "udiv xd, xn, xm".
+func UDIV(rd, rn, rm Reg) Instr { return alu(OpUDIV, rd, rn, rm, 0) }
+
+// LSLV builds "lslv xd, xn, xm".
+func LSLV(rd, rn, rm Reg) Instr { return alu(OpLSLV, rd, rn, rm, 0) }
+
+// LSRV builds "lsrv xd, xn, xm".
+func LSRV(rd, rn, rm Reg) Instr { return alu(OpLSRV, rd, rn, rm, 0) }
+
+// CSEL builds "csel xd, xn, xm, cond".
+func CSEL(rd, rn, rm Reg, cond Cond) Instr {
+	return Instr{Op: OpCSEL, Rd: rd, Rn: rn, Rm: rm, Ra: XZR, Cond: cond, SF: true}
+}
+
+// --- loads and stores ---
+
+// LDR builds "ldr xt, [xn, #off]" with off a multiple of 8 in [0, 32760].
+func LDR(rt, rn Reg, off uint16) Instr {
+	return Instr{Op: OpLDR, Rd: rt, Rn: rn, Rm: XZR, Ra: XZR, Imm: int64(off), SF: true}
+}
+
+// STR builds "str xt, [xn, #off]".
+func STR(rt, rn Reg, off uint16) Instr {
+	return Instr{Op: OpSTR, Rd: rt, Rn: rn, Rm: XZR, Ra: XZR, Imm: int64(off), SF: true}
+}
+
+// LDRW builds "ldr wt, [xn, #off]" with off a multiple of 4.
+func LDRW(rt, rn Reg, off uint16) Instr {
+	return Instr{Op: OpLDRW, Rd: rt, Rn: rn, Rm: XZR, Ra: XZR, Imm: int64(off)}
+}
+
+// STRW builds "str wt, [xn, #off]".
+func STRW(rt, rn Reg, off uint16) Instr {
+	return Instr{Op: OpSTRW, Rd: rt, Rn: rn, Rm: XZR, Ra: XZR, Imm: int64(off)}
+}
+
+// LDRB builds "ldrb wt, [xn, #off]".
+func LDRB(rt, rn Reg, off uint16) Instr {
+	return Instr{Op: OpLDRB, Rd: rt, Rn: rn, Rm: XZR, Ra: XZR, Imm: int64(off)}
+}
+
+// STRB builds "strb wt, [xn, #off]".
+func STRB(rt, rn Reg, off uint16) Instr {
+	return Instr{Op: OpSTRB, Rd: rt, Rn: rn, Rm: XZR, Ra: XZR, Imm: int64(off)}
+}
+
+// LDRpost builds "ldr xt, [xn], #simm9" (post-indexed).
+func LDRpost(rt, rn Reg, simm9 int16) Instr {
+	return Instr{Op: OpLDRpost, Rd: rt, Rn: rn, Rm: XZR, Ra: XZR, Imm: int64(simm9), SF: true}
+}
+
+// STRpre builds "str xt, [xn, #simm9]!" (pre-indexed).
+func STRpre(rt, rn Reg, simm9 int16) Instr {
+	return Instr{Op: OpSTRpre, Rd: rt, Rn: rn, Rm: XZR, Ra: XZR, Imm: int64(simm9), SF: true}
+}
+
+// LDP builds "ldp xt, xt2, [xn, #off]" with off a multiple of 8 in ±504.
+func LDP(rt, rt2, rn Reg, off int16) Instr {
+	return Instr{Op: OpLDP, Rd: rt, Rn: rn, Rm: rt2, Ra: XZR, Imm: int64(off), SF: true}
+}
+
+// STP builds "stp xt, xt2, [xn, #off]".
+func STP(rt, rt2, rn Reg, off int16) Instr {
+	return Instr{Op: OpSTP, Rd: rt, Rn: rn, Rm: rt2, Ra: XZR, Imm: int64(off), SF: true}
+}
+
+// LDPpost builds "ldp xt, xt2, [xn], #off" — the canonical epilogue form of
+// Listing 1: "ldp fp, lr, [sp], #16".
+func LDPpost(rt, rt2, rn Reg, off int16) Instr {
+	return Instr{Op: OpLDPpost, Rd: rt, Rn: rn, Rm: rt2, Ra: XZR, Imm: int64(off), SF: true}
+}
+
+// STPpre builds "stp xt, xt2, [xn, #off]!" — the canonical prologue form of
+// Listing 1: "stp fp, lr, [sp, #-16]!".
+func STPpre(rt, rt2, rn Reg, off int16) Instr {
+	return Instr{Op: OpSTPpre, Rd: rt, Rn: rn, Rm: rt2, Ra: XZR, Imm: int64(off), SF: true}
+}
+
+// --- branches ---
+
+// B builds "b #off" with off a signed byte offset (multiple of 4).
+func B(off int64) Instr {
+	return Instr{Op: OpB, Rd: XZR, Rn: XZR, Rm: XZR, Ra: XZR, Imm: off, SF: true}
+}
+
+// BL builds "bl #off".
+func BL(off int64) Instr {
+	return Instr{Op: OpBL, Rd: XZR, Rn: XZR, Rm: XZR, Ra: XZR, Imm: off, SF: true}
+}
+
+// Bcond builds "b.cond #off".
+func Bcond(c Cond, off int64) Instr {
+	return Instr{Op: OpBcond, Rd: XZR, Rn: XZR, Rm: XZR, Ra: XZR, Imm: off, Cond: c, SF: true}
+}
+
+// CBZ builds "cbz xt, #off".
+func CBZ(rt Reg, off int64) Instr {
+	return Instr{Op: OpCBZ, Rd: rt, Rn: XZR, Rm: XZR, Ra: XZR, Imm: off, SF: true}
+}
+
+// CBNZ builds "cbnz xt, #off".
+func CBNZ(rt Reg, off int64) Instr {
+	return Instr{Op: OpCBNZ, Rd: rt, Rn: XZR, Rm: XZR, Ra: XZR, Imm: off, SF: true}
+}
+
+// BR builds "br xn".
+func BR(rn Reg) Instr {
+	return Instr{Op: OpBR, Rd: XZR, Rn: rn, Rm: XZR, Ra: XZR, SF: true}
+}
+
+// BLR builds "blr xn".
+func BLR(rn Reg) Instr {
+	return Instr{Op: OpBLR, Rd: XZR, Rn: rn, Rm: XZR, Ra: XZR, SF: true}
+}
+
+// RET builds "ret" (returns to x30).
+func RET() Instr { return RETr(LR) }
+
+// RETr builds "ret xn".
+func RETr(rn Reg) Instr {
+	return Instr{Op: OpRET, Rd: XZR, Rn: rn, Rm: XZR, Ra: XZR, SF: true}
+}
+
+// --- pointer authentication ---
+
+func pauth2(op Op, rd, rn Reg) Instr {
+	return Instr{Op: op, Rd: rd, Rn: rn, Rm: XZR, Ra: XZR, SF: true}
+}
+
+// PACIA builds "pacia xd, xn": sign xd with key IA, modifier xn.
+func PACIA(rd, rn Reg) Instr { return pauth2(OpPACIA, rd, rn) }
+
+// PACIB builds "pacib xd, xn".
+func PACIB(rd, rn Reg) Instr { return pauth2(OpPACIB, rd, rn) }
+
+// PACDA builds "pacda xd, xn".
+func PACDA(rd, rn Reg) Instr { return pauth2(OpPACDA, rd, rn) }
+
+// PACDB builds "pacdb xd, xn".
+func PACDB(rd, rn Reg) Instr { return pauth2(OpPACDB, rd, rn) }
+
+// AUTIA builds "autia xd, xn": authenticate xd with key IA, modifier xn.
+func AUTIA(rd, rn Reg) Instr { return pauth2(OpAUTIA, rd, rn) }
+
+// AUTIB builds "autib xd, xn".
+func AUTIB(rd, rn Reg) Instr { return pauth2(OpAUTIB, rd, rn) }
+
+// AUTDA builds "autda xd, xn".
+func AUTDA(rd, rn Reg) Instr { return pauth2(OpAUTDA, rd, rn) }
+
+// AUTDB builds "autdb xd, xn".
+func AUTDB(rd, rn Reg) Instr { return pauth2(OpAUTDB, rd, rn) }
+
+// PACIZA builds "paciza xd": sign with key IA and a zero modifier.
+func PACIZA(rd Reg) Instr { return pauth2(OpPACIZA, rd, XZR) }
+
+// PACIZB builds "pacizb xd".
+func PACIZB(rd Reg) Instr { return pauth2(OpPACIZB, rd, XZR) }
+
+// PACDZA builds "pacdza xd".
+func PACDZA(rd Reg) Instr { return pauth2(OpPACDZA, rd, XZR) }
+
+// PACDZB builds "pacdzb xd": the zero-modifier data signing the §7
+// Apple-scheme ablation uses.
+func PACDZB(rd Reg) Instr { return pauth2(OpPACDZB, rd, XZR) }
+
+// AUTIZA builds "autiza xd".
+func AUTIZA(rd Reg) Instr { return pauth2(OpAUTIZA, rd, XZR) }
+
+// AUTIZB builds "autizb xd".
+func AUTIZB(rd Reg) Instr { return pauth2(OpAUTIZB, rd, XZR) }
+
+// AUTDZA builds "autdza xd".
+func AUTDZA(rd Reg) Instr { return pauth2(OpAUTDZA, rd, XZR) }
+
+// AUTDZB builds "autdzb xd".
+func AUTDZB(rd Reg) Instr { return pauth2(OpAUTDZB, rd, XZR) }
+
+// XPACI builds "xpaci xd": strip the PAC without authenticating.
+func XPACI(rd Reg) Instr { return pauth2(OpXPACI, rd, XZR) }
+
+// XPACD builds "xpacd xd".
+func XPACD(rd Reg) Instr { return pauth2(OpXPACD, rd, XZR) }
+
+// PACGA builds "pacga xd, xn, xm": generic MAC of xn with modifier xm.
+func PACGA(rd, rn, rm Reg) Instr {
+	return Instr{Op: OpPACGA, Rd: rd, Rn: rn, Rm: rm, Ra: XZR, SF: true}
+}
+
+// BLRAA builds "blraa xn, xm": authenticated call via key IA.
+func BLRAA(rn, rm Reg) Instr {
+	return Instr{Op: OpBLRAA, Rd: XZR, Rn: rn, Rm: rm, Ra: XZR, SF: true}
+}
+
+// BLRAB builds "blrab xn, xm": authenticated call via key IB. The paper
+// notes a compiler could fuse PACIB+BLR into this form (§4.3).
+func BLRAB(rn, rm Reg) Instr {
+	return Instr{Op: OpBLRAB, Rd: XZR, Rn: rn, Rm: rm, Ra: XZR, SF: true}
+}
+
+// BRAA builds "braa xn, xm".
+func BRAA(rn, rm Reg) Instr {
+	return Instr{Op: OpBRAA, Rd: XZR, Rn: rn, Rm: rm, Ra: XZR, SF: true}
+}
+
+// BRAB builds "brab xn, xm".
+func BRAB(rn, rm Reg) Instr {
+	return Instr{Op: OpBRAB, Rd: XZR, Rn: rn, Rm: rm, Ra: XZR, SF: true}
+}
+
+// RETAA builds "retaa": authenticated return via key IA, modifier SP.
+func RETAA() Instr {
+	return Instr{Op: OpRETAA, Rd: XZR, Rn: LR, Rm: XZR, Ra: XZR, SF: true}
+}
+
+// RETAB builds "retab".
+func RETAB() Instr {
+	return Instr{Op: OpRETAB, Rd: XZR, Rn: LR, Rm: XZR, Ra: XZR, SF: true}
+}
+
+func hint(op Op) Instr {
+	return Instr{Op: op, Rd: XZR, Rn: XZR, Rm: XZR, Ra: XZR, SF: true}
+}
+
+// PACIA1716 builds the NOP-space "pacia1716" (sign x17 with modifier x16),
+// which executes as NOP on pre-ARMv8.3 cores — the paper's backwards-
+// compatibility mechanism (§5.5).
+func PACIA1716() Instr { return hint(OpPACIA1716) }
+
+// PACIB1716 builds "pacib1716".
+func PACIB1716() Instr { return hint(OpPACIB1716) }
+
+// AUTIA1716 builds "autia1716".
+func AUTIA1716() Instr { return hint(OpAUTIA1716) }
+
+// AUTIB1716 builds "autib1716".
+func AUTIB1716() Instr { return hint(OpAUTIB1716) }
+
+// --- system ---
+
+// MSR builds "msr sysreg, xt".
+func MSR(sys SysReg, rt Reg) Instr {
+	return Instr{Op: OpMSR, Rd: rt, Rn: XZR, Rm: XZR, Ra: XZR, Sys: sys, SF: true}
+}
+
+// MRS builds "mrs xt, sysreg".
+func MRS(rt Reg, sys SysReg) Instr {
+	return Instr{Op: OpMRS, Rd: rt, Rn: XZR, Rm: XZR, Ra: XZR, Sys: sys, SF: true}
+}
+
+// SVC builds "svc #imm16" (supervisor call).
+func SVC(imm16 uint16) Instr {
+	return Instr{Op: OpSVC, Rd: XZR, Rn: XZR, Rm: XZR, Ra: XZR, Imm: int64(imm16), SF: true}
+}
+
+// ERET builds "eret".
+func ERET() Instr { return hint(OpERET) }
+
+// NOP builds "nop".
+func NOP() Instr { return hint(OpNOP) }
+
+// ISB builds "isb".
+func ISB() Instr { return hint(OpISB) }
+
+// HLT builds "hlt #imm16", used by the simulator as a stop/exit marker.
+func HLT(imm16 uint16) Instr {
+	return Instr{Op: OpHLT, Rd: XZR, Rn: XZR, Rm: XZR, Ra: XZR, Imm: int64(imm16), SF: true}
+}
+
+// MOVImm64 emits the shortest MOVZ/MOVK sequence materialising a 64-bit
+// constant into rd. This is the sequence the bootloader uses to embed the
+// kernel PAuth keys inside the XOM key-setter (§5.1).
+func MOVImm64(rd Reg, v uint64) []Instr {
+	var out []Instr
+	for sh := uint8(0); sh < 64; sh += 16 {
+		chunk := uint16(v >> sh)
+		if chunk == 0 {
+			continue
+		}
+		if len(out) == 0 {
+			out = append(out, MOVZ(rd, chunk, sh))
+		} else {
+			out = append(out, MOVK(rd, chunk, sh))
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, MOVZ(rd, 0, 0))
+	}
+	return out
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpMOVZ, OpMOVK, OpMOVN:
+		w := "x"
+		if !i.SF {
+			w = "w"
+		}
+		if i.Shift != 0 {
+			return fmt.Sprintf("%s %s%d, #%#x, lsl #%d", i.Op, w, i.Rd, uint16(i.Imm), i.Shift)
+		}
+		return fmt.Sprintf("%s %s%d, #%#x", i.Op, w, i.Rd, uint16(i.Imm))
+	case OpADR:
+		return fmt.Sprintf("adr x%d, #%d", i.Rd, i.Imm)
+	case OpADRP:
+		return fmt.Sprintf("adrp x%d, #%d", i.Rd, i.Imm*4096)
+	case OpADDi, OpSUBi:
+		return fmt.Sprintf("%s %s, %s, #%d", i.Op, spName(i.Rd), spName(i.Rn), i.Imm)
+	case OpBFM, OpUBFM, OpSBFM:
+		return fmt.Sprintf("%s x%d, x%d, #%d, #%d", i.Op, i.Rd, i.Rn, i.ImmR, i.ImmS)
+	case OpADDr, OpSUBr, OpSUBSr, OpANDr, OpORRr, OpEORr, OpANDSr, OpUDIV, OpLSLV, OpLSRV:
+		if i.Shift != 0 {
+			return fmt.Sprintf("%s x%d, x%d, x%d, lsl #%d", i.Op, i.Rd, i.Rn, i.Rm, i.Shift)
+		}
+		return fmt.Sprintf("%s x%d, x%d, x%d", i.Op, i.Rd, i.Rn, i.Rm)
+	case OpMADD:
+		return fmt.Sprintf("madd x%d, x%d, x%d, x%d", i.Rd, i.Rn, i.Rm, i.Ra)
+	case OpCSEL:
+		return fmt.Sprintf("csel x%d, x%d, x%d, %s", i.Rd, i.Rn, i.Rm, i.Cond)
+	case OpLDR, OpSTR, OpLDRW, OpSTRW, OpLDRB, OpSTRB:
+		return fmt.Sprintf("%s x%d, [%s, #%d]", i.Op, i.Rd, spName(i.Rn), i.Imm)
+	case OpLDRpost:
+		return fmt.Sprintf("ldr x%d, [%s], #%d", i.Rd, spName(i.Rn), i.Imm)
+	case OpSTRpre:
+		return fmt.Sprintf("str x%d, [%s, #%d]!", i.Rd, spName(i.Rn), i.Imm)
+	case OpLDP, OpSTP:
+		return fmt.Sprintf("%s x%d, x%d, [%s, #%d]", i.Op, i.Rd, i.Rm, spName(i.Rn), i.Imm)
+	case OpLDPpost:
+		return fmt.Sprintf("ldp x%d, x%d, [%s], #%d", i.Rd, i.Rm, spName(i.Rn), i.Imm)
+	case OpSTPpre:
+		return fmt.Sprintf("stp x%d, x%d, [%s, #%d]!", i.Rd, i.Rm, spName(i.Rn), i.Imm)
+	case OpB, OpBL:
+		return fmt.Sprintf("%s #%d", i.Op, i.Imm)
+	case OpBcond:
+		return fmt.Sprintf("b.%s #%d", i.Cond, i.Imm)
+	case OpCBZ, OpCBNZ:
+		return fmt.Sprintf("%s x%d, #%d", i.Op, i.Rd, i.Imm)
+	case OpBR, OpBLR, OpRET:
+		return fmt.Sprintf("%s x%d", i.Op, i.Rn)
+	case OpPACIA, OpPACIB, OpPACDA, OpPACDB, OpAUTIA, OpAUTIB, OpAUTDA, OpAUTDB:
+		return fmt.Sprintf("%s x%d, %s", i.Op, i.Rd, spName(i.Rn))
+	case OpPACIZA, OpPACIZB, OpPACDZA, OpPACDZB,
+		OpAUTIZA, OpAUTIZB, OpAUTDZA, OpAUTDZB, OpXPACI, OpXPACD:
+		return fmt.Sprintf("%s x%d", i.Op, i.Rd)
+	case OpPACGA:
+		return fmt.Sprintf("pacga x%d, x%d, x%d", i.Rd, i.Rn, i.Rm)
+	case OpBLRAA, OpBLRAB, OpBRAA, OpBRAB:
+		return fmt.Sprintf("%s x%d, x%d", i.Op, i.Rn, i.Rm)
+	case OpMSR:
+		return fmt.Sprintf("msr %s, x%d", i.Sys, i.Rd)
+	case OpMRS:
+		return fmt.Sprintf("mrs x%d, %s", i.Rd, i.Sys)
+	case OpSVC:
+		return fmt.Sprintf("svc #%#x", uint16(i.Imm))
+	case OpHLT:
+		return fmt.Sprintf("hlt #%#x", uint16(i.Imm))
+	default:
+		return i.Op.String()
+	}
+}
+
+func spName(r Reg) string {
+	if r == SP {
+		return "sp"
+	}
+	return fmt.Sprintf("x%d", r)
+}

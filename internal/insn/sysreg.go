@@ -1,0 +1,123 @@
+package insn
+
+import "fmt"
+
+// SysReg identifies an AArch64 system register by its packed
+// (op0, op1, CRn, CRm, op2) encoding, as used in the MSR/MRS instruction
+// words: op0 in bits 15:14, op1 in 13:11, CRn in 10:7, CRm in 6:3, op2 in
+// 2:0.
+type SysReg uint16
+
+// sysreg packs an (op0, op1, CRn, CRm, op2) tuple.
+func sysreg(op0, op1, crn, crm, op2 uint16) SysReg {
+	return SysReg(op0&3)<<14 | SysReg(op1&7)<<11 | SysReg(crn&15)<<7 | SysReg(crm&15)<<3 | SysReg(op2&7)
+}
+
+// System registers used by the model. Encodings follow the ARM ARM.
+var (
+	// SCTLR_EL1 holds the EL1 system control bits, including the PAuth
+	// enable bits EnIA/EnIB/EnDA/EnDB (§4.1: the static analyser rejects
+	// code that could clear them).
+	SCTLR_EL1 = sysreg(3, 0, 1, 0, 0)
+
+	TTBR0_EL1 = sysreg(3, 0, 2, 0, 0)
+	TTBR1_EL1 = sysreg(3, 0, 2, 0, 1)
+
+	// PAuth key registers: each 128-bit key is a Hi/Lo register pair.
+	APIAKeyLo_EL1 = sysreg(3, 0, 2, 1, 0)
+	APIAKeyHi_EL1 = sysreg(3, 0, 2, 1, 1)
+	APIBKeyLo_EL1 = sysreg(3, 0, 2, 1, 2)
+	APIBKeyHi_EL1 = sysreg(3, 0, 2, 1, 3)
+	APDAKeyLo_EL1 = sysreg(3, 0, 2, 2, 0)
+	APDAKeyHi_EL1 = sysreg(3, 0, 2, 2, 1)
+	APDBKeyLo_EL1 = sysreg(3, 0, 2, 2, 2)
+	APDBKeyHi_EL1 = sysreg(3, 0, 2, 2, 3)
+	APGAKeyLo_EL1 = sysreg(3, 0, 2, 3, 0)
+	APGAKeyHi_EL1 = sysreg(3, 0, 2, 3, 1)
+
+	SPSR_EL1 = sysreg(3, 0, 4, 0, 0)
+	ELR_EL1  = sysreg(3, 0, 4, 0, 1)
+	SP_EL0   = sysreg(3, 0, 4, 1, 0)
+
+	ESR_EL1  = sysreg(3, 0, 5, 2, 0)
+	FAR_EL1  = sysreg(3, 0, 6, 0, 0)
+	VBAR_EL1 = sysreg(3, 0, 12, 0, 0)
+
+	// CONTEXTIDR_EL1 is the side-effect-free register the paper's
+	// PA-analogue writes in place of key registers on pre-8.3 hardware.
+	CONTEXTIDR_EL1 = sysreg(3, 0, 13, 0, 1)
+	TPIDR_EL1      = sysreg(3, 0, 13, 0, 4)
+
+	// PMCCNTR_EL0 is the cycle counter, used by in-guest micro-benchmarks.
+	PMCCNTR_EL0 = sysreg(3, 3, 9, 13, 0)
+	CNTFRQ_EL0  = sysreg(3, 3, 14, 0, 0)
+	CNTVCT_EL0  = sysreg(3, 3, 14, 0, 2)
+)
+
+// PAuthKeyRegs lists every PAuth key system register; the §4.1 static
+// analysis rejects any kernel or module code containing an MRS from one of
+// these.
+var PAuthKeyRegs = []SysReg{
+	APIAKeyLo_EL1, APIAKeyHi_EL1,
+	APIBKeyLo_EL1, APIBKeyHi_EL1,
+	APDAKeyLo_EL1, APDAKeyHi_EL1,
+	APDBKeyLo_EL1, APDBKeyHi_EL1,
+	APGAKeyLo_EL1, APGAKeyHi_EL1,
+}
+
+// IsPAuthKey reports whether r is one of the ten PAuth key registers.
+func (r SysReg) IsPAuthKey() bool {
+	for _, k := range PAuthKeyRegs {
+		if r == k {
+			return true
+		}
+	}
+	return false
+}
+
+var sysRegNames = map[SysReg]string{
+	SCTLR_EL1:      "SCTLR_EL1",
+	TTBR0_EL1:      "TTBR0_EL1",
+	TTBR1_EL1:      "TTBR1_EL1",
+	APIAKeyLo_EL1:  "APIAKeyLo_EL1",
+	APIAKeyHi_EL1:  "APIAKeyHi_EL1",
+	APIBKeyLo_EL1:  "APIBKeyLo_EL1",
+	APIBKeyHi_EL1:  "APIBKeyHi_EL1",
+	APDAKeyLo_EL1:  "APDAKeyLo_EL1",
+	APDAKeyHi_EL1:  "APDAKeyHi_EL1",
+	APDBKeyLo_EL1:  "APDBKeyLo_EL1",
+	APDBKeyHi_EL1:  "APDBKeyHi_EL1",
+	APGAKeyLo_EL1:  "APGAKeyLo_EL1",
+	APGAKeyHi_EL1:  "APGAKeyHi_EL1",
+	SPSR_EL1:       "SPSR_EL1",
+	ELR_EL1:        "ELR_EL1",
+	SP_EL0:         "SP_EL0",
+	ESR_EL1:        "ESR_EL1",
+	FAR_EL1:        "FAR_EL1",
+	VBAR_EL1:       "VBAR_EL1",
+	CONTEXTIDR_EL1: "CONTEXTIDR_EL1",
+	TPIDR_EL1:      "TPIDR_EL1",
+	PMCCNTR_EL0:    "PMCCNTR_EL0",
+	CNTFRQ_EL0:     "CNTFRQ_EL0",
+	CNTVCT_EL0:     "CNTVCT_EL0",
+}
+
+// String returns the architectural name when known.
+func (r SysReg) String() string {
+	if n, ok := sysRegNames[r]; ok {
+		return n
+	}
+	return fmt.Sprintf("S%d_%d_C%d_C%d_%d", r>>14&3, r>>11&7, r>>7&15, r>>3&15, r&7)
+}
+
+// SCTLR_EL1 PAuth enable bits (ARM ARM D13.2.113). The paper's verifier
+// rejects writes that could clear these (§4.1).
+const (
+	SCTLREnIA = 1 << 31 // enable PACIA/AUTIA (key IA)
+	SCTLREnIB = 1 << 30 // enable PACIB/AUTIB (key IB)
+	SCTLREnDA = 1 << 27 // enable PACDA/AUTDA (key DA)
+	SCTLREnDB = 1 << 13 // enable PACDB/AUTDB (key DB)
+
+	// SCTLRPAuthAll is the mask of all four PAuth enable bits.
+	SCTLRPAuthAll = SCTLREnIA | SCTLREnIB | SCTLREnDA | SCTLREnDB
+)

@@ -1,0 +1,960 @@
+package kernel
+
+import (
+	"fmt"
+
+	"camouflage/internal/asm"
+	"camouflage/internal/boot"
+	"camouflage/internal/codegen"
+	"camouflage/internal/cpu"
+	"camouflage/internal/hyp"
+	"camouflage/internal/insn"
+	"camouflage/internal/mem"
+	"camouflage/internal/mmu"
+	"camouflage/internal/pac"
+)
+
+// Options configures a kernel build.
+type Options struct {
+	// Config selects the instrumentation level (codegen.ConfigNone /
+	// ConfigBackward / ConfigFull, or a custom scheme for Figure 2).
+	Config *codegen.Config
+	// Seed drives the bootloader PRNG (keys, user keys).
+	Seed uint64
+	// Compat selects the §5.5 backwards-compatible build.
+	Compat boot.Compat
+	// V80 runs on an ARMv8.0 core (no PAuth; pair with Compat).
+	V80 bool
+	// FailureThreshold is the §5.4 brute-force mitigation: the kernel
+	// halts after this many PAC authentication failures. Zero selects the
+	// default of 8.
+	FailureThreshold int
+}
+
+// OopsRecord is one logged kernel fault (§6.2.3: "any failures are also
+// logged, ensuring that such vulnerable code paths can be fixed").
+type OopsRecord struct {
+	ESR, FAR, ELR uint64
+	Kernel        bool
+	PACFailure    bool
+	PID           int
+}
+
+// Task is the host-side mirror of one kernel task.
+type Task struct {
+	PID, PPID int
+	// Addr is the VA of the task struct in kernel memory.
+	Addr uint64
+	// StackTop is the top of the task's 16 KiB kernel stack.
+	StackTop uint64
+	// State mirrors the guest task state.
+	State int
+	// Keys are the task's user-space PAuth keys (regenerated on exec).
+	Keys pac.KeySet
+	// SigHandler and SavedELR implement minimal signal delivery.
+	SigHandler uint64
+	SavedELR   uint64
+	// ProgID identifies the loaded user program.
+	ProgID int
+}
+
+type pipeState struct {
+	buf []byte
+}
+
+// fileState mirrors one open struct file.
+type fileState struct {
+	addr   uint64
+	opsVA  uint64
+	pathID int
+	inode  uint64
+}
+
+// Kernel owns the simulated machine and the host service layer.
+type Kernel struct {
+	CPU  *cpu.CPU
+	Hyp  *hyp.Hypervisor
+	UART *mem.UART
+	Net  *mem.NetDev
+	Blk  *mem.BlockDev
+	Cfg  *codegen.Config
+	Img  *asm.Image
+
+	opts Options
+	keys pac.KeySet // bootloader's kernel keys (never in guest-readable memory)
+	rng  *boot.PRNG
+
+	heapNext uint64
+	nextPID  int
+	tasks    map[int]*Task
+	current  *Task
+	tables   map[int]*mmu.Table
+	programs map[int]*Program
+	pipes    map[uint64]*pipeState
+	nextPipe uint64
+	files    map[uint64]*fileState
+	credObj  uint64
+	extraOps map[int]uint64 // dynamically registered drivers (modules)
+	modNext  uint64
+
+	// PACFailures counts kernel PAC authentication failures (§5.4).
+	PACFailures int
+	// Threshold is the halt threshold.
+	Threshold int
+	// Oops is the fault log.
+	Oops []OopsRecord
+	// Halted is set once the panic path or last-task exit fires.
+	Halted bool
+
+	// ServiceCalls counts service invocations by code (diagnostics).
+	ServiceCalls map[uint64]uint64
+
+	// BootCycles is the cycle count consumed by start_kernel.
+	BootCycles uint64
+}
+
+// serviceCost models the cycle cost of the host-side portion of each
+// service (the un-instrumented kernel bookkeeping the service stands in
+// for; identical across protection levels, so it never inflates relative
+// overheads — see DESIGN.md).
+var serviceCost = map[uint64]uint64{
+	SvcOpen:      600,
+	SvcClose:     200,
+	SvcStat:      450,
+	SvcPickNext:  150,
+	SvcFork:      2400,
+	SvcExec:      7000,
+	SvcExit:      300,
+	SvcSigact:    80,
+	SvcKill:      160,
+	SvcPipe:      500,
+	SvcPipeIO:    90,
+	SvcPoll:      40,
+	SvcFault:     200,
+	SvcWake:      60,
+	SvcLog:       10,
+	SvcSigreturn: 40,
+}
+
+// svcDev is the kernel-service doorbell device.
+type svcDev struct{ k *Kernel }
+
+// Name implements mem.Device.
+func (d *svcDev) Name() string { return "kernsvc" }
+
+// Load implements mem.Device.
+func (d *svcDev) Load(offset uint64, size int) (uint64, error) { return 0, nil }
+
+// Store implements mem.Device.
+func (d *svcDev) Store(offset uint64, size int, v uint64) error {
+	if offset == 0 {
+		return d.k.service(v)
+	}
+	return nil
+}
+
+// New builds and loads the kernel but does not boot it.
+func New(opts Options) (*Kernel, error) {
+	if opts.Config == nil {
+		opts.Config = codegen.ConfigFull()
+	}
+	if opts.FailureThreshold == 0 {
+		opts.FailureThreshold = 8
+	}
+	rng := boot.NewPRNG(opts.Seed ^ 0xB007_B007)
+	keys := rng.GenerateKeys()
+
+	a := buildImage(opts.Config, keys, opts.Compat)
+	img, err := a.Link(map[string]uint64{
+		".xom":     XOMBase,
+		".vectors": VecBase,
+		".text":    TextBase,
+		".rodata":  RodataBase,
+		".data":    DataBase,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kernel: link: %w", err)
+	}
+
+	c := cpu.New(cpu.Features{PAuth: !opts.V80})
+	k := &Kernel{
+		CPU:          c,
+		UART:         &mem.UART{},
+		Net:          &mem.NetDev{},
+		Blk:          mem.NewBlockDev(),
+		Cfg:          opts.Config,
+		Img:          img,
+		opts:         opts,
+		keys:         keys,
+		rng:          rng,
+		heapNext:     HeapBase,
+		nextPID:      1,
+		tasks:        make(map[int]*Task),
+		tables:       make(map[int]*mmu.Table),
+		programs:     make(map[int]*Program),
+		pipes:        make(map[uint64]*pipeState),
+		nextPipe:     1,
+		files:        make(map[uint64]*fileState),
+		extraOps:     make(map[int]uint64),
+		modNext:      ModuleBase,
+		Threshold:    opts.FailureThreshold,
+		ServiceCalls: make(map[uint64]uint64),
+	}
+
+	// Devices.
+	if err := c.Bus.Map(KVAToPA(UARTBase), 0x1000, k.UART); err != nil {
+		return nil, err
+	}
+	if err := c.Bus.Map(KVAToPA(NetBase), 0x1000, k.Net); err != nil {
+		return nil, err
+	}
+	if err := c.Bus.Map(KVAToPA(BlkBase), 0x1000, k.Blk); err != nil {
+		return nil, err
+	}
+	if err := c.Bus.Map(KVAToPA(SvcBase), 0x1000, &svcDev{k}); err != nil {
+		return nil, err
+	}
+
+	// Load the image.
+	for _, s := range img.Sections {
+		c.Bus.RAM.WriteBytes(KVAToPA(s.Base), s.Bytes)
+	}
+
+	// Stage-1 kernel mappings.
+	mapRange := func(va, size uint64, perm mmu.Perm) {
+		for off := uint64(0); off < size; off += mmu.PageSize {
+			c.MMU.TT1.Map(va+off, KVAToPA(va+off), perm)
+		}
+	}
+	secSize := func(name string) uint64 {
+		s := img.Sections[name]
+		if s == nil {
+			return mmu.PageSize
+		}
+		return (uint64(len(s.Bytes)) + mmu.PageSize - 1) &^ (mmu.PageSize - 1)
+	}
+	mapRange(VecBase, secSize(".vectors"), mmu.KernelText)
+	mapRange(XOMBase, secSize(".xom"), mmu.KernelText)
+	mapRange(TextBase, secSize(".text"), mmu.KernelText)
+	mapRange(RodataBase, secSize(".rodata"), mmu.KernelRO)
+	mapRange(DataBase, secSize(".data"), mmu.KernelData)
+	mapRange(HeapBase, HeapSize, mmu.KernelData)
+	mapRange(StackBase, 64*StackSize, mmu.KernelData)
+	for _, dev := range []uint64{UARTBase, NetBase, BlkBase, SvcBase} {
+		mapRange(dev, mmu.PageSize, mmu.KernelData)
+	}
+
+	// Hypervisor: XOM for the key setter, write-protect .rodata even
+	// against stage-1 corruption (§3.1), stage-2 on.
+	k.Hyp = hyp.Attach(c)
+	k.Hyp.MapXOM(KVAToPA(XOMBase), secSize(".xom"))
+	k.Hyp.ProtectReadOnly(KVAToPA(RodataBase), secSize(".rodata"))
+
+	// Credentials object shared by all files (f_cred target).
+	k.credObj = k.heapAlloc(64)
+
+	// CPU initial state.
+	c.MMU.Enabled = true
+	c.VBAR = VecBase
+	if !opts.V80 {
+		c.SCTLR = insn.SCTLRPAuthAll
+	}
+	c.EL = 1
+	return k, nil
+}
+
+// KernelKeysForTest exposes the bootloader's kernel keys to the attack
+// harness and tests (the attacker does NOT get these; they model the
+// bootloader's own knowledge).
+func (k *Kernel) KernelKeysForTest() pac.KeySet { return k.keys }
+
+// AllocScratch carves writable kernel heap memory; the attack harness
+// uses it for forged objects (the heap arena is always mapped).
+func (k *Kernel) AllocScratch(n uint64) uint64 { return k.heapAlloc(n) }
+
+// heapAlloc carves n bytes (64-byte aligned) from the kernel heap.
+func (k *Kernel) heapAlloc(n uint64) uint64 {
+	addr := (k.heapNext + 63) &^ 63
+	k.heapNext = addr + n
+	if k.heapNext > HeapBase+HeapSize {
+		panic("kernel: heap exhausted")
+	}
+	return addr
+}
+
+// Boot runs start_kernel on the simulated CPU: key install via the XOM
+// setter and early-boot signing of static pointers; then the hypervisor
+// locks the MMU configuration.
+func (k *Kernel) Boot() error {
+	start := k.CPU.Cycles
+	k.CPU.SetSP(1, StackBase+StackSize) // boot stack (becomes task 0's)
+	k.CPU.PC = k.Img.Symbols["start_kernel"]
+	stop := k.CPU.Run(1_000_000)
+	if stop.Kind != cpu.StopHLT || stop.Code != HaltBootOK {
+		return fmt.Errorf("kernel: boot failed: %+v", stop)
+	}
+	k.BootCycles = k.CPU.Cycles - start
+	k.Hyp.Lockdown()
+	return nil
+}
+
+// percpuPA is the physical address of the per-CPU block.
+func percpuPA() uint64 { return KVAToPA(DataBase) + PerCPUOffset }
+
+func (k *Kernel) arg(i int) uint64 {
+	return k.CPU.Bus.RAM.Read64(percpuPA() + PerCPUArg0 + uint64(8*i))
+}
+
+func (k *Kernel) setArg(i int, v uint64) {
+	k.CPU.Bus.RAM.Write64(percpuPA()+PerCPUArg0+uint64(8*i), v)
+}
+
+func (k *Kernel) setRet(i int, v uint64) {
+	k.CPU.Bus.RAM.Write64(percpuPA()+PerCPURet0+uint64(8*i), v)
+}
+
+func (k *Kernel) setPrevNext(prev, next uint64) {
+	k.CPU.Bus.RAM.Write64(percpuPA()+PerCPUPrev, prev)
+	k.CPU.Bus.RAM.Write64(percpuPA()+PerCPUNext, next)
+}
+
+func (k *Kernel) setHalt() {
+	k.Halted = true
+	k.CPU.Bus.RAM.Write64(percpuPA()+PerCPUHalt, 1)
+}
+
+// setPanic marks the §5.4 brute-force halt (reported as HaltPanic).
+func (k *Kernel) setPanic() {
+	k.Halted = true
+	k.CPU.Bus.RAM.Write64(percpuPA()+PerCPUHalt, 2)
+}
+
+// readFaultInfo reads the ESR/FAR the fault stub recorded.
+func (k *Kernel) readFaultInfo() (esr, far uint64) {
+	esr = k.CPU.Bus.RAM.Read64(percpuPA() + PerCPUFault)
+	far = k.CPU.Bus.RAM.Read64(percpuPA() + PerCPUFAR)
+	return
+}
+
+// service dispatches one host-service call from the guest.
+func (k *Kernel) service(code uint64) error {
+	k.ServiceCalls[code]++
+	k.CPU.Cycles += serviceCost[code]
+	switch code {
+	case SvcOpen:
+		k.svcOpen()
+	case SvcClose:
+		k.svcClose()
+	case SvcStat:
+		k.svcStat()
+	case SvcPickNext:
+		k.svcPickNext()
+	case SvcFork:
+		k.svcFork()
+	case SvcExec:
+		k.svcExec()
+	case SvcExit:
+		k.svcExit()
+	case SvcSigact:
+		k.current.SigHandler = k.arg(0)
+	case SvcKill:
+		k.svcKill()
+	case SvcSigreturn:
+		k.svcSigreturn()
+	case SvcPipe:
+		k.svcPipe()
+	case SvcPipeIO:
+		k.svcPipeIO()
+	case SvcPoll:
+		k.svcPoll()
+	case SvcFault:
+		k.svcFault()
+	case SvcWake:
+		if t := k.tasks[int(k.arg(0))]; t != nil && t.State == TaskBlocked {
+			t.State = TaskRunnable
+		}
+	case SvcLog:
+		// diagnostic only
+	default:
+		return fmt.Errorf("kernel: unknown service %d", code)
+	}
+	return nil
+}
+
+// pathToOps maps a path id to its file_operations symbol.
+func (k *Kernel) pathToOps(path int) (uint64, uint64) {
+	switch path {
+	case PathDevZero:
+		return k.Img.Symbols["zero_ops"], 0
+	case PathDevNull:
+		return k.Img.Symbols["null_ops"], 0
+	case PathTmpFile:
+		return k.Img.Symbols["file_ops_blk"], 7 // sector 7
+	case PathSocket:
+		return k.Img.Symbols["sock_ops"], 0
+	}
+	if ops, ok := k.extraOps[path]; ok {
+		return ops, uint64(path)
+	}
+	return 0, 0
+}
+
+// RegisterDriverOps exposes a (module-provided) file_operations table
+// under a new path id.
+func (k *Kernel) RegisterDriverOps(pathID int, opsVA uint64) {
+	k.extraOps[pathID] = opsVA
+}
+
+// AllocModuleRange reserves module VA space (64 KiB aligned).
+func (k *Kernel) AllocModuleRange(size uint64) uint64 {
+	va := k.modNext
+	k.modNext += (size + 0xFFFF) &^ 0xFFFF
+	return va
+}
+
+// MapKernelRange installs stage-1 kernel mappings (module loading).
+func (k *Kernel) MapKernelRange(va, size uint64, perm mmu.Perm) {
+	for off := uint64(0); off < size; off += mmu.PageSize {
+		k.CPU.MMU.TT1.Map(va+off, KVAToPA(va+off), perm)
+	}
+}
+
+// WriteKernelMemory copies bytes into kernel memory (module loading),
+// invalidating stale decoded instructions.
+func (k *Kernel) WriteKernelMemory(va uint64, b []byte) {
+	k.CPU.Bus.RAM.WriteBytes(KVAToPA(va), b)
+	k.CPU.InvalidateDecode()
+}
+
+// CallGuest invokes a guest function at the given VA with up to four
+// arguments in x0..x3, on the reserved boot stack, and waits for its
+// return. Used by the module loader (pointer-table signing runs as guest
+// code) and by micro-benchmarks.
+func (k *Kernel) CallGuest(fnVA uint64, args ...uint64) error {
+	regs := make(map[insn.Reg]uint64, len(args))
+	for i, v := range args {
+		regs[insn.Reg(i)] = v
+	}
+	return k.CallGuestRegs(fnVA, regs)
+}
+
+// CallGuestRegs is CallGuest with explicit register assignments.
+func (k *Kernel) CallGuestRegs(fnVA uint64, regs map[insn.Reg]uint64) error {
+	c := k.CPU
+	savedPC, savedEL := c.PC, c.EL
+	savedSP := c.SP(1)
+	c.EL = 1
+	c.SetSP(1, StackBase+StackSize)
+	for r, v := range regs {
+		c.SetReg(r, v)
+	}
+	c.SetReg(insn.X16, fnVA)
+	c.PC = k.Img.Symbols["host_call_stub"]
+	stop := c.Run(10_000_000)
+	if stop.Kind != cpu.StopHLT || stop.Code != HaltHostCall {
+		return fmt.Errorf("kernel: guest call to %#x failed: %+v", fnVA, stop)
+	}
+	c.PC, c.EL = savedPC, savedEL
+	c.SetSP(1, savedSP)
+	return nil
+}
+
+// newFileObject allocates and initialises a struct file in guest memory
+// (everything except the signed fields, which the guest signs itself).
+func (k *Kernel) newFileObject(opsVA, inode uint64, pathID int) uint64 {
+	addr := k.heapAlloc(FileSize)
+	ram := k.CPU.Bus.RAM
+	pa := KVAToPA(addr)
+	ram.Write64(pa+FileCount, 1)
+	ram.Write64(pa+FileFlags, 0)
+	ram.Write64(pa+FilePos, 0)
+	ram.Write64(pa+FileInode, inode)
+	k.files[addr] = &fileState{addr: addr, opsVA: opsVA, pathID: pathID, inode: inode}
+	return addr
+}
+
+// installFD writes a file pointer into the current task's fd table,
+// returning the fd (or -1).
+func (k *Kernel) installFD(fileVA uint64) int {
+	ram := k.CPU.Bus.RAM
+	base := KVAToPA(k.current.Addr) + TaskFiles
+	for fd := 0; fd < TaskNFiles; fd++ {
+		if ram.Read64(base+uint64(8*fd)) == 0 {
+			ram.Write64(base+uint64(8*fd), fileVA)
+			return fd
+		}
+	}
+	return -1
+}
+
+func (k *Kernel) svcOpen() {
+	path := int(k.arg(0))
+	opsVA, inode := k.pathToOps(path)
+	if opsVA == 0 {
+		k.setRet(0, errno(-2)) // -ENOENT
+		return
+	}
+	fileVA := k.newFileObject(opsVA, inode, path)
+	fd := k.installFD(fileVA)
+	if fd < 0 {
+		k.setRet(0, errno(-24)) // -EMFILE
+		return
+	}
+	k.setRet(0, uint64(fd))
+	k.setRet(1, fileVA)
+	k.setArg(4, opsVA)
+	k.setArg(5, k.credObj)
+}
+
+func (k *Kernel) svcClose() {
+	fd := int(k.arg(0))
+	ram := k.CPU.Bus.RAM
+	if fd < 0 || fd >= TaskNFiles {
+		k.setRet(0, errno(-9))
+		return
+	}
+	slot := KVAToPA(k.current.Addr) + TaskFiles + uint64(8*fd)
+	if ram.Read64(slot) == 0 {
+		k.setRet(0, errno(-9))
+		return
+	}
+	ram.Write64(slot, 0)
+	k.setRet(0, 0)
+}
+
+func (k *Kernel) svcStat() {
+	path := int(k.arg(0))
+	if ops, _ := k.pathToOps(path); ops == 0 {
+		k.setRet(0, errno(-2))
+		return
+	}
+	k.setRet(0, 0)
+}
+
+// pickNext chooses the next runnable task after current (round robin).
+func (k *Kernel) pickNext() *Task {
+	if len(k.tasks) == 0 {
+		return nil
+	}
+	start := 0
+	if k.current != nil {
+		start = k.current.PID
+	}
+	for off := 1; off <= k.nextPID; off++ {
+		pid := (start+off-1)%k.nextPID + 1
+		if t := k.tasks[pid]; t != nil && t.State == TaskRunnable && t != k.current {
+			return t
+		}
+	}
+	if k.current != nil && k.current.State == TaskRunnable {
+		return k.current
+	}
+	return nil
+}
+
+// switchAccounting points the MMU and host mirror at the next task. The
+// guest's cpu_switch_to moves the architectural state.
+func (k *Kernel) switchAccounting(next *Task) {
+	if next == nil || next == k.current {
+		return
+	}
+	k.CPU.MMU.TT0 = k.tables[next.PID]
+	k.current = next
+}
+
+func (k *Kernel) svcPickNext() {
+	block := k.arg(0) != 0
+	prev := k.current
+	if block {
+		prev.State = TaskBlocked
+	}
+	next := k.pickNext()
+	if next == nil {
+		if block {
+			// Deadlock: nothing runnable. Halt rather than spin.
+			k.setHalt()
+			k.setPrevNext(prev.Addr, prev.Addr)
+			return
+		}
+		next = prev
+	}
+	k.setPrevNext(prev.Addr, next.Addr)
+	k.switchAccounting(next)
+}
+
+func (k *Kernel) svcFork() {
+	parent := k.current
+	parentPtRegs := k.arg(0)
+	child := k.newTask(parent.PID, parent.ProgID)
+	child.Keys = parent.Keys // fork shares the address-space keys (§2.2)
+	k.writeTaskKeys(child)
+
+	// Child trap frame sits at the top of its kernel stack; the guest
+	// copies the contents.
+	childPtRegs := child.StackTop - PtRegsSize
+	k.CPU.Bus.RAM.Write64(KVAToPA(child.Addr)+TaskPtRegs, childPtRegs)
+
+	// Craft the child's cpu_context: resume at ret_from_fork on its own
+	// trap frame; the saved SP is signed exactly as cpu_switch_to would
+	// have signed it (§5.2).
+	k.initContext(child, k.Img.Symbols["ret_from_fork"], childPtRegs)
+
+	// Clone the fd table.
+	ram := k.CPU.Bus.RAM
+	for fd := 0; fd < TaskNFiles; fd++ {
+		v := ram.Read64(KVAToPA(parent.Addr) + TaskFiles + uint64(8*fd))
+		ram.Write64(KVAToPA(child.Addr)+TaskFiles+uint64(8*fd), v)
+	}
+
+	// Address space: share text read-only, copy stack and data windows.
+	k.cloneUserSpace(parent, child)
+
+	child.State = TaskRunnable
+	k.setRet(0, uint64(child.PID))
+	k.setRet(1, childPtRegs)
+	_ = parentPtRegs // the guest performs the visible pt_regs copy
+}
+
+// initContext writes a fresh cpu_context so that switching to the task
+// lands at pc with the given kernel SP (signed under DFI builds).
+func (k *Kernel) initContext(t *Task, pc, sp uint64) {
+	ram := k.CPU.Bus.RAM
+	base := KVAToPA(t.Addr)
+	for off := uint64(TaskCtx); off < TaskCtxFP; off += 8 {
+		ram.Write64(base+off, 0)
+	}
+	ram.Write64(base+TaskCtxFP, 0)
+	ram.Write64(base+TaskCtxPC, pc)
+	spVal := sp
+	if k.Cfg.DFI {
+		mod := pac.ObjectModifier(t.Addr, tcTaskSP)
+		if k.Cfg.ZeroModifier {
+			mod = 0
+		}
+		spVal = k.CPU.Signer.Sign(sp, mod, pac.KeyDB)
+	}
+	ram.Write64(base+TaskCtxSP, spVal)
+}
+
+func (k *Kernel) svcExec() {
+	progID := int(k.arg(0))
+	t := k.current
+	prog := k.programs[progID]
+	if prog == nil {
+		k.setRet(0, errno(-2))
+		return
+	}
+	// exec() regenerates the address-space keys (§2.2).
+	t.Keys = k.rng.GenerateKeys()
+	k.writeTaskKeys(t)
+	t.ProgID = progID
+	k.loadUserSpace(t, prog)
+	// Rewrite the live trap frame to enter the new program.
+	ptregs := t.StackTop - PtRegsSize
+	ram := k.CPU.Bus.RAM
+	ram.Write64(KVAToPA(ptregs)+PtRegsELR, prog.entryVA)
+	ram.Write64(KVAToPA(ptregs)+PtRegsSP, UserStackTop)
+	ram.Write64(KVAToPA(ptregs)+PtRegsSPSR, 0) // EL0
+	k.setRet(0, 0)
+}
+
+func (k *Kernel) svcExit() {
+	k.current.State = TaskZombie
+	delete(k.tasks, k.current.PID)
+	next := k.pickNext()
+	if next == nil {
+		k.setHalt()
+		k.setPrevNext(k.current.Addr, 0)
+		return
+	}
+	k.setPrevNext(k.current.Addr, next.Addr)
+	k.switchAccounting(next)
+}
+
+func (k *Kernel) svcKill() {
+	pid := int(k.arg(0))
+	target := k.tasks[pid]
+	if target == nil {
+		k.setRet(0, errno(-3)) // -ESRCH
+		return
+	}
+	if target == k.current && target.SigHandler != 0 {
+		// Deliver immediately: redirect the trap-frame ELR through the
+		// handler; sigreturn restores it.
+		ptregs := target.StackTop - PtRegsSize
+		ram := k.CPU.Bus.RAM
+		target.SavedELR = ram.Read64(KVAToPA(ptregs) + PtRegsELR)
+		ram.Write64(KVAToPA(ptregs)+PtRegsELR, target.SigHandler)
+	}
+	k.setRet(0, 0)
+}
+
+func (k *Kernel) svcSigreturn() {
+	t := k.current
+	if t.SavedELR != 0 {
+		ptregs := t.StackTop - PtRegsSize
+		k.CPU.Bus.RAM.Write64(KVAToPA(ptregs)+PtRegsELR, t.SavedELR)
+		t.SavedELR = 0
+	}
+}
+
+func (k *Kernel) svcPipe() {
+	id := k.nextPipe
+	k.nextPipe++
+	k.pipes[id] = &pipeState{}
+	rops := k.Img.Symbols["pipe_ops"]
+	rfile := k.newFileObject(rops, id, 0)
+	wfile := k.newFileObject(rops, id, 0)
+	rfd := k.installFD(rfile)
+	wfd := k.installFD(wfile)
+	k.setRet(0, uint64(rfd))
+	k.setRet(1, uint64(wfd))
+	k.setArg(0, k.credObj)
+	k.setArg(2, rfile)
+	k.setArg(3, rops)
+	k.setArg(4, wfile)
+	k.setArg(5, rops)
+}
+
+// CredObjVA exposes the shared credentials object (examples/attacks).
+func (k *Kernel) CredObjVA() uint64 { return k.credObj }
+
+// userPA resolves a user VA of the current task for host-side copies.
+func (k *Kernel) userPA(va uint64) uint64 {
+	return UVAToPA(k.current.PID, va)
+}
+
+func (k *Kernel) svcPipeIO() {
+	id := k.arg(0)
+	buf := k.arg(1)
+	n := k.arg(2)
+	write := k.arg(3) != 0
+	p := k.pipes[id]
+	if p == nil {
+		k.setRet(0, errno(-9))
+		return
+	}
+	ram := k.CPU.Bus.RAM
+	k.CPU.Cycles += n / 8 // copy cost
+	if write {
+		data := ram.ReadBytes(k.userPA(buf), int(n))
+		p.buf = append(p.buf, data...)
+		// Wake any blocked reader.
+		for _, t := range k.tasks {
+			if t.State == TaskBlocked {
+				t.State = TaskRunnable
+			}
+		}
+		k.setRet(0, n)
+		return
+	}
+	if len(p.buf) == 0 {
+		k.setRet(0, errno(-11)) // -EAGAIN: guest blocks
+		return
+	}
+	if n > uint64(len(p.buf)) {
+		n = uint64(len(p.buf))
+	}
+	ram.WriteBytes(k.userPA(buf), p.buf[:n])
+	p.buf = p.buf[n:]
+	k.setRet(0, n)
+}
+
+func (k *Kernel) svcPoll() {
+	id := k.arg(0)
+	if p := k.pipes[id]; p != nil && len(p.buf) > 0 {
+		k.setRet(0, 1)
+		return
+	}
+	k.setRet(0, 0)
+}
+
+// svcFault implements the fault policy: log every fault; count PAC
+// authentication failures; halt the system at the §5.4 threshold;
+// otherwise SIGKILL the offending task (the default Linux behaviour the
+// paper describes) and schedule its successor.
+func (k *Kernel) svcFault() {
+	kernelFault := k.arg(0) == 1
+	esr, far := k.readFaultInfo()
+	isPAC := kernelFault && k.CPU.Signer.IsPoisoned(far)
+	rec := OopsRecord{
+		ESR: esr, FAR: far, ELR: k.CPU.ELR,
+		Kernel: kernelFault, PACFailure: isPAC,
+	}
+	if k.current != nil {
+		rec.PID = k.current.PID
+	}
+	k.Oops = append(k.Oops, rec)
+
+	if isPAC {
+		k.PACFailures++
+		if k.PACFailures >= k.Threshold {
+			// Strong indication of kernel-exploitation attempts: halt.
+			k.setPanic()
+			k.setPrevNext(0, 0)
+			return
+		}
+	}
+	// SIGKILL the current task.
+	victim := k.current
+	if victim != nil {
+		victim.State = TaskZombie
+		delete(k.tasks, victim.PID)
+	}
+	next := k.pickNext()
+	if next == nil {
+		k.setPrevNext(0, 0) // guest halts with HaltNoNext
+		return
+	}
+	prevAddr := uint64(0)
+	if victim != nil {
+		prevAddr = victim.Addr
+	}
+	k.setPrevNext(prevAddr, next.Addr)
+	k.switchAccounting(next)
+}
+
+// writeTaskKeys mirrors a task's user keys into its thread_struct, where
+// the kernel-exit path restores them from (§2.2).
+func (k *Kernel) writeTaskKeys(t *Task) {
+	ram := k.CPU.Bus.RAM
+	base := KVAToPA(t.Addr) + TaskKeys
+	for i, key := range t.Keys.Keys {
+		ram.Write64(base+uint64(16*i), key.Lo)
+		ram.Write64(base+uint64(16*i)+8, key.Hi)
+	}
+}
+
+// newTask allocates a task struct and kernel stack.
+func (k *Kernel) newTask(ppid, progID int) *Task {
+	pid := k.nextPID
+	k.nextPID++
+	addr := k.heapAlloc(TaskSize)
+	stackBase := StackBase + uint64(pid)*StackSize
+	t := &Task{
+		PID: pid, PPID: ppid, Addr: addr,
+		StackTop: stackBase + StackSize,
+		State:    TaskBlocked,
+		ProgID:   progID,
+	}
+	ram := k.CPU.Bus.RAM
+	pa := KVAToPA(addr)
+	ram.Write64(pa+TaskPID, uint64(pid))
+	ram.Write64(pa+TaskPPID, uint64(ppid))
+	ram.Write64(pa+TaskStack, stackBase)
+	k.tasks[pid] = t
+	k.tables[pid] = mmu.NewTable()
+	return t
+}
+
+// loadUserSpace (re)builds a task's user address space from a program.
+func (k *Kernel) loadUserSpace(t *Task, prog *Program) {
+	tbl := mmu.NewTable()
+	k.tables[t.PID] = tbl
+	ram := k.CPU.Bus.RAM
+	// Text.
+	text := prog.image.Sections[".utext"].Bytes
+	for off := uint64(0); off < uint64(len(text))+mmu.PageSize; off += mmu.PageSize {
+		tbl.Map(UserTextBase+off, UVAToPA(t.PID, UserTextBase+off), mmu.UserText)
+	}
+	ram.WriteBytes(UVAToPA(t.PID, UserTextBase), text)
+	k.CPU.InvalidateDecode() // host-side code write bypasses store tracking
+	// Data window (buffers).
+	for off := uint64(0); off < 0x10000; off += mmu.PageSize {
+		tbl.Map(UserDataBase+off, UVAToPA(t.PID, UserDataBase+off), mmu.UserData)
+	}
+	// Stack.
+	for off := uint64(0); off <= UserStackSize; off += mmu.PageSize {
+		va := UserStackTop - off
+		tbl.Map(va, UVAToPA(t.PID, va), mmu.UserData)
+	}
+	if k.current == t {
+		k.CPU.MMU.TT0 = tbl
+	}
+}
+
+// cloneUserSpace maps the child's address space: text shared read-only
+// with the parent, stack and data copied.
+func (k *Kernel) cloneUserSpace(parent, child *Task) {
+	src := k.tables[parent.PID]
+	tbl := mmu.NewTable()
+	k.tables[child.PID] = tbl
+	ram := k.CPU.Bus.RAM
+	prog := k.programs[parent.ProgID]
+	textLen := uint64(0)
+	if prog != nil {
+		textLen = uint64(len(prog.image.Sections[".utext"].Bytes))
+	}
+	for off := uint64(0); off < textLen+mmu.PageSize; off += mmu.PageSize {
+		if pte, ok := src.Lookup(UserTextBase + off); ok {
+			tbl.Map(UserTextBase+off, pte.PA, mmu.UserText) // shared
+		}
+	}
+	copyRange := func(va, size uint64) {
+		for off := uint64(0); off < size; off += mmu.PageSize {
+			tbl.Map(va+off, UVAToPA(child.PID, va+off), mmu.UserData)
+			data := ram.ReadBytes(UVAToPA(parent.PID, va+off), mmu.PageSize)
+			ram.WriteBytes(UVAToPA(child.PID, va+off), data)
+		}
+	}
+	copyRange(UserDataBase, 0x10000)
+	copyRange(UserStackTop-UserStackSize, UserStackSize+mmu.PageSize)
+}
+
+// RegisterProgram makes a user program exec-able under the given id.
+func (k *Kernel) RegisterProgram(id int, p *Program) {
+	k.programs[id] = p
+}
+
+// Spawn creates the initial user task for a program and makes it current.
+func (k *Kernel) Spawn(progID int) (*Task, error) {
+	prog := k.programs[progID]
+	if prog == nil {
+		return nil, fmt.Errorf("kernel: no program %d", progID)
+	}
+	t := k.newTask(0, progID)
+	t.Keys = k.rng.GenerateKeys()
+	k.writeTaskKeys(t)
+	k.loadUserSpace(t, prog)
+	t.State = TaskRunnable
+	k.current = t
+	k.CPU.MMU.TT0 = k.tables[t.PID]
+	// Enter user mode directly.
+	k.CPU.WriteSys(insn.TPIDR_EL1, t.Addr)
+	k.CPU.SetSP(1, t.StackTop)
+	k.CPU.SetSP(0, UserStackTop)
+	k.CPU.EL = 0
+	k.CPU.PC = prog.entryVA
+	return t, nil
+}
+
+// Run executes until a halt condition or the instruction budget.
+func (k *Kernel) Run(maxInstrs uint64) cpu.Stop {
+	return k.CPU.Run(maxInstrs)
+}
+
+// Current returns the current task.
+func (k *Kernel) Current() *Task { return k.current }
+
+// Task returns a task by pid.
+func (k *Kernel) Task(pid int) *Task { return k.tasks[pid] }
+
+// FileByFD resolves the current task's fd to its file-state mirror.
+func (k *Kernel) FileByFD(fd int) *fileState {
+	if fd < 0 || fd >= TaskNFiles || k.current == nil {
+		return nil
+	}
+	va := k.CPU.Bus.RAM.Read64(KVAToPA(k.current.Addr) + TaskFiles + uint64(8*fd))
+	return k.files[va]
+}
+
+// FileAddrByFD returns the guest VA of the current task's open file.
+func (k *Kernel) FileAddrByFD(fd int) uint64 {
+	if f := k.FileByFD(fd); f != nil {
+		return f.addr
+	}
+	return 0
+}
+
+// errno encodes a negative errno as the uint64 register representation.
+func errno(e int64) uint64 { return uint64(e) }

@@ -1,0 +1,224 @@
+// Package kernel implements the miniature AArch64 kernel that the
+// Camouflage reproduction protects. It is a hybrid: the mechanics the
+// paper instruments and measures — exception vectors, kernel entry/exit
+// with PAuth key switching, instrumented syscall call trees, the
+// authenticated `f_ops` access pattern of Listing 4, `cpu_switch_to` with
+// signed stack pointers, and the early-boot signing of statically
+// initialised pointers — execute as real simulated instructions; the
+// bookkeeping a 27-MLoC kernel does around them (allocating objects,
+// picking the next task, pathname lookup) is handled by a host-side
+// service device, with each service charging a modelled cycle cost
+// (DESIGN.md documents the substitution).
+package kernel
+
+import "camouflage/internal/pac"
+
+// KBase is the bottom of the kernel address range (Table 1).
+const KBase = uint64(pac.KernelBase)
+
+// Virtual memory layout.
+const (
+	// VecBase is the exception vector table (2 KiB aligned).
+	VecBase = KBase | 0x0006_0000
+	// XOMBase is the page holding the key-setter (mapped XOM, §5.1).
+	XOMBase = KBase | 0x0007_0000
+	// TextBase is kernel .text.
+	TextBase = KBase | 0x0008_0000
+	// RodataBase holds .rodata: operations structures and the syscall
+	// table (read-only mappings; cannot be tampered per §3.1).
+	RodataBase = KBase | 0x0020_0000
+	// DataBase holds .data: mutable kernel globals, the per-CPU block,
+	// statically initialised objects (DECLARE_WORK) and the .pauth_ptrs
+	// table (§4.6).
+	DataBase = KBase | 0x0030_0000
+	// HeapBase is the kernel object heap (task structs, files, pipes).
+	HeapBase = KBase | 0x0040_0000
+	// HeapSize bounds the heap.
+	HeapSize = 0x0040_0000
+	// ModuleBase is the loadable-kernel-module arena.
+	ModuleBase = KBase | 0x0080_0000
+	// StackBase is the kernel task stack arena: one 16 KiB stack per
+	// task (§4.2), each aligned to a 4 KiB boundary — stacks are placed
+	// at 16 KiB strides, so the low-order SP bits repeat across threads
+	// exactly as the paper's replay analysis assumes.
+	StackBase = KBase | 0x0100_0000
+	// StackSize is the per-task kernel stack size (§4.2: 16 KiB).
+	StackSize = 0x4000
+
+	// MMIO windows (kernel VA = PA for devices).
+	UARTBase = KBase | 0x0900_0000
+	NetBase  = KBase | 0x0A00_0000
+	BlkBase  = KBase | 0x0B00_0000
+	SvcBase  = KBase | 0x0C00_0000
+)
+
+// User-space layout (one window per process; PA = UserPABase | pid<<32 | va).
+const (
+	UserTextBase  = uint64(0x0040_0000)
+	UserDataBase  = uint64(0x0100_0000)
+	UserStackTop  = uint64(0x7FFF_F000)
+	UserStackSize = uint64(0x1_0000)
+	// UserPABase keeps per-process physical windows clear of kernel PAs.
+	UserPABase = uint64(1) << 40
+)
+
+// KVAToPA converts a kernel VA to its physical address (linear map).
+func KVAToPA(va uint64) uint64 { return va &^ KBase }
+
+// UVAToPA converts a user VA of process pid to its physical address.
+func UVAToPA(pid int, va uint64) uint64 {
+	return UserPABase | uint64(pid)<<32 | va
+}
+
+// pt_regs layout: the trap frame kernel_entry pushes (offsets from SP at
+// handler entry).
+const (
+	PtRegsX0   = 0x00 // x0..x30 at 8*i
+	PtRegsSP   = 0xF8 // saved SP_EL0
+	PtRegsELR  = 0x100
+	PtRegsSPSR = 0x108
+	PtRegsSize = 0x110
+)
+
+// Task struct layout (in kernel heap memory). The thread.cpu_context block
+// matches arm64's {x19..x28, fp, sp, pc}; the saved SP is PAC-signed with
+// the pointer-integrity scheme while the task is scheduled out (§5.2).
+const (
+	TaskPID     = 0x00
+	TaskPPID    = 0x08
+	TaskState   = 0x10
+	TaskStack   = 0x18 // kernel stack base VA
+	TaskPtRegs  = 0x20 // pointer to the live trap frame
+	TaskPending = 0x28 // pending signal handler VA (0 = none)
+	TaskCtx     = 0x38 // cpu_context: x19..x28 (10 quads)
+	TaskCtxFP   = 0x88
+	TaskCtxSP   = 0x90 // signed while scheduled out
+	TaskCtxPC   = 0x98
+	TaskKeys    = 0xA0  // user PAuth keys: 5 × (lo, hi)
+	TaskFiles   = 0x100 // 16 file-pointer slots
+	TaskNFiles  = 16
+	TaskSize    = 0x200
+)
+
+// Task states.
+const (
+	TaskRunnable = 0
+	TaskBlocked  = 1
+	TaskZombie   = 2
+)
+
+// struct file layout. The f_ops offset of 40 matches Listing 4 exactly
+// ("ldr x8, [x0, #40]"); f_ops and f_cred are the two PAC-protected
+// fields (§4.5).
+const (
+	FileCount = 0x00
+	FileFlags = 0x08
+	FilePos   = 0x10
+	FileCred  = 0x18 // signed data pointer (f_cred)
+	FileInode = 0x20 // driver-private value (pipe id, file id, ...)
+	FileOps   = 0x28 // == 40: signed data pointer to file_operations
+	FileSize  = 0x40
+)
+
+// file_operations layout (read-only, unsigned members — §4.4: the table
+// itself lives in .rodata, so its function pointers need no PACs). The
+// read offset of 16 matches Listing 4 ("ldr x8, [x8, #16]").
+const (
+	OpsOpen    = 0x00
+	OpsRelease = 0x08
+	OpsRead    = 0x10 // == 16
+	OpsWrite   = 0x18
+	OpsPoll    = 0x20
+	OpsSize    = 0x28
+)
+
+// Per-CPU block layout (in .data): service-call arguments and results,
+// scheduler handoff slots, and the halt flag.
+const (
+	PerCPUArg0   = 0x00 // 6 argument slots
+	PerCPURet0   = 0x30 // 2 result slots
+	PerCPUPrev   = 0x40 // cpu_switch_to: previous task
+	PerCPUNext   = 0x48 // cpu_switch_to: next task
+	PerCPUHalt   = 0x50 // nonzero → kernel exits the simulation
+	PerCPUCur    = 0x58 // current task (mirrors TPIDR_EL1)
+	PerCPUFault  = 0x60 // last kernel fault ESR
+	PerCPUFAR    = 0x68 // last kernel fault FAR
+	PerCPUSize   = 0x80
+	PerCPUOffset = 0x0800 // from DataBase
+)
+
+// PauthTableOffset locates the .pauth_ptrs table (§4.6) inside .data:
+// a count followed by entries of four quads each.
+const (
+	PauthTableOffset = 0x1000
+	// PauthEntrySlot etc. are offsets within one entry.
+	PauthEntrySlot = 0x00 // address of the pointer to sign
+	PauthEntryObj  = 0x08 // address of the containing object
+	PauthEntryKey  = 0x10 // 0 = data key (DB), 1 = instruction key (IA)
+	PauthEntryTC   = 0x18 // 16-bit type·member constant
+	PauthEntrySize = 0x20
+)
+
+// StaticWorkOffset locates the statically initialised work_struct
+// (DECLARE_WORK analogue, §4.6) inside .data.
+const (
+	StaticWorkOffset = 0x2000
+	WorkFunc         = 0x00 // signed function pointer
+	WorkData         = 0x08
+	WorkSize         = 0x10
+)
+
+// Service codes for the host-service device.
+const (
+	SvcOpen      = 1  // arg0 = path id, arg1 = flags → ret0 = fd or -errno
+	SvcClose     = 2  // arg0 = fd
+	SvcStat      = 3  // arg0 = path id → ret0 = 0/-errno
+	SvcPickNext  = 4  // arg0 = block(1)/yield(0) → prev/next slots
+	SvcFork      = 5  // → ret0 = child pid
+	SvcExec      = 6  // arg0 = program id → fresh user keys (§2.2)
+	SvcExit      = 7  // arg0 = status
+	SvcSigact    = 8  // arg0 = handler VA
+	SvcKill      = 9  // arg0 = pid, arg1 = sig → may set pending handler
+	SvcPipe      = 10 // → ret0 = read fd, ret1 = write fd
+	SvcPipeIO    = 11 // arg0 = fd, arg1 = buf, arg2 = len, arg3 = write? → ret0 = n or -EAGAIN
+	SvcPoll      = 12 // arg0 = fd → ret0 = readiness
+	SvcFault     = 13 // kernel fault notification (PAC failures, §5.4)
+	SvcWake      = 14 // arg0 = pid → mark runnable
+	SvcLog       = 15 // arg0 = value → host log
+	SvcSigreturn = 16 // restore the pre-signal ELR
+)
+
+// Path ids for SvcOpen/SvcStat (a fixed namespace instead of string
+// parsing; lmbench stats and opens the same path repeatedly).
+const (
+	PathDevZero = 1
+	PathDevNull = 2
+	PathTmpFile = 3
+	PathSocket  = 4
+)
+
+// Syscall numbers (the arm64 Linux ABI values).
+const (
+	SysDup        = 23
+	SysOpenat     = 56
+	SysClose      = 57
+	SysPipe2      = 59
+	SysRead       = 63
+	SysWrite      = 64
+	SysPselect6   = 72
+	SysFstatat    = 79
+	SysFstat      = 80
+	SysExit       = 93
+	SysExitGroup  = 94
+	SysNanosleep  = 101
+	SysSchedYield = 124
+	SysKill       = 129
+	SysSigaction  = 134
+	SysSigreturn  = 139
+	SysGetppid    = 173
+	SysGetpid     = 172
+	SysClone      = 220
+	SysExecve     = 221
+	SysWorkRun    = 400 // runs the static work_struct (run-time linkage demo)
+	SysMax        = 401
+)

@@ -1,0 +1,594 @@
+package kernel
+
+import (
+	"camouflage/internal/asm"
+	"camouflage/internal/codegen"
+	"camouflage/internal/insn"
+)
+
+// protFn emits an instrumented non-leaf function: prologue, body, epilogue.
+func protFn(a *asm.Assembler, cfg *codegen.Config, name string, body func()) {
+	a.Label(name)
+	cfg.Prologue(a, name)
+	body()
+	cfg.Epilogue(a, name)
+}
+
+// emitSyscalls emits the syscall wrappers and the VFS layer. Each wrapper
+// receives the pt_regs pointer in x0 (arguments live in the trap frame)
+// and returns its result in x0. Call-tree shapes approximate the depth of
+// the corresponding Linux paths, so that instrumentation overhead scales
+// with call rate as in §6.1.3.
+func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
+	// Shared fillers (standing in for the call depth of helper layers).
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_pid_path", ALU: 3})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_rw_verify", ALU: 4, Loads: 1})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_walk3", ALU: 6, Loads: 2})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_walk2", ALU: 3, Calls: []string{"f_walk3"}})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_walk1", ALU: 2, Calls: []string{"f_walk2"}})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_stat_fill", ALU: 4, Stores: 4})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_sigact", ALU: 4, Stores: 1})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_close_tree", ALU: 3, Loads: 1})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_copy3", ALU: 5, Stores: 3})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_copy2", ALU: 4, Calls: []string{"f_copy3"}})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_copy1", ALU: 3, Calls: []string{"f_copy2", "f_copy3"}})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_exec3", ALU: 8, Stores: 4})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_exec2", ALU: 4, Calls: []string{"f_exec3", "f_exec3"}})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_exec1", ALU: 4, Calls: []string{"f_exec2", "f_walk1"}})
+	cfg.EmitFunc(a, codegen.FuncSpec{Name: "f_select_prep", ALU: 3, Loads: 1})
+
+	// sys_ni: unimplemented syscall.
+	a.Label("sys_ni")
+	a.I(insn.MOVN(insn.X0, 37, 0)) // -ENOSYS
+	a.I(insn.RET())
+
+	// fdget(fd in x0) → file pointer in x0 (0 if bad).
+	protFn(a, cfg, "fdget", func() {
+		a.I(insn.MOVZ(insn.X10, TaskNFiles, 0))
+		a.I(insn.CMP(insn.X0, insn.X10))
+		a.Bcond(insn.CC, "fdget.ok")
+		a.I(insn.MOVZ(insn.X0, 0, 0))
+		a.B("fdget.out")
+		a.Label("fdget.ok")
+		a.I(insn.MRS(insn.X9, insn.TPIDR_EL1))
+		a.I(insn.LSLi(insn.X10, insn.X0, 3))
+		a.I(insn.ADDr(insn.X9, insn.X9, insn.X10))
+		a.I(insn.LDR(insn.X0, insn.X9, TaskFiles))
+		a.Label("fdget.out")
+	})
+
+	// sys_getppid / sys_getpid.
+	protFn(a, cfg, "sys_getppid", func() {
+		a.BL("f_pid_path")
+		a.I(insn.MRS(insn.X9, insn.TPIDR_EL1))
+		a.I(insn.LDR(insn.X0, insn.X9, TaskPPID))
+	})
+	protFn(a, cfg, "sys_getpid", func() {
+		a.BL("f_pid_path")
+		a.I(insn.MRS(insn.X9, insn.TPIDR_EL1))
+		a.I(insn.LDR(insn.X0, insn.X9, TaskPID))
+	})
+
+	// vfs_read / vfs_write: x0 = fd, x1 = buf, x2 = len. These contain
+	// the Listing-4 authenticated f_ops access and the indirect call.
+	for _, rw := range []struct {
+		name  string
+		opOff uint16
+	}{{"vfs_read", OpsRead}, {"vfs_write", OpsWrite}} {
+		rw := rw
+		protFn(a, cfg, rw.name, func() {
+			a.I(insn.SUBi(insn.SP, insn.SP, 32))
+			a.I(insn.STP(insn.X1, insn.X2, insn.SP, 0))
+			a.BL("f_rw_verify")
+			a.BL("fdget") // x0: fd → file
+			a.CBZ(insn.X0, rw.name+".ebadf")
+			// Listing 4: authenticated load of file->f_ops.
+			cfg.SignedFieldLoad(a, insn.X8, insn.X0, FileOps, tcFileOps, false)
+			a.I(insn.LDR(insn.X9, insn.X8, rw.opOff))
+			a.I(insn.LDP(insn.X1, insn.X2, insn.SP, 0))
+			a.I(insn.BLR(insn.X9)) // file_ops(fp)->read(fp, buf, len)
+			a.B(rw.name + ".out")
+			a.Label(rw.name + ".ebadf")
+			a.I(insn.MOVN(insn.X0, 8, 0)) // -EBADF
+			a.Label(rw.name + ".out")
+			a.I(insn.ADDi(insn.SP, insn.SP, 32))
+		})
+	}
+
+	// sys_read / sys_write wrappers: unpack pt_regs.
+	protFn(a, cfg, "sys_read", func() {
+		a.I(insn.LDR(insn.X2, insn.X0, 16))
+		a.I(insn.LDR(insn.X1, insn.X0, 8))
+		a.I(insn.LDR(insn.X0, insn.X0, 0))
+		a.BL("vfs_read")
+	})
+	protFn(a, cfg, "sys_write", func() {
+		a.I(insn.LDR(insn.X2, insn.X0, 16))
+		a.I(insn.LDR(insn.X1, insn.X0, 8))
+		a.I(insn.LDR(insn.X0, insn.X0, 0))
+		a.BL("vfs_write")
+	})
+
+	// sys_openat(pt_regs): x1 = path id, x2 = flags.
+	protFn(a, cfg, "sys_openat", func() {
+		a.I(insn.LDR(insn.X2, insn.X0, 16))
+		a.I(insn.LDR(insn.X1, insn.X0, 8))
+		a.BL("do_sys_open")
+	})
+	protFn(a, cfg, "do_sys_open", func() {
+		a.I(insn.SUBi(insn.SP, insn.SP, 32))
+		a.I(insn.STP(insn.X1, insn.X2, insn.SP, 0))
+		a.BL("f_walk1") // do_filp_open → link_path_walk → walk_component
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.LDP(insn.X1, insn.X2, insn.SP, 0))
+		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
+		a.I(insn.STR(insn.X2, insn.X11, PerCPUArg0+8))
+		emitServiceCall(a, SvcOpen)
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0)) // fd or -errno
+		a.I(insn.LSRi(insn.X9, insn.X0, 63))
+		a.CBNZ(insn.X9, "do_sys_open.fail")
+		// set_file_ops(fp, ops): sign and store f_ops, then f_cred (§4.5).
+		a.I(insn.LDR(insn.X1, insn.X11, PerCPURet0+8))  // file object
+		a.I(insn.LDR(insn.X2, insn.X11, PerCPUArg0+32)) // ops table VA
+		cfg.SignedFieldStore(a, insn.X1, insn.X2, FileOps, tcFileOps, false)
+		a.I(insn.LDR(insn.X2, insn.X11, PerCPUArg0+40)) // cred VA
+		cfg.SignedFieldStore(a, insn.X1, insn.X2, FileCred, tcFileCred, false)
+		a.Label("do_sys_open.fail")
+		a.I(insn.ADDi(insn.SP, insn.SP, 32))
+	})
+
+	// sys_close(pt_regs): x0 = fd.
+	protFn(a, cfg, "sys_close", func() {
+		a.I(insn.LDR(insn.X1, insn.X0, 0))
+		a.BL("f_close_tree")
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
+		emitServiceCall(a, SvcClose)
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
+	})
+
+	// sys_fstat(pt_regs): x0 = fd. Validates the fd through the
+	// authenticated ops pointer, then fills the stat buffer.
+	protFn(a, cfg, "sys_fstat", func() {
+		a.I(insn.LDR(insn.X0, insn.X0, 0))
+		a.BL("fdget")
+		a.CBZ(insn.X0, "sys_fstat.ebadf")
+		cfg.SignedFieldLoad(a, insn.X8, insn.X0, FileOps, tcFileOps, false)
+		// Permission check: authenticate and dereference f_cred (§4.5
+		// notes the same approach protects "other sensitive pointers,
+		// such as the f_cred pointer to file credentials").
+		cfg.SignedFieldLoad(a, insn.X7, insn.X0, FileCred, tcFileCred, false)
+		a.I(insn.LDR(insn.X7, insn.X7, 0)) // cred->uid
+		a.BL("f_stat_fill")
+		a.I(insn.MOVZ(insn.X0, 0, 0))
+		a.B("sys_fstat.out")
+		a.Label("sys_fstat.ebadf")
+		a.I(insn.MOVN(insn.X0, 8, 0))
+		a.Label("sys_fstat.out")
+	})
+
+	// sys_fstatat(pt_regs): x1 = path id (path-walk stat).
+	protFn(a, cfg, "sys_fstatat", func() {
+		a.I(insn.LDR(insn.X1, insn.X0, 8))
+		a.BL("f_walk1")
+		a.BL("f_stat_fill")
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
+		emitServiceCall(a, SvcStat)
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
+	})
+
+	// sys_pselect6(pt_regs): x0 = nfds; polls each fd through the
+	// authenticated ops pointer (a DFI-heavy path).
+	protFn(a, cfg, "sys_pselect6", func() {
+		a.I(insn.SUBi(insn.SP, insn.SP, 32))
+		a.I(insn.LDR(insn.X9, insn.X0, 0))
+		a.I(insn.STP(insn.X9, insn.XZR, insn.SP, 0)) // [nfds, i=0]
+		a.BL("f_select_prep")
+		a.Label("sys_pselect6.loop")
+		a.I(insn.LDP(insn.X9, insn.X10, insn.SP, 0))
+		a.I(insn.CMP(insn.X10, insn.X9))
+		a.Bcond(insn.CS, "sys_pselect6.done")
+		a.I(insn.ORRr(insn.X0, insn.XZR, insn.X10, 0))
+		a.BL("fdget")
+		a.CBZ(insn.X0, "sys_pselect6.next")
+		cfg.SignedFieldLoad(a, insn.X8, insn.X0, FileOps, tcFileOps, false)
+		a.I(insn.LDR(insn.X9, insn.X8, OpsPoll))
+		a.I(insn.BLR(insn.X9))
+		a.Label("sys_pselect6.next")
+		a.I(insn.LDP(insn.X9, insn.X10, insn.SP, 0))
+		a.I(insn.ADDi(insn.X10, insn.X10, 1))
+		a.I(insn.STP(insn.X9, insn.X10, insn.SP, 0))
+		a.B("sys_pselect6.loop")
+		a.Label("sys_pselect6.done")
+		a.I(insn.MOVZ(insn.X0, 0, 0))
+		a.I(insn.ADDi(insn.SP, insn.SP, 32))
+	})
+
+	// sys_sigaction(pt_regs): x1 = handler VA.
+	protFn(a, cfg, "sys_sigaction", func() {
+		a.I(insn.LDR(insn.X1, insn.X0, 8))
+		a.BL("f_sigact")
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
+		emitServiceCall(a, SvcSigact)
+		a.I(insn.MOVZ(insn.X0, 0, 0))
+	})
+
+	// sys_kill(pt_regs): x0 = pid, x1 = sig.
+	protFn(a, cfg, "sys_kill", func() {
+		a.I(insn.LDR(insn.X1, insn.X0, 8))
+		a.I(insn.LDR(insn.X2, insn.X0, 0))
+		a.BL("f_sigact")
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.STR(insn.X2, insn.X11, PerCPUArg0))
+		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0+8))
+		emitServiceCall(a, SvcKill)
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
+	})
+
+	// sys_sigreturn: restore the interrupted ELR.
+	protFn(a, cfg, "sys_sigreturn", func() {
+		emitServiceCall(a, SvcSigreturn)
+		a.I(insn.MOVZ(insn.X0, 0, 0))
+	})
+
+	// sys_sched_yield: pick next and context-switch (§5.2).
+	protFn(a, cfg, "sys_sched_yield", func() {
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.STR(insn.XZR, insn.X11, PerCPUArg0)) // yield, not block
+		emitServiceCall(a, SvcPickNext)
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.LDP(insn.X0, insn.X1, insn.X11, PerCPUPrev))
+		a.I(insn.CMP(insn.X0, insn.X1))
+		a.Bcond(insn.EQ, "sys_sched_yield.out")
+		a.BL("cpu_switch_to")
+		a.Label("sys_sched_yield.out")
+		a.I(insn.MOVZ(insn.X0, 0, 0))
+	})
+
+	// sys_clone: fork. The service allocates the child; the parent copies
+	// its own trap frame into the child (the visible half of
+	// copy_process), and the child's return value is zeroed.
+	protFn(a, cfg, "sys_clone", func() {
+		a.I(insn.SUBi(insn.SP, insn.SP, 32))
+		a.I(insn.STR(insn.X0, insn.SP, 0)) // parent pt_regs
+		a.BL("f_copy1")
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.LDR(insn.X9, insn.SP, 0))
+		a.I(insn.STR(insn.X9, insn.X11, PerCPUArg0))
+		emitServiceCall(a, SvcFork)
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))   // child pid
+		a.I(insn.LDR(insn.X1, insn.X11, PerCPURet0+8)) // child pt_regs
+		a.I(insn.LDR(insn.X9, insn.SP, 0))
+		for off := int16(0); off < PtRegsSize; off += 16 {
+			a.I(insn.LDP(insn.X12, insn.X13, insn.X9, off))
+			a.I(insn.STP(insn.X12, insn.X13, insn.X1, off))
+		}
+		a.I(insn.STR(insn.XZR, insn.X1, 0)) // child sees x0 = 0
+		a.I(insn.ADDi(insn.SP, insn.SP, 32))
+	})
+
+	// sys_execve(pt_regs): x0 = program id. Regenerates the user PAuth
+	// keys, as exec() does (§2.2).
+	protFn(a, cfg, "sys_execve", func() {
+		a.I(insn.LDR(insn.X1, insn.X0, 0))
+		a.BL("f_exec1")
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
+		emitServiceCall(a, SvcExec)
+		a.I(insn.MOVZ(insn.X0, 0, 0))
+	})
+
+	// sys_exit: never returns; hands off to the fault/exit tail.
+	a.Label("sys_exit")
+	a.I(insn.LDR(insn.X1, insn.X0, 0))
+	emitPerCPUAddr(a, insn.X11)
+	a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
+	emitServiceCall(a, SvcExit)
+	a.B("after_fault")
+
+	// sys_pipe2(pt_regs): x0 = user buffer for the two fds.
+	protFn(a, cfg, "sys_pipe2", func() {
+		a.I(insn.SUBi(insn.SP, insn.SP, 32))
+		a.I(insn.LDR(insn.X1, insn.X0, 0))
+		a.I(insn.STR(insn.X1, insn.SP, 0))
+		emitServiceCall(a, SvcPipe)
+		emitPerCPUAddr(a, insn.X11)
+		// Sign both pipe files' f_ops and f_cred (set_file_ops /
+		// set_file_cred at creation, §4.5).
+		a.I(insn.LDR(insn.X2, insn.X11, PerCPUArg0+16))
+		a.I(insn.LDR(insn.X3, insn.X11, PerCPUArg0+24))
+		cfg.SignedFieldStore(a, insn.X2, insn.X3, FileOps, tcFileOps, false)
+		a.I(insn.LDR(insn.X3, insn.X11, PerCPUArg0))
+		cfg.SignedFieldStore(a, insn.X2, insn.X3, FileCred, tcFileCred, false)
+		a.I(insn.LDR(insn.X2, insn.X11, PerCPUArg0+32))
+		a.I(insn.LDR(insn.X3, insn.X11, PerCPUArg0+40))
+		cfg.SignedFieldStore(a, insn.X2, insn.X3, FileOps, tcFileOps, false)
+		a.I(insn.LDR(insn.X3, insn.X11, PerCPUArg0))
+		cfg.SignedFieldStore(a, insn.X2, insn.X3, FileCred, tcFileCred, false)
+		// Deliver the fds to user space.
+		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
+		a.I(insn.LDR(insn.X1, insn.X11, PerCPURet0+8))
+		a.I(insn.LDR(insn.X9, insn.SP, 0))
+		a.I(insn.STR(insn.X0, insn.X9, 0))
+		a.I(insn.STR(insn.X1, insn.X9, 8))
+		a.I(insn.MOVZ(insn.X0, 0, 0))
+		a.I(insn.ADDi(insn.SP, insn.SP, 32))
+	})
+
+	// sys_workrun: execute the statically initialised work_struct through
+	// its authenticated function pointer (run-time linkage, §4.6).
+	protFn(a, cfg, "sys_workrun", func() {
+		emitMov64(a, insn.X1, DataBase+StaticWorkOffset)
+		cfg.SignedFieldLoad(a, insn.X8, insn.X1, WorkFunc, tcWorkFunc, true)
+		a.I(insn.ORRr(insn.X0, insn.XZR, insn.X1, 0))
+		a.I(insn.BLR(insn.X8))
+		a.I(insn.MOVZ(insn.X0, 0, 0))
+	})
+
+	// work_handler(work in x0): bumps the work counter in .data.
+	protFn(a, cfg, "work_handler", func() {
+		emitMov64(a, insn.X9, DataBase+StaticWorkOffset+WorkData)
+		a.I(insn.LDR(insn.X10, insn.X9, 0))
+		a.I(insn.ADDi(insn.X10, insn.X10, 1))
+		a.I(insn.STR(insn.X10, insn.X9, 0))
+	})
+
+	// sys_nanosleep: modelled as a yield.
+	a.Label("sys_nanosleep")
+	a.B("sys_sched_yield")
+}
+
+// emitDrivers emits the file_operations implementations.
+func emitDrivers(a *asm.Assembler, cfg *codegen.Config) {
+	// dev_ok_open / dev_release / dev_poll: trivial members.
+	a.Label("dev_ok_open")
+	a.I(insn.MOVZ(insn.X0, 0, 0))
+	a.I(insn.RET())
+	a.Label("dev_release")
+	a.I(insn.MOVZ(insn.X0, 0, 0))
+	a.I(insn.RET())
+	a.Label("dev_poll")
+	a.I(insn.MOVZ(insn.X0, 1, 0))
+	a.I(insn.RET())
+
+	// /dev/zero read: fill the user buffer with zeros.
+	protFn(a, cfg, "dev_zero_read", func() {
+		a.I(insn.ORRr(insn.X9, insn.XZR, insn.X2, 0))
+		a.Label("dev_zero_read.loop")
+		a.I(insn.MOVZ(insn.X10, 8, 0))
+		a.I(insn.CMP(insn.X9, insn.X10))
+		a.Bcond(insn.CC, "dev_zero_read.done")
+		a.I(insn.STR(insn.XZR, insn.X1, 0))
+		a.I(insn.ADDi(insn.X1, insn.X1, 8))
+		a.I(insn.SUBi(insn.X9, insn.X9, 8))
+		a.B("dev_zero_read.loop")
+		a.Label("dev_zero_read.done")
+		a.I(insn.ORRr(insn.X0, insn.XZR, insn.X2, 0))
+	})
+
+	// /dev/null: read gives EOF, write swallows everything.
+	a.Label("dev_null_read")
+	a.I(insn.MOVZ(insn.X0, 0, 0))
+	a.I(insn.RET())
+	a.Label("dev_null_write")
+	a.I(insn.ORRr(insn.X0, insn.XZR, insn.X2, 0))
+	a.I(insn.RET())
+	a.Label("dev_zero_write")
+	a.I(insn.ORRr(insn.X0, insn.XZR, insn.X2, 0))
+	a.I(insn.RET())
+
+	// Pipe read: service-backed with blocking (drives the lmbench
+	// context-switch measurement through real cpu_switch_to calls).
+	protFn(a, cfg, "pipe_read", func() {
+		a.I(insn.SUBi(insn.SP, insn.SP, 32))
+		a.I(insn.STP(insn.X0, insn.X1, insn.SP, 0))
+		a.I(insn.STR(insn.X2, insn.SP, 16))
+		a.Label("pipe_read.retry")
+		a.I(insn.LDR(insn.X9, insn.SP, 0))
+		a.I(insn.LDR(insn.X10, insn.X9, FileInode))
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.STR(insn.X10, insn.X11, PerCPUArg0))
+		a.I(insn.LDR(insn.X10, insn.SP, 8))
+		a.I(insn.STR(insn.X10, insn.X11, PerCPUArg0+8))
+		a.I(insn.LDR(insn.X10, insn.SP, 16))
+		a.I(insn.STR(insn.X10, insn.X11, PerCPUArg0+16))
+		a.I(insn.STR(insn.XZR, insn.X11, PerCPUArg0+24)) // read
+		emitServiceCall(a, SvcPipeIO)
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
+		a.I(insn.MOVN(insn.X9, 10, 0)) // -EAGAIN
+		a.I(insn.CMP(insn.X0, insn.X9))
+		a.Bcond(insn.NE, "pipe_read.done")
+		// Empty: block and switch away; retry when woken.
+		a.I(insn.MOVZ(insn.X9, 1, 0))
+		a.I(insn.STR(insn.X9, insn.X11, PerCPUArg0))
+		emitServiceCall(a, SvcPickNext)
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.LDP(insn.X0, insn.X1, insn.X11, PerCPUPrev))
+		a.BL("cpu_switch_to")
+		a.B("pipe_read.retry")
+		a.Label("pipe_read.done")
+		a.I(insn.ADDi(insn.SP, insn.SP, 32))
+	})
+
+	// Pipe write: copy into the pipe buffer (host side) and wake readers.
+	protFn(a, cfg, "pipe_write", func() {
+		a.I(insn.LDR(insn.X10, insn.X0, FileInode))
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.STR(insn.X10, insn.X11, PerCPUArg0))
+		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0+8))
+		a.I(insn.STR(insn.X2, insn.X11, PerCPUArg0+16))
+		a.I(insn.MOVZ(insn.X9, 1, 0))
+		a.I(insn.STR(insn.X9, insn.X11, PerCPUArg0+24)) // write
+		emitServiceCall(a, SvcPipeIO)
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
+	})
+
+	// pipe_poll: service-backed readiness.
+	protFn(a, cfg, "pipe_poll", func() {
+		a.I(insn.LDR(insn.X10, insn.X0, FileInode))
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.STR(insn.X10, insn.X11, PerCPUArg0))
+		emitServiceCall(a, SvcPoll)
+		emitPerCPUAddr(a, insn.X11)
+		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
+	})
+
+	// Socket read: drain the NIC receive window (Figure 4's download).
+	protFn(a, cfg, "sock_read", func() {
+		emitMov64(a, insn.X12, NetBase)
+		a.I(insn.LDR(insn.X9, insn.X12, 0)) // NetRxAvail
+		a.CBZ(insn.X9, "sock_read.empty")
+		a.I(insn.CMP(insn.X2, insn.X9))
+		a.I(insn.CSEL(insn.X10, insn.X2, insn.X9, insn.CC)) // n = min(len, avail)
+		a.I(insn.ORRr(insn.X0, insn.XZR, insn.X10, 0))
+		a.Label("sock_read.loop")
+		a.I(insn.MOVZ(insn.X11, 8, 0))
+		a.I(insn.CMP(insn.X10, insn.X11))
+		a.Bcond(insn.CC, "sock_read.fin")
+		a.I(insn.LDR(insn.X11, insn.X12, 8)) // NetRxData
+		a.I(insn.STR(insn.X11, insn.X1, 0))
+		a.I(insn.ADDi(insn.X1, insn.X1, 8))
+		a.I(insn.SUBi(insn.X10, insn.X10, 8))
+		a.B("sock_read.loop")
+		a.Label("sock_read.fin")
+		a.I(insn.STR(insn.XZR, insn.X12, 0x10)) // NetRxDone
+		a.B("sock_read.out")
+		a.Label("sock_read.empty")
+		a.I(insn.MOVZ(insn.X0, 0, 0)) // EOF: download complete
+		a.Label("sock_read.out")
+	})
+
+	// Socket write: push payload out through the NIC.
+	protFn(a, cfg, "sock_write", func() {
+		emitMov64(a, insn.X12, NetBase)
+		a.I(insn.ORRr(insn.X9, insn.XZR, insn.X2, 0))
+		a.Label("sock_write.loop")
+		a.I(insn.MOVZ(insn.X11, 8, 0))
+		a.I(insn.CMP(insn.X9, insn.X11))
+		a.Bcond(insn.CC, "sock_write.done")
+		a.I(insn.LDR(insn.X11, insn.X1, 0))
+		a.I(insn.STR(insn.X11, insn.X12, 0x18)) // NetTxData
+		a.I(insn.ADDi(insn.X1, insn.X1, 8))
+		a.I(insn.SUBi(insn.X9, insn.X9, 8))
+		a.B("sock_write.loop")
+		a.Label("sock_write.done")
+		a.I(insn.ORRr(insn.X0, insn.XZR, insn.X2, 0))
+	})
+
+	// Block-device file read/write (512-byte sectors, PIO).
+	protFn(a, cfg, "blk_read", func() {
+		emitMov64(a, insn.X12, BlkBase)
+		a.I(insn.LDR(insn.X9, insn.X0, FileInode))
+		a.I(insn.STR(insn.X9, insn.X12, 0)) // BlkSector
+		a.I(insn.ORRr(insn.X9, insn.XZR, insn.X2, 0))
+		a.Label("blk_read.loop")
+		a.I(insn.MOVZ(insn.X11, 8, 0))
+		a.I(insn.CMP(insn.X9, insn.X11))
+		a.Bcond(insn.CC, "blk_read.done")
+		a.I(insn.LDR(insn.X11, insn.X12, 8)) // BlkData
+		a.I(insn.STR(insn.X11, insn.X1, 0))
+		a.I(insn.ADDi(insn.X1, insn.X1, 8))
+		a.I(insn.SUBi(insn.X9, insn.X9, 8))
+		a.B("blk_read.loop")
+		a.Label("blk_read.done")
+		a.I(insn.ORRr(insn.X0, insn.XZR, insn.X2, 0))
+	})
+	protFn(a, cfg, "blk_write", func() {
+		emitMov64(a, insn.X12, BlkBase)
+		a.I(insn.LDR(insn.X9, insn.X0, FileInode))
+		a.I(insn.STR(insn.X9, insn.X12, 0))
+		a.I(insn.ORRr(insn.X9, insn.XZR, insn.X2, 0))
+		a.Label("blk_write.loop")
+		a.I(insn.MOVZ(insn.X11, 8, 0))
+		a.I(insn.CMP(insn.X9, insn.X11))
+		a.Bcond(insn.CC, "blk_write.done")
+		a.I(insn.LDR(insn.X11, insn.X1, 0))
+		a.I(insn.STR(insn.X11, insn.X12, 8))
+		a.I(insn.ADDi(insn.X1, insn.X1, 8))
+		a.I(insn.SUBi(insn.X9, insn.X9, 8))
+		a.B("blk_write.loop")
+		a.Label("blk_write.done")
+		a.I(insn.ORRr(insn.X0, insn.XZR, insn.X2, 0))
+	})
+}
+
+// emitRodata lays out the syscall table and the operations structures
+// (§4.4: read-only, so their members stay unsigned).
+func emitRodata(a *asm.Assembler) {
+	a.Label("sys_call_table")
+	handlers := map[int]string{
+		SysOpenat:     "sys_openat",
+		SysClose:      "sys_close",
+		SysPipe2:      "sys_pipe2",
+		SysRead:       "sys_read",
+		SysWrite:      "sys_write",
+		SysPselect6:   "sys_pselect6",
+		SysFstatat:    "sys_fstatat",
+		SysFstat:      "sys_fstat",
+		SysExit:       "sys_exit",
+		SysExitGroup:  "sys_exit",
+		SysNanosleep:  "sys_nanosleep",
+		SysSchedYield: "sys_sched_yield",
+		SysKill:       "sys_kill",
+		SysSigaction:  "sys_sigaction",
+		SysSigreturn:  "sys_sigreturn",
+		SysGetpid:     "sys_getpid",
+		SysGetppid:    "sys_getppid",
+		SysClone:      "sys_clone",
+		SysExecve:     "sys_execve",
+		SysWorkRun:    "sys_workrun",
+	}
+	for nr := 0; nr < SysMax; nr++ {
+		if h, ok := handlers[nr]; ok {
+			a.QuadAddr(h, 0)
+		} else {
+			a.QuadAddr("sys_ni", 0)
+		}
+	}
+
+	ops := func(label, open, release, read, write, poll string) {
+		a.Align(64)
+		a.Label(label)
+		a.QuadAddr(open, 0)
+		a.QuadAddr(release, 0)
+		a.QuadAddr(read, 0)
+		a.QuadAddr(write, 0)
+		a.QuadAddr(poll, 0)
+	}
+	ops("zero_ops", "dev_ok_open", "dev_release", "dev_zero_read", "dev_zero_write", "dev_poll")
+	ops("null_ops", "dev_ok_open", "dev_release", "dev_null_read", "dev_null_write", "dev_poll")
+	ops("pipe_ops", "dev_ok_open", "dev_release", "pipe_read", "pipe_write", "pipe_poll")
+	ops("sock_ops", "dev_ok_open", "dev_release", "sock_read", "sock_write", "dev_poll")
+	ops("file_ops_blk", "dev_ok_open", "dev_release", "blk_read", "blk_write", "dev_poll")
+}
+
+// emitData lays out .data: per-CPU block, the .pauth_ptrs table (§4.6)
+// and the DECLARE_WORK-style static work_struct.
+func emitData(a *asm.Assembler) {
+	a.Label("kdata")
+	a.PadTo(PerCPUOffset)
+	a.Label("percpu")
+	a.Zero(PerCPUSize)
+
+	a.PadTo(PauthTableOffset)
+	a.Label("pauth_ptrs")
+	a.Quad(1) // one statically initialised signed pointer
+	a.QuadAddr("static_work", WorkFunc)
+	a.QuadAddr("static_work", 0)
+	a.Quad(1) // instruction key (function pointer)
+	a.Quad(uint64(tcWorkFunc))
+
+	a.PadTo(StaticWorkOffset)
+	a.Label("static_work")
+	a.QuadAddr("work_handler", 0) // raw until start_kernel signs it
+	a.Quad(0)                     // work counter
+}

@@ -1,0 +1,205 @@
+package mem
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// UART register offsets (a PL011-flavoured console).
+const (
+	UARTTx     = 0x00 // write: transmit one byte
+	UARTStatus = 0x18 // read: bit 0 = TX ready (always set)
+)
+
+// UART is a write-only console device; transmitted bytes accumulate in an
+// internal buffer readable by the host.
+type UART struct {
+	buf bytes.Buffer
+}
+
+// Name implements Device.
+func (u *UART) Name() string { return "uart" }
+
+// Load implements Device.
+func (u *UART) Load(offset uint64, size int) (uint64, error) {
+	switch offset {
+	case UARTStatus:
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Store implements Device.
+func (u *UART) Store(offset uint64, size int, v uint64) error {
+	if offset == UARTTx {
+		u.buf.WriteByte(byte(v))
+	}
+	return nil
+}
+
+// Output returns everything written to the console so far.
+func (u *UART) Output() string { return u.buf.String() }
+
+// Reset clears the console buffer.
+func (u *UART) Reset() { u.buf.Reset() }
+
+// NetDev register offsets. The device is a deliberately simple
+// descriptor-free NIC: the driver reads whole packets a word at a time.
+// It exists so that the "network download" workload of Figure 4 exercises
+// a real kernel receive path.
+const (
+	NetRxAvail = 0x00 // read: bytes available in current packet (0 = none)
+	NetRxData  = 0x08 // read: next 8 bytes of packet payload
+	NetRxDone  = 0x10 // write: packet consumed
+	NetTxData  = 0x18 // write: transmit 8 payload bytes
+	NetStats   = 0x20 // read: packets received so far
+)
+
+// NetDev models a NIC with a host-fed receive queue.
+type NetDev struct {
+	rx      [][]byte
+	rxOff   int
+	rxCount uint64
+	txBytes uint64
+}
+
+// Name implements Device.
+func (n *NetDev) Name() string { return "net" }
+
+// InjectPacket queues a packet for the guest to receive.
+func (n *NetDev) InjectPacket(p []byte) {
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	n.rx = append(n.rx, cp)
+}
+
+// QueuedPackets returns the number of undelivered packets.
+func (n *NetDev) QueuedPackets() int { return len(n.rx) }
+
+// TxBytes returns the number of payload bytes the guest transmitted.
+func (n *NetDev) TxBytes() uint64 { return n.txBytes }
+
+// Load implements Device.
+func (n *NetDev) Load(offset uint64, size int) (uint64, error) {
+	switch offset {
+	case NetRxAvail:
+		if len(n.rx) == 0 {
+			return 0, nil
+		}
+		return uint64(len(n.rx[0]) - n.rxOff), nil
+	case NetRxData:
+		if len(n.rx) == 0 {
+			return 0, nil
+		}
+		var v uint64
+		p := n.rx[0]
+		for i := 0; i < 8 && n.rxOff+i < len(p); i++ {
+			v |= uint64(p[n.rxOff+i]) << (8 * i)
+		}
+		n.rxOff += 8
+		return v, nil
+	case NetStats:
+		return n.rxCount, nil
+	}
+	return 0, nil
+}
+
+// Store implements Device.
+func (n *NetDev) Store(offset uint64, size int, v uint64) error {
+	switch offset {
+	case NetRxDone:
+		if len(n.rx) > 0 {
+			n.rx = n.rx[1:]
+			n.rxOff = 0
+			n.rxCount++
+		}
+	case NetTxData:
+		n.txBytes += 8
+	}
+	return nil
+}
+
+// BlockDev register offsets: a single-sector-at-a-time programmed-IO disk.
+const (
+	BlkSector = 0x00 // write: select sector
+	BlkData   = 0x08 // read/write: 8 bytes at current offset, auto-advance
+	BlkReset  = 0x10 // write: rewind intra-sector offset
+)
+
+// SectorSize is the disk sector size in bytes.
+const SectorSize = 512
+
+// BlockDev models the PIO disk backing the file system.
+type BlockDev struct {
+	sectors map[uint64]*[SectorSize]byte
+	cur     uint64
+	off     int
+
+	// Reads and Writes count 8-byte transfers, for workload accounting.
+	Reads, Writes uint64
+}
+
+// NewBlockDev returns an empty disk.
+func NewBlockDev() *BlockDev {
+	return &BlockDev{sectors: make(map[uint64]*[SectorSize]byte)}
+}
+
+// Name implements Device.
+func (b *BlockDev) Name() string { return "blk" }
+
+func (b *BlockDev) sector(n uint64) *[SectorSize]byte {
+	s := b.sectors[n]
+	if s == nil {
+		s = new([SectorSize]byte)
+		b.sectors[n] = s
+	}
+	return s
+}
+
+// WriteSector fills a sector from the host side.
+func (b *BlockDev) WriteSector(n uint64, data []byte) {
+	copy(b.sector(n)[:], data)
+}
+
+// ReadSector returns a copy of a sector for the host side.
+func (b *BlockDev) ReadSector(n uint64) []byte {
+	out := make([]byte, SectorSize)
+	copy(out, b.sector(n)[:])
+	return out
+}
+
+// Load implements Device.
+func (b *BlockDev) Load(offset uint64, size int) (uint64, error) {
+	if offset != BlkData {
+		return 0, nil
+	}
+	s := b.sector(b.cur)
+	var v uint64
+	for i := 0; i < 8 && b.off+i < SectorSize; i++ {
+		v |= uint64(s[b.off+i]) << (8 * i)
+	}
+	b.off = (b.off + 8) % SectorSize
+	b.Reads++
+	return v, nil
+}
+
+// Store implements Device.
+func (b *BlockDev) Store(offset uint64, size int, v uint64) error {
+	switch offset {
+	case BlkSector:
+		b.cur = v
+		b.off = 0
+	case BlkReset:
+		b.off = 0
+	case BlkData:
+		s := b.sector(b.cur)
+		for i := 0; i < 8 && b.off+i < SectorSize; i++ {
+			s[b.off+i] = byte(v >> (8 * i))
+		}
+		b.off = (b.off + 8) % SectorSize
+		b.Writes++
+	default:
+		return fmt.Errorf("blk: bad store offset %#x", offset)
+	}
+	return nil
+}

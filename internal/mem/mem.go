@@ -1,0 +1,216 @@
+// Package mem models the physical memory system of the simulated machine:
+// sparse byte-addressable RAM plus a physical bus with memory-mapped device
+// windows (UART console, a virtio-like network device and a block device).
+// All multi-byte accesses are little-endian, as on AArch64 Linux.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the physical page granule (4 KiB, the configuration of the
+// paper's Appendix A).
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Phys is sparse physical RAM. The zero value is ready to use: pages are
+// allocated on first touch and read as zero before any write.
+type Phys struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// NewPhys returns an empty physical memory.
+func NewPhys() *Phys {
+	return &Phys{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (p *Phys) page(addr uint64, create bool) *[PageSize]byte {
+	pn := addr >> PageShift
+	pg := p.pages[pn]
+	if pg == nil && create {
+		pg = new([PageSize]byte)
+		p.pages[pn] = pg
+	}
+	return pg
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (p *Phys) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		pg := p.page(addr+uint64(i), false)
+		off := int((addr + uint64(i)) & (PageSize - 1))
+		chunk := PageSize - off
+		if chunk > n-i {
+			chunk = n - i
+		}
+		if pg != nil {
+			copy(out[i:i+chunk], pg[off:off+chunk])
+		}
+		i += chunk
+	}
+	return out
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (p *Phys) WriteBytes(addr uint64, b []byte) {
+	for i := 0; i < len(b); {
+		pg := p.page(addr+uint64(i), true)
+		off := int((addr + uint64(i)) & (PageSize - 1))
+		chunk := PageSize - off
+		if chunk > len(b)-i {
+			chunk = len(b) - i
+		}
+		copy(pg[off:off+chunk], b[i:i+chunk])
+		i += chunk
+	}
+}
+
+// Read64 loads a little-endian 64-bit value.
+func (p *Phys) Read64(addr uint64) uint64 {
+	if pg := p.page(addr, false); pg != nil && addr&(PageSize-1) <= PageSize-8 {
+		off := addr & (PageSize - 1)
+		return binary.LittleEndian.Uint64(pg[off : off+8])
+	}
+	return binary.LittleEndian.Uint64(p.ReadBytes(addr, 8))
+}
+
+// Write64 stores a little-endian 64-bit value.
+func (p *Phys) Write64(addr uint64, v uint64) {
+	if addr&(PageSize-1) <= PageSize-8 {
+		pg := p.page(addr, true)
+		off := addr & (PageSize - 1)
+		binary.LittleEndian.PutUint64(pg[off:off+8], v)
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	p.WriteBytes(addr, b[:])
+}
+
+// Read32 loads a little-endian 32-bit value.
+func (p *Phys) Read32(addr uint64) uint32 {
+	if pg := p.page(addr, false); pg != nil && addr&(PageSize-1) <= PageSize-4 {
+		off := addr & (PageSize - 1)
+		return binary.LittleEndian.Uint32(pg[off : off+4])
+	}
+	return binary.LittleEndian.Uint32(p.ReadBytes(addr, 4))
+}
+
+// Write32 stores a little-endian 32-bit value.
+func (p *Phys) Write32(addr uint64, v uint32) {
+	if addr&(PageSize-1) <= PageSize-4 {
+		pg := p.page(addr, true)
+		off := addr & (PageSize - 1)
+		binary.LittleEndian.PutUint32(pg[off:off+4], v)
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	p.WriteBytes(addr, b[:])
+}
+
+// Read8 loads one byte.
+func (p *Phys) Read8(addr uint64) byte {
+	if pg := p.page(addr, false); pg != nil {
+		return pg[addr&(PageSize-1)]
+	}
+	return 0
+}
+
+// Write8 stores one byte.
+func (p *Phys) Write8(addr uint64, v byte) {
+	p.page(addr, true)[addr&(PageSize-1)] = v
+}
+
+// PopulatedPages returns the number of RAM pages that have been touched.
+func (p *Phys) PopulatedPages() int { return len(p.pages) }
+
+// Device is a memory-mapped peripheral. Offsets are relative to the
+// device's bus window. Accesses are 1, 4 or 8 bytes wide.
+type Device interface {
+	// Name identifies the device in diagnostics.
+	Name() string
+	// Load reads size bytes at offset.
+	Load(offset uint64, size int) (uint64, error)
+	// Store writes size bytes at offset.
+	Store(offset uint64, size int, v uint64) error
+}
+
+// mapping is one device window on the bus.
+type mapping struct {
+	base uint64
+	size uint64
+	dev  Device
+}
+
+// Bus routes physical accesses to RAM or to device windows.
+type Bus struct {
+	RAM  *Phys
+	maps []mapping
+}
+
+// NewBus returns a bus backed by fresh RAM.
+func NewBus() *Bus {
+	return &Bus{RAM: NewPhys()}
+}
+
+// Map attaches a device at [base, base+size). Windows must not overlap.
+func (b *Bus) Map(base, size uint64, dev Device) error {
+	for _, m := range b.maps {
+		if base < m.base+m.size && m.base < base+size {
+			return fmt.Errorf("mem: window %#x+%#x overlaps %s", base, size, m.dev.Name())
+		}
+	}
+	b.maps = append(b.maps, mapping{base, size, dev})
+	sort.Slice(b.maps, func(i, j int) bool { return b.maps[i].base < b.maps[j].base })
+	return nil
+}
+
+func (b *Bus) find(addr uint64) *mapping {
+	for i := range b.maps {
+		m := &b.maps[i]
+		if addr >= m.base && addr < m.base+m.size {
+			return m
+		}
+	}
+	return nil
+}
+
+// Load reads size bytes (1, 4 or 8) at physical address addr.
+func (b *Bus) Load(addr uint64, size int) (uint64, error) {
+	if m := b.find(addr); m != nil {
+		return m.dev.Load(addr-m.base, size)
+	}
+	switch size {
+	case 1:
+		return uint64(b.RAM.Read8(addr)), nil
+	case 4:
+		return uint64(b.RAM.Read32(addr)), nil
+	case 8:
+		return b.RAM.Read64(addr), nil
+	}
+	return 0, fmt.Errorf("mem: bad load size %d", size)
+}
+
+// Store writes size bytes (1, 4 or 8) at physical address addr.
+func (b *Bus) Store(addr uint64, size int, v uint64) error {
+	if m := b.find(addr); m != nil {
+		return m.dev.Store(addr-m.base, size, v)
+	}
+	switch size {
+	case 1:
+		b.RAM.Write8(addr, byte(v))
+	case 4:
+		b.RAM.Write32(addr, uint32(v))
+	case 8:
+		b.RAM.Write64(addr, v)
+	default:
+		return fmt.Errorf("mem: bad store size %d", size)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysReadWriteRoundTrip(t *testing.T) {
+	p := NewPhys()
+	f := func(addr uint32, v uint64) bool {
+		a := uint64(addr)
+		p.Write64(a, v)
+		return p.Read64(a) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhysZeroFill(t *testing.T) {
+	p := NewPhys()
+	if p.Read64(0x1234) != 0 || p.Read8(0xFFFF_FFFF) != 0 {
+		t.Fatal("untouched memory not zero")
+	}
+	if p.PopulatedPages() != 0 {
+		t.Fatal("reads must not allocate pages")
+	}
+}
+
+func TestPhysCrossPage(t *testing.T) {
+	p := NewPhys()
+	addr := uint64(PageSize - 3) // straddles the first page boundary
+	p.Write64(addr, 0x1122334455667788)
+	if got := p.Read64(addr); got != 0x1122334455667788 {
+		t.Fatalf("cross-page read = %#x", got)
+	}
+	if got := p.Read8(PageSize - 3); got != 0x88 {
+		t.Fatalf("low byte = %#x", got)
+	}
+	if got := p.Read8(PageSize); got != 0x55 {
+		t.Fatalf("page-start byte = %#x, want 0x55", got)
+	}
+}
+
+func TestPhysBytes(t *testing.T) {
+	p := NewPhys()
+	data := make([]byte, 3*PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	p.WriteBytes(100, data)
+	got := p.ReadBytes(100, len(data))
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], data[i])
+		}
+	}
+}
+
+func TestPhys32(t *testing.T) {
+	p := NewPhys()
+	p.Write32(8, 0xDEADBEEF)
+	if got := p.Read32(8); got != 0xDEADBEEF {
+		t.Fatalf("Read32 = %#x", got)
+	}
+	if got := p.Read64(8); got != 0xDEADBEEF {
+		t.Fatalf("Read64 over Write32 = %#x", got)
+	}
+	// Little-endian layout.
+	if p.Read8(8) != 0xEF || p.Read8(11) != 0xDE {
+		t.Fatal("not little-endian")
+	}
+}
+
+func TestBusRAMFallthrough(t *testing.T) {
+	b := NewBus()
+	if err := b.Store(0x1000, 8, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Load(0x1000, 8)
+	if err != nil || v != 42 {
+		t.Fatalf("Load = (%d, %v)", v, err)
+	}
+	if _, err := b.Load(0, 3); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+func TestBusDeviceWindow(t *testing.T) {
+	b := NewBus()
+	u := &UART{}
+	if err := b.Map(0x0900_0000, 0x1000, u); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []byte("hi") {
+		if err := b.Store(0x0900_0000+UARTTx, 1, uint64(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u.Output() != "hi" {
+		t.Fatalf("UART output = %q", u.Output())
+	}
+	st, _ := b.Load(0x0900_0000+UARTStatus, 4)
+	if st != 1 {
+		t.Fatalf("UART status = %d", st)
+	}
+	// Overlapping window rejected.
+	if err := b.Map(0x0900_0800, 0x1000, &UART{}); err == nil {
+		t.Error("overlapping map accepted")
+	}
+	// RAM unaffected next to the window.
+	if err := b.Store(0x0901_0000, 8, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := b.Load(0x0901_0000, 8); v != 7 {
+		t.Fatal("RAM write adjacent to device window lost")
+	}
+}
+
+func TestNetDev(t *testing.T) {
+	n := &NetDev{}
+	n.InjectPacket([]byte("0123456789AB")) // 12 bytes
+	avail, _ := n.Load(NetRxAvail, 8)
+	if avail != 12 {
+		t.Fatalf("avail = %d", avail)
+	}
+	w1, _ := n.Load(NetRxData, 8)
+	if w1 != 0x3736353433323130 {
+		t.Fatalf("first word = %#x", w1)
+	}
+	w2, _ := n.Load(NetRxData, 8)
+	if byte(w2) != '8' {
+		t.Fatalf("second word low byte = %c", byte(w2))
+	}
+	if err := n.Store(NetRxDone, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n.QueuedPackets() != 0 {
+		t.Fatal("packet not consumed")
+	}
+	stats, _ := n.Load(NetStats, 8)
+	if stats != 1 {
+		t.Fatalf("stats = %d", stats)
+	}
+	if avail, _ := n.Load(NetRxAvail, 8); avail != 0 {
+		t.Fatalf("avail after done = %d", avail)
+	}
+	_ = n.Store(NetTxData, 8, 0xFF)
+	if n.TxBytes() != 8 {
+		t.Fatalf("TxBytes = %d", n.TxBytes())
+	}
+}
+
+func TestBlockDev(t *testing.T) {
+	d := NewBlockDev()
+	sector := make([]byte, SectorSize)
+	for i := range sector {
+		sector[i] = byte(i)
+	}
+	d.WriteSector(3, sector)
+
+	_ = d.Store(BlkSector, 8, 3)
+	w, _ := d.Load(BlkData, 8)
+	if w != 0x0706050403020100 {
+		t.Fatalf("first word = %#x", w)
+	}
+	// Guest write path.
+	_ = d.Store(BlkSector, 8, 9)
+	_ = d.Store(BlkData, 8, 0x4242424242424242)
+	got := d.ReadSector(9)
+	if got[0] != 0x42 || got[7] != 0x42 || got[8] != 0 {
+		t.Fatalf("sector 9 = % x...", got[:9])
+	}
+	if d.Reads == 0 || d.Writes == 0 {
+		t.Fatal("transfer counters not advancing")
+	}
+}

@@ -1,0 +1,289 @@
+// Package mmu models the VMSAv8 two-stage address translation relevant to
+// the paper: stage 1 under kernel control (TTBR0_EL1 for user addresses,
+// TTBR1_EL1 for kernel addresses, selected by bit 55 — Table 1), and
+// stage 2 under hypervisor control.
+//
+// The essential architectural constraint reproduced here (Appendix A.2) is
+// that the stage-1 translation-table format makes every valid mapping
+// implicitly *readable* at EL1 — so execute-only memory for kernel code
+// cannot be expressed at stage 1, and Camouflage's XOM key page must be
+// enforced by removing the read permission in the hypervisor's stage-2
+// tables.
+package mmu
+
+import (
+	"fmt"
+
+	"camouflage/internal/pac"
+)
+
+// PageSize and PageShift mirror the 4 KiB granule of the paper's setup.
+const (
+	PageSize  = 4096
+	PageShift = 12
+)
+
+// Perm is a stage-1 permission set, split per exception level.
+type Perm uint8
+
+// Stage-1 permission bits.
+const (
+	R0 Perm = 1 << iota // EL0 read
+	W0                  // EL0 write
+	X0                  // EL0 execute
+	R1                  // EL1 read
+	W1                  // EL1 write
+	X1                  // EL1 execute
+)
+
+// Common permission combinations.
+const (
+	// KernelText is kernel code: readable and executable at EL1 only.
+	KernelText = R1 | X1
+	// KernelData is kernel data: read/write at EL1 only.
+	KernelData = R1 | W1
+	// KernelRO is read-only kernel data (.rodata, operations structures).
+	KernelRO = R1
+	// UserText is user code (readable/executable at EL0; EL1 read implied).
+	UserText = R0 | X0 | R1
+	// UserData is user data.
+	UserData = R0 | W0 | R1 | W1
+)
+
+// AccessKind distinguishes instruction fetch from data access.
+type AccessKind int
+
+// Access kinds.
+const (
+	Fetch AccessKind = iota
+	Load
+	Store
+)
+
+// String returns a diagnostic name.
+func (k AccessKind) String() string {
+	switch k {
+	case Fetch:
+		return "fetch"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	}
+	return "access?"
+}
+
+// FaultKind classifies a translation failure.
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultNone FaultKind = iota
+	// FaultAddressSize: the VA is outside the canonical ranges of Table 1
+	// (this is what a PAC-poisoned pointer produces).
+	FaultAddressSize
+	// FaultTranslation: no stage-1 mapping.
+	FaultTranslation
+	// FaultPermission: stage-1 permission violation.
+	FaultPermission
+	// FaultStage2: stage-2 (hypervisor) permission violation, e.g. an EL1
+	// data read of the XOM key page.
+	FaultStage2
+)
+
+// String returns a diagnostic name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultAddressSize:
+		return "address-size"
+	case FaultTranslation:
+		return "translation"
+	case FaultPermission:
+		return "permission"
+	case FaultStage2:
+		return "stage2-permission"
+	}
+	return "fault?"
+}
+
+// Fault describes a failed translation.
+type Fault struct {
+	Kind   FaultKind
+	VA     uint64
+	Access AccessKind
+	EL     int
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mmu: %s fault on %s of %#x at EL%d", f.Kind, f.Access, f.VA, f.EL)
+}
+
+// PTE is a stage-1 page table entry.
+type PTE struct {
+	PA   uint64
+	Perm Perm
+}
+
+// Table is one stage-1 translation table (the model keeps it as a map from
+// VA page number to PTE rather than as an in-memory radix tree; the
+// hypervisor locks the registers that point at it, so the abstraction does
+// not change the attack surface the paper considers).
+type Table struct {
+	entries map[uint64]PTE
+}
+
+// NewTable returns an empty stage-1 table.
+func NewTable() *Table {
+	return &Table{entries: make(map[uint64]PTE)}
+}
+
+// Map installs a translation for the page containing va. Per VMSAv8
+// (Appendix A.2), any valid stage-1 mapping is implicitly readable at EL1:
+// R1 is forced on, which is exactly why stage-1 cannot express kernel XOM.
+func (t *Table) Map(va, pa uint64, perm Perm) {
+	t.entries[va>>PageShift] = PTE{PA: pa &^ (PageSize - 1), Perm: perm | R1}
+}
+
+// Unmap removes the translation for the page containing va.
+func (t *Table) Unmap(va uint64) {
+	delete(t.entries, va>>PageShift)
+}
+
+// Lookup returns the PTE for va.
+func (t *Table) Lookup(va uint64) (PTE, bool) {
+	pte, ok := t.entries[va>>PageShift]
+	return pte, ok
+}
+
+// MappedPages returns the number of mapped pages.
+func (t *Table) MappedPages() int { return len(t.entries) }
+
+// S2Perm is a stage-2 permission override for one IPA page.
+type S2Perm struct {
+	R, W, X bool
+}
+
+// Stage2 is the hypervisor-owned second translation stage. IPA pages
+// without an override get full access; overrides only restrict. XOM is the
+// override {R: false, W: false, X: true}.
+type Stage2 struct {
+	overrides map[uint64]S2Perm
+	// Enabled gates stage-2 checking; the hypervisor enables it at boot.
+	Enabled bool
+}
+
+// NewStage2 returns a disabled stage-2 with no overrides.
+func NewStage2() *Stage2 {
+	return &Stage2{overrides: make(map[uint64]S2Perm)}
+}
+
+// Restrict installs an override for the IPA page containing pa.
+func (s *Stage2) Restrict(pa uint64, p S2Perm) {
+	s.overrides[pa>>PageShift] = p
+}
+
+// Clear removes the override for the IPA page containing pa.
+func (s *Stage2) Clear(pa uint64) {
+	delete(s.overrides, pa>>PageShift)
+}
+
+// Check reports whether the access is allowed by stage 2.
+func (s *Stage2) Check(pa uint64, kind AccessKind) bool {
+	if !s.Enabled {
+		return true
+	}
+	p, ok := s.overrides[pa>>PageShift]
+	if !ok {
+		return true
+	}
+	switch kind {
+	case Fetch:
+		return p.X
+	case Load:
+		return p.R
+	case Store:
+		return p.W
+	}
+	return false
+}
+
+// MMU combines the two stage-1 tables, the stage-2 overlay and the address
+// layout configuration.
+type MMU struct {
+	Cfg pac.Config
+	// TT0 translates user (bit-55 clear) addresses; TT1 kernel addresses.
+	TT0, TT1 *Table
+	// S2 is the hypervisor stage.
+	S2 *Stage2
+	// Enabled gates stage-1 translation; before the MMU is on, addresses
+	// are identity-mapped physical.
+	Enabled bool
+}
+
+// New returns an MMU with empty tables for the given layout.
+func New(cfg pac.Config) *MMU {
+	return &MMU{Cfg: cfg, TT0: NewTable(), TT1: NewTable(), S2: NewStage2()}
+}
+
+// stripTag removes tag bits when TBI applies for the side of va, restoring
+// the canonical sign extension above bit 55.
+func (m *MMU) stripTag(va uint64) uint64 {
+	if m.Cfg.IsKernel(va) {
+		if m.Cfg.TBIKernel {
+			return va | 0xFF00_0000_0000_0000
+		}
+		return va
+	}
+	if m.Cfg.TBIUser {
+		return va &^ 0xFF00_0000_0000_0000
+	}
+	return va
+}
+
+// Translate resolves va for the given access at the given EL, returning
+// the physical address or a fault. It applies, in order: top-byte-ignore,
+// the canonical-address check (which is what catches PAC-poisoned
+// pointers), stage-1 lookup and permissions, then the stage-2 overlay.
+func (m *MMU) Translate(va uint64, kind AccessKind, el int) (uint64, *Fault) {
+	if !m.Enabled {
+		return va, nil
+	}
+	eva := m.stripTag(va)
+	if !m.Cfg.IsCanonical(eva) {
+		return 0, &Fault{Kind: FaultAddressSize, VA: va, Access: kind, EL: el}
+	}
+	table := m.TT0
+	if m.Cfg.IsKernel(eva) {
+		table = m.TT1
+	}
+	pte, ok := table.Lookup(eva)
+	if !ok {
+		return 0, &Fault{Kind: FaultTranslation, VA: va, Access: kind, EL: el}
+	}
+	var need Perm
+	switch {
+	case el == 0 && kind == Fetch:
+		need = X0
+	case el == 0 && kind == Load:
+		need = R0
+	case el == 0 && kind == Store:
+		need = W0
+	case kind == Fetch:
+		need = X1
+	case kind == Load:
+		need = R1
+	default:
+		need = W1
+	}
+	if pte.Perm&need != need {
+		return 0, &Fault{Kind: FaultPermission, VA: va, Access: kind, EL: el}
+	}
+	pa := pte.PA | (eva & (PageSize - 1))
+	if !m.S2.Check(pa, kind) {
+		return 0, &Fault{Kind: FaultStage2, VA: va, Access: kind, EL: el}
+	}
+	return pa, nil
+}

@@ -1,0 +1,192 @@
+package mmu
+
+import (
+	"testing"
+
+	"camouflage/internal/pac"
+)
+
+const kbase = uint64(pac.KernelBase)
+
+func newTestMMU() *MMU {
+	m := New(pac.DefaultConfig)
+	m.Enabled = true
+	return m
+}
+
+func TestIdentityWhenDisabled(t *testing.T) {
+	m := New(pac.DefaultConfig)
+	pa, f := m.Translate(0x1234, Load, 1)
+	if f != nil || pa != 0x1234 {
+		t.Fatalf("disabled MMU: (%#x, %v)", pa, f)
+	}
+}
+
+func TestKernelMapping(t *testing.T) {
+	m := newTestMMU()
+	va := kbase | 0x8_0000
+	m.TT1.Map(va, 0x4000_0000, KernelText)
+	pa, f := m.Translate(va+0x123, Fetch, 1)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if pa != 0x4000_0123 {
+		t.Fatalf("pa = %#x", pa)
+	}
+	// Kernel text is implicitly readable at EL1 (Appendix A.2)...
+	if _, f := m.Translate(va, Load, 1); f != nil {
+		t.Fatalf("EL1 load of kernel text faulted: %v", f)
+	}
+	// ... but not writable.
+	if _, f := m.Translate(va, Store, 1); f == nil || f.Kind != FaultPermission {
+		t.Fatalf("EL1 store to kernel text: %v, want permission fault", f)
+	}
+	// And EL0 cannot touch it.
+	if _, f := m.Translate(va, Load, 0); f == nil || f.Kind != FaultPermission {
+		t.Fatalf("EL0 load of kernel text: %v, want permission fault", f)
+	}
+}
+
+func TestUserMapping(t *testing.T) {
+	m := newTestMMU()
+	va := uint64(0x40_0000)
+	m.TT0.Map(va, 0x8000_0000, UserData)
+	if _, f := m.Translate(va, Store, 0); f != nil {
+		t.Fatalf("EL0 store: %v", f)
+	}
+	// Unmapped user address.
+	if _, f := m.Translate(va+PageSize, Load, 0); f == nil || f.Kind != FaultTranslation {
+		t.Fatalf("unmapped: %v, want translation fault", f)
+	}
+}
+
+func TestTable1Selection(t *testing.T) {
+	m := newTestMMU()
+	// Same low bits, different bit 55: must hit different tables.
+	m.TT0.Map(0x1000, 0x1111_0000, UserData)
+	m.TT1.Map(kbase|0x1000, 0x2222_0000, KernelData)
+	pa0, f0 := m.Translate(0x1000, Load, 0)
+	pa1, f1 := m.Translate(kbase|0x1000, Load, 1)
+	if f0 != nil || f1 != nil {
+		t.Fatalf("faults: %v %v", f0, f1)
+	}
+	if pa0 != 0x1111_0000 || pa1 != 0x2222_0000 {
+		t.Fatalf("pa0=%#x pa1=%#x", pa0, pa1)
+	}
+}
+
+// TestNonCanonicalFaults: PAC-poisoned pointers land in the Table 1 hole
+// and must raise an address-size fault.
+func TestNonCanonicalFaults(t *testing.T) {
+	m := newTestMMU()
+	for _, va := range []uint64{
+		0x0040_0000_0000_0000, // user side, bit 54 set
+		0xFF7F_0000_0000_1000, // kernel side, poison bit cleared
+		0x0001_0000_0000_0000,
+	} {
+		if _, f := m.Translate(va, Load, 1); f == nil || f.Kind != FaultAddressSize {
+			t.Errorf("Translate(%#x): %v, want address-size fault", va, f)
+		}
+	}
+}
+
+// TestTBIUser: tagged user pointers translate with the tag stripped.
+func TestTBIUser(t *testing.T) {
+	m := newTestMMU()
+	m.TT0.Map(0x7000, 0x9000_0000, UserData)
+	tagged := uint64(0xAB00_0000_0000_7008)
+	pa, f := m.Translate(tagged, Load, 0)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if pa != 0x9000_0008 {
+		t.Fatalf("pa = %#x", pa)
+	}
+	// Kernel side has no TBI: a tag there is non-canonical.
+	if _, f := m.Translate(0xAB7F_0000_0000_1000|1<<55, Load, 1); f == nil {
+		t.Error("tagged kernel pointer translated; TBI must be off for kernel")
+	}
+}
+
+// TestStage1CannotExpressKernelXOM pins the Appendix A.2 property that
+// motivates the whole XOM design: stage-1 mappings are always readable at
+// EL1, so Map must force R1 even when asked for execute-only.
+func TestStage1CannotExpressKernelXOM(t *testing.T) {
+	m := newTestMMU()
+	va := kbase | 0x10_0000
+	m.TT1.Map(va, 0x4010_0000, X1) // ask for execute-only
+	if _, f := m.Translate(va, Load, 1); f != nil {
+		t.Fatalf("EL1 load faulted at stage 1: %v; VMSAv8 stage 1 cannot deny EL1 reads", f)
+	}
+}
+
+// TestStage2XOM: the hypervisor expresses XOM at stage 2 — execution
+// succeeds, EL1 reads and writes fault (§5.1).
+func TestStage2XOM(t *testing.T) {
+	m := newTestMMU()
+	va := kbase | 0x10_0000
+	pa := uint64(0x4010_0000)
+	m.TT1.Map(va, pa, KernelText)
+	m.S2.Enabled = true
+	m.S2.Restrict(pa, S2Perm{X: true}) // XOM: no R, no W
+
+	if _, f := m.Translate(va, Fetch, 1); f != nil {
+		t.Fatalf("fetch from XOM faulted: %v", f)
+	}
+	if _, f := m.Translate(va, Load, 1); f == nil || f.Kind != FaultStage2 {
+		t.Fatalf("load from XOM: %v, want stage-2 fault", f)
+	}
+	// Stores fault too — at stage 1 here, since text is not stage-1
+	// writable; stage 1 is checked first, as in the architecture.
+	if _, f := m.Translate(va, Store, 1); f == nil {
+		t.Fatal("store to XOM did not fault")
+	}
+	// A stage-1-writable page still cannot be written once stage 2
+	// revokes W: only the hypervisor can undo XOM.
+	vaW := va + 2*PageSize
+	paW := pa + 2*PageSize
+	m.TT1.Map(vaW, paW, KernelData)
+	m.S2.Restrict(paW, S2Perm{X: true})
+	if _, f := m.Translate(vaW, Store, 1); f == nil || f.Kind != FaultStage2 {
+		t.Fatalf("store to stage-2-protected page: %v, want stage-2 fault", f)
+	}
+	// Pages without overrides are unaffected.
+	m.TT1.Map(va+PageSize, pa+PageSize, KernelData)
+	if _, f := m.Translate(va+PageSize, Load, 1); f != nil {
+		t.Fatalf("neighbour page faulted: %v", f)
+	}
+}
+
+func TestStage2DisabledAllowsAll(t *testing.T) {
+	m := newTestMMU()
+	va := kbase | 0x20_0000
+	pa := uint64(0x4020_0000)
+	m.TT1.Map(va, pa, KernelData)
+	m.S2.Restrict(pa, S2Perm{}) // deny everything — but stage 2 is off
+	if _, f := m.Translate(va, Load, 1); f != nil {
+		t.Fatalf("stage-2 disabled but fault: %v", f)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	m := newTestMMU()
+	va := kbase | 0x30_0000
+	m.TT1.Map(va, 0x4030_0000, KernelData)
+	m.TT1.Unmap(va)
+	if _, f := m.Translate(va, Load, 1); f == nil || f.Kind != FaultTranslation {
+		t.Fatalf("after Unmap: %v", f)
+	}
+	if m.TT1.MappedPages() != 0 {
+		t.Fatal("MappedPages after unmap != 0")
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Kind: FaultStage2, VA: 0x123, Access: Load, EL: 1}
+	if f.Error() == "" {
+		t.Fatal("empty fault message")
+	}
+	if FaultNone.String() == "" || Fetch.String() == "" {
+		t.Fatal("empty enum names")
+	}
+}

@@ -1,0 +1,103 @@
+package pac
+
+// This file implements the PAuth modifier constructions compared in the
+// paper. The modifier is the 64-bit tweak fed to QARMA alongside the
+// pointer; its construction determines how far a signed pointer can be
+// replayed in another context (§4.2, §5.2, Figure 2).
+
+// ModifierScheme identifies a return-address modifier construction.
+type ModifierScheme int
+
+const (
+	// ModifierNone means no backward-edge protection (baseline).
+	ModifierNone ModifierScheme = iota
+	// ModifierClangSP is the Qualcomm/Clang reference scheme (Listing 2):
+	// the modifier is the stack pointer alone. Vulnerable to replay when SP
+	// values repeat — which they do, systematically, across the 4 KiB
+	// aligned, 16 KiB deep kernel task stacks (§4.2).
+	ModifierClangSP
+	// ModifierPARTS is the PARTS scheme (Liljestrand et al., USENIX Sec'19):
+	// the low 16 bits of SP concatenated with a 48-bit link-time function
+	// identifier. Replayable across two stacks whose addresses differ by an
+	// exact multiple of 64 KiB (§7), and requires LTO, which is incompatible
+	// with loadable kernel modules.
+	ModifierPARTS
+	// ModifierCamouflage is the paper's hardened scheme (Listing 3): the
+	// low 32 bits of SP concatenated with the low 32 bits of the function's
+	// address, obtained from PC at instrumentation time. No LTO required,
+	// compatible with modules, and SP collisions alone no longer suffice
+	// for replay.
+	ModifierCamouflage
+)
+
+// String returns the display name used in Figure 2.
+func (m ModifierScheme) String() string {
+	switch m {
+	case ModifierNone:
+		return "none"
+	case ModifierClangSP:
+		return "SP (Clang)"
+	case ModifierPARTS:
+		return "PARTS (16b SP + 48b func-id)"
+	case ModifierCamouflage:
+		return "Camouflage (32b SP + func addr)"
+	}
+	return "unknown"
+}
+
+// ReturnModifierClangSP builds the Listing-2 modifier: SP itself.
+func ReturnModifierClangSP(sp uint64) uint64 { return sp }
+
+// ReturnModifierPARTS builds the PARTS modifier: the low 16 bits of SP in
+// the top 16 bits, and the 48-bit LTO function id below.
+func ReturnModifierPARTS(sp uint64, funcID uint64) uint64 {
+	return (sp&0xFFFF)<<48 | funcID&0x0000_FFFF_FFFF_FFFF
+}
+
+// ReturnModifierCamouflage builds the Listing-3 modifier, exactly as the
+// emitted code does:
+//
+//	adr  ip0, function    // ip0 = function address
+//	mov  ip1, sp          // SP is not a valid BFI operand
+//	bfi  ip0, ip1, #32, #32
+//
+// i.e. the low 32 bits of SP in bits 63..32 and the low 32 bits of the
+// function address in bits 31..0.
+func ReturnModifierCamouflage(sp, funcAddr uint64) uint64 {
+	return (sp&0xFFFF_FFFF)<<32 | funcAddr&0xFFFF_FFFF
+}
+
+// ObjectModifier builds the pointer-integrity modifier of §4.3 / Listing 4,
+// exactly as the emitted code does:
+//
+//	mov  w9, #typeConst
+//	bfi  x9, x0, #16, #48  // x0 = address of the containing object
+//
+// i.e. the low 48 bits of the containing object's address in bits 63..16
+// and the 16-bit type·member constant in bits 15..0. Since AArch64 uses 48
+// address bits, the modifier uniquely identifies the object in memory at a
+// given time, and the constant segregates pointers of different
+// type-members stored at a recycled address.
+func ObjectModifier(objAddr uint64, typeConst uint16) uint64 {
+	return (objAddr&0x0000_FFFF_FFFF_FFFF)<<16 | uint64(typeConst)
+}
+
+// TypeConst derives the 16-bit constant identifying a (compound type,
+// member) pair from its name, using an FNV-1a hash folded to 16 bits. The
+// compiler attribute the paper proposes would assign these constants; a
+// stable hash of "struct.member" is the deterministic equivalent.
+func TypeConst(typeName, memberName string) uint16 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(typeName); i++ {
+		h = (h ^ uint64(typeName[i])) * prime64
+	}
+	h = (h ^ '.') * prime64
+	for i := 0; i < len(memberName); i++ {
+		h = (h ^ uint64(memberName[i])) * prime64
+	}
+	return uint16(h ^ h>>16 ^ h>>32 ^ h>>48)
+}

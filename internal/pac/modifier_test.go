@@ -1,0 +1,116 @@
+package pac
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestCamouflageModifierInjective: the Camouflage modifier is injective
+// in (SP low 32, function-address low 32) — two sign contexts collide only
+// if both components collide.
+func TestCamouflageModifierInjective(t *testing.T) {
+	f := func(sp1, fn1, sp2, fn2 uint64) bool {
+		m1 := ReturnModifierCamouflage(sp1, fn1)
+		m2 := ReturnModifierCamouflage(sp2, fn2)
+		same := uint32(sp1) == uint32(sp2) && uint32(fn1) == uint32(fn2)
+		return (m1 == m2) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClangSPModifierIgnoresFunction: the SP-only modifier cannot
+// distinguish return sites — the §4.2 weakness as a property.
+func TestClangSPModifierIgnoresFunction(t *testing.T) {
+	f := func(sp uint64) bool {
+		return ReturnModifierClangSP(sp) == sp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPARTSModifier64KAliasing: adding any multiple of 64 KiB to SP never
+// changes the PARTS modifier (§7).
+func TestPARTSModifier64KAliasing(t *testing.T) {
+	f := func(sp, fid uint64, k uint8) bool {
+		shifted := sp + uint64(k)*0x10000
+		return ReturnModifierPARTS(sp, fid) == ReturnModifierPARTS(shifted, fid)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCamouflageModifierNo64KAliasing: the same shift always changes the
+// Camouflage modifier (until 4 GiB).
+func TestCamouflageModifierNo64KAliasing(t *testing.T) {
+	f := func(sp, fn uint64, k uint8) bool {
+		shift := (uint64(k%15) + 1) * 0x10000 // 64 KiB .. ~1 MiB
+		return ReturnModifierCamouflage(sp, fn) != ReturnModifierCamouflage(sp+shift, fn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObjectModifierFields: the §4.3 modifier decomposes exactly into its
+// two fields for all inputs.
+func TestObjectModifierFields(t *testing.T) {
+	f := func(obj uint64, tc uint16) bool {
+		m := ObjectModifier(obj, tc)
+		return uint16(m) == tc && m>>16 == obj&0x0000_FFFF_FFFF_FFFF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObjectModifierDistinguishesObjects: distinct 48-bit object addresses
+// never share a modifier, whatever the type constants.
+func TestObjectModifierDistinguishesObjects(t *testing.T) {
+	f := func(a, b uint64, tc uint16) bool {
+		if a&0x0000_FFFF_FFFF_FFFF == b&0x0000_FFFF_FFFF_FFFF {
+			return true // same object: collision expected
+		}
+		return ObjectModifier(a, tc) != ObjectModifier(b, tc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModifierSchemeStrings pins the display names used across figures.
+func TestModifierSchemeStrings(t *testing.T) {
+	for scheme, want := range map[ModifierScheme]string{
+		ModifierNone:       "none",
+		ModifierClangSP:    "SP (Clang)",
+		ModifierPARTS:      "PARTS (16b SP + 48b func-id)",
+		ModifierCamouflage: "Camouflage (32b SP + func addr)",
+	} {
+		if scheme.String() != want {
+			t.Errorf("%d.String() = %q, want %q", scheme, scheme.String(), want)
+		}
+	}
+}
+
+// TestTypeConstDistribution: the FNV-folded constants spread across the
+// 16-bit space for realistic kernel member names (no systematic bias that
+// would cluster modifiers).
+func TestTypeConstDistribution(t *testing.T) {
+	names := []struct{ typ, member string }{
+		{"file", "f_ops"}, {"file", "f_cred"}, {"inode", "i_op"},
+		{"socket", "ops"}, {"net_device", "netdev_ops"}, {"tty_struct", "ops"},
+		{"work_struct", "func"}, {"timer_list", "function"},
+		{"super_block", "s_op"}, {"dentry", "d_op"},
+	}
+	seen := map[uint16]bool{}
+	for _, n := range names {
+		tc := TypeConst(n.typ, n.member)
+		if seen[tc] {
+			t.Fatalf("collision at %s.%s (tc=%#x) within a tiny sample", n.typ, n.member, tc)
+		}
+		seen[tc] = true
+	}
+}

@@ -1,0 +1,327 @@
+// Package pac models ARMv8.3-A pointer authentication (PAuth) over the
+// VMSAv8 virtual address layout described in Appendix A of the Camouflage
+// paper (Tables 1 and 2).
+//
+// A 64-bit AArch64 pointer does not use all of its bits for addressing: with
+// the usual 48-bit virtual address space, bits 47..0 address memory, bit 55
+// selects the translation table (TTBR0 for user, TTBR1 for kernel) and the
+// remaining bits are sign extension (or an ignored tag byte when top-byte
+// ignore is enabled). PAuth replaces those unused bits with a truncated
+// keyed MAC — the pointer authentication code (PAC) — computed by QARMA
+// from the pointer and a 64-bit modifier.
+//
+// This package computes PAC field geometry for a configurable layout,
+// signs, authenticates and strips pointers, and models the
+// authentication-failure "poisoning" that makes a corrupted pointer fault
+// when dereferenced.
+package pac
+
+import (
+	"fmt"
+
+	"camouflage/internal/qarma"
+)
+
+// KeyID names one of the five PAuth keys of ARMv8.3-A (Appendix B.1).
+type KeyID int
+
+const (
+	// KeyIA and KeyIB sign instruction pointers (return addresses and
+	// function pointers).
+	KeyIA KeyID = iota
+	KeyIB
+	// KeyDA and KeyDB sign data pointers.
+	KeyDA
+	KeyDB
+	// KeyGA signs generic 64-bit data, unconstrained by address layout.
+	KeyGA
+
+	// NumKeys is the number of simultaneously active PAuth keys per core.
+	NumKeys = 5
+)
+
+// String returns the ARM name of the key.
+func (k KeyID) String() string {
+	switch k {
+	case KeyIA:
+		return "IA"
+	case KeyIB:
+		return "IB"
+	case KeyDA:
+		return "DA"
+	case KeyDB:
+		return "DB"
+	case KeyGA:
+		return "GA"
+	}
+	return fmt.Sprintf("KeyID(%d)", int(k))
+}
+
+// IsInstruction reports whether k is one of the two instruction keys.
+func (k KeyID) IsInstruction() bool { return k == KeyIA || k == KeyIB }
+
+// IsData reports whether k is one of the two data keys.
+func (k KeyID) IsData() bool { return k == KeyDA || k == KeyDB }
+
+// Config describes the virtual-memory layout parameters that determine
+// where the PAC lives inside a pointer.
+type Config struct {
+	// VABits is the virtual address space size in bits (48 in the typical
+	// configuration of Table 1; up to 52 with ARMv8.2-LVA).
+	VABits int
+	// TBIUser enables top-byte ignore for user (TTBR0) addresses. Linux
+	// enables this, so user PACs lose bits 63..56.
+	TBIUser bool
+	// TBIKernel enables top-byte ignore for kernel (TTBR1) addresses.
+	// Linux leaves this disabled except under KASAN.
+	TBIKernel bool
+}
+
+// DefaultConfig is the typical Linux/Ubuntu AArch64 run-time configuration
+// of the paper: 48-bit VA, 4 KiB pages, TBI for user space only. Under this
+// configuration a kernel pointer carries a 15-bit PAC (§5.4).
+var DefaultConfig = Config{VABits: 48, TBIUser: true, TBIKernel: false}
+
+// selectBit is the bit that selects between TTBR0 (0, user) and
+// TTBR1 (1, kernel) per Table 1.
+const selectBit = 55
+
+// KernelBase is the lowest kernel virtual address of Table 1 for a 48-bit
+// VA configuration.
+const KernelBase = 0xFFFF_0000_0000_0000
+
+// UserTop is the highest user virtual address of Table 1 for a 48-bit VA
+// configuration.
+const UserTop = 0x0000_FFFF_FFFF_FFFF
+
+// Validate reports whether the configuration is one the model supports.
+func (c Config) Validate() error {
+	if c.VABits < 36 || c.VABits > 52 {
+		return fmt.Errorf("pac: VABits %d outside supported range [36, 52]", c.VABits)
+	}
+	return nil
+}
+
+// IsKernel reports whether addr selects the kernel translation table
+// (bit 55 set — Table 1).
+func (c Config) IsKernel(addr uint64) bool {
+	return addr&(1<<selectBit) != 0
+}
+
+// PACField returns the mask of pointer bits that hold the PAC for a pointer
+// on the given side of the address space, and the PAC size in bits. Bit 55
+// is never part of the PAC (it must keep selecting the translation table),
+// and tag bits 63..56 are excluded when TBI is enabled for that side.
+func (c Config) PACField(kernel bool) (mask uint64, size int) {
+	tbi := c.TBIUser
+	if kernel {
+		tbi = c.TBIKernel
+	}
+	top := 63
+	if tbi {
+		top = 55
+	}
+	for bit := c.VABits; bit <= top; bit++ {
+		if bit == selectBit {
+			continue
+		}
+		mask |= 1 << bit
+	}
+	return mask, popcount(mask)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Canonical returns ptr with its PAC field replaced by the canonical
+// extension bits for its side of the address space: all-ones above bit 54
+// for kernel pointers, all-zeros for user pointers (Table 2), leaving tag
+// bits alone when TBI applies.
+func (c Config) Canonical(ptr uint64) uint64 {
+	kernel := c.IsKernel(ptr)
+	mask, _ := c.PACField(kernel)
+	if kernel {
+		return ptr | mask
+	}
+	return ptr &^ mask
+}
+
+// IsCanonical reports whether the pointer's extension bits match its bit-55
+// selector, i.e. the pointer carries no PAC and no corruption.
+func (c Config) IsCanonical(ptr uint64) bool {
+	return ptr == c.Canonical(ptr)
+}
+
+// Key is one 128-bit PAuth key as held by a register pair
+// (APxKeyHi_EL1:APxKeyLo_EL1).
+type Key struct {
+	Hi uint64
+	Lo uint64
+}
+
+// IsZero reports whether the key is all-zero (never provisioned).
+func (k Key) IsZero() bool { return k.Hi == 0 && k.Lo == 0 }
+
+// KeySet is a full bank of five PAuth keys.
+type KeySet struct {
+	Keys [NumKeys]Key
+}
+
+// Signer computes and checks PACs under a fixed layout configuration. The
+// QARMA cipher instances are cached per key value.
+type Signer struct {
+	cfg    Config
+	rounds int
+	cipher [NumKeys]*qarma.Cipher
+	keys   [NumKeys]Key
+}
+
+// NewSigner returns a Signer for the given layout using QARMA-64 with the
+// default PAC round count.
+func NewSigner(cfg Config) *Signer {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Signer{cfg: cfg, rounds: qarma.DefaultRounds}
+}
+
+// Config returns the layout configuration of the signer.
+func (s *Signer) Config() Config { return s.cfg }
+
+// SetKey installs the 128-bit key for the given slot.
+func (s *Signer) SetKey(id KeyID, k Key) {
+	s.keys[id] = k
+	s.cipher[id] = qarma.New(qarma.Key{W0: k.Hi, K0: k.Lo}, s.rounds)
+}
+
+// Key returns the currently installed key for the slot.
+func (s *Signer) Key(id KeyID) Key { return s.keys[id] }
+
+// SetKeys installs a full bank of keys.
+func (s *Signer) SetKeys(ks KeySet) {
+	for i := range ks.Keys {
+		s.SetKey(KeyID(i), ks.Keys[i])
+	}
+}
+
+// pacFor computes the PAC bits for ptr under modifier, positioned within
+// the PAC field mask. The MAC input is the canonical form of the pointer so
+// that signing is independent of any stale PAC bits.
+func (s *Signer) pacFor(ptr, modifier uint64, id KeyID) uint64 {
+	mask, _ := s.cfg.PACField(s.cfg.IsKernel(ptr))
+	c := s.cipher[id]
+	if c == nil {
+		// Unprovisioned key: ARM behaviour with a zero key is still a MAC;
+		// we model an explicit all-zero key.
+		c = qarma.New(qarma.Key{}, s.rounds)
+		s.cipher[id] = c
+	}
+	mac := c.Encrypt(s.cfg.Canonical(ptr), modifier)
+	// Scatter the low MAC bits into the PAC field positions.
+	var pacBits uint64
+	bit := 0
+	for i := 0; i < 64; i++ {
+		if mask&(1<<i) != 0 {
+			if mac&(1<<bit) != 0 {
+				pacBits |= 1 << i
+			}
+			bit++
+		}
+	}
+	return pacBits
+}
+
+// Sign returns ptr with its PAC field replaced by the PAC computed under
+// the key and modifier (the PAC* instructions).
+func (s *Signer) Sign(ptr, modifier uint64, id KeyID) uint64 {
+	kernel := s.cfg.IsKernel(ptr)
+	mask, _ := s.cfg.PACField(kernel)
+	pacBits := s.pacFor(ptr, modifier, id)
+	if kernel {
+		// Kernel canonical extension is all-ones: the PAC is stored
+		// inverted relative to the extension so that a zero MAC still
+		// yields a canonical-looking pointer only when it should.
+		return (ptr &^ mask) | pacBits
+	}
+	return (ptr &^ mask) | pacBits
+}
+
+// poisonBit returns the extension bit flipped on authentication failure so
+// the resulting address is non-canonical and faults when dereferenced.
+// ARMv8.3 writes a key-class-dependent error code into the top bits of the
+// PAC field itself (bits 62:61 without TBI, bits 54:53 with TBI) — placing
+// it inside the *checked* field is essential: with top-byte ignore the tag
+// bits are never validated, so poisoning them would not fault. We model the
+// top PAC-field bit for instruction keys and the next one down for data
+// keys.
+func poisonBit(mask uint64, id KeyID) uint64 {
+	top := uint64(1) << 63
+	for ; top != 0 && top&mask == 0; top >>= 1 {
+	}
+	if id.IsInstruction() || top == 1 {
+		return top
+	}
+	second := top >> 1
+	for ; second != 0 && second&mask == 0; second >>= 1 {
+	}
+	if second == 0 {
+		return top
+	}
+	return second
+}
+
+// Auth authenticates a signed pointer (the AUT* instructions). On success
+// it returns the canonical pointer and ok = true. On failure it returns a
+// poisoned, guaranteed-non-canonical pointer and ok = false; dereferencing
+// or branching to that pointer raises a translation fault in the MMU model.
+func (s *Signer) Auth(signed, modifier uint64, id KeyID) (ptr uint64, ok bool) {
+	kernel := s.cfg.IsKernel(signed)
+	mask, _ := s.cfg.PACField(kernel)
+	want := s.pacFor(signed, modifier, id)
+	got := signed & mask
+	canonical := s.cfg.Canonical(signed)
+	if got == want {
+		return canonical, true
+	}
+	// Poison: canonicalise, then flip a checked extension bit so the
+	// pointer is invalid regardless of address-space side.
+	return canonical ^ poisonBit(mask, id), false
+}
+
+// Strip removes the PAC, restoring the canonical pointer without any
+// authentication (the XPAC* instructions; debugging only).
+func (s *Signer) Strip(ptr uint64) uint64 {
+	return s.cfg.Canonical(ptr)
+}
+
+// GenericMAC computes the 32-bit PACGA-style MAC over value with the given
+// modifier; the result is placed in the high 32 bits as the architecture
+// does for PACGA's destination register.
+func (s *Signer) GenericMAC(value, modifier uint64) uint64 {
+	c := s.cipher[KeyGA]
+	if c == nil {
+		c = qarma.New(qarma.Key{}, s.rounds)
+		s.cipher[KeyGA] = c
+	}
+	return uint64(c.MAC(value, modifier)) << 32
+}
+
+// IsPoisoned reports whether ptr carries the authentication-failure marker
+// of either key class (and is therefore guaranteed non-canonical).
+func (s *Signer) IsPoisoned(ptr uint64) bool {
+	if s.cfg.IsCanonical(ptr) {
+		return false
+	}
+	mask, _ := s.cfg.PACField(s.cfg.IsKernel(ptr))
+	for _, id := range []KeyID{KeyIA, KeyDA} {
+		if s.cfg.IsCanonical(ptr ^ poisonBit(mask, id)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,367 @@
+package pac
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testSigner() *Signer {
+	s := NewSigner(DefaultConfig)
+	s.SetKey(KeyIA, Key{Hi: 0x1111, Lo: 0xAAAA})
+	s.SetKey(KeyIB, Key{Hi: 0x2222, Lo: 0xBBBB})
+	s.SetKey(KeyDA, Key{Hi: 0x3333, Lo: 0xCCCC})
+	s.SetKey(KeyDB, Key{Hi: 0x4444, Lo: 0xDDDD})
+	s.SetKey(KeyGA, Key{Hi: 0x5555, Lo: 0xEEEE})
+	return s
+}
+
+// TestPACFieldTable2 pins the PAC geometry of Table 2 / §5.4: with a 48-bit
+// VA, a kernel pointer (TBI off) has a 15-bit PAC in bits 63..56 and 54..48;
+// a user pointer with TBI on has a 7-bit PAC in bits 54..48.
+func TestPACFieldTable2(t *testing.T) {
+	mask, size := DefaultConfig.PACField(true)
+	if size != 15 {
+		t.Errorf("kernel PAC size = %d bits, want 15 (§5.4)", size)
+	}
+	if want := uint64(0xFF7F_0000_0000_0000); mask != want {
+		t.Errorf("kernel PAC mask = %#016x, want %#016x", mask, want)
+	}
+	mask, size = DefaultConfig.PACField(false)
+	if size != 7 {
+		t.Errorf("user PAC size = %d bits, want 7 (TBI)", size)
+	}
+	if want := uint64(0x007F_0000_0000_0000); mask != want {
+		t.Errorf("user PAC mask = %#016x, want %#016x", mask, want)
+	}
+}
+
+// TestPACSizeSweep exercises PAC geometry across VA sizes (Appendix A: up
+// to 52 bits with ARMv8.2-LVA).
+func TestPACSizeSweep(t *testing.T) {
+	cases := []struct {
+		vaBits      int
+		tbi         bool
+		wantPACBits int
+	}{
+		{48, false, 15}, // default kernel
+		{48, true, 7},   // default user
+		{39, false, 24}, // 39-bit VA kernel
+		{39, true, 16},
+		{52, false, 11},
+		{42, false, 21},
+	}
+	for _, c := range cases {
+		cfg := Config{VABits: c.vaBits, TBIUser: c.tbi, TBIKernel: c.tbi}
+		_, size := cfg.PACField(false)
+		if size != c.wantPACBits {
+			t.Errorf("VABits=%d TBI=%v: PAC size = %d, want %d", c.vaBits, c.tbi, size, c.wantPACBits)
+		}
+	}
+}
+
+// TestVMSAv8AddressRanges reproduces Table 1: bit 55 selects the
+// translation table; the canonical kernel and user ranges are recognised
+// and the hole between them is neither.
+func TestVMSAv8AddressRanges(t *testing.T) {
+	cfg := DefaultConfig
+	kernelAddrs := []uint64{0xFFFF_FFFF_FFFF_FFFF, KernelBase, 0xFFFF_0000_1234_5678}
+	for _, a := range kernelAddrs {
+		if !cfg.IsKernel(a) {
+			t.Errorf("IsKernel(%#x) = false, want true", a)
+		}
+		if !cfg.IsCanonical(a) {
+			t.Errorf("IsCanonical(%#x) = false, want true", a)
+		}
+	}
+	userAddrs := []uint64{0, 0x0000_7FFF_FFFF_F000, UserTop & ^uint64(0x00FF_0000_0000_0000)}
+	for _, a := range userAddrs {
+		if cfg.IsKernel(a) {
+			t.Errorf("IsKernel(%#x) = true, want false", a)
+		}
+	}
+	// Addresses in the Table 1 invalid hole are non-canonical.
+	invalid := []uint64{0x0001_0000_0000_0000, 0xFFFE_FFFF_FFFF_FFFF, 0x0040_0000_0000_0000}
+	for _, a := range invalid {
+		if cfg.IsCanonical(a) {
+			t.Errorf("IsCanonical(%#x) = true, want false (Table 1 hole)", a)
+		}
+	}
+	// With TBI, a tagged user pointer is canonical (tag ignored).
+	tagged := uint64(0xAB00_7FFF_0000_1234)
+	if !cfg.IsCanonical(tagged) {
+		t.Errorf("tagged user pointer %#x should be canonical under TBI", tagged)
+	}
+}
+
+func TestSignAuthRoundTrip(t *testing.T) {
+	s := testSigner()
+	f := func(off uint32, mod uint64) bool {
+		ptr := KernelBase | uint64(off)
+		signed := s.Sign(ptr, mod, KeyIB)
+		got, ok := s.Auth(signed, mod, KeyIB)
+		return ok && got == ptr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignAuthUserPointer(t *testing.T) {
+	s := testSigner()
+	ptr := uint64(0x0000_7FFF_1234_5000)
+	signed := s.Sign(ptr, 7, KeyIA)
+	got, ok := s.Auth(signed, 7, KeyIA)
+	if !ok || got != ptr {
+		t.Fatalf("Auth = (%#x, %v), want (%#x, true)", got, ok, ptr)
+	}
+}
+
+func TestAuthWrongModifierFails(t *testing.T) {
+	s := testSigner()
+	ptr := uint64(KernelBase) | 0x1234_5678
+	signed := s.Sign(ptr, 100, KeyIB)
+	got, ok := s.Auth(signed, 101, KeyIB)
+	if ok {
+		t.Fatal("Auth succeeded with wrong modifier")
+	}
+	if s.cfg.IsCanonical(got) {
+		t.Fatalf("poisoned pointer %#x is canonical; it must fault on use", got)
+	}
+	if !s.IsPoisoned(got) {
+		t.Fatalf("IsPoisoned(%#x) = false", got)
+	}
+}
+
+func TestAuthWrongKeyFails(t *testing.T) {
+	s := testSigner()
+	ptr := uint64(KernelBase) | 0xBEEF000
+	signed := s.Sign(ptr, 5, KeyIA)
+	if _, ok := s.Auth(signed, 5, KeyIB); ok {
+		t.Fatal("Auth succeeded under the wrong key")
+	}
+}
+
+func TestAuthCorruptedPointerFails(t *testing.T) {
+	s := testSigner()
+	ptr := uint64(KernelBase) | 0xCAFE000
+	signed := s.Sign(ptr, 5, KeyDB)
+	// Attacker overwrites the address bits but keeps the PAC.
+	mask, _ := s.cfg.PACField(true)
+	forged := (signed & mask) | s.cfg.Canonical(KernelBase|0xD00D000)&^mask
+	if _, ok := s.Auth(forged, 5, KeyDB); ok {
+		t.Fatal("Auth accepted a pointer with transplanted PAC")
+	}
+}
+
+// TestAuthInjectedUnsignedPointer models the paper's §6.2.1: injecting an
+// arbitrary unsigned (canonical) pointer fails authentication except with
+// probability 2^-pac_size.
+func TestAuthInjectedUnsignedPointer(t *testing.T) {
+	s := testSigner()
+	misses := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		ptr := KernelBase | uint64(i)<<12
+		if _, ok := s.Auth(ptr, 99, KeyIB); ok {
+			misses++
+		}
+	}
+	// Expected acceptance rate 2^-15; with n=2000 even 3 passes would be
+	// an extraordinary fluke.
+	if misses > 2 {
+		t.Fatalf("%d/%d unsigned pointers authenticated; expected ~n*2^-15", misses, n)
+	}
+}
+
+func TestStrip(t *testing.T) {
+	s := testSigner()
+	ptr := uint64(KernelBase) | 0xABC000
+	signed := s.Sign(ptr, 3, KeyIB)
+	if got := s.Strip(signed); got != ptr {
+		t.Fatalf("Strip = %#x, want %#x", got, ptr)
+	}
+	u := uint64(0x0000_7FFF_0000_1000)
+	su := s.Sign(u, 3, KeyDA)
+	if got := s.Strip(su); got != u {
+		t.Fatalf("Strip user = %#x, want %#x", got, u)
+	}
+}
+
+func TestPACDependsOnKeyAndModifierAndAddress(t *testing.T) {
+	s := testSigner()
+	ptr := uint64(KernelBase) | 0x40_0000
+	base := s.Sign(ptr, 1, KeyIB)
+	if s.Sign(ptr, 2, KeyIB) == base {
+		t.Error("PAC identical under different modifiers")
+	}
+	if s.Sign(ptr, 1, KeyIA) == base {
+		t.Error("PAC identical under different keys")
+	}
+	if s.Sign(ptr|0x1000, 1, KeyIB)&^0xFFFF == base&^0xFFFF && s.Sign(ptr|0x1000, 1, KeyIB)&0xFF7F_0000_0000_0000 == base&0xFF7F_0000_0000_0000 {
+		t.Error("PAC identical under different addresses")
+	}
+}
+
+func TestGenericMAC(t *testing.T) {
+	s := testSigner()
+	m := s.GenericMAC(0x1234, 0x5678)
+	if m&0xFFFF_FFFF != 0 {
+		t.Errorf("GenericMAC low 32 bits = %#x, want 0 (PACGA result is in the high half)", m&0xFFFF_FFFF)
+	}
+	if m == 0 {
+		t.Error("GenericMAC = 0; MAC should be non-trivial for a non-zero key")
+	}
+	if s.GenericMAC(0x1234, 0x5679) == m {
+		t.Error("GenericMAC identical under different modifiers")
+	}
+}
+
+func TestSignerZeroKeyStillWorks(t *testing.T) {
+	s := NewSigner(DefaultConfig) // no keys installed
+	ptr := uint64(KernelBase) | 0x9000
+	signed := s.Sign(ptr, 1, KeyIB)
+	if got, ok := s.Auth(signed, 1, KeyIB); !ok || got != ptr {
+		t.Fatalf("zero-key Auth = (%#x, %v), want (%#x, true)", got, ok, ptr)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{VABits: 48}).Validate(); err != nil {
+		t.Errorf("48-bit VA rejected: %v", err)
+	}
+	if err := (Config{VABits: 20}).Validate(); err == nil {
+		t.Error("20-bit VA accepted")
+	}
+	if err := (Config{VABits: 64}).Validate(); err == nil {
+		t.Error("64-bit VA accepted")
+	}
+}
+
+func TestKeyIDString(t *testing.T) {
+	want := map[KeyID]string{KeyIA: "IA", KeyIB: "IB", KeyDA: "DA", KeyDB: "DB", KeyGA: "GA"}
+	for id, w := range want {
+		if id.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(id), id.String(), w)
+		}
+	}
+	if KeyIA.IsData() || !KeyIA.IsInstruction() || !KeyDB.IsData() || KeyDB.IsInstruction() {
+		t.Error("key class predicates wrong")
+	}
+}
+
+// --- modifier constructions ---
+
+func TestReturnModifierCamouflage(t *testing.T) {
+	// Listing 3: modifier = SP[31:0] << 32 | funcAddr[31:0].
+	sp := uint64(0xFFFF_0000_DEAD_B000)
+	fn := uint64(0xFFFF_0000_1234_5678)
+	got := ReturnModifierCamouflage(sp, fn)
+	if want := uint64(0xDEAD_B000_1234_5678); got != want {
+		t.Fatalf("ReturnModifierCamouflage = %#x, want %#x", got, want)
+	}
+}
+
+func TestReturnModifierPARTS(t *testing.T) {
+	got := ReturnModifierPARTS(0xFFFF_0000_DEAD_B321, 0x0000_ABCD_EF01_2345)
+	if want := uint64(0xB321_ABCD_EF01_2345); got != want {
+		t.Fatalf("ReturnModifierPARTS = %#x, want %#x", got, want)
+	}
+}
+
+func TestObjectModifierListing4(t *testing.T) {
+	// Listing 4: mov w9, #0xfb45; bfi x9, x0, #16, #48.
+	obj := uint64(0xFFFF_0000_0DE0_0040)
+	got := ObjectModifier(obj, 0xFB45)
+	if got&0xFFFF != 0xFB45 {
+		t.Fatalf("ObjectModifier low 16 = %#x, want 0xFB45", got&0xFFFF)
+	}
+	if got>>16 != obj&0x0000_FFFF_FFFF_FFFF {
+		t.Fatalf("ObjectModifier high 48 = %#x, want %#x", got>>16, obj&0x0000_FFFF_FFFF_FFFF)
+	}
+}
+
+// TestReplaySurfaceClangSP demonstrates §4.2: with the SP-only modifier,
+// two different threads whose kernel stacks are 4 KiB aligned produce the
+// same signed return address for the same stack depth — a replayable PAC.
+// The Camouflage modifier at the same depth in a different function does
+// not replay.
+func TestReplaySurfaceClangSP(t *testing.T) {
+	s := testSigner()
+	retAddr := uint64(KernelBase) | 0x0040_1000 // some return site
+	spThread1 := uint64(KernelBase) | 0x0800_3F40
+	spThread2 := uint64(KernelBase) | 0x0900_3F40 // same low bits: stacks 4 KiB aligned
+
+	sig1 := s.Sign(retAddr, ReturnModifierClangSP(spThread1), KeyIB)
+	sig2 := s.Sign(retAddr, ReturnModifierClangSP(spThread2), KeyIB)
+	if sig1 == sig2 {
+		t.Log("full-SP modifiers differ in high bits here; replay needs equal SP")
+	}
+	// Same thread, same SP later in time (shallow 16 KiB stack): identical
+	// modifier, so the old signed pointer replays.
+	if _, ok := s.Auth(sig1, ReturnModifierClangSP(spThread1), KeyIB); !ok {
+		t.Fatal("replayed ClangSP pointer did not authenticate")
+	}
+
+	// Camouflage: same SP but different function address -> no replay.
+	fn1 := uint64(KernelBase) | 0x0040_0000
+	fn2 := uint64(KernelBase) | 0x0050_0000
+	sigA := s.Sign(retAddr, ReturnModifierCamouflage(spThread1, fn1), KeyIB)
+	if _, ok := s.Auth(sigA, ReturnModifierCamouflage(spThread1, fn2), KeyIB); ok {
+		t.Fatal("Camouflage pointer replayed across functions")
+	}
+}
+
+// TestReplaySurfacePARTS demonstrates §7: PARTS's 16-bit SP component
+// collides for stacks separated by a multiple of 64 KiB, while Camouflage's
+// 32-bit SP component does not collide until 4 GiB spacing.
+func TestReplaySurfacePARTS(t *testing.T) {
+	s := testSigner()
+	retAddr := uint64(KernelBase) | 0x0040_1000
+	funcID := uint64(777)
+	sp1 := uint64(KernelBase) | 0x0081_3F40
+	sp2 := sp1 + 0x10000 // 64 KiB apart: PARTS modifier identical
+
+	m1 := ReturnModifierPARTS(sp1, funcID)
+	m2 := ReturnModifierPARTS(sp2, funcID)
+	if m1 != m2 {
+		t.Fatalf("PARTS modifiers differ (%#x vs %#x); expected collision at 64 KiB spacing", m1, m2)
+	}
+	sig := s.Sign(retAddr, m1, KeyIB)
+	if _, ok := s.Auth(sig, m2, KeyIB); !ok {
+		t.Fatal("PARTS replay did not authenticate despite modifier collision")
+	}
+
+	fn := uint64(KernelBase) | 0x0040_0000
+	c1 := ReturnModifierCamouflage(sp1, fn)
+	c2 := ReturnModifierCamouflage(sp2, fn)
+	if c1 == c2 {
+		t.Fatal("Camouflage modifiers collided at 64 KiB stack spacing")
+	}
+}
+
+func TestTypeConstStable(t *testing.T) {
+	a := TypeConst("file", "f_ops")
+	if a != TypeConst("file", "f_ops") {
+		t.Fatal("TypeConst is not deterministic")
+	}
+	if a == TypeConst("file", "f_cred") {
+		t.Error("TypeConst collides for distinct members (unlucky hash; pick different names)")
+	}
+	if a == TypeConst("inode", "f_ops") {
+		t.Error("TypeConst collides for distinct types (unlucky hash; pick different names)")
+	}
+}
+
+func TestPoisonedPointerNotCanonicalBothSides(t *testing.T) {
+	s := testSigner()
+	for _, ptr := range []uint64{uint64(KernelBase) | 0x1000, 0x0000_7FFF_0000_2000} {
+		signed := s.Sign(ptr, 1, KeyIA)
+		got, ok := s.Auth(signed, 2, KeyIA)
+		if ok {
+			t.Fatalf("Auth unexpectedly succeeded for %#x", ptr)
+		}
+		if s.cfg.IsCanonical(got) {
+			t.Errorf("poisoned %#x canonical", got)
+		}
+	}
+}

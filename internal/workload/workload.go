@@ -1,0 +1,247 @@
+// Package workload reproduces the user-space workloads of the paper's
+// Figure 4: 1) a JPEG picture resize (predominantly user computation),
+// 2) a Debian package build (balanced user/kernel), and 3) a network
+// download (mostly kernel). The paper's observation is that the kernel CFI
+// overhead is attenuated by the user:kernel cycle ratio, with a geometric
+// mean below 4 % under full protection.
+//
+// Each workload is a complete user program on the simulated machine with
+// the corresponding instruction mix; the kernel side goes through the real
+// instrumented syscall paths.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"camouflage/internal/codegen"
+	"camouflage/internal/cpu"
+	"camouflage/internal/insn"
+	"camouflage/internal/kernel"
+)
+
+// Workload is one Figure 4 bar group.
+type Workload struct {
+	// Name matches the paper's caption.
+	Name string
+	// Build emits the user program.
+	Build func(u *kernel.UserASM)
+	// Setup prepares host-side devices (packets, disk sectors).
+	Setup func(k *kernel.Kernel)
+	// NeedsExecTarget registers the compiler-stand-in program.
+	NeedsExecTarget bool
+}
+
+// ExecTargetProgID is the program id spawned by the build workload.
+const ExecTargetProgID = 9
+
+// computeLoop emits a multiply-accumulate loop over user memory: the
+// "user computation" component.
+func computeLoop(u *kernel.UserASM, label string, iters uint64) {
+	u.MovImm(insn.X4, kernel.UserDataBase)
+	u.MovImm(insn.X5, iters)
+	u.A.Label(label)
+	u.A.I(insn.LDR(insn.X6, insn.X4, 0))
+	u.A.I(insn.MADD(insn.X7, insn.X6, insn.X5, insn.X7))
+	u.A.I(insn.EORr(insn.X7, insn.X7, insn.X5))
+	u.A.I(insn.ADDr(insn.X7, insn.X7, insn.X6))
+	u.A.I(insn.STR(insn.X7, insn.X4, 8))
+	u.A.I(insn.SUBi(insn.X5, insn.X5, 1))
+	u.A.CBNZ(insn.X5, label)
+}
+
+// Suite returns the three Figure 4 workloads.
+func Suite() []Workload {
+	return []Workload{
+		{
+			// JPEG resize: long filter kernels over pixel rows, with a
+			// handful of reads to page the image in.
+			Name: "JPEG resize",
+			Build: func(u *kernel.UserASM) {
+				u.Syscall(kernel.SysOpenat, 0, kernel.PathTmpFile, 0)
+				u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
+				// 24 rows: read one row, then heavy resampling compute.
+				u.CounterLoop("rows", insn.X22, 24, func() {
+					u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
+					u.MovImm(insn.X1, kernel.UserDataBase)
+					u.MovImm(insn.X2, 256)
+					u.SyscallReg(kernel.SysRead)
+					computeLoop(u, "resample", 2600)
+				})
+				u.SyscallReg(kernel.SysClose)
+				u.Exit(0)
+			},
+			Setup: func(k *kernel.Kernel) {
+				sector := make([]byte, 512)
+				for i := range sector {
+					sector[i] = byte(i * 31)
+				}
+				k.Blk.WriteSector(7, sector)
+			},
+		},
+		{
+			// Package build: per compilation unit, a stat + open + read
+			// (source), parsing compute, a compiler child (fork+exec),
+			// an object write and a close.
+			Name:            "package build",
+			NeedsExecTarget: true,
+			Build: func(u *kernel.UserASM) {
+				u.CounterLoop("units", insn.X22, 10, func() {
+					u.Syscall(kernel.SysFstatat, 0, kernel.PathTmpFile)
+					u.Syscall(kernel.SysOpenat, 0, kernel.PathTmpFile, 0)
+					u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
+					u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
+					u.MovImm(insn.X1, kernel.UserDataBase)
+					u.MovImm(insn.X2, 512)
+					u.SyscallReg(kernel.SysRead)
+					// Parse/codegen compute.
+					computeLoop(u, "parse", 900)
+					// Spawn the compiler (fork + exec + wait-by-yield).
+					u.SyscallReg(kernel.SysClone)
+					u.A.CBNZ(insn.X0, "parent")
+					u.Syscall(kernel.SysExecve, ExecTargetProgID)
+					u.Exit(1)
+					u.A.Label("parent")
+					u.SyscallReg(kernel.SysSchedYield)
+					// Write the object file and close.
+					u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
+					u.MovImm(insn.X1, kernel.UserDataBase)
+					u.MovImm(insn.X2, 512)
+					u.SyscallReg(kernel.SysWrite)
+					u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
+					u.SyscallReg(kernel.SysClose)
+				})
+				u.Exit(0)
+			},
+			Setup: func(k *kernel.Kernel) {
+				k.Blk.WriteSector(7, make([]byte, 512))
+			},
+		},
+		{
+			// Network download: drain queued packets through the socket
+			// receive path, checksumming each buffer (mostly kernel).
+			Name: "network download",
+			Build: func(u *kernel.UserASM) {
+				u.Syscall(kernel.SysOpenat, 0, kernel.PathSocket, 0)
+				u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
+				u.A.Label("recv")
+				u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
+				u.MovImm(insn.X1, kernel.UserDataBase)
+				u.MovImm(insn.X2, 1024)
+				u.SyscallReg(kernel.SysRead)
+				u.A.CBZ(insn.X0, "done") // EOF: queue drained
+				// Light checksum over the received words.
+				computeLoop(u, "csum", 60)
+				u.A.B("recv")
+				u.A.Label("done")
+				u.SyscallReg(kernel.SysClose)
+				u.Exit(0)
+			},
+			Setup: func(k *kernel.Kernel) {
+				pkt := make([]byte, 1024)
+				for i := range pkt {
+					pkt[i] = byte(i)
+				}
+				for n := 0; n < 100; n++ {
+					k.Net.InjectPacket(pkt)
+				}
+			},
+		},
+	}
+}
+
+// Result is one Figure 4 measurement.
+type Result struct {
+	Workload string
+	Level    string
+	Cycles   uint64
+	// Relative is Cycles divided by the baseline build's cycles (filled
+	// by RunSuite).
+	Relative float64
+}
+
+// Run executes one workload under one configuration.
+func Run(cfg func() *codegen.Config, level string, w Workload) (Result, error) {
+	k, err := kernel.New(kernel.Options{Config: cfg(), Seed: 99})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := k.Boot(); err != nil {
+		return Result{}, err
+	}
+	if w.Setup != nil {
+		w.Setup(k)
+	}
+	prog, err := kernel.BuildProgram(w.Name, w.Build)
+	if err != nil {
+		return Result{}, err
+	}
+	k.RegisterProgram(1, prog)
+	if w.NeedsExecTarget {
+		tgt, err := kernel.BuildProgram("cc1", func(u *kernel.UserASM) {
+			// The "compiler": a short burst of compute, then exit.
+			computeLoop(u, "cc1work", 300)
+			u.Exit(0)
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		k.RegisterProgram(ExecTargetProgID, tgt)
+	}
+	if _, err := k.Spawn(1); err != nil {
+		return Result{}, err
+	}
+	start := k.CPU.Cycles
+	stop := k.Run(2_000_000_000)
+	if stop.Kind != cpu.StopHLT {
+		return Result{}, fmt.Errorf("workload %s: no halt: %+v", w.Name, stop)
+	}
+	return Result{Workload: w.Name, Level: level, Cycles: k.CPU.Cycles - start}, nil
+}
+
+// RunSuite measures all workloads under the three Figure 4 levels and
+// fills in relative costs.
+func RunSuite() ([]Result, error) {
+	levels := []struct {
+		Name string
+		Cfg  func() *codegen.Config
+	}{
+		{"none", codegen.ConfigNone},
+		{"backward-edge", codegen.ConfigBackward},
+		{"full", codegen.ConfigFull},
+	}
+	var out []Result
+	base := map[string]uint64{}
+	for _, w := range Suite() {
+		for _, lv := range levels {
+			r, err := Run(lv.Cfg, lv.Name, w)
+			if err != nil {
+				return nil, err
+			}
+			if lv.Name == "none" {
+				base[w.Name] = r.Cycles
+			}
+			r.Relative = float64(r.Cycles) / float64(base[w.Name])
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// GeoMeanOverhead returns the geometric-mean relative cost of one level
+// across workloads (the paper's "geometric mean of the overhead drops to
+// less than 4%").
+func GeoMeanOverhead(results []Result, level string) float64 {
+	prod := 1.0
+	n := 0
+	for _, r := range results {
+		if r.Level == level {
+			prod *= r.Relative
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
