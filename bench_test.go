@@ -278,6 +278,70 @@ func BenchmarkSimulatorMIPS(b *testing.B) {
 	b.ReportMetric(float64(b.N), "instrs")
 }
 
+// BenchmarkExecThroughput measures end-to-end simulator throughput
+// (simulated instructions per host second) on a representative mixed
+// workload — user ALU blocks, function calls and a getppid round trip
+// per iteration — under LevelNone and LevelFull. The "baseline" variants
+// disable the fast-path pipeline (decoded basic-block cache + software
+// TLB), reverting to the seed's per-word decode map and map-based
+// translation, so the speedup is measured rather than asserted (see
+// DESIGN.md §5 for the recorded numbers).
+func BenchmarkExecThroughput(b *testing.B) {
+	levels := []struct {
+		name  string
+		level ProtectionLevel
+	}{
+		{"none", LevelNone},
+		{"full", LevelFull},
+	}
+	modes := []struct {
+		name     string
+		baseline bool
+	}{
+		{"fastpath", false},
+		{"baseline", true},
+	}
+	for _, lv := range levels {
+		for _, mode := range modes {
+			lv, mode := lv, mode
+			b.Run(lv.name+"/"+mode.name, func(b *testing.B) {
+				systems, err := ReplicateSystems(lv.level, Options{Seed: 3}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys := systems[0]
+				prog, err := kernel.BuildProgram("mix", func(u *kernel.UserASM) {
+					u.MovImm(insn.X5, 1<<40) // effectively endless
+					u.A.Label("loop")
+					for i := 0; i < 4; i++ {
+						u.A.I(insn.ADDi(insn.X6, insn.X6, 3))
+						u.A.I(insn.EORr(insn.X7, insn.X7, insn.X6))
+					}
+					u.SyscallReg(kernel.SysGetppid)
+					u.A.I(insn.SUBi(insn.X5, insn.X5, 1))
+					u.A.CBNZ(insn.X5, "loop")
+					u.Exit(0)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.Kernel.RegisterProgram(1, prog)
+				if _, err := sys.Kernel.Spawn(1); err != nil {
+					b.Fatal(err)
+				}
+				c := sys.Kernel.CPU
+				c.NoBlockCache = mode.baseline
+				c.MMU.NoTLB = mode.baseline
+				c.InvalidateDecode()
+				b.ResetTimer()
+				sys.Kernel.Run(uint64(b.N))
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+			})
+		}
+	}
+}
+
 // BenchmarkBoot measures the full build+verify+boot pipeline.
 func BenchmarkBoot(b *testing.B) {
 	for i := 0; i < b.N; i++ {

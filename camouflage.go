@@ -22,8 +22,10 @@
 //	    u.Exit(0)
 //	})
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// See DESIGN.md for the system inventory, the fast-path execution
+// pipeline (software TLB + decoded basic-block cache), the cache
+// invalidation contract, and the concurrency model of the parallel
+// experiment runner.
 package camouflage
 
 import (
@@ -60,6 +62,14 @@ func NewSystem(level ProtectionLevel, opts Options) (*System, error) {
 	return core.New(level, opts)
 }
 
+// ReplicateSystems builds n isolated Systems with the same level and
+// options concurrently, one goroutine per System (the §4.1 verification
+// verdict is memoized across replicas). Used by the parallel experiment
+// runner and throughput harnesses.
+func ReplicateSystems(level ProtectionLevel, opts Options, n int) ([]*System, error) {
+	return core.Replicate(level, opts, n)
+}
+
 // Experiment is one reproducible table or figure from the paper.
 type Experiment = figures.Experiment
 
@@ -75,6 +85,20 @@ func RunExperiment(id string, w io.Writer) error {
 		return errUnknownExperiment(id)
 	}
 	return e.Run(w)
+}
+
+// ExperimentStats records one experiment execution for the
+// machine-readable bench log.
+type ExperimentStats = figures.RunStats
+
+// RunExperiments runs the selected experiments (every registered one
+// when ids is empty), writing the renderings to w in registry order.
+// With parallel=true, each experiment — and each (benchmark, protection
+// level) cell inside the suite-shaped ones — runs in its own goroutine
+// on an isolated System; the output is byte-identical to a sequential
+// run. It returns per-experiment stats for the bench log.
+func RunExperiments(w io.Writer, ids []string, parallel bool) ([]ExperimentStats, error) {
+	return figures.RunAll(w, ids, parallel)
 }
 
 type errUnknownExperiment string

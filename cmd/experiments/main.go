@@ -3,22 +3,45 @@
 //
 // Usage:
 //
-//	experiments            — run everything, in paper order
-//	experiments fig3 fig4  — run selected experiments
-//	experiments -list      — list available experiment IDs
+//	experiments                — run everything, in paper order
+//	experiments fig3 fig4      — run selected experiments
+//	experiments -list          — list available experiment IDs
+//	experiments -parallel      — one goroutine per experiment/level
+//	experiments -json=path     — bench log path ("" disables)
+//
+// Alongside the text rendering, a machine-readable bench log
+// (BENCH_results.json by default) records per-experiment wall time and
+// simulated throughput, seeding the performance trajectory across
+// revisions. The -parallel run produces byte-identical tables to the
+// sequential run: every concurrent measurement owns an isolated
+// simulated System and results are assembled in paper order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"camouflage"
 )
 
+// benchLog is the BENCH_results.json document.
+type benchLog struct {
+	GeneratedUnix int64                        `json:"generated_unix"`
+	Parallel      bool                         `json:"parallel"`
+	TotalWallNs   int64                        `json:"total_wall_ns"`
+	Experiments   []camouflage.ExperimentStats `json:"experiments"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs")
+	parallel := flag.Bool("parallel", false,
+		"run experiments concurrently (isolated Systems; identical output)")
+	jsonPath := flag.String("json", "BENCH_results.json",
+		"write a machine-readable bench log to this path (empty to disable)")
 	flag.Parse()
 
 	if *list {
@@ -28,17 +51,27 @@ func main() {
 		return
 	}
 
-	ids := flag.Args()
-	if len(ids) == 0 {
-		for _, e := range camouflage.Experiments() {
-			ids = append(ids, e.ID)
-		}
+	t0 := time.Now()
+	stats, err := camouflage.RunExperiments(os.Stdout, flag.Args(), *parallel)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, id := range ids {
-		fmt.Printf("==== %s ====\n", id)
-		if err := camouflage.RunExperiment(id, os.Stdout); err != nil {
-			log.Fatalf("%s: %v", id, err)
+	wall := time.Since(t0)
+
+	if *jsonPath != "" {
+		doc := benchLog{
+			GeneratedUnix: time.Now().Unix(),
+			Parallel:      *parallel,
+			TotalWallNs:   wall.Nanoseconds(),
+			Experiments:   stats,
 		}
-		fmt.Println()
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bench log: %s\n", *jsonPath)
 	}
 }

@@ -1,0 +1,3 @@
+module camouflage
+
+go 1.21

@@ -10,6 +10,8 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sync"
 
 	"camouflage/internal/analysis"
 	"camouflage/internal/boot"
@@ -108,12 +110,12 @@ func New(level ProtectionLevel, opts Options) (*System, error) {
 	// kernel ... which would read the keys from system registers". Key
 	// *writes* are legitimate in exactly two places — the XOM setter and
 	// the user-key restore of kernel exit — but key *reads* are forbidden
-	// everywhere.
+	// everywhere. The scan result is memoized per section-content hash:
+	// replicated Systems (the parallel experiment runner builds one per
+	// goroutine) reuse the verdict instead of rescanning identical images.
 	for _, sec := range []string{".text", ".xom", ".vectors"} {
-		for _, f := range analysis.ScanBytes(k.Img.Sections[sec].Bytes) {
-			if f.Kind == analysis.FindingKeyRead {
-				return nil, fmt.Errorf("core: kernel %s reads keys: %s", sec, f)
-			}
+		if err := verifyNoKeyReads(sec, k.Img.Sections[sec].Bytes); err != nil {
+			return nil, err
 		}
 	}
 
@@ -121,6 +123,55 @@ func New(level ProtectionLevel, opts Options) (*System, error) {
 		return nil, err
 	}
 	return &System{Kernel: k, Level: level}, nil
+}
+
+// verifiedImages caches §4.1 verification verdicts keyed by section
+// content hash (sync.Map: the parallel runner verifies from many
+// goroutines). Only clean verdicts are cached; failures always rescan.
+var verifiedImages sync.Map
+
+// verifyNoKeyReads runs the §4.1 key-read scan over one code section,
+// memoizing clean results by content hash.
+func verifyNoKeyReads(sec string, code []byte) error {
+	h := fnv.New64a()
+	h.Write([]byte(sec))
+	h.Write(code)
+	key := h.Sum64()
+	if _, ok := verifiedImages.Load(key); ok {
+		return nil
+	}
+	for _, f := range analysis.ScanBytes(code) {
+		if f.Kind == analysis.FindingKeyRead {
+			return fmt.Errorf("core: kernel %s reads keys: %s", sec, f)
+		}
+	}
+	verifiedImages.Store(key, struct{}{})
+	return nil
+}
+
+// Replicate builds n isolated Systems with the same level and options,
+// concurrently, one goroutine per System. Each System has its own CPU,
+// memory, MMU and kernel; the only sharing is the read-only verification
+// memo above. Construction is deterministic, so every replica is
+// identical to a sequentially built one.
+func Replicate(level ProtectionLevel, opts Options, n int) ([]*System, error) {
+	systems := make([]*System, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			systems[i], errs[i] = New(level, opts)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return systems, nil
 }
 
 // RunProgram builds a user program, spawns it as pid 1 and runs it to

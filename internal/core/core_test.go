@@ -118,3 +118,37 @@ func TestBootKeysDifferAcrossSeeds(t *testing.T) {
 	}
 	_ = boot.ModeV83
 }
+
+// TestReplicateBuildsIsolatedIdenticalSystems: concurrent replication
+// must yield fully booted, mutually isolated, deterministic replicas.
+func TestReplicateBuildsIsolatedIdenticalSystems(t *testing.T) {
+	systems, err := Replicate(LevelFull, Options{Seed: 21}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(systems) != 3 {
+		t.Fatalf("got %d systems", len(systems))
+	}
+	ref := systems[0].Stats()
+	for i, s := range systems {
+		if !s.KernelKeyInstalled(pac.KeyIB) {
+			t.Errorf("replica %d: kernel IB key not installed", i)
+		}
+		if st := s.Stats(); st != ref {
+			t.Errorf("replica %d stats %+v differ from replica 0 %+v", i, st, ref)
+		}
+		if i > 0 && s.Kernel.CPU == systems[0].Kernel.CPU {
+			t.Error("replicas share a CPU")
+		}
+	}
+	// Mutating one replica must not leak into another.
+	if _, err := systems[1].RunProgram("probe", func(u *kernel.UserASM) {
+		u.SyscallReg(kernel.SysGetppid)
+		u.Exit(0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if systems[2].Stats() != ref {
+		t.Error("running a program on one replica changed another")
+	}
+}

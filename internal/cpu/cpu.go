@@ -1,17 +1,31 @@
 // Package cpu implements the simulated AArch64 core: architectural state,
-// the fetch–decode–execute loop with a decode cache, the exception model,
+// a block-structured fetch–decode–execute pipeline (software TLB in the
+// mmu package, decoded basic-block cache here), the exception model,
 // PAuth execution semantics driven by the pac package, and a cycle model
 // calibrated to the paper's PA-analogue (see cost.go).
 package cpu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"camouflage/internal/insn"
 	"camouflage/internal/mem"
 	"camouflage/internal/mmu"
 	"camouflage/internal/pac"
 )
+
+// totalCycles/totalRetired aggregate, across every CPU in the process,
+// the work done by completed Run calls. The experiment harness snapshots
+// them around each experiment to report simulated throughput
+// (BENCH_results.json) without threading counters through every layer.
+var totalCycles, totalRetired atomic.Uint64
+
+// TotalCounters returns the process-wide simulated (cycles, instructions)
+// retired by all Run calls so far.
+func TotalCounters() (cycles, instrs uint64) {
+	return totalCycles.Load(), totalRetired.Load()
+}
 
 // Features selects the architecture revision of the simulated core.
 type Features struct {
@@ -119,9 +133,42 @@ type CPU struct {
 	// measurements do not exercise nested kernel interrupts).
 	IRQPending bool
 
-	decode map[uint64]insn.Instr
+	// NoBlockCache reverts fetch to the seed's per-word decode cache
+	// (benchmarking baseline; set before running, not mid-flight).
+	NoBlockCache bool
+
+	// blocks caches decoded straight-line runs keyed by entry PA. A block
+	// never crosses a page boundary, so one (page, generation) pair per
+	// block suffices for precise invalidation.
+	blocks map[uint64]*codeBlock
+	// pageGen maps a physical page number to its code generation. Only
+	// pages that ever held a cached block appear here; a guest store to
+	// such a page bumps the generation, killing every block on the page.
+	pageGen map[uint64]uint64
+	// execGen increments whenever any code page is invalidated. The block
+	// execution loop snapshots it so a store into the *currently running*
+	// block (same-block self-modification) forces an immediate refetch.
+	execGen uint64
+
+	// legacyDecode is the seed's per-word decode cache, active only under
+	// NoBlockCache.
+	legacyDecode map[uint64]insn.Instr
+
 	tracer Tracer
 }
+
+// codeBlock is one decoded straight-line run: the instructions from the
+// entry PA up to and including the first control-flow instruction (or the
+// page boundary).
+type codeBlock struct {
+	instrs []insn.Instr
+	page   uint64
+	gen    uint64
+}
+
+// maxBlockInstrs bounds decode-ahead waste on pathological straight-line
+// runs; a page holds at most 1024 instructions anyway.
+const maxBlockInstrs = 256
 
 // New returns a CPU wired to a fresh bus and MMU using the default VMSAv8
 // layout, starting at EL1 with PAuth available.
@@ -134,7 +181,8 @@ func New(feat Features) *CPU {
 		Feat:      feat,
 		EL:        1,
 		IRQMasked: true,
-		decode:    make(map[uint64]insn.Instr),
+		blocks:    make(map[uint64]*codeBlock),
+		pageGen:   make(map[uint64]uint64),
 	}
 	return c
 }
@@ -310,26 +358,101 @@ func (c *CPU) loadMem(va uint64, size int) (uint64, *mmu.Fault, error) {
 	return v, nil, err
 }
 
-// storeMem translates and stores size bytes, invalidating any decode-cache
-// entries the store covers (self-modifying code, bootloader patching).
+// storeMem translates and stores size bytes, invalidating any decoded
+// instructions the store covers (self-modifying code, bootloader
+// patching). Invalidation is page-granular: if a touched page ever held a
+// cached block, its generation is bumped, which kills every block on the
+// page — including blocks that merely *span* the written range from an
+// earlier entry point (the seed's word-granular delete missed those).
 func (c *CPU) storeMem(va uint64, size int, v uint64) (*mmu.Fault, error) {
 	pa, f := c.MMU.Translate(va, mmu.Store, c.EL)
 	if f != nil {
 		return f, nil
 	}
-	for a := pa &^ 3; a < pa+uint64(size); a += 4 {
-		delete(c.decode, a)
+	last := (pa + uint64(size) - 1) >> mmu.PageShift
+	for p := pa >> mmu.PageShift; p <= last; p++ {
+		if g, ok := c.pageGen[p]; ok {
+			c.pageGen[p] = g + 1
+			c.execGen++
+		}
+	}
+	if c.NoBlockCache && c.legacyDecode != nil {
+		for a := pa &^ 3; a < pa+uint64(size); a += 4 {
+			delete(c.legacyDecode, a)
+		}
 	}
 	return nil, c.Bus.Store(pa, size, v)
 }
 
-// fetch translates PC and returns the decoded instruction.
-func (c *CPU) fetch() (insn.Instr, *mmu.Fault, error) {
+// fetchBlock translates PC and returns the decoded basic block starting
+// there, decoding it if absent or stale.
+func (c *CPU) fetchBlock() (*codeBlock, *mmu.Fault, error) {
+	pa, f := c.MMU.Translate(c.PC, mmu.Fetch, c.EL)
+	if f != nil {
+		return nil, f, nil
+	}
+	if b, ok := c.blocks[pa]; ok && b.gen == c.pageGen[b.page] {
+		return b, nil, nil
+	}
+	return c.decodeBlock(pa)
+}
+
+// decodeBlock decodes the straight-line run at pa: instructions are
+// appended until the first control-flow or system instruction, the page
+// boundary, or the block size cap. The block snapshots its page's
+// generation so stores can invalidate it precisely.
+func (c *CPU) decodeBlock(pa uint64) (*codeBlock, *mmu.Fault, error) {
+	page := pa >> mmu.PageShift
+	gen, ok := c.pageGen[page]
+	if !ok {
+		gen = 1
+		c.pageGen[page] = gen
+	}
+	b := &codeBlock{page: page, gen: gen}
+	end := (page + 1) << mmu.PageShift
+	for a := pa; a < end && len(b.instrs) < maxBlockInstrs; a += insn.Size {
+		w, err := c.Bus.Load(a, 4)
+		if err != nil {
+			if len(b.instrs) == 0 {
+				return nil, nil, err
+			}
+			break
+		}
+		i := insn.Decode(uint32(w))
+		b.instrs = append(b.instrs, i)
+		if endsBlock(i.Op) {
+			break
+		}
+	}
+	c.blocks[pa] = b
+	return b, nil, nil
+}
+
+// endsBlock reports whether op terminates a straight-line decode run:
+// anything that branches, takes an exception, halts, or (MSR) can change
+// translation or PAuth state out from under the pre-decoded run.
+func endsBlock(op insn.Op) bool {
+	switch op {
+	case insn.OpB, insn.OpBL, insn.OpBcond, insn.OpCBZ, insn.OpCBNZ,
+		insn.OpBR, insn.OpBLR, insn.OpRET,
+		insn.OpBLRAA, insn.OpBLRAB, insn.OpBRAA, insn.OpBRAB,
+		insn.OpRETAA, insn.OpRETAB,
+		insn.OpERET, insn.OpSVC, insn.OpHLT, insn.OpMSR, insn.OpInvalid:
+		return true
+	}
+	return false
+}
+
+// fetchLegacy is the seed's per-word fetch path (NoBlockCache baseline).
+func (c *CPU) fetchLegacy() (insn.Instr, *mmu.Fault, error) {
 	pa, f := c.MMU.Translate(c.PC, mmu.Fetch, c.EL)
 	if f != nil {
 		return insn.Instr{}, f, nil
 	}
-	if i, ok := c.decode[pa]; ok {
+	if c.legacyDecode == nil {
+		c.legacyDecode = make(map[uint64]insn.Instr)
+	}
+	if i, ok := c.legacyDecode[pa]; ok {
 		return i, nil, nil
 	}
 	w, err := c.Bus.Load(pa, 4)
@@ -337,14 +460,18 @@ func (c *CPU) fetch() (insn.Instr, *mmu.Fault, error) {
 		return insn.Instr{}, nil, err
 	}
 	i := insn.Decode(uint32(w))
-	c.decode[pa] = i
+	c.legacyDecode[pa] = i
 	return i, nil, nil
 }
 
-// InvalidateDecode drops the whole decode cache (used after host-side
-// writes to guest code, e.g. module loading).
+// InvalidateDecode drops every decoded instruction (used after host-side
+// writes to guest code, e.g. module loading or bootloader key-hiding,
+// which bypass storeMem's tracking).
 func (c *CPU) InvalidateDecode() {
-	c.decode = make(map[uint64]insn.Instr)
+	c.blocks = make(map[uint64]*codeBlock)
+	c.pageGen = make(map[uint64]uint64)
+	c.legacyDecode = nil
+	c.execGen++
 }
 
 // TakeException vectors to EL1. kind is a Vec* offset, ec the exception

@@ -10,7 +10,69 @@ import (
 
 // Run executes until the instruction budget is exhausted, a HLT retires,
 // or an unrecoverable error occurs.
+//
+// The fast path executes decoded basic blocks: translation and block
+// lookup happen once per block entry, then the body runs from a flat
+// []insn.Instr slice. The loop falls out of a block when an instruction
+// branches or takes an exception (PC no longer advances sequentially),
+// when the guest invalidates code the block could cover (execGen), when
+// an IRQ becomes deliverable, or when the budget expires. Cycle and
+// retirement accounting is identical to single-stepping.
 func (c *CPU) Run(maxInstrs uint64) Stop {
+	startCycles, startRetired := c.Cycles, c.Retired
+	defer func() {
+		totalCycles.Add(c.Cycles - startCycles)
+		totalRetired.Add(c.Retired - startRetired)
+	}()
+	if c.NoBlockCache {
+		return c.runLegacy(maxInstrs)
+	}
+	for n := uint64(0); n < maxInstrs; {
+		if c.IRQPending && !c.IRQMasked && c.EL == 0 {
+			c.IRQPending = false
+			c.TakeException(VecIRQLower, ECUnknown, 0, 0)
+			n++
+			continue
+		}
+		b, fault, err := c.fetchBlock()
+		if err != nil {
+			return Stop{Kind: StopError, Err: err}
+		}
+		if fault != nil {
+			c.instructionAbort(fault)
+			n++
+			continue
+		}
+		startGen := c.execGen
+		for idx := 0; idx < len(b.instrs) && n < maxInstrs; idx++ {
+			if c.IRQPending && !c.IRQMasked && c.EL == 0 {
+				break // deliver at the top of the outer loop
+			}
+			ins := b.instrs[idx]
+			if ins.Op == insn.OpInvalid {
+				c.undefined()
+				n++
+				break
+			}
+			pc := c.PC
+			stop, done := c.execute(ins)
+			n++
+			if done {
+				return stop
+			}
+			if c.PC != pc+insn.Size {
+				break // branch taken, exception, or ERET
+			}
+			if c.execGen != startGen {
+				break // the block's own code may have been patched
+			}
+		}
+	}
+	return Stop{Kind: StopLimit}
+}
+
+// runLegacy is the seed's per-instruction loop (NoBlockCache baseline).
+func (c *CPU) runLegacy(maxInstrs uint64) Stop {
 	for n := uint64(0); n < maxInstrs; n++ {
 		if c.IRQPending && !c.IRQMasked && c.EL == 0 {
 			c.IRQPending = false
@@ -28,7 +90,18 @@ func (c *CPU) Run(maxInstrs uint64) Stop {
 // Step executes one instruction. done is true when the machine should
 // stop (HLT or error).
 func (c *CPU) Step() (Stop, bool) {
-	ins, fault, err := c.fetch()
+	var ins insn.Instr
+	var fault *mmu.Fault
+	var err error
+	if c.NoBlockCache {
+		ins, fault, err = c.fetchLegacy()
+	} else {
+		var b *codeBlock
+		b, fault, err = c.fetchBlock()
+		if b != nil {
+			ins = b.instrs[0]
+		}
+	}
 	if err != nil {
 		return Stop{Kind: StopError, Err: err}, true
 	}

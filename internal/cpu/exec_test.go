@@ -262,6 +262,160 @@ func TestSelfModifyingCodeInvalidatesDecodeCache(t *testing.T) {
 	}
 }
 
+// TestSameBlockSelfModifyingStore: a store that patches an instruction
+// *later in the currently executing straight-line block* must take
+// effect before that instruction runs — the block loop has to abandon
+// pre-decoded state the moment its own code page is written.
+func TestSameBlockSelfModifyingStore(t *testing.T) {
+	a := asm.New()
+	a.Label("entry")
+	patch := insn.MOVZ(insn.X0, 7, 0).Encode()
+	a.I(insn.MOVImm64(insn.X9, uint64(patch))...)
+	a.ADR(insn.X10, "target")
+	a.I(insn.STRW(insn.X9, insn.X10, 0))
+	// No branch between the store and the target: entry..HLT decodes as
+	// one block, and the store rewrites an instruction inside it.
+	a.Label("target")
+	a.I(insn.MOVZ(insn.X0, 1, 0))
+	a.I(insn.HLT(0))
+	img, err := a.Link(map[string]uint64{".text": textBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Features{PAuth: true})
+	for _, s := range img.Sections {
+		c.Bus.RAM.WriteBytes(s.Base, s.Bytes)
+	}
+	c.SetSP(1, stackTop)
+	c.PC = img.Symbols["entry"]
+	if stop := c.Run(1000); stop.Kind != StopHLT {
+		t.Fatalf("stop = %+v", stop)
+	}
+	if c.X[0] != 7 {
+		t.Fatalf("x0 = %d; stale in-block instruction executed", c.X[0])
+	}
+}
+
+// TestBlockSpanningStoreInvalidates: a single 8-byte store overwriting
+// TWO instructions of a previously executed block must kill the whole
+// block, not just the directly addressed word (the seed's word-granular
+// delete could leave a multi-word run half-stale).
+func TestBlockSpanningStoreInvalidates(t *testing.T) {
+	a := asm.New()
+	a.Label("entry")
+	a.BL("target") // cache the block at target
+	lo := insn.MOVZ(insn.X0, 7, 0).Encode()
+	hi := insn.MOVZ(insn.X1, 9, 0).Encode()
+	a.I(insn.MOVImm64(insn.X9, uint64(hi)<<32|uint64(lo))...)
+	a.ADR(insn.X10, "target")
+	a.I(insn.STR(insn.X9, insn.X10, 0)) // spans both instructions
+	a.BL("target")
+	a.I(insn.HLT(0))
+	a.Label("target")
+	a.I(insn.MOVZ(insn.X0, 1, 0))
+	a.I(insn.MOVZ(insn.X1, 2, 0))
+	a.I(insn.RET())
+	img, err := a.Link(map[string]uint64{".text": textBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Features{PAuth: true})
+	for _, s := range img.Sections {
+		c.Bus.RAM.WriteBytes(s.Base, s.Bytes)
+	}
+	c.SetSP(1, stackTop)
+	c.PC = img.Symbols["entry"]
+	if stop := c.Run(1000); stop.Kind != StopHLT {
+		t.Fatalf("stop = %+v", stop)
+	}
+	if c.X[0] != 7 || c.X[1] != 9 {
+		t.Fatalf("x0, x1 = %d, %d; block spanning the written range survived", c.X[0], c.X[1])
+	}
+}
+
+// TestPageSpanningStoreInvalidatesBothPages: an 8-byte store straddling
+// a page boundary rewrites the last instruction of one page and the
+// first of the next; cached blocks on BOTH pages must be invalidated.
+func TestPageSpanningStoreInvalidatesBothPages(t *testing.T) {
+	a := asm.New()
+	a.Label("entry")
+	a.BL("tail") // cache blocks on both sides of the boundary
+	lo := insn.MOVZ(insn.X0, 7, 0).Encode()
+	hi := insn.MOVZ(insn.X1, 9, 0).Encode()
+	a.I(insn.MOVImm64(insn.X9, uint64(hi)<<32|uint64(lo))...)
+	a.ADR(insn.X10, "tail")
+	a.I(insn.STR(insn.X9, insn.X10, 0)) // [page_end-4, page_end+4)
+	a.BL("tail")
+	a.I(insn.HLT(0))
+	a.PadTo(0xFFC) // place tail's first instruction on the last word of the page
+	a.Label("tail")
+	a.I(insn.MOVZ(insn.X0, 1, 0)) // last word of page 0
+	a.I(insn.MOVZ(insn.X1, 2, 0)) // first word of page 1
+	a.I(insn.RET())
+	img, err := a.Link(map[string]uint64{".text": textBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Features{PAuth: true})
+	for _, s := range img.Sections {
+		c.Bus.RAM.WriteBytes(s.Base, s.Bytes)
+	}
+	c.SetSP(1, stackTop)
+	c.PC = img.Symbols["entry"]
+	if stop := c.Run(1000); stop.Kind != StopHLT {
+		t.Fatalf("stop = %+v", stop)
+	}
+	if c.X[0] != 7 || c.X[1] != 9 {
+		t.Fatalf("x0, x1 = %d, %d; stale block survived a page-spanning store", c.X[0], c.X[1])
+	}
+}
+
+// TestBlockCacheMatchesLegacyPath: the block-cached pipeline and the
+// seed's per-instruction path must produce identical architectural
+// results and identical cycle/retire accounting.
+func TestBlockCacheMatchesLegacyPath(t *testing.T) {
+	build := func(noCache bool) *CPU {
+		a := asm.New()
+		a.Label("entry")
+		a.I(insn.MOVZ(insn.X5, 50, 0))
+		a.Label("loop")
+		a.BL("f")
+		a.I(insn.SUBi(insn.X5, insn.X5, 1))
+		a.CBNZ(insn.X5, "loop")
+		a.I(insn.HLT(0))
+		a.Label("f")
+		a.I(insn.ADDi(insn.X0, insn.X0, 3))
+		a.I(insn.EORr(insn.X1, insn.X1, insn.X0))
+		a.I(insn.RET())
+		img, err := a.Link(map[string]uint64{".text": textBase})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(Features{PAuth: true})
+		c.NoBlockCache = noCache
+		c.MMU.NoTLB = noCache
+		for _, s := range img.Sections {
+			c.Bus.RAM.WriteBytes(s.Base, s.Bytes)
+		}
+		c.SetSP(1, stackTop)
+		c.PC = img.Symbols["entry"]
+		if stop := c.Run(100000); stop.Kind != StopHLT {
+			t.Fatalf("stop = %+v", stop)
+		}
+		return c
+	}
+	fast := build(false)
+	slow := build(true)
+	if fast.X[0] != slow.X[0] || fast.X[1] != slow.X[1] {
+		t.Fatalf("architectural divergence: fast x0/x1 = %d/%d, legacy %d/%d",
+			fast.X[0], fast.X[1], slow.X[0], slow.X[1])
+	}
+	if fast.Cycles != slow.Cycles || fast.Retired != slow.Retired {
+		t.Fatalf("accounting divergence: fast %d cycles/%d retired, legacy %d/%d",
+			fast.Cycles, fast.Retired, slow.Cycles, slow.Retired)
+	}
+}
+
 func TestIRQDeliveryAtEL0(t *testing.T) {
 	a := asm.New()
 	a.Section(".user")

@@ -4,9 +4,12 @@
 package figures
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"time"
 
 	"camouflage/internal/analysis"
 	"camouflage/internal/asm"
@@ -58,6 +61,121 @@ func Lookup(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// Parallel selects the concurrent execution strategy for the measurement
+// functions in this package (and, via the Render functions, the lmbench
+// and workload suites): one goroutine per (experiment, protection level)
+// or per trial, each on a fully isolated simulated System. Results are
+// assembled by index, so renderings are byte-identical to sequential
+// runs. It is process-wide mode, set once before any experiment starts
+// — normally through RunAll's parallel argument, not directly.
+var Parallel bool
+
+// RunStats records one experiment execution for the machine-readable
+// bench log (BENCH_results.json).
+type RunStats struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	WallNs int64  `json:"wall_ns"`
+	// Cycles/Instrs are the simulated work retired during the experiment;
+	// attribution is exact in sequential runs. In parallel runs the
+	// counters include concurrently running experiments, so Exact=false
+	// and only WallNs is per-experiment.
+	Cycles      uint64  `json:"cycles"`
+	Instrs      uint64  `json:"instrs"`
+	InstrPerSec float64 `json:"instr_per_sec"`
+	Exact       bool    `json:"exact"`
+}
+
+// RunAll runs the selected experiments (every registered one when ids is
+// empty), writing each rendering to w in registry order framed by
+// "==== id ====" headers, and returns per-experiment stats for the bench
+// log. Sequential runs stream each rendering as it completes. With
+// parallel=true, experiments execute concurrently into private buffers
+// and are emitted in order — byte-for-byte identical to the sequential
+// run.
+func RunAll(w io.Writer, ids []string, parallel bool) ([]RunStats, error) {
+	Parallel = parallel
+	var exps []Experiment
+	if len(ids) == 0 {
+		exps = All()
+	} else {
+		for _, id := range ids {
+			e, ok := Lookup(id)
+			if !ok {
+				return nil, fmt.Errorf("figures: unknown experiment %q", id)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	stats := make([]RunStats, len(exps))
+	emit := func(i int, out []byte) error {
+		fmt.Fprintf(w, "==== %s ====\n", exps[i].ID)
+		if _, err := w.Write(out); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	run := func(i int, out io.Writer) error {
+		e := exps[i]
+		c0, r0 := cpu.TotalCounters()
+		t0 := time.Now()
+		err := e.Run(out)
+		wall := time.Since(t0)
+		c1, r1 := cpu.TotalCounters()
+		stats[i] = RunStats{
+			ID: e.ID, Title: e.Title,
+			WallNs: wall.Nanoseconds(),
+			Cycles: c1 - c0, Instrs: r1 - r0,
+			Exact: !parallel,
+		}
+		if wall > 0 {
+			stats[i].InstrPerSec = float64(r1-r0) / wall.Seconds()
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return nil
+	}
+
+	if !parallel {
+		// Stream: each experiment's rendering is written as soon as it
+		// finishes, so partial output survives a failure or interrupt.
+		for i := range exps {
+			var out bytes.Buffer
+			if err := run(i, &out); err != nil {
+				return nil, err
+			}
+			if err := emit(i, out.Bytes()); err != nil {
+				return nil, err
+			}
+		}
+		return stats, nil
+	}
+
+	outs := make([]bytes.Buffer, len(exps))
+	errs := make([]error, len(exps))
+	var wg sync.WaitGroup
+	for i := range exps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = run(i, &outs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range exps {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if err := emit(i, outs[i].Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
 }
 
 // RenderTable1 reproduces Table 1.
@@ -130,11 +248,42 @@ type KeySwitchStats struct {
 	Variance     float64
 }
 
+// forEach runs f(0), …, f(n-1) — concurrently, one goroutine per index,
+// when Parallel is set — and returns the lowest-index error. Callers
+// assemble results by index, keeping output independent of schedule.
+func forEach(n int, f func(i int) error) error {
+	if !Parallel {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // MeasureKeySwitch measures the per-key cost of a kernel entry/exit key
-// switch over n trials (§6.1.1 uses n = 20).
+// switch over n trials (§6.1.1 uses n = 20). Each trial runs on its own
+// isolated CPU; under Parallel the trials run concurrently.
 func MeasureKeySwitch(n int) (KeySwitchStats, error) {
-	st := KeySwitchStats{}
-	for trial := 0; trial < n; trial++ {
+	st := KeySwitchStats{PerKeyCycles: make([]float64, n)}
+	err := forEach(n, func(trial int) error {
 		keys := boot.NewPRNG(uint64(trial) + 100).GenerateKeys()
 		a := asm.New()
 		a.Label("entry")
@@ -158,7 +307,7 @@ func MeasureKeySwitch(n int) (KeySwitchStats, error) {
 		boot.EmitKeySetter(a, "key_setter", keys, boot.ModeV83)
 		img, err := a.Link(map[string]uint64{".text": uint64(pac.KernelBase) | 0x8_0000})
 		if err != nil {
-			return st, err
+			return err
 		}
 		c := cpu.New(cpu.Features{PAuth: true})
 		for _, s := range img.Sections {
@@ -170,12 +319,16 @@ func MeasureKeySwitch(n int) (KeySwitchStats, error) {
 		start := c.Cycles
 		stop := c.Run(10_000)
 		if stop.Kind != cpu.StopHLT {
-			return st, fmt.Errorf("keyswitch trial: %+v", stop)
+			return fmt.Errorf("keyswitch trial: %+v", stop)
 		}
 		// Total minus BL(1) + RET(1) + HLT(1) control overhead, per key,
 		// per direction (3 keys × 2 directions).
 		total := float64(c.Cycles-start) - 3
-		st.PerKeyCycles = append(st.PerKeyCycles, total/float64(2*len(boot.KernelKeys)))
+		st.PerKeyCycles[trial] = total / float64(2*len(boot.KernelKeys))
+		return nil
+	})
+	if err != nil {
+		return KeySwitchStats{}, err
 	}
 	for _, v := range st.PerKeyCycles {
 		st.Mean += v
@@ -241,17 +394,25 @@ func MeasureFigure2() ([]Fig2Row, error) {
 		}
 		return c.Cycles - start, nil
 	}
-	base, err := measure(codegen.SchemeNone)
+	// One measurement per protection variant, each on an isolated CPU;
+	// under Parallel they run concurrently (index 0 is the baseline).
+	schemes := []codegen.Scheme{
+		codegen.SchemeNone, codegen.SchemeCamouflage,
+		codegen.SchemePARTS, codegen.SchemeClangSP,
+	}
+	totals := make([]uint64, len(schemes))
+	err := forEach(len(schemes), func(i int) error {
+		t, err := measure(schemes[i])
+		totals[i] = t
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
+	base := totals[0]
 	var rows []Fig2Row
-	for _, s := range []codegen.Scheme{codegen.SchemeCamouflage, codegen.SchemePARTS, codegen.SchemeClangSP} {
-		total, err := measure(s)
-		if err != nil {
-			return nil, err
-		}
-		cyc := float64(total-base) / iters
+	for i, s := range schemes[1:] {
+		cyc := float64(totals[i+1]-base) / iters
 		rows = append(rows, Fig2Row{
 			Scheme:        s,
 			CyclesPerCall: cyc,
@@ -278,7 +439,11 @@ func RenderFigure2(w io.Writer) error {
 
 // RenderFigure3 reproduces Figure 3 (lmbench relative latencies).
 func RenderFigure3(w io.Writer) error {
-	results, err := lmbench.RunSuite()
+	suite := lmbench.RunSuite
+	if Parallel {
+		suite = lmbench.RunSuiteParallel
+	}
+	results, err := suite()
 	if err != nil {
 		return err
 	}
@@ -302,7 +467,11 @@ func RenderFigure3(w io.Writer) error {
 
 // RenderFigure4 reproduces Figure 4 (user-space workloads).
 func RenderFigure4(w io.Writer) error {
-	results, err := workload.RunSuite()
+	suite := workload.RunSuite
+	if Parallel {
+		suite = workload.RunSuiteParallel
+	}
+	results, err := suite()
 	if err != nil {
 		return err
 	}

@@ -94,3 +94,52 @@ func TestRenderTable2Content(t *testing.T) {
 		t.Error("Table 2 output missing the 15-bit kernel PAC")
 	}
 }
+
+// TestParallelRunAllMatchesSequential: the parallel runner must produce
+// byte-identical renderings to the sequential one (isolated Systems,
+// index-ordered assembly). A cheap subset keeps the test fast; the
+// fig3/fig4 suites are pinned by TestRunSuiteParallelMatchesSequential
+// in the lmbench and workload packages.
+func TestParallelRunAllMatchesSequential(t *testing.T) {
+	ids := []string{"table1", "table2", "keys", "fig2", "ablation-replay"}
+	var seq, par bytes.Buffer
+	seqStats, err := RunAll(&seq, ids, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { Parallel = false }()
+	parStats, err := RunAll(&par, ids, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("parallel output diverges from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq.String(), par.String())
+	}
+	if len(seqStats) != len(ids) || len(parStats) != len(ids) {
+		t.Fatalf("stats lengths: seq %d, par %d, want %d", len(seqStats), len(parStats), len(ids))
+	}
+	// Sequential attribution is exact: the key-switch experiment must
+	// have retired simulated work.
+	for _, s := range seqStats {
+		if !s.Exact {
+			t.Errorf("%s: sequential stats not marked exact", s.ID)
+		}
+	}
+	for _, s := range parStats {
+		if s.Exact {
+			t.Errorf("%s: parallel stats wrongly marked exact", s.ID)
+		}
+	}
+	if seqStats[2].ID != "keys" || seqStats[2].Instrs == 0 {
+		t.Errorf("key-switch stats: %+v, want nonzero simulated instructions", seqStats[2])
+	}
+}
+
+// TestRunAllUnknownID rejects unknown experiment ids.
+func TestRunAllUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := RunAll(&buf, []string{"nope"}, false); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

@@ -103,8 +103,12 @@ func (h *Hypervisor) ProtectReadOnly(pa, size uint64) {
 }
 
 // Lockdown freezes the MMU configuration. Called by the kernel at the end
-// of early boot.
-func (h *Hypervisor) Lockdown() { h.lockdown = true }
+// of early boot. It flushes the software TLB so nothing translated under
+// the pre-lockdown configuration survives the seal.
+func (h *Hypervisor) Lockdown() {
+	h.lockdown = true
+	h.cpu.MMU.InvalidateTLBAll()
+}
 
 // LockedDown reports whether lockdown is active.
 func (h *Hypervisor) LockedDown() bool { return h.lockdown }

@@ -9,6 +9,7 @@ package lmbench
 
 import (
 	"fmt"
+	"sync"
 
 	"camouflage/internal/codegen"
 	"camouflage/internal/cpu"
@@ -342,15 +343,42 @@ func Levels() []struct {
 }
 
 // RunSuite measures every benchmark under every protection level.
-func RunSuite() ([]Result, error) {
-	var out []Result
-	for _, b := range Suite() {
-		for _, lv := range Levels() {
-			r, err := Measure(lv.Cfg, lv.Name, b)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, r)
+func RunSuite() ([]Result, error) { return runSuite(false) }
+
+// RunSuiteParallel is RunSuite with one goroutine per (benchmark,
+// protection level) cell. Every cell runs on its own freshly booted
+// kernel, so the cells share nothing; results are assembled in the same
+// order as RunSuite, making the output deterministic.
+func RunSuiteParallel() ([]Result, error) { return runSuite(true) }
+
+func runSuite(parallel bool) ([]Result, error) {
+	benches := Suite()
+	levels := Levels()
+	out := make([]Result, len(benches)*len(levels))
+	errs := make([]error, len(out))
+	cell := func(idx int) {
+		b := benches[idx/len(levels)]
+		lv := levels[idx%len(levels)]
+		out[idx], errs[idx] = Measure(lv.Cfg, lv.Name, b)
+	}
+	if parallel {
+		var wg sync.WaitGroup
+		for i := range out {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cell(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range out {
+			cell(i)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

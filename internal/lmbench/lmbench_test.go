@@ -129,3 +129,28 @@ func TestCompatBuildRunsFullSuite(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSuiteParallelMatchesSequential: the per-(benchmark, level)
+// parallel suite must produce exactly the sequential results — every
+// cell is a pure function of its seed on an isolated kernel.
+func TestRunSuiteParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite twice")
+	}
+	seq, err := RunSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSuiteParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("cell %d: sequential %+v != parallel %+v", i, seq[i], par[i])
+		}
+	}
+}

@@ -133,6 +133,12 @@ type PTE struct {
 // not change the attack surface the paper considers).
 type Table struct {
 	entries map[uint64]PTE
+	// gen is the table's invalidation generation. Every Map/Unmap bumps
+	// it; TLB entries snapshot the generation at fill time, so a bump is a
+	// broadcast TLBI for every translation cached from this table. This is
+	// the "Map/Unmap paths must invalidate" half of the TLB contract
+	// (DESIGN.md §3).
+	gen uint64
 }
 
 // NewTable returns an empty stage-1 table.
@@ -145,11 +151,13 @@ func NewTable() *Table {
 // R1 is forced on, which is exactly why stage-1 cannot express kernel XOM.
 func (t *Table) Map(va, pa uint64, perm Perm) {
 	t.entries[va>>PageShift] = PTE{PA: pa &^ (PageSize - 1), Perm: perm | R1}
+	t.gen++
 }
 
 // Unmap removes the translation for the page containing va.
 func (t *Table) Unmap(va uint64) {
 	delete(t.entries, va>>PageShift)
+	t.gen++
 }
 
 // Lookup returns the PTE for va.
@@ -173,6 +181,10 @@ type Stage2 struct {
 	overrides map[uint64]S2Perm
 	// Enabled gates stage-2 checking; the hypervisor enables it at boot.
 	Enabled bool
+	// gen is the stage-2 invalidation generation, bumped on every
+	// Restrict/Clear so cached translations are re-checked against the
+	// current overlay (the stage-2 half of the TLB contract).
+	gen uint64
 }
 
 // NewStage2 returns a disabled stage-2 with no overrides.
@@ -183,11 +195,13 @@ func NewStage2() *Stage2 {
 // Restrict installs an override for the IPA page containing pa.
 func (s *Stage2) Restrict(pa uint64, p S2Perm) {
 	s.overrides[pa>>PageShift] = p
+	s.gen++
 }
 
 // Clear removes the override for the IPA page containing pa.
 func (s *Stage2) Clear(pa uint64) {
 	delete(s.overrides, pa>>PageShift)
+	s.gen++
 }
 
 // Check reports whether the access is allowed by stage 2.
@@ -210,6 +224,35 @@ func (s *Stage2) Check(pa uint64, kind AccessKind) bool {
 	return false
 }
 
+// TLB geometry: a small direct-mapped cache of completed translations,
+// split I-side/D-side like the Cortex-A53 micro-TLBs the paper measures
+// on. 256 entries per side covers the working set of the kernel plus one
+// user process with essentially no conflict misses in the model's address
+// layout.
+const (
+	tlbBits = 8
+	tlbSize = 1 << tlbBits
+	tlbMask = tlbSize - 1
+)
+
+// tlbEntry caches one successful translation. Besides the translation
+// result it snapshots everything the result depended on: the stage-1
+// table identity and generation (tables are swapped wholesale on context
+// switch and mutated by Map/Unmap), and the stage-2 generation and enable
+// state. A hit requires every snapshot to still match, so a stale entry
+// can never be served — bumping a generation IS the TLBI.
+type tlbEntry struct {
+	valid bool
+	el    int8
+	kind  AccessKind
+	vpage uint64
+	pa    uint64 // page-aligned translation result
+	table *Table
+	tgen  uint64
+	s2gen uint64
+	s2en  bool
+}
+
 // MMU combines the two stage-1 tables, the stage-2 overlay and the address
 // layout configuration.
 type MMU struct {
@@ -221,11 +264,51 @@ type MMU struct {
 	// Enabled gates stage-1 translation; before the MMU is on, addresses
 	// are identity-mapped physical.
 	Enabled bool
+	// NoTLB disables the software TLB (benchmarking the slow path only;
+	// set before first use).
+	NoTLB bool
+
+	// itlb serves Fetch, dtlb serves Load/Store.
+	itlb, dtlb [tlbSize]tlbEntry
+
+	// Hits and Misses count TLB probes (diagnostics).
+	Hits, Misses uint64
 }
 
 // New returns an MMU with empty tables for the given layout.
 func New(cfg pac.Config) *MMU {
 	return &MMU{Cfg: cfg, TT0: NewTable(), TT1: NewTable(), S2: NewStage2()}
+}
+
+// tlbIndex hashes (VA page, EL, access kind) to a direct-mapped slot.
+func tlbIndex(vpage uint64, el int, kind AccessKind) uint64 {
+	return (vpage ^ vpage>>tlbBits ^ uint64(el)<<7 ^ uint64(kind)<<6) & tlbMask
+}
+
+// InvalidateTLB drops any cached translation for the page containing va,
+// on both sides and for every EL/access kind.
+func (m *MMU) InvalidateTLB(va uint64) {
+	eva := m.stripTag(va)
+	vpage := eva >> PageShift
+	for set := 0; set < 2; set++ {
+		tlb := &m.itlb
+		if set == 1 {
+			tlb = &m.dtlb
+		}
+		for i := range tlb {
+			if tlb[i].valid && tlb[i].vpage == vpage {
+				tlb[i].valid = false
+			}
+		}
+	}
+}
+
+// InvalidateTLBAll drops every cached translation (the TLBI ALLE1
+// analogue; the hypervisor issues it when it seals the MMU configuration
+// at lockdown).
+func (m *MMU) InvalidateTLBAll() {
+	m.itlb = [tlbSize]tlbEntry{}
+	m.dtlb = [tlbSize]tlbEntry{}
 }
 
 // stripTag removes tag bits when TBI applies for the side of va, restoring
@@ -252,12 +335,35 @@ func (m *MMU) Translate(va uint64, kind AccessKind, el int) (uint64, *Fault) {
 		return va, nil
 	}
 	eva := m.stripTag(va)
-	if !m.Cfg.IsCanonical(eva) {
-		return 0, &Fault{Kind: FaultAddressSize, VA: va, Access: kind, EL: el}
-	}
 	table := m.TT0
 	if m.Cfg.IsKernel(eva) {
 		table = m.TT1
+	}
+
+	// TLB probe. An entry hits only if the VA page, EL and access kind
+	// match and none of the structures the cached result depends on have
+	// changed since fill (table swap, Map/Unmap, stage-2 Restrict/Clear or
+	// enable flip). Canonicality was checked at fill time for this exact
+	// page, so a hit skips it.
+	var e *tlbEntry
+	if !m.NoTLB {
+		vpage := eva >> PageShift
+		set := &m.dtlb
+		if kind == Fetch {
+			set = &m.itlb
+		}
+		e = &set[tlbIndex(vpage, el, kind)]
+		if e.valid && e.vpage == vpage && e.el == int8(el) && e.kind == kind &&
+			e.table == table && e.tgen == table.gen &&
+			e.s2gen == m.S2.gen && e.s2en == m.S2.Enabled {
+			m.Hits++
+			return e.pa | (eva & (PageSize - 1)), nil
+		}
+		m.Misses++
+	}
+
+	if !m.Cfg.IsCanonical(eva) {
+		return 0, &Fault{Kind: FaultAddressSize, VA: va, Access: kind, EL: el}
 	}
 	pte, ok := table.Lookup(eva)
 	if !ok {
@@ -284,6 +390,14 @@ func (m *MMU) Translate(va uint64, kind AccessKind, el int) (uint64, *Fault) {
 	pa := pte.PA | (eva & (PageSize - 1))
 	if !m.S2.Check(pa, kind) {
 		return 0, &Fault{Kind: FaultStage2, VA: va, Access: kind, EL: el}
+	}
+	if e != nil {
+		*e = tlbEntry{
+			valid: true, el: int8(el), kind: kind,
+			vpage: eva >> PageShift, pa: pte.PA,
+			table: table, tgen: table.gen,
+			s2gen: m.S2.gen, s2en: m.S2.Enabled,
+		}
 	}
 	return pa, nil
 }

@@ -1,0 +1,189 @@
+package mmu
+
+import (
+	"testing"
+
+	"camouflage/internal/pac"
+)
+
+// mustHit translates and fails the test on any fault.
+func mustHit(t *testing.T, m *MMU, va uint64, kind AccessKind, el int) uint64 {
+	t.Helper()
+	pa, f := m.Translate(va, kind, el)
+	if f != nil {
+		t.Fatalf("Translate(%#x, %v, EL%d): %v", va, kind, el, f)
+	}
+	return pa
+}
+
+// TestTLBCachesTranslations: repeated translations of the same page are
+// served from the TLB (hit counters move) and return the same result.
+func TestTLBCachesTranslations(t *testing.T) {
+	m := newTestMMU()
+	va := kbase | 0x8_0000
+	m.TT1.Map(va, 0x4000_0000, KernelText)
+	first := mustHit(t, m, va+0x10, Fetch, 1)
+	misses := m.Misses
+	second := mustHit(t, m, va+0x20, Fetch, 1)
+	if m.Misses != misses {
+		t.Fatalf("second fetch translation missed the TLB (misses %d -> %d)", misses, m.Misses)
+	}
+	if second != first+0x10 {
+		t.Fatalf("TLB hit returned %#x, want %#x", second, first+0x10)
+	}
+	if m.Hits == 0 {
+		t.Fatal("no TLB hits recorded")
+	}
+}
+
+// TestTLBNotStaleAfterUnmap: a cached translation must not survive
+// Table.Unmap — the page walk goes away, so must the TLB entry.
+func TestTLBNotStaleAfterUnmap(t *testing.T) {
+	m := newTestMMU()
+	va := kbase | 0x30_0000
+	m.TT1.Map(va, 0x4030_0000, KernelData)
+	mustHit(t, m, va, Load, 1) // prime the D-TLB
+	m.TT1.Unmap(va)
+	if _, f := m.Translate(va, Load, 1); f == nil || f.Kind != FaultTranslation {
+		t.Fatalf("after Unmap: %v, want translation fault (stale TLB entry served?)", f)
+	}
+}
+
+// TestTLBNotStaleAfterRemap: re-Mapping a page to a new frame or with new
+// permissions must take effect immediately.
+func TestTLBNotStaleAfterRemap(t *testing.T) {
+	m := newTestMMU()
+	va := kbase | 0x40_0000
+	m.TT1.Map(va, 0x4040_0000, KernelData)
+	if pa := mustHit(t, m, va+8, Load, 1); pa != 0x4040_0008 {
+		t.Fatalf("pa = %#x", pa)
+	}
+	// New frame.
+	m.TT1.Map(va, 0x5050_0000, KernelData)
+	if pa := mustHit(t, m, va+8, Load, 1); pa != 0x5050_0008 {
+		t.Fatalf("after remap: pa = %#x, want %#x", pa, uint64(0x5050_0008))
+	}
+	// Permission downgrade: writable -> read-only.
+	mustHit(t, m, va, Store, 1)
+	m.TT1.Map(va, 0x5050_0000, KernelRO)
+	if _, f := m.Translate(va, Store, 1); f == nil || f.Kind != FaultPermission {
+		t.Fatalf("store after RO remap: %v, want permission fault", f)
+	}
+}
+
+// TestTLBNotStaleAfterStage2Restrict: the hypervisor revoking read access
+// (XOM) must not be bypassed by a translation cached before the Restrict
+// — the exact attack the §4.1 key page defends against.
+func TestTLBNotStaleAfterStage2Restrict(t *testing.T) {
+	m := newTestMMU()
+	va := kbase | 0x10_0000
+	pa := uint64(0x4010_0000)
+	m.TT1.Map(va, pa, KernelText)
+	m.S2.Enabled = true
+	mustHit(t, m, va, Load, 1)         // prime D-TLB
+	mustHit(t, m, va, Fetch, 1)        // prime I-TLB
+	m.S2.Restrict(pa, S2Perm{X: true}) // becomes XOM
+	if _, f := m.Translate(va, Load, 1); f == nil || f.Kind != FaultStage2 {
+		t.Fatalf("load after Restrict: %v, want stage-2 fault (stale TLB entry served?)", f)
+	}
+	// Execution is still allowed, through the I-TLB.
+	mustHit(t, m, va, Fetch, 1)
+	// Clearing the override restores the read.
+	m.S2.Clear(pa)
+	mustHit(t, m, va, Load, 1)
+}
+
+// TestTLBNotStaleAfterStage2Enable: flipping Stage2.Enabled (a plain
+// field write, as the hypervisor does at boot) must invalidate cached
+// results that were computed with stage 2 off.
+func TestTLBNotStaleAfterStage2Enable(t *testing.T) {
+	m := newTestMMU()
+	va := kbase | 0x20_0000
+	pa := uint64(0x4020_0000)
+	m.TT1.Map(va, pa, KernelData)
+	m.S2.Restrict(pa, S2Perm{X: true})
+	mustHit(t, m, va, Load, 1) // stage 2 off: allowed, cached
+	m.S2.Enabled = true
+	if _, f := m.Translate(va, Load, 1); f == nil || f.Kind != FaultStage2 {
+		t.Fatalf("load after stage-2 enable: %v, want stage-2 fault", f)
+	}
+}
+
+// TestTLBNotStaleAfterTableSwap: swapping TT0 wholesale (context switch)
+// must not serve translations from the previous address space.
+func TestTLBNotStaleAfterTableSwap(t *testing.T) {
+	m := newTestMMU()
+	va := uint64(0x40_0000)
+	m.TT0.Map(va, 0x8000_0000, UserData)
+	mustHit(t, m, va, Load, 0)
+	next := NewTable()
+	next.Map(va, 0x9000_0000, UserData)
+	m.TT0 = next
+	if pa := mustHit(t, m, va, Load, 0); pa != 0x9000_0000 {
+		t.Fatalf("after table swap: pa = %#x, want %#x", pa, uint64(0x9000_0000))
+	}
+	// A table with no mapping at all must fault, not hit stale state.
+	m.TT0 = NewTable()
+	if _, f := m.Translate(va, Load, 0); f == nil || f.Kind != FaultTranslation {
+		t.Fatalf("after empty table swap: %v, want translation fault", f)
+	}
+}
+
+// TestTLBKindAndELSeparation: access kind and EL are part of the entry
+// identity — a Load hit must never satisfy a Store probe on a read-only
+// page, nor an EL0 probe on a kernel page.
+func TestTLBKindAndELSeparation(t *testing.T) {
+	m := newTestMMU()
+	va := kbase | 0x50_0000
+	m.TT1.Map(va, 0x4050_0000, KernelRO)
+	mustHit(t, m, va, Load, 1)
+	if _, f := m.Translate(va, Store, 1); f == nil || f.Kind != FaultPermission {
+		t.Fatalf("store via cached load translation: %v, want permission fault", f)
+	}
+	if _, f := m.Translate(va, Load, 0); f == nil || f.Kind != FaultPermission {
+		t.Fatalf("EL0 load via cached EL1 translation: %v, want permission fault", f)
+	}
+}
+
+// TestTLBExplicitInvalidate exercises the explicit hooks.
+func TestTLBExplicitInvalidate(t *testing.T) {
+	m := newTestMMU()
+	va := kbase | 0x60_0000
+	m.TT1.Map(va, 0x4060_0000, KernelData)
+	mustHit(t, m, va, Load, 1)
+	m.InvalidateTLB(va)
+	misses := m.Misses
+	mustHit(t, m, va, Load, 1)
+	if m.Misses == misses {
+		t.Fatal("InvalidateTLB did not drop the entry")
+	}
+	m.InvalidateTLBAll()
+	misses = m.Misses
+	mustHit(t, m, va, Load, 1)
+	if m.Misses == misses {
+		t.Fatal("InvalidateTLBAll did not drop the entry")
+	}
+}
+
+// TestNoTLBMatchesTLB: with the TLB disabled every translation takes the
+// slow path and results agree with the cached path.
+func TestNoTLBMatchesTLB(t *testing.T) {
+	fast := newTestMMU()
+	slow := New(pac.DefaultConfig)
+	slow.Enabled = true
+	slow.NoTLB = true
+	va := kbase | 0x70_0000
+	for _, m := range []*MMU{fast, slow} {
+		m.TT1.Map(va, 0x4070_0000, KernelData)
+	}
+	for i := 0; i < 3; i++ {
+		pf := mustHit(t, fast, va+uint64(i*8), Load, 1)
+		ps := mustHit(t, slow, va+uint64(i*8), Load, 1)
+		if pf != ps {
+			t.Fatalf("fast %#x != slow %#x", pf, ps)
+		}
+	}
+	if slow.Hits != 0 {
+		t.Fatal("NoTLB recorded hits")
+	}
+}

@@ -13,6 +13,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"camouflage/internal/codegen"
 	"camouflage/internal/cpu"
@@ -201,7 +202,15 @@ func Run(cfg func() *codegen.Config, level string, w Workload) (Result, error) {
 
 // RunSuite measures all workloads under the three Figure 4 levels and
 // fills in relative costs.
-func RunSuite() ([]Result, error) {
+func RunSuite() ([]Result, error) { return runSuite(false) }
+
+// RunSuiteParallel is RunSuite with one goroutine per (workload, level)
+// cell, each on its own freshly booted kernel. Relative costs are filled
+// in afterwards from the completed grid, so results match RunSuite
+// exactly.
+func RunSuiteParallel() ([]Result, error) { return runSuite(true) }
+
+func runSuite(parallel bool) ([]Result, error) {
 	levels := []struct {
 		Name string
 		Cfg  func() *codegen.Config
@@ -210,20 +219,42 @@ func RunSuite() ([]Result, error) {
 		{"backward-edge", codegen.ConfigBackward},
 		{"full", codegen.ConfigFull},
 	}
-	var out []Result
-	base := map[string]uint64{}
-	for _, w := range Suite() {
-		for _, lv := range levels {
-			r, err := Run(lv.Cfg, lv.Name, w)
-			if err != nil {
-				return nil, err
-			}
-			if lv.Name == "none" {
-				base[w.Name] = r.Cycles
-			}
-			r.Relative = float64(r.Cycles) / float64(base[w.Name])
-			out = append(out, r)
+	workloads := Suite()
+	out := make([]Result, len(workloads)*len(levels))
+	errs := make([]error, len(out))
+	cell := func(idx int) {
+		w := workloads[idx/len(levels)]
+		lv := levels[idx%len(levels)]
+		out[idx], errs[idx] = Run(lv.Cfg, lv.Name, w)
+	}
+	if parallel {
+		var wg sync.WaitGroup
+		for i := range out {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cell(i)
+			}(i)
 		}
+		wg.Wait()
+	} else {
+		for i := range out {
+			cell(i)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	base := map[string]uint64{}
+	for i, r := range out {
+		if r.Level == "none" {
+			base[out[i].Workload] = r.Cycles
+		}
+	}
+	for i := range out {
+		out[i].Relative = float64(out[i].Cycles) / float64(base[out[i].Workload])
 	}
 	return out, nil
 }

@@ -112,3 +112,25 @@ func TestGeoMean(t *testing.T) {
 		t.Fatal("missing level should give 0")
 	}
 }
+
+// TestRunSuiteParallelMatchesSequential: the per-(workload, level)
+// parallel suite must produce exactly the sequential results, relative
+// costs included.
+func TestRunSuiteParallelMatchesSequential(t *testing.T) {
+	seq, err := RunSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSuiteParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("cell %d: sequential %+v != parallel %+v", i, seq[i], par[i])
+		}
+	}
+}
