@@ -351,6 +351,66 @@ func BenchmarkBoot(b *testing.B) {
 	}
 }
 
+// BenchmarkForkVsBoot measures machine-supply cost for a short workload
+// three ways: the full build+verify+boot pipeline per repetition
+// (baseline), a copy-on-write Fork from a warm snapshot per repetition,
+// and Reset of one dirtied machine per repetition. Fork and Reset are
+// the paths the warm pool, the parallel experiment runner and the attack
+// campaign take; the acceptance floor (fork+run ≥ 5x faster than
+// boot+run) is pinned by TestForkAtLeast5xFasterThanBoot.
+func BenchmarkForkVsBoot(b *testing.B) {
+	// The same short workload and run helper the acceptance test
+	// (TestForkAtLeast5xFasterThanBoot) measures, so the benchmark and
+	// the pinning test can never drift apart.
+	prog, err := kernel.BuildProgram("short", shortWorkload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, sys *System) { runShortOn(b, sys, prog) }
+	b.Run("boot+run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := NewSystem(LevelFull, Options{Seed: 81})
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, sys)
+		}
+	})
+	b.Run("fork+run", func(b *testing.B) {
+		origin, err := NewSystem(LevelFull, Options{Seed: 81})
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap := origin.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys, err := snap.Fork()
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, sys)
+		}
+	})
+	b.Run("reset+run", func(b *testing.B) {
+		origin, err := NewSystem(LevelFull, Options{Seed: 81})
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap := origin.Snapshot()
+		sys, err := snap.Fork()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := snap.Reset(sys); err != nil {
+				b.Fatal(err)
+			}
+			run(b, sys)
+		}
+	})
+}
+
 // BenchmarkSyscallRoundTrip measures one getppid round trip on the
 // simulator under full protection (host time + model cycles).
 func BenchmarkSyscallRoundTrip(b *testing.B) {

@@ -63,12 +63,19 @@ func NewSystem(level ProtectionLevel, opts Options) (*System, error) {
 }
 
 // ReplicateSystems builds n isolated Systems with the same level and
-// options concurrently, one goroutine per System (the §4.1 verification
-// verdict is memoized across replicas). Used by the parallel experiment
-// runner and throughput harnesses.
+// options: one build+verify+boot per option set (warm-pooled), then
+// copy-on-write forks of its post-boot snapshot, produced concurrently.
+// Every replica is identical to a sequentially built System. Used by the
+// parallel experiment runner and throughput harnesses.
 func ReplicateSystems(level ProtectionLevel, opts Options, n int) ([]*System, error) {
 	return core.Replicate(level, opts, n)
 }
+
+// SystemSnapshot is an immutable capture of a booted System: Fork new
+// Systems from it in O(1) guest memory, or Reset a dirtied descendant
+// back to the captured point in O(pages touched). Capture one with
+// System.Snapshot (mid-execution captures are allowed).
+type SystemSnapshot = core.SystemSnapshot
 
 // Experiment is one reproducible table or figure from the paper.
 type Experiment = figures.Experiment

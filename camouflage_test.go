@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"camouflage/internal/asm"
+	"camouflage/internal/insn"
 	"camouflage/internal/kernel"
 )
 
@@ -43,6 +45,93 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		if !got[id] {
 			t.Errorf("experiment %s missing from registry", id)
 		}
+	}
+}
+
+// shortWorkload is the acceptance-criterion program: a few syscalls and
+// a little compute, representative of one experiment repetition.
+func shortWorkload(u *kernel.UserASM) {
+	u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0)
+	u.CounterLoop("loop", insn.X21, 2, func() {
+		u.SyscallReg(kernel.SysGetppid)
+	})
+	u.Exit(0)
+}
+
+// runShortOn runs the prebuilt short workload to completion on a
+// pristine machine (the per-repetition work an experiment cell pays on
+// top of machine supply).
+func runShortOn(t testing.TB, sys *System, prog *kernel.Program) {
+	t.Helper()
+	sys.Kernel.RegisterProgram(1, prog)
+	if _, err := sys.Kernel.Spawn(1); err != nil {
+		t.Fatal(err)
+	}
+	if stop := sys.Kernel.Run(2_000_000); !sys.Kernel.Halted {
+		t.Fatalf("short workload did not finish: %+v", stop)
+	}
+}
+
+// TestForkAtLeast5xFasterThanBoot pins the headline acceptance
+// criterion: Fork+run of a warm snapshot is at least 5x faster than
+// NewSystem+run for a short workload. The workload program is built once
+// — program assembly is identical on both paths; the criterion is about
+// machine supply (codegen + §4.1 verification + boot vs a copy-on-write
+// fork).
+func TestForkAtLeast5xFasterThanBoot(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock ratio is skewed by race instrumentation")
+	}
+	const iters = 8
+	prog, err := kernel.BuildProgram("short", shortWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm-up (and snapshot source): excluded from both timings.
+	sys, err := NewSystem(LevelFull, Options{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Snapshot()
+
+	measure := func() float64 {
+		bootStart := time.Now()
+		for i := 0; i < iters; i++ {
+			s, err := NewSystem(LevelFull, Options{Seed: 77})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runShortOn(t, s, prog)
+		}
+		bootTime := time.Since(bootStart)
+
+		forkStart := time.Now()
+		for i := 0; i < iters; i++ {
+			s, err := snap.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			runShortOn(t, s, prog)
+		}
+		forkTime := time.Since(forkStart)
+
+		ratio := float64(bootTime) / float64(forkTime)
+		t.Logf("boot+run %v, fork+run %v: %.1fx", bootTime/iters, forkTime/iters, ratio)
+		return ratio
+	}
+
+	// Best of three: a GC pause or scheduler stall inside one short
+	// timing window must not fail the build; a genuine regression below
+	// the 5x floor fails all attempts.
+	best := 0.0
+	for attempt := 0; attempt < 3 && best < 5; attempt++ {
+		if r := measure(); r > best {
+			best = r
+		}
+	}
+	if best < 5 {
+		t.Fatalf("fork+run only %.1fx faster than boot+run, want >= 5x", best)
 	}
 }
 

@@ -23,17 +23,35 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"camouflage"
+	"camouflage/internal/snapshot"
 )
+
+// runtimeMeta pins the execution environment so BENCH_results.json
+// trajectories are comparable across revisions and machines.
+type runtimeMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
 
 // benchLog is the BENCH_results.json document.
 type benchLog struct {
-	GeneratedUnix int64                        `json:"generated_unix"`
-	Parallel      bool                         `json:"parallel"`
-	TotalWallNs   int64                        `json:"total_wall_ns"`
-	Experiments   []camouflage.ExperimentStats `json:"experiments"`
+	GeneratedUnix int64       `json:"generated_unix"`
+	Runtime       runtimeMeta `json:"runtime"`
+	// Parallel records the runner mode (the parallelism available to it
+	// is Runtime.GOMAXPROCS).
+	Parallel    bool  `json:"parallel"`
+	TotalWallNs int64 `json:"total_wall_ns"`
+	// Pool reports warm-pool effectiveness for the run: boots actually
+	// paid vs machines served as copy-on-write forks or reset reuses.
+	Pool        snapshot.Stats               `json:"pool"`
+	Experiments []camouflage.ExperimentStats `json:"experiments"`
 }
 
 func main() {
@@ -61,9 +79,17 @@ func main() {
 	if *jsonPath != "" {
 		doc := benchLog{
 			GeneratedUnix: time.Now().Unix(),
-			Parallel:      *parallel,
-			TotalWallNs:   wall.Nanoseconds(),
-			Experiments:   stats,
+			Runtime: runtimeMeta{
+				GoVersion:  runtime.Version(),
+				GOOS:       runtime.GOOS,
+				GOARCH:     runtime.GOARCH,
+				NumCPU:     runtime.NumCPU(),
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
+			},
+			Parallel:    *parallel,
+			TotalWallNs: wall.Nanoseconds(),
+			Pool:        snapshot.Shared.Stats(),
+			Experiments: stats,
 		}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

@@ -18,6 +18,7 @@ import (
 	"camouflage/internal/insn"
 	"camouflage/internal/kernel"
 	"camouflage/internal/pac"
+	"camouflage/internal/snapshot"
 )
 
 // Outcome classifies an attack run.
@@ -77,16 +78,86 @@ func classify(k *kernel.Kernel, before uint64) (Outcome, string) {
 	return OutcomeInconclusive, ""
 }
 
-// bootWith builds and boots a kernel for an attack run.
+// bootWith builds and boots a kernel for an attack run (warm-pooled:
+// repeated matrix/benchmark/campaign runs fork instead of rebooting).
 func bootWith(cfg *codegen.Config, seed uint64) (*kernel.Kernel, error) {
-	k, err := kernel.New(kernel.Options{Config: cfg, Seed: seed, FailureThreshold: 64})
+	opts := kernel.Options{Config: cfg, Seed: seed, FailureThreshold: 64}
+	snap, err := snapshot.Shared.SnapshotFor(snapshot.KeyForOptions(opts), snapshot.BootOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	if err := k.Boot(); err != nil {
-		return nil, err
+	return snap.Fork()
+}
+
+// spinReadProgram is the standard victim: open a path, then read it in a
+// tight loop (the dispatch the f_ops attacks corrupt).
+func spinReadProgram(path uint64) func(u *kernel.UserASM) {
+	return func(u *kernel.UserASM) {
+		u.Syscall(kernel.SysOpenat, 0, path, 0)
+		u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
+		u.A.Label("spin")
+		u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
+		u.MovImm(insn.X1, kernel.UserDataBase)
+		u.MovImm(insn.X2, 8)
+		u.SyscallReg(kernel.SysRead)
+		u.A.B("spin")
 	}
-	return k, nil
+}
+
+// pipeBlockerProgram is the ROP victim: fork a child that blocks reading
+// an empty pipe (its kernel stack then holds live frame records) while
+// the parent yields through the attack window before writing the pipe.
+func pipeBlockerProgram() func(u *kernel.UserASM) {
+	return func(u *kernel.UserASM) {
+		u.Syscall(kernel.SysPipe2, kernel.UserDataBase+0x100)
+		u.SyscallReg(kernel.SysClone)
+		u.A.CBZ(insn.X0, "child")
+		// Parent: yield a few times (attack window), then write the pipe.
+		u.CounterLoop("spins", insn.X21, 50, func() {
+			u.SyscallReg(kernel.SysSchedYield)
+		})
+		u.MovImm(insn.X9, kernel.UserDataBase+0x100)
+		u.A.I(insn.LDR(insn.X0, insn.X9, 8))
+		u.MovImm(insn.X1, kernel.UserDataBase)
+		u.MovImm(insn.X2, 8)
+		u.SyscallReg(kernel.SysWrite)
+		u.Exit(0)
+		// Child: block reading the empty pipe.
+		u.A.Label("child")
+		u.MovImm(insn.X9, kernel.UserDataBase+0x100)
+		u.A.I(insn.LDR(insn.X0, insn.X9, 0))
+		u.MovImm(insn.X1, kernel.UserDataBase+0x40)
+		u.MovImm(insn.X2, 8)
+		u.SyscallReg(kernel.SysRead)
+		u.Exit(0)
+	}
+}
+
+// replayVictimProgram opens /dev/null (fd 0) and /dev/zero (fd 1), then
+// keeps reading fd 1 — the dispatch the replay attack redirects.
+func replayVictimProgram() func(u *kernel.UserASM) {
+	return func(u *kernel.UserASM) {
+		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevNull, 0) // fd 0
+		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0) // fd 1
+		u.A.Label("spin")
+		u.Syscall(kernel.SysRead, 1, kernel.UserDataBase, 8)
+		u.A.B("spin")
+	}
+}
+
+// credVictimProgram opens /dev/zero and loops fstat — the permission
+// check the f_cred attack subverts — recording each result for the host.
+func credVictimProgram() func(u *kernel.UserASM) {
+	return func(u *kernel.UserASM) {
+		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0)
+		u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
+		u.A.Label("spin")
+		u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
+		u.SyscallReg(kernel.SysFstat)
+		u.MovImm(insn.X1, kernel.UserDataBase)
+		u.A.I(insn.STR(insn.X0, insn.X1, 0))
+		u.A.B("spin")
+	}
 }
 
 // FOpsSwap is the forward-edge/DFI attack of §4.5: replace an open file's
@@ -97,16 +168,7 @@ func FOpsSwap(cfg *codegen.Config, level string) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	prog, err := kernel.BuildProgram("victim", func(u *kernel.UserASM) {
-		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0)
-		u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
-		u.A.Label("spin")
-		u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
-		u.MovImm(insn.X1, kernel.UserDataBase)
-		u.MovImm(insn.X2, 8)
-		u.SyscallReg(kernel.SysRead)
-		u.A.B("spin")
-	})
+	prog, err := kernel.BuildProgram("victim", spinReadProgram(kernel.PathDevZero))
 	if err != nil {
 		return Report{}, err
 	}
@@ -147,14 +209,7 @@ func FOpsReplay(cfg *codegen.Config, level string) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	prog, err := kernel.BuildProgram("replayvictim", func(u *kernel.UserASM) {
-		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevNull, 0) // fd 0
-		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0) // fd 1
-		u.A.Label("spin")
-		// Keep reading fd 1 (/dev/zero): 8 bytes into the buffer.
-		u.Syscall(kernel.SysRead, 1, kernel.UserDataBase, 8)
-		u.A.B("spin")
-	})
+	prog, err := kernel.BuildProgram("replayvictim", replayVictimProgram())
 	if err != nil {
 		return Report{}, err
 	}
@@ -203,30 +258,7 @@ func ROPFrameRecord(cfg *codegen.Config, level string) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	prog, err := kernel.BuildProgram("blocker", func(u *kernel.UserASM) {
-		u.Syscall(kernel.SysPipe2, kernel.UserDataBase+0x100)
-		u.SyscallReg(kernel.SysClone)
-		u.A.CBZ(insn.X0, "child")
-		// Parent: yield a few times (attack window), then write the pipe.
-		u.CounterLoop("spins", insn.X21, 50, func() {
-			u.SyscallReg(kernel.SysSchedYield)
-		})
-		u.MovImm(insn.X9, kernel.UserDataBase+0x100)
-		u.A.I(insn.LDR(insn.X0, insn.X9, 8))
-		u.MovImm(insn.X1, kernel.UserDataBase)
-		u.MovImm(insn.X2, 8)
-		u.SyscallReg(kernel.SysWrite)
-		u.Exit(0)
-		// Child: block reading the empty pipe. Its kernel stack then
-		// holds live frame records.
-		u.A.Label("child")
-		u.MovImm(insn.X9, kernel.UserDataBase+0x100)
-		u.A.I(insn.LDR(insn.X0, insn.X9, 0))
-		u.MovImm(insn.X1, kernel.UserDataBase+0x40)
-		u.MovImm(insn.X2, 8)
-		u.SyscallReg(kernel.SysRead)
-		u.Exit(0)
-	})
+	prog, err := kernel.BuildProgram("blocker", pipeBlockerProgram())
 	if err != nil {
 		return Report{}, err
 	}
@@ -297,23 +329,16 @@ type BruteReport struct {
 // PAC bits for a forged f_ops pointer; every miss costs it the process,
 // and the kernel halts at the failure threshold.
 func BruteForcePAC(cfg *codegen.Config, level string, threshold int) (BruteReport, error) {
-	k, err := kernel.New(kernel.Options{Config: cfg, Seed: 31, FailureThreshold: threshold})
+	opts := kernel.Options{Config: cfg, Seed: 31, FailureThreshold: threshold}
+	snap, err := snapshot.Shared.SnapshotFor(snapshot.KeyForOptions(opts), snapshot.BootOptions(opts))
 	if err != nil {
 		return BruteReport{}, err
 	}
-	if err := k.Boot(); err != nil {
+	k, err := snap.Fork()
+	if err != nil {
 		return BruteReport{}, err
 	}
-	prog, err := kernel.BuildProgram("bruteforcer", func(u *kernel.UserASM) {
-		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0)
-		u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
-		u.A.Label("spin")
-		u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
-		u.MovImm(insn.X1, kernel.UserDataBase)
-		u.MovImm(insn.X2, 8)
-		u.SyscallReg(kernel.SysRead)
-		u.A.B("spin")
-	})
+	prog, err := kernel.BuildProgram("bruteforcer", spinReadProgram(kernel.PathDevZero))
 	if err != nil {
 		return BruteReport{}, err
 	}

@@ -1,11 +1,82 @@
 package attack
 
 import (
+	"strings"
 	"testing"
 
 	"camouflage/internal/codegen"
 	"camouflage/internal/pac"
 )
+
+// TestCampaignMatrix: the differential campaign reproduces the §6.2
+// verdicts per protection level — full protection defeats every mutated
+// attack, the unprotected kernel is bypassed by canonical forgeries, and
+// the zero-modifier ablation is bypassed by replay.
+func TestCampaignMatrix(t *testing.T) {
+	rep, err := RunCampaign(CampaignOptions{
+		Mutations: 12,
+		Seed:      7,
+		Parallel:  true,
+		Levels:    []string{"none", "full", "full/zero-mod"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := map[string]CampaignCell{}
+	bypassedAtNone := 0
+	for _, c := range rep.Cells {
+		cells[c.Attack+"/"+c.Level] = c
+		if c.Runs != 12 {
+			t.Errorf("%s/%s: %d runs, want 12", c.Attack, c.Level, c.Runs)
+		}
+		if c.Level == "none" && !c.Defeated() {
+			bypassedAtNone++
+		}
+		if c.Level == "full" && !c.Defeated() {
+			t.Errorf("%s bypassed full protection: %+v", c.Attack, c)
+		}
+	}
+	if bypassedAtNone == 0 {
+		t.Error("no attack bypassed the unprotected kernel")
+	}
+	replayZero, ok := cells["f_ops replay (reuse)/full/zero-mod"]
+	if !ok || replayZero.Defeated() {
+		t.Errorf("replay should bypass the zero-modifier ablation: %+v", replayZero)
+	}
+	if rep.Forks < uint64(len(rep.Cells)*12) {
+		t.Errorf("forks = %d, want >= %d", rep.Forks, len(rep.Cells)*12)
+	}
+
+	var sb strings.Builder
+	rep.Render(&sb)
+	if !strings.Contains(sb.String(), "DEFEATED") || !strings.Contains(sb.String(), "bypassed") {
+		t.Errorf("render missing verdicts:\n%s", sb.String())
+	}
+}
+
+// TestCampaignDeterministic: same options, same matrix — strikes are
+// seeded per mutation and forks are exact, so parallel scheduling cannot
+// leak into the results.
+func TestCampaignDeterministic(t *testing.T) {
+	opts := CampaignOptions{Mutations: 6, Seed: 9, Levels: []string{"full"}}
+	a, err := RunCampaign(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = true
+	b, err := RunCampaign(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell count differs: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Errorf("cell %d differs:\n seq: %+v\n par: %+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+}
 
 // TestROPMatrix pins §6.2.1 for the backward edge: the frame-record smash
 // hijacks the unprotected kernel and is detected by every PAuth build.

@@ -1,0 +1,414 @@
+package attack
+
+// The differential attack campaign: the snapshot subsystem's flagship
+// scenario class. For each (protection level, attack) pair the driver
+// boots one machine, runs the victim up to the attack window, captures
+// the armed machine mid-execution, then forks N copy-on-write machines
+// and strikes each with a differently mutated corruption (guessed PAC
+// bits, different smash sets, transplant variants). Every mutation sees
+// the *identical* machine state — the comparison the paper's §6.2
+// security argument is implicitly about, and one that full reboots make
+// prohibitively slow (each attempt would re-pay codegen + verification +
+// boot + victim warm-up).
+
+import (
+	"fmt"
+	"io"
+
+	"camouflage/internal/boot"
+	"camouflage/internal/kernel"
+	"camouflage/internal/snapshot"
+)
+
+// CampaignOptions tunes a differential campaign run.
+type CampaignOptions struct {
+	// Mutations is the number of forked attack attempts per (attack,
+	// level) cell (default 32).
+	Mutations int
+	// Seed drives the mutation PRNGs (default 1).
+	Seed uint64
+	// Parallel strikes the forks concurrently.
+	Parallel bool
+	// Levels filters the §6.2 configurations by name (nil = all).
+	Levels []string
+}
+
+// CampaignCell aggregates one (attack, level) cell of the matrix.
+type CampaignCell struct {
+	Attack       string `json:"attack"`
+	Level        string `json:"level"`
+	Runs         int    `json:"runs"`
+	Hijacked     int    `json:"hijacked"`
+	Detected     int    `json:"detected"`
+	Inconclusive int    `json:"inconclusive"`
+	// ArmCycles is the victim warm-up cost every fork inherited for free.
+	ArmCycles uint64 `json:"arm_cycles"`
+	// DirtyPages is the mean copy-on-write overlay a strike produced.
+	DirtyPages int `json:"dirty_pages"`
+}
+
+// Defeated reports whether the level stopped every mutation.
+func (c CampaignCell) Defeated() bool { return c.Hijacked == 0 }
+
+// CampaignReport is the full defeat/bypass matrix.
+type CampaignReport struct {
+	Cells     []CampaignCell `json:"cells"`
+	Mutations int            `json:"mutations"`
+	// Forks counts machines forked across the campaign; Armed the
+	// mid-execution snapshots captured (one per cell). Cell machines are
+	// themselves warm-pool forks keyed by (configuration, scenario
+	// seed), so repeated campaigns in one process re-pay no boots.
+	Forks uint64 `json:"forks"`
+	Armed int    `json:"armed"`
+}
+
+// campaignWindow is the attack window located by arming a scenario: VAs
+// and slots that are valid in every fork of the armed snapshot, because
+// forking is exact.
+type campaignWindow struct {
+	fileVA  uint64   // victim's open file (f_ops / f_cred scenarios)
+	fileVA2 uint64   // second file (replay donor/recipient)
+	slots   []uint64 // saved-return-address slots (ROP scenario)
+	gadget  uint64
+	pacMask uint64
+}
+
+// scenario is one campaign attack: arm runs the victim to the window
+// (paid once per cell), strike applies a mutated corruption to a fork,
+// judge classifies the aftermath.
+type scenario struct {
+	name   string
+	seed   uint64
+	budget uint64
+	arm    func(k *kernel.Kernel) (campaignWindow, error)
+	strike func(k *kernel.Kernel, w campaignWindow, rng *boot.PRNG) error
+	judge  func(k *kernel.Kernel, w campaignWindow, before uint64) Outcome
+}
+
+// mutatePointer forges a pointer at the target address with mutated
+// authentication bits: one in four mutations leaves the pointer
+// canonical (the corruption that defeats an *unprotected* kernel), the
+// rest guess random PAC-field bits (the §5.4 forgery against a signed
+// slot).
+func mutatePointer(rng *boot.PRNG, target, mask uint64) uint64 {
+	if rng.Uint64()%4 == 0 {
+		return target
+	}
+	return (target &^ mask) | (rng.Uint64() & mask)
+}
+
+// newWindow fills the fields every scenario shares.
+func newWindow(k *kernel.Kernel) campaignWindow {
+	mask, _ := k.CPU.Signer.Config().PACField(true)
+	return campaignWindow{gadget: k.Img.Symbols["work_handler"], pacMask: mask}
+}
+
+// judgeByGadget is the default classifier (hijack marker, then PAC
+// failures, then plain kernel crashes).
+func judgeByGadget(k *kernel.Kernel, _ campaignWindow, before uint64) Outcome {
+	out, _ := classify(k, before)
+	return out
+}
+
+// judgeByVictimAlive classifies silent-corruption scenarios (f_cred):
+// detection is a PAC failure or a kernel fault; a victim still running
+// against the corrupted state is a hijack.
+func judgeByVictimAlive(k *kernel.Kernel, _ campaignWindow, _ uint64) Outcome {
+	if k.PACFailures > 0 {
+		return OutcomeDetected
+	}
+	for _, o := range k.Oops {
+		if o.Kernel {
+			return OutcomeDetected
+		}
+	}
+	if k.Task(1) != nil {
+		return OutcomeHijacked
+	}
+	return OutcomeInconclusive
+}
+
+// campaignScenarios returns the §6.2 attacks in their mutated campaign
+// form.
+func campaignScenarios() []scenario {
+	return []scenario{
+		{
+			name: "ROP (frame-record smash)", seed: 23, budget: 5_000_000,
+			arm: func(k *kernel.Kernel) (campaignWindow, error) {
+				w := newWindow(k)
+				prog, err := kernel.BuildProgram("blocker", pipeBlockerProgram())
+				if err != nil {
+					return w, err
+				}
+				k.RegisterProgram(1, prog)
+				if _, err := k.Spawn(1); err != nil {
+					return w, err
+				}
+				var victim *kernel.Task
+				for i := 0; i < 300; i++ {
+					k.Run(5_000)
+					if t := k.Task(2); t != nil && t.State == kernel.TaskBlocked {
+						victim = t
+						break
+					}
+					if k.Halted {
+						break
+					}
+				}
+				if victim == nil {
+					return w, fmt.Errorf("campaign rop: victim never blocked")
+				}
+				textLo := k.Img.Symbols["start_kernel"] &^ 0xFFFF
+				textHi := textLo + 0x4_0000
+				ram := k.CPU.Bus.RAM
+				stackBase := victim.StackTop - kernel.StackSize
+				for off := uint64(0); off < kernel.StackSize; off += 8 {
+					va := stackBase + off
+					v := ram.Read64(kernel.KVAToPA(va))
+					if v == 0 {
+						continue
+					}
+					if s := k.CPU.Signer.Strip(v); s >= textLo && s < textHi {
+						w.slots = append(w.slots, va)
+					}
+				}
+				if len(w.slots) == 0 {
+					return w, fmt.Errorf("campaign rop: no return addresses on victim stack")
+				}
+				return w, nil
+			},
+			strike: func(k *kernel.Kernel, w campaignWindow, rng *boot.PRNG) error {
+				ram := k.CPU.Bus.RAM
+				smashed := false
+				for _, va := range w.slots {
+					if rng.Uint64()&1 == 0 {
+						continue
+					}
+					ram.Write64(kernel.KVAToPA(va), mutatePointer(rng, w.gadget, w.pacMask))
+					smashed = true
+				}
+				if !smashed {
+					va := w.slots[rng.Uint64()%uint64(len(w.slots))]
+					ram.Write64(kernel.KVAToPA(va), mutatePointer(rng, w.gadget, w.pacMask))
+				}
+				return nil
+			},
+			judge: judgeByGadget,
+		},
+		{
+			name: "f_ops swap (JOP)", seed: 21, budget: 3_000_000,
+			arm: func(k *kernel.Kernel) (campaignWindow, error) {
+				w := newWindow(k)
+				prog, err := kernel.BuildProgram("victim", spinReadProgram(kernel.PathDevZero))
+				if err != nil {
+					return w, err
+				}
+				k.RegisterProgram(1, prog)
+				if _, err := k.Spawn(1); err != nil {
+					return w, err
+				}
+				k.Run(400_000)
+				if w.fileVA = k.FileAddrByFD(0); w.fileVA == 0 {
+					return w, fmt.Errorf("campaign fops: victim fd not open")
+				}
+				return w, nil
+			},
+			strike: func(k *kernel.Kernel, w campaignWindow, rng *boot.PRNG) error {
+				forged := k.AllocScratch(kernel.OpsSize)
+				ram := k.CPU.Bus.RAM
+				ram.Write64(kernel.KVAToPA(forged)+kernel.OpsRead, w.gadget)
+				ram.Write64(kernel.KVAToPA(w.fileVA)+kernel.FileOps,
+					mutatePointer(rng, forged, w.pacMask))
+				return nil
+			},
+			judge: judgeByGadget,
+		},
+		{
+			name: "f_ops replay (reuse)", seed: 22, budget: 2_000_000,
+			arm: func(k *kernel.Kernel) (campaignWindow, error) {
+				w := newWindow(k)
+				prog, err := kernel.BuildProgram("replayvictim", replayVictimProgram())
+				if err != nil {
+					return w, err
+				}
+				k.RegisterProgram(1, prog)
+				if _, err := k.Spawn(1); err != nil {
+					return w, err
+				}
+				k.Run(500_000)
+				w.fileVA = k.FileAddrByFD(0)  // /dev/null
+				w.fileVA2 = k.FileAddrByFD(1) // /dev/zero
+				if w.fileVA == 0 || w.fileVA2 == 0 {
+					return w, fmt.Errorf("campaign replay: fds not open")
+				}
+				return w, nil
+			},
+			strike: func(k *kernel.Kernel, w campaignWindow, rng *boot.PRNG) error {
+				ram := k.CPU.Bus.RAM
+				signed := ram.Read64(kernel.KVAToPA(w.fileVA) + kernel.FileOps)
+				switch rng.Uint64() % 3 {
+				case 1:
+					// Bit-flipped transplant: also breaks the MAC itself.
+					signed ^= 1 << 50
+				case 2:
+					// PAC-field splice: graft the donor's PAC onto the
+					// recipient's own ops target.
+					own := ram.Read64(kernel.KVAToPA(w.fileVA2) + kernel.FileOps)
+					signed = (own &^ w.pacMask) | (signed & w.pacMask)
+				}
+				ram.Write64(kernel.KVAToPA(w.fileVA2)+kernel.FileOps, signed)
+				// Sentinel: a genuine /dev/zero read clears it; a silently
+				// replayed null_ops read (EOF) leaves it.
+				ram.Write64(kernel.UVAToPA(1, kernel.UserDataBase), 0x5E5E5E5E5E5E5E5E)
+				return nil
+			},
+			judge: func(k *kernel.Kernel, w campaignWindow, _ uint64) Outcome {
+				if k.PACFailures > 0 {
+					return OutcomeDetected
+				}
+				sent := k.CPU.Bus.RAM.Read64(kernel.UVAToPA(1, kernel.UserDataBase))
+				if sent == 0x5E5E5E5E5E5E5E5E && k.Task(1) != nil {
+					return OutcomeHijacked // driver silently swapped
+				}
+				return OutcomeInconclusive
+			},
+		},
+		{
+			name: "f_cred swap (priv-esc)", seed: 27, budget: 3_000_000,
+			arm: func(k *kernel.Kernel) (campaignWindow, error) {
+				w := newWindow(k)
+				prog, err := kernel.BuildProgram("credvictim", credVictimProgram())
+				if err != nil {
+					return w, err
+				}
+				k.RegisterProgram(1, prog)
+				if _, err := k.Spawn(1); err != nil {
+					return w, err
+				}
+				k.Run(500_000)
+				if w.fileVA = k.FileAddrByFD(0); w.fileVA == 0 {
+					return w, fmt.Errorf("campaign cred: victim fd not open")
+				}
+				return w, nil
+			},
+			strike: func(k *kernel.Kernel, w campaignWindow, rng *boot.PRNG) error {
+				forged := k.AllocScratch(64)
+				ram := k.CPU.Bus.RAM
+				ram.Write64(kernel.KVAToPA(forged), 0) // uid 0: root
+				ram.Write64(kernel.KVAToPA(w.fileVA)+kernel.FileCred,
+					mutatePointer(rng, forged, w.pacMask))
+				return nil
+			},
+			judge: judgeByVictimAlive,
+		},
+	}
+}
+
+// RunCampaign executes the differential campaign and returns the
+// defeat/bypass matrix.
+func RunCampaign(o CampaignOptions) (*CampaignReport, error) {
+	if o.Mutations <= 0 {
+		o.Mutations = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	levels := Levels()
+	if len(o.Levels) > 0 {
+		known := map[string]bool{}
+		for _, lv := range levels {
+			known[lv.Name] = true
+		}
+		want := map[string]bool{}
+		for _, n := range o.Levels {
+			if !known[n] {
+				return nil, fmt.Errorf("campaign: unknown level %q", n)
+			}
+			want[n] = true
+		}
+		kept := levels[:0]
+		for _, lv := range levels {
+			if want[lv.Name] {
+				kept = append(kept, lv)
+			}
+		}
+		levels = kept
+	}
+	scenarios := campaignScenarios()
+
+	rep := &CampaignReport{Mutations: o.Mutations}
+	for _, lv := range levels {
+		for _, sc := range scenarios {
+			k, err := bootWith(lv.Cfg(), sc.seed)
+			if err != nil {
+				return nil, err
+			}
+			rep.Armed++
+			armStart := k.CPU.Cycles
+			w, err := sc.arm(k)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", sc.name, lv.Name, err)
+			}
+			cell := CampaignCell{
+				Attack: sc.name, Level: lv.Name,
+				Runs: o.Mutations, ArmCycles: k.CPU.Cycles - armStart,
+			}
+			snap := snapshot.Take(k)
+
+			outcomes := make([]Outcome, o.Mutations)
+			dirty := make([]int, o.Mutations)
+			err = snapshot.ForEach(o.Mutations, o.Parallel, func(m int) error {
+				fork, err := snap.Fork()
+				if err != nil {
+					return err
+				}
+				rng := boot.NewPRNG(o.Seed ^ sc.seed<<32 ^ uint64(m)*0x9E3779B97F4A7C15)
+				before := gadgetCounter(fork)
+				if err := sc.strike(fork, w, rng); err != nil {
+					return err
+				}
+				fork.CPU.InvalidateDecode()
+				fork.Run(sc.budget)
+				outcomes[m] = sc.judge(fork, w, before)
+				dirty[m] = fork.CPU.Bus.RAM.DirtyPages()
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", sc.name, lv.Name, err)
+			}
+			totalDirty := 0
+			for m, out := range outcomes {
+				switch out {
+				case OutcomeHijacked:
+					cell.Hijacked++
+				case OutcomeDetected:
+					cell.Detected++
+				default:
+					cell.Inconclusive++
+				}
+				totalDirty += dirty[m]
+			}
+			cell.DirtyPages = totalDirty / o.Mutations
+			rep.Forks += snap.Forks()
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	return rep, nil
+}
+
+// Render writes the campaign matrix as text.
+func (rep *CampaignReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "DIFFERENTIAL ATTACK CAMPAIGN: %d mutated attempts per cell (forked from one armed snapshot each)\n",
+		rep.Mutations)
+	fmt.Fprintf(w, "  %-26s %-15s %-9s %-9s %-13s %-9s %s\n",
+		"attack", "build", "hijacked", "detected", "inconclusive", "verdict", "avg dirty pages/strike")
+	for _, c := range rep.Cells {
+		verdict := "DEFEATED"
+		if !c.Defeated() {
+			verdict = "bypassed"
+		}
+		fmt.Fprintf(w, "  %-26s %-15s %-9d %-9d %-13d %-9s %d\n",
+			c.Attack, c.Level, c.Hijacked, c.Detected, c.Inconclusive, verdict, c.DirtyPages)
+	}
+	fmt.Fprintf(w, "  machines: %d strike forks from %d armed snapshots\n", rep.Forks, rep.Armed)
+}

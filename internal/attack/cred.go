@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"camouflage/internal/codegen"
-	"camouflage/internal/insn"
 	"camouflage/internal/kernel"
 	"camouflage/internal/pac"
 )
@@ -21,17 +20,7 @@ func CredSwap(cfg *codegen.Config, level string) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	prog, err := kernel.BuildProgram("credvictim", func(u *kernel.UserASM) {
-		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0)
-		u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
-		u.A.Label("spin")
-		u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
-		u.SyscallReg(kernel.SysFstat) // permission check via f_cred
-		// Record the last fstat result so the host can see progress.
-		u.MovImm(insn.X1, kernel.UserDataBase)
-		u.A.I(insn.STR(insn.X0, insn.X1, 0))
-		u.A.B("spin")
-	})
+	prog, err := kernel.BuildProgram("credvictim", credVictimProgram())
 	if err != nil {
 		return Report{}, err
 	}

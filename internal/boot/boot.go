@@ -38,6 +38,13 @@ func NewPRNG(seed uint64) *PRNG {
 	return p
 }
 
+// Clone returns an independent generator at the same stream position, so
+// a forked machine draws exactly the randomness a fresh boot would.
+func (p *PRNG) Clone() *PRNG {
+	cp := *p
+	return &cp
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 random bits.

@@ -10,8 +10,6 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
-	"sync"
 
 	"camouflage/internal/analysis"
 	"camouflage/internal/boot"
@@ -19,6 +17,7 @@ import (
 	"camouflage/internal/cpu"
 	"camouflage/internal/kernel"
 	"camouflage/internal/pac"
+	"camouflage/internal/snapshot"
 )
 
 // ProtectionLevel selects how much of the Camouflage design is enabled —
@@ -83,8 +82,9 @@ type System struct {
 	Level ProtectionLevel
 }
 
-// New builds, statically verifies, and boots a system.
-func New(level ProtectionLevel, opts Options) (*System, error) {
+// kernelOptions lowers (level, opts) to the kernel build options; shared
+// by New and the pool key derivation of Replicate.
+func kernelOptions(level ProtectionLevel, opts Options) kernel.Options {
 	cfg := level.Config()
 	if opts.Scheme != codegen.SchemeNone {
 		cfg.Scheme = opts.Scheme
@@ -101,75 +101,76 @@ func New(level ProtectionLevel, opts Options) (*System, error) {
 		cfg.ForwardCFI = false
 		cfg.DFI = false
 	}
-	k, err := kernel.New(kopts)
+	return kopts
+}
+
+// New builds, statically verifies (§4.1, via kernel.VerifyImage inside
+// the shared boot pipeline), and boots a system.
+func New(level ProtectionLevel, opts Options) (*System, error) {
+	k, err := snapshot.BootOptions(kernelOptions(level, opts))()
 	if err != nil {
-		return nil, err
-	}
-
-	// §4.1 static verification of the built image: "no code exists in the
-	// kernel ... which would read the keys from system registers". Key
-	// *writes* are legitimate in exactly two places — the XOM setter and
-	// the user-key restore of kernel exit — but key *reads* are forbidden
-	// everywhere. The scan result is memoized per section-content hash:
-	// replicated Systems (the parallel experiment runner builds one per
-	// goroutine) reuse the verdict instead of rescanning identical images.
-	for _, sec := range []string{".text", ".xom", ".vectors"} {
-		if err := verifyNoKeyReads(sec, k.Img.Sections[sec].Bytes); err != nil {
-			return nil, err
-		}
-	}
-
-	if err := k.Boot(); err != nil {
 		return nil, err
 	}
 	return &System{Kernel: k, Level: level}, nil
 }
 
-// verifiedImages caches §4.1 verification verdicts keyed by section
-// content hash (sync.Map: the parallel runner verifies from many
-// goroutines). Only clean verdicts are cached; failures always rescan.
-var verifiedImages sync.Map
+// SystemSnapshot is an immutable capture of a booted System. Fork new
+// Systems from it in O(1) guest memory (copy-on-write) or Reset a
+// dirtied descendant back to the captured point in O(pages touched).
+// Safe for concurrent Fork/Reset.
+type SystemSnapshot struct {
+	// Level is the protection level the captured system was built with.
+	Level ProtectionLevel
 
-// verifyNoKeyReads runs the §4.1 key-read scan over one code section,
-// memoizing clean results by content hash.
-func verifyNoKeyReads(sec string, code []byte) error {
-	h := fnv.New64a()
-	h.Write([]byte(sec))
-	h.Write(code)
-	key := h.Sum64()
-	if _, ok := verifiedImages.Load(key); ok {
-		return nil
-	}
-	for _, f := range analysis.ScanBytes(code) {
-		if f.Kind == analysis.FindingKeyRead {
-			return fmt.Errorf("core: kernel %s reads keys: %s", sec, f)
-		}
-	}
-	verifiedImages.Store(key, struct{}{})
-	return nil
+	snap *snapshot.Snapshot
 }
 
-// Replicate builds n isolated Systems with the same level and options,
-// concurrently, one goroutine per System. Each System has its own CPU,
-// memory, MMU and kernel; the only sharing is the read-only verification
-// memo above. Construction is deterministic, so every replica is
-// identical to a sequentially built one.
-func Replicate(level ProtectionLevel, opts Options, n int) ([]*System, error) {
-	systems := make([]*System, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			systems[i], errs[i] = New(level, opts)
-		}(i)
+// Snapshot captures the System's complete state — mid-execution captures
+// are allowed; the live System keeps running unperturbed on a fresh
+// copy-on-write overlay.
+func (s *System) Snapshot() *SystemSnapshot {
+	return &SystemSnapshot{Level: s.Level, snap: snapshot.Take(s.Kernel)}
+}
+
+// Fork builds an independent System resuming from the captured state
+// without re-running codegen, the §4.1 verifier, or boot.
+func (ss *SystemSnapshot) Fork() (*System, error) {
+	k, err := ss.snap.Fork()
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
+	return &System{Kernel: k, Level: ss.Level}, nil
+}
+
+// Reset rewinds a descendant System to the captured state, discarding
+// everything it ran since.
+func (ss *SystemSnapshot) Reset(s *System) error {
+	return ss.snap.Reset(s.Kernel)
+}
+
+// Replicate builds n isolated Systems with the same level and options.
+// The first System for a given option set pays one build+verify+boot
+// (cached in the shared warm pool); the rest are copy-on-write forks of
+// its post-boot snapshot, produced concurrently. Construction is
+// deterministic and forking is exact, so every replica is identical to a
+// sequentially built one (pinned by TestReplicateMatchesNew).
+func Replicate(level ProtectionLevel, opts Options, n int) ([]*System, error) {
+	kopts := kernelOptions(level, opts)
+	snap, err := snapshot.Shared.SnapshotFor(snapshot.KeyForOptions(kopts), snapshot.BootOptions(kopts))
+	if err != nil {
+		return nil, err
+	}
+	systems := make([]*System, n)
+	err = snapshot.ForEach(n, true, func(i int) error {
+		k, err := snap.Fork()
 		if err != nil {
-			return nil, err
+			return err
 		}
+		systems[i] = &System{Kernel: k, Level: level}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return systems, nil
 }

@@ -152,3 +152,76 @@ func TestReplicateBuildsIsolatedIdenticalSystems(t *testing.T) {
 		t.Error("running a program on one replica changed another")
 	}
 }
+
+// TestReplicateMatchesNew: a pool-forked replica is observably identical
+// to a freshly built and booted System — same Stats at rest and same
+// cycle consumption running the same program.
+func TestReplicateMatchesNew(t *testing.T) {
+	opts := Options{Seed: 23}
+	fresh, err := New(LevelFull, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems, err := Replicate(LevelFull, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked := systems[0]
+	if forked.Stats() != fresh.Stats() {
+		t.Fatalf("post-boot stats diverge: fork %+v fresh %+v", forked.Stats(), fresh.Stats())
+	}
+	prog := func(u *kernel.UserASM) {
+		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0)
+		u.SyscallReg(kernel.SysGetppid)
+		u.Exit(0)
+	}
+	c1, err := fresh.RunProgram("probe", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := forked.RunProgram("probe", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("program cycles diverge: fork %d fresh %d", c2, c1)
+	}
+	if forked.Stats() != fresh.Stats() {
+		t.Fatalf("post-run stats diverge: fork %+v fresh %+v", forked.Stats(), fresh.Stats())
+	}
+}
+
+// TestSystemSnapshotForkReset: the System-level snapshot API forks and
+// resets through the same machinery as the pool.
+func TestSystemSnapshotForkReset(t *testing.T) {
+	sys, err := New(LevelFull, Options{Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Snapshot()
+	fork, err := snap.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(u *kernel.UserASM) {
+		u.SyscallReg(kernel.SysGetppid)
+		u.Exit(0)
+	}
+	want, err := fork.RunProgram("p", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Reset(fork); err != nil {
+		t.Fatal(err)
+	}
+	if fork.Stats() != sys.Stats() {
+		t.Fatalf("reset fork stats %+v differ from origin %+v", fork.Stats(), sys.Stats())
+	}
+	got, err := fork.RunProgram("p", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("re-run after reset: %d cycles, want %d", got, want)
+	}
+}

@@ -1,0 +1,86 @@
+package cpu
+
+import (
+	"camouflage/internal/pac"
+)
+
+// State is a complete capture of one CPU's architectural and
+// micro-architectural bookkeeping state: general-purpose registers, PC,
+// exception level, PSTATE, banked stack pointers, the named system
+// registers, the PAuth key bank mirrored by the signer, and the
+// performance counters. It deliberately excludes the memory system (Bus,
+// MMU) — those are captured by their own packages — and the decoded-block
+// cache, which is derived state rebuilt on demand after a restore.
+type State struct {
+	X          [31]uint64
+	PC         uint64
+	EL         int
+	N, Z, C, V bool
+	IRQMasked  bool
+	SP         [2]uint64
+
+	SCTLR      uint64
+	VBAR       uint64
+	ELR        uint64
+	SPSR       uint64
+	ESR        uint64
+	FAR        uint64
+	TTBR0      uint64
+	TTBR1      uint64
+	CONTEXTIDR uint64
+	TPIDR      uint64
+
+	Keys pac.KeySet
+
+	Cycles      uint64
+	Retired     uint64
+	PACFailures uint64
+	IRQPending  bool
+}
+
+// CaptureState snapshots the CPU's architectural state.
+func (c *CPU) CaptureState() State {
+	return State{
+		X: c.X, PC: c.PC, EL: c.EL,
+		N: c.N, Z: c.Z, C: c.C, V: c.V,
+		IRQMasked: c.IRQMasked, SP: c.sp,
+		SCTLR: c.SCTLR, VBAR: c.VBAR, ELR: c.ELR, SPSR: c.SPSR,
+		ESR: c.ESR, FAR: c.FAR, TTBR0: c.TTBR0, TTBR1: c.TTBR1,
+		CONTEXTIDR: c.CONTEXTIDR, TPIDR: c.TPIDR,
+		Keys:   c.Signer.Keys(),
+		Cycles: c.Cycles, Retired: c.Retired,
+		PACFailures: c.PACFailures, IRQPending: c.IRQPending,
+	}
+}
+
+// RestoreState rewinds the CPU to a captured snapshot. Key installation
+// bypasses the MSR hook chain (restore is a host operation, not a guest
+// write, so the hypervisor lockdown must not veto it). The decoded-block
+// cache is dropped: memory has been rewound underneath it.
+func (c *CPU) RestoreState(st State) {
+	c.X = st.X
+	c.PC = st.PC
+	c.EL = st.EL
+	c.N, c.Z, c.C, c.V = st.N, st.Z, st.C, st.V
+	c.IRQMasked = st.IRQMasked
+	c.sp = st.SP
+	c.SCTLR = st.SCTLR
+	c.VBAR = st.VBAR
+	c.ELR = st.ELR
+	c.SPSR = st.SPSR
+	c.ESR = st.ESR
+	c.FAR = st.FAR
+	c.TTBR0 = st.TTBR0
+	c.TTBR1 = st.TTBR1
+	c.CONTEXTIDR = st.CONTEXTIDR
+	c.TPIDR = st.TPIDR
+	if c.Feat.PAuth {
+		c.Signer.SetKeys(st.Keys)
+	}
+	c.Cycles = st.Cycles
+	c.Retired = st.Retired
+	c.PACFailures = st.PACFailures
+	c.IRQPending = st.IRQPending
+	c.InvalidateDecode()
+	c.MMU.InvalidateTLBAll()
+}

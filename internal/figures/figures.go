@@ -22,6 +22,7 @@ import (
 	"camouflage/internal/kernel"
 	"camouflage/internal/lmbench"
 	"camouflage/internal/pac"
+	"camouflage/internal/snapshot"
 	"camouflage/internal/workload"
 )
 
@@ -33,23 +34,31 @@ type Experiment struct {
 	Title string
 	// PaperRef cites the paper location.
 	PaperRef string
+	// Levels names the protection levels the experiment boots machines
+	// under (nil for experiments that need no booted kernel).
+	Levels []string
 	// Run regenerates the artefact, writing it to w.
 	Run func(w io.Writer) error
 }
 
+// threeLevels is the Figure 3/4 comparison set.
+var threeLevels = []string{"none", "backward-edge", "full"}
+
 // All returns the experiment registry in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"table1", "VMSAv8 address ranges", "Table 1", RenderTable1},
-		{"table2", "AArch64 pointer layout and PAC field", "Table 2, §5.4", RenderTable2},
-		{"keys", "Key switch cost (≈9 cycles per key)", "§6.1.1", RenderKeySwitch},
-		{"fig2", "Function call overhead by modifier scheme", "Figure 2", RenderFigure2},
-		{"fig3", "lmbench relative latencies", "Figure 3, §6.1.3", RenderFigure3},
-		{"fig4", "User-space workload overheads", "Figure 4", RenderFigure4},
-		{"cocci", "Coccinelle semantic-search statistics", "§5.3", RenderCoccinelle},
-		{"attacks", "Security evaluation matrix", "§6.2", RenderAttacks},
-		{"ablation-keys", "Key management: XOM vs EL2 traps", "§4.1 vs §7 (Ferri)", RenderKeyAblation},
-		{"ablation-replay", "Replay surface census by modifier scheme", "§4.2, §7", RenderReplayCensus},
+		{"table1", "VMSAv8 address ranges", "Table 1", nil, RenderTable1},
+		{"table2", "AArch64 pointer layout and PAC field", "Table 2, §5.4", nil, RenderTable2},
+		{"keys", "Key switch cost (≈9 cycles per key)", "§6.1.1", nil, RenderKeySwitch},
+		{"fig2", "Function call overhead by modifier scheme", "Figure 2", nil, RenderFigure2},
+		{"fig3", "lmbench relative latencies", "Figure 3, §6.1.3", threeLevels, RenderFigure3},
+		{"fig4", "User-space workload overheads", "Figure 4", threeLevels, RenderFigure4},
+		{"cocci", "Coccinelle semantic-search statistics", "§5.3", nil, RenderCoccinelle},
+		{"attacks", "Security evaluation matrix", "§6.2",
+			[]string{"none", "backward-edge", "full", "full/zero-mod"}, RenderAttacks},
+		{"ablation-keys", "Key management: XOM vs EL2 traps", "§4.1 vs §7 (Ferri)",
+			[]string{"full"}, RenderKeyAblation},
+		{"ablation-replay", "Replay surface census by modifier scheme", "§4.2, §7", nil, RenderReplayCensus},
 	}
 }
 
@@ -75,9 +84,13 @@ var Parallel bool
 // RunStats records one experiment execution for the machine-readable
 // bench log (BENCH_results.json).
 type RunStats struct {
-	ID     string `json:"id"`
-	Title  string `json:"title"`
-	WallNs int64  `json:"wall_ns"`
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// Levels names the protection levels the experiment booted machines
+	// under (absent for experiments that need no booted kernel), keeping
+	// per-level trajectories comparable across revisions.
+	Levels []string `json:"levels,omitempty"`
+	WallNs int64    `json:"wall_ns"`
 	// Cycles/Instrs are the simulated work retired during the experiment;
 	// attribution is exact in sequential runs. In parallel runs the
 	// counters include concurrently running experiments, so Exact=false
@@ -127,7 +140,7 @@ func RunAll(w io.Writer, ids []string, parallel bool) ([]RunStats, error) {
 		wall := time.Since(t0)
 		c1, r1 := cpu.TotalCounters()
 		stats[i] = RunStats{
-			ID: e.ID, Title: e.Title,
+			ID: e.ID, Title: e.Title, Levels: e.Levels,
 			WallNs: wall.Nanoseconds(),
 			Cycles: c1 - c0, Instrs: r1 - r0,
 			Exact: !parallel,
@@ -249,33 +262,10 @@ type KeySwitchStats struct {
 }
 
 // forEach runs f(0), …, f(n-1) — concurrently, one goroutine per index,
-// when Parallel is set — and returns the lowest-index error. Callers
+// when Parallel is set — via the shared replication scaffold. Callers
 // assemble results by index, keeping output independent of schedule.
 func forEach(n int, f func(i int) error) error {
-	if !Parallel {
-		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = f(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return snapshot.ForEach(n, Parallel, f)
 }
 
 // MeasureKeySwitch measures the per-key cost of a kernel entry/exit key
@@ -534,14 +524,14 @@ func RenderAttacks(w io.Writer) error {
 // RenderKeyAblation compares XOM key installation with the Ferri-style
 // EL2-trap alternative (§7).
 func RenderKeyAblation(w io.Writer) error {
-	// XOM path: measured on the real kernel boot.
-	k, err := kernel.New(kernel.Options{Config: codegen.ConfigFull(), Seed: 5})
+	// XOM path: measured on a real booted kernel (warm-pooled).
+	opts := kernel.Options{Config: codegen.ConfigFull(), Seed: 5}
+	m, err := snapshot.Shared.Acquire(snapshot.KeyForOptions(opts), snapshot.BootOptions(opts))
 	if err != nil {
 		return err
 	}
-	if err := k.Boot(); err != nil {
-		return err
-	}
+	defer m.Release()
+	k := m.K
 	before := k.CPU.Cycles
 	if err := k.CallGuest(k.Img.Symbols["key_setter"]); err != nil {
 		return err

@@ -113,6 +113,36 @@ func (h *Hypervisor) Lockdown() {
 // LockedDown reports whether lockdown is active.
 func (h *Hypervisor) LockedDown() bool { return h.lockdown }
 
+// State is a captured hypervisor snapshot: the lockdown latch, its denial
+// counter, and the trap-management escrow. Stage-2 table contents are
+// captured by the mmu package, not here.
+type State struct {
+	Lockdown     bool
+	DeniedWrites uint64
+	Escrow       pac.KeySet
+	TrapInstalls uint64
+}
+
+// CaptureState snapshots the hypervisor's own state.
+func (h *Hypervisor) CaptureState() State {
+	return State{
+		Lockdown:     h.lockdown,
+		DeniedWrites: h.DeniedWrites,
+		Escrow:       h.escrow,
+		TrapInstalls: h.TrapInstalls,
+	}
+}
+
+// RestoreState rewinds the hypervisor to a captured snapshot. The caller
+// is responsible for the accompanying TLB flush (restore paths always
+// follow with cpu.RestoreState, which flushes).
+func (h *Hypervisor) RestoreState(st State) {
+	h.lockdown = st.Lockdown
+	h.DeniedWrites = st.DeniedWrites
+	h.escrow = st.Escrow
+	h.TrapInstalls = st.TrapInstalls
+}
+
 // --- trap-based key management (Ferri et al. ablation, §7) ---
 
 // EscrowKeys stores the kernel keys at EL2 for the trap-based scheme.

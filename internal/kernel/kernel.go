@@ -31,6 +31,10 @@ type Options struct {
 	FailureThreshold int
 }
 
+// DefaultFailureThreshold is the §5.4 brute-force halt threshold used
+// when Options.FailureThreshold is zero.
+const DefaultFailureThreshold = 8
+
 // OopsRecord is one logged kernel fault (§6.2.3: "any failures are also
 // logged, ensuring that such vulnerable code paths can be fixed").
 type OopsRecord struct {
@@ -159,7 +163,7 @@ func New(opts Options) (*Kernel, error) {
 		opts.Config = codegen.ConfigFull()
 	}
 	if opts.FailureThreshold == 0 {
-		opts.FailureThreshold = 8
+		opts.FailureThreshold = DefaultFailureThreshold
 	}
 	rng := boot.NewPRNG(opts.Seed ^ 0xB007_B007)
 	keys := rng.GenerateKeys()
@@ -202,16 +206,7 @@ func New(opts Options) (*Kernel, error) {
 	}
 
 	// Devices.
-	if err := c.Bus.Map(KVAToPA(UARTBase), 0x1000, k.UART); err != nil {
-		return nil, err
-	}
-	if err := c.Bus.Map(KVAToPA(NetBase), 0x1000, k.Net); err != nil {
-		return nil, err
-	}
-	if err := c.Bus.Map(KVAToPA(BlkBase), 0x1000, k.Blk); err != nil {
-		return nil, err
-	}
-	if err := c.Bus.Map(KVAToPA(SvcBase), 0x1000, &svcDev{k}); err != nil {
+	if err := k.mapDevices(); err != nil {
 		return nil, err
 	}
 
@@ -261,6 +256,22 @@ func New(opts Options) (*Kernel, error) {
 	}
 	c.EL = 1
 	return k, nil
+}
+
+// mapDevices installs the device windows (and the service doorbell) on
+// the kernel's bus. Shared by New and the snapshot fork path.
+func (k *Kernel) mapDevices() error {
+	c := k.CPU
+	if err := c.Bus.Map(KVAToPA(UARTBase), 0x1000, k.UART); err != nil {
+		return err
+	}
+	if err := c.Bus.Map(KVAToPA(NetBase), 0x1000, k.Net); err != nil {
+		return err
+	}
+	if err := c.Bus.Map(KVAToPA(BlkBase), 0x1000, k.Blk); err != nil {
+		return err
+	}
+	return c.Bus.Map(KVAToPA(SvcBase), 0x1000, &svcDev{k})
 }
 
 // KernelKeysForTest exposes the bootloader's kernel keys to the attack

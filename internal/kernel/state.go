@@ -1,0 +1,266 @@
+package kernel
+
+// Snapshot capture and restore: the kernel half of the snapshot/fork/
+// reset subsystem (see DESIGN.md §7). CaptureState freezes a booted —
+// possibly mid-execution — machine into an immutable State; NewFromState
+// forks an independent Kernel from it in O(live host objects) without
+// re-running codegen, the §4.1 verifier, or boot; RestoreState rewinds a
+// dirtied kernel to the captured point in O(pages touched).
+
+import (
+	"fmt"
+
+	"camouflage/internal/asm"
+	"camouflage/internal/boot"
+	"camouflage/internal/codegen"
+	"camouflage/internal/cpu"
+	"camouflage/internal/hyp"
+	"camouflage/internal/mem"
+	"camouflage/internal/mmu"
+	"camouflage/internal/pac"
+)
+
+// State is an immutable capture of a booted kernel. It deep-copies every
+// mutable host-side mirror and freezes guest RAM copy-on-write, so any
+// number of kernels can be forked from (or reset to) it concurrently.
+// The built image, codegen configuration and program registry are shared:
+// they are immutable after construction.
+type State struct {
+	img  *asm.Image
+	cfg  *codegen.Config
+	opts Options
+	keys pac.KeySet
+	rng  *boot.PRNG
+
+	frozen *mem.Frozen
+	cpu    cpu.State
+	mmuOn  bool
+	tt1    *mmu.Table
+	s2     *mmu.Stage2
+	hyp    hyp.State
+	uart   []byte
+	net    mem.NetDevState
+	blk    mem.BlockDevState
+
+	heapNext    uint64
+	nextPID     int
+	tasks       map[int]Task
+	currentPID  int
+	current     *Task // deep copy; kept even when zombied out of tasks
+	tables      map[int]*mmu.Table
+	programs    map[int]*Program
+	pipes       map[uint64][]byte
+	nextPipe    uint64
+	files       map[uint64]fileState
+	credObj     uint64
+	extraOps    map[int]uint64
+	modNext     uint64
+	pacFailures int
+	threshold   int
+	oops        []OopsRecord
+	halted      bool
+	svcCalls    map[uint64]uint64
+	bootCycles  uint64
+}
+
+// BootCycles returns the captured machine's boot cost (reporting).
+func (st *State) BootCycles() uint64 { return st.bootCycles }
+
+// FrozenPages returns the number of RAM pages in the copy-on-write base.
+func (st *State) FrozenPages() int { return st.frozen.Pages() }
+
+// CaptureState freezes the kernel into an immutable State. The live
+// kernel keeps running on a fresh copy-on-write overlay, so capturing is
+// non-destructive; its cost is one O(populated pages) map merge plus the
+// host-mirror deep copies — no guest memory is copied.
+func (k *Kernel) CaptureState() *State {
+	st := &State{
+		img:  k.Img,
+		cfg:  k.Cfg,
+		opts: k.opts,
+		keys: k.keys,
+		rng:  k.rng.Clone(),
+
+		frozen: k.CPU.Bus.RAM.Freeze(),
+		cpu:    k.CPU.CaptureState(),
+		mmuOn:  k.CPU.MMU.Enabled,
+		tt1:    k.CPU.MMU.TT1.Clone(),
+		s2:     k.CPU.MMU.S2.Clone(),
+		hyp:    k.Hyp.CaptureState(),
+		uart:   k.UART.CaptureState(),
+		net:    k.Net.CaptureState(),
+		blk:    k.Blk.CaptureState(),
+
+		heapNext:    k.heapNext,
+		nextPID:     k.nextPID,
+		tasks:       make(map[int]Task, len(k.tasks)),
+		tables:      make(map[int]*mmu.Table, len(k.tables)),
+		programs:    make(map[int]*Program, len(k.programs)),
+		pipes:       make(map[uint64][]byte, len(k.pipes)),
+		nextPipe:    k.nextPipe,
+		files:       make(map[uint64]fileState, len(k.files)),
+		credObj:     k.credObj,
+		extraOps:    make(map[int]uint64, len(k.extraOps)),
+		modNext:     k.modNext,
+		pacFailures: k.PACFailures,
+		threshold:   k.Threshold,
+		oops:        append([]OopsRecord(nil), k.Oops...),
+		halted:      k.Halted,
+		svcCalls:    make(map[uint64]uint64, len(k.ServiceCalls)),
+		bootCycles:  k.BootCycles,
+	}
+	for pid, t := range k.tasks {
+		st.tasks[pid] = *t
+	}
+	if k.current != nil {
+		st.currentPID = k.current.PID
+		cp := *k.current
+		st.current = &cp
+	}
+	for pid, tbl := range k.tables {
+		st.tables[pid] = tbl.Clone()
+	}
+	for id, p := range k.programs {
+		st.programs[id] = p
+	}
+	for id, p := range k.pipes {
+		st.pipes[id] = p.buf[:len(p.buf):len(p.buf)]
+	}
+	for va, f := range k.files {
+		st.files[va] = *f
+	}
+	for path, ops := range k.extraOps {
+		st.extraOps[path] = ops
+	}
+	for code, n := range k.ServiceCalls {
+		st.svcCalls[code] = n
+	}
+	return st
+}
+
+// restoreHostMirrors fills the kernel's host-side bookkeeping from the
+// state's deep copies (shared by fork and reset).
+func (k *Kernel) restoreHostMirrors(st *State) {
+	k.heapNext = st.heapNext
+	k.nextPID = st.nextPID
+	k.tasks = make(map[int]*Task, len(st.tasks))
+	for pid, t := range st.tasks {
+		cp := t
+		k.tasks[pid] = &cp
+	}
+	k.current = nil
+	if st.current != nil {
+		if t := k.tasks[st.currentPID]; t != nil {
+			k.current = t
+		} else {
+			// The captured current task had already exited (zombie):
+			// rebuild it outside the task table, as the live kernel had it.
+			cp := *st.current
+			k.current = &cp
+		}
+	}
+	k.tables = make(map[int]*mmu.Table, len(st.tables))
+	for pid, tbl := range st.tables {
+		k.tables[pid] = tbl.Clone()
+	}
+	k.programs = make(map[int]*Program, len(st.programs))
+	for id, p := range st.programs {
+		k.programs[id] = p
+	}
+	k.pipes = make(map[uint64]*pipeState, len(st.pipes))
+	for id, buf := range st.pipes {
+		k.pipes[id] = &pipeState{buf: buf[:len(buf):len(buf)]}
+	}
+	k.nextPipe = st.nextPipe
+	k.files = make(map[uint64]*fileState, len(st.files))
+	for va, f := range st.files {
+		cp := f
+		k.files[va] = &cp
+	}
+	k.credObj = st.credObj
+	k.extraOps = make(map[int]uint64, len(st.extraOps))
+	for path, ops := range st.extraOps {
+		k.extraOps[path] = ops
+	}
+	k.modNext = st.modNext
+	k.PACFailures = st.pacFailures
+	k.Threshold = st.threshold
+	k.Oops = append([]OopsRecord(nil), st.oops...)
+	k.Halted = st.halted
+	k.ServiceCalls = make(map[uint64]uint64, len(st.svcCalls))
+	for code, n := range st.svcCalls {
+		k.ServiceCalls[code] = n
+	}
+	k.BootCycles = st.bootCycles
+	k.rng = st.rng.Clone()
+
+	// Point the MMU's user table at the current task's clone (or an empty
+	// table when the capture predates the first spawn).
+	if k.current != nil && k.tables[k.current.PID] != nil {
+		k.CPU.MMU.TT0 = k.tables[k.current.PID]
+	} else {
+		k.CPU.MMU.TT0 = mmu.NewTable()
+	}
+}
+
+// NewFromState forks an independent kernel from a captured state: a new
+// CPU, bus and MMU wired to fresh device mirrors, guest RAM backed
+// copy-on-write by the frozen page store, and every host mirror deep-
+// copied. No codegen, verification or boot runs; the fork is ready to
+// execute from exactly the captured PC. Safe to call concurrently on the
+// same State.
+func NewFromState(st *State) (*Kernel, error) {
+	c := cpu.New(cpu.Features{PAuth: !st.opts.V80})
+	c.Bus.RAM = mem.NewPhysFrom(st.frozen)
+	c.MMU.Enabled = st.mmuOn
+	c.MMU.TT1 = st.tt1.Clone()
+	c.MMU.S2 = st.s2.Clone()
+
+	k := &Kernel{
+		CPU:  c,
+		UART: &mem.UART{},
+		Net:  &mem.NetDev{},
+		Blk:  mem.NewBlockDev(),
+		Cfg:  st.cfg,
+		Img:  st.img,
+		opts: st.opts,
+		keys: st.keys,
+	}
+	if err := k.mapDevices(); err != nil {
+		return nil, err
+	}
+	k.UART.RestoreState(st.uart)
+	k.Net.RestoreState(st.net)
+	k.Blk.RestoreState(st.blk)
+
+	k.Hyp = hyp.Attach(c)
+	k.Hyp.RestoreState(st.hyp)
+
+	k.restoreHostMirrors(st)
+	c.RestoreState(st.cpu)
+	return k, nil
+}
+
+// RestoreState rewinds a kernel to a captured state in O(pages touched):
+// the RAM overlay is dropped back to the state's frozen base and every
+// host mirror is restored from the deep copies. The kernel must descend
+// from the same built image as the state (normally: it was forked from
+// it, or the state was captured from it).
+func (k *Kernel) RestoreState(st *State) error {
+	if k.Img != st.img {
+		return fmt.Errorf("kernel: restore across different built images")
+	}
+	k.CPU.Bus.RAM.ResetTo(st.frozen)
+	k.UART.RestoreState(st.uart)
+	k.Net.RestoreState(st.net)
+	k.Blk.RestoreState(st.blk)
+	k.CPU.MMU.Enabled = st.mmuOn
+	k.CPU.MMU.TT1.RestoreFrom(st.tt1)
+	k.CPU.MMU.S2.RestoreFrom(st.s2)
+	k.Hyp.RestoreState(st.hyp)
+	k.restoreHostMirrors(st)
+	// CPU restore last: it drops the decoded-block cache and flushes the
+	// TLB, sealing the rewind.
+	k.CPU.RestoreState(st.cpu)
+	return nil
+}

@@ -9,12 +9,12 @@ package lmbench
 
 import (
 	"fmt"
-	"sync"
 
 	"camouflage/internal/codegen"
 	"camouflage/internal/cpu"
 	"camouflage/internal/insn"
 	"camouflage/internal/kernel"
+	"camouflage/internal/snapshot"
 )
 
 // Benchmark is one lmbench row.
@@ -245,21 +245,24 @@ type Result struct {
 	NsPerIter float64
 }
 
-// runOnce runs a benchmark with the given iteration count on a fresh
+// runOnce runs a benchmark with the given iteration count on a pristine
 // kernel and returns total consumed cycles.
 func runOnce(cfg func() *codegen.Config, b Benchmark, iters uint64, seed uint64) (uint64, error) {
 	return runOnceOpts(kernel.Options{Config: cfg(), Seed: seed}, b, iters)
 }
 
-// runOnceOpts is runOnce with full kernel options (compat builds).
+// runOnceOpts is runOnce with full kernel options (compat builds). The
+// machine comes from the shared snapshot pool: one build+verify+boot per
+// option set, then copy-on-write forks/resets — observably identical to
+// a fresh boot (pinned by the snapshot determinism tests), so measured
+// latencies are unchanged.
 func runOnceOpts(opts kernel.Options, b Benchmark, iters uint64) (uint64, error) {
-	k, err := kernel.New(opts)
+	m, err := snapshot.Shared.Acquire(snapshot.KeyForOptions(opts), snapshot.BootOptions(opts))
 	if err != nil {
 		return 0, err
 	}
-	if err := k.Boot(); err != nil {
-		return 0, err
-	}
+	defer m.Release()
+	k := m.K
 	prog, err := kernel.BuildProgram(b.Name, func(u *kernel.UserASM) {
 		b.Build(u, iters)
 	})
@@ -346,40 +349,25 @@ func Levels() []struct {
 func RunSuite() ([]Result, error) { return runSuite(false) }
 
 // RunSuiteParallel is RunSuite with one goroutine per (benchmark,
-// protection level) cell. Every cell runs on its own freshly booted
-// kernel, so the cells share nothing; results are assembled in the same
-// order as RunSuite, making the output deterministic.
+// protection level) cell. Every cell runs on its own isolated machine
+// (a copy-on-write fork from the warm pool), so the cells share nothing
+// mutable; results are assembled in the same order as RunSuite, making
+// the output deterministic.
 func RunSuiteParallel() ([]Result, error) { return runSuite(true) }
 
 func runSuite(parallel bool) ([]Result, error) {
 	benches := Suite()
 	levels := Levels()
 	out := make([]Result, len(benches)*len(levels))
-	errs := make([]error, len(out))
-	cell := func(idx int) {
+	err := snapshot.ForEach(len(out), parallel, func(idx int) error {
 		b := benches[idx/len(levels)]
 		lv := levels[idx%len(levels)]
-		out[idx], errs[idx] = Measure(lv.Cfg, lv.Name, b)
-	}
-	if parallel {
-		var wg sync.WaitGroup
-		for i := range out {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				cell(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range out {
-			cell(i)
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+		var err error
+		out[idx], err = Measure(lv.Cfg, lv.Name, b)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

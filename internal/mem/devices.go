@@ -43,6 +43,17 @@ func (u *UART) Output() string { return u.buf.String() }
 // Reset clears the console buffer.
 func (u *UART) Reset() { u.buf.Reset() }
 
+// CaptureState snapshots the console buffer for machine forking.
+func (u *UART) CaptureState() []byte {
+	return append([]byte(nil), u.buf.Bytes()...)
+}
+
+// RestoreState rewinds the console to a captured snapshot.
+func (u *UART) RestoreState(b []byte) {
+	u.buf.Reset()
+	u.buf.Write(b)
+}
+
 // NetDev register offsets. The device is a deliberately simple
 // descriptor-free NIC: the driver reads whole packets a word at a time.
 // It exists so that the "network download" workload of Figure 4 exercises
@@ -119,6 +130,35 @@ func (n *NetDev) Store(offset uint64, size int, v uint64) error {
 	return nil
 }
 
+// NetDevState is a captured NetDev snapshot. Packet payloads are shared
+// between the snapshot and every restore target — Load never mutates
+// them — but slice headers are trimmed to capacity so post-restore
+// InjectPacket appends cannot alias across forks.
+type NetDevState struct {
+	rx      [][]byte
+	rxOff   int
+	rxCount uint64
+	txBytes uint64
+}
+
+// CaptureState snapshots the receive queue and counters.
+func (n *NetDev) CaptureState() NetDevState {
+	return NetDevState{
+		rx:      n.rx[:len(n.rx):len(n.rx)],
+		rxOff:   n.rxOff,
+		rxCount: n.rxCount,
+		txBytes: n.txBytes,
+	}
+}
+
+// RestoreState rewinds the device to a captured snapshot.
+func (n *NetDev) RestoreState(st NetDevState) {
+	n.rx = st.rx[:len(st.rx):len(st.rx)]
+	n.rxOff = st.rxOff
+	n.rxCount = st.rxCount
+	n.txBytes = st.txBytes
+}
+
 // BlockDev register offsets: a single-sector-at-a-time programmed-IO disk.
 const (
 	BlkSector = 0x00 // write: select sector
@@ -146,6 +186,39 @@ func NewBlockDev() *BlockDev {
 
 // Name implements Device.
 func (b *BlockDev) Name() string { return "blk" }
+
+// BlockDevState is a captured BlockDev snapshot (sector contents are
+// deep-copied: guest stores mutate them in place).
+type BlockDevState struct {
+	sectors map[uint64]*[SectorSize]byte
+	cur     uint64
+	off     int
+	reads   uint64
+	writes  uint64
+}
+
+// CaptureState snapshots the disk contents and transfer counters.
+func (b *BlockDev) CaptureState() BlockDevState {
+	sectors := make(map[uint64]*[SectorSize]byte, len(b.sectors))
+	for n, s := range b.sectors {
+		cp := *s
+		sectors[n] = &cp
+	}
+	return BlockDevState{sectors: sectors, cur: b.cur, off: b.off, reads: b.Reads, writes: b.Writes}
+}
+
+// RestoreState rewinds the disk to a captured snapshot.
+func (b *BlockDev) RestoreState(st BlockDevState) {
+	b.sectors = make(map[uint64]*[SectorSize]byte, len(st.sectors))
+	for n, s := range st.sectors {
+		cp := *s
+		b.sectors[n] = &cp
+	}
+	b.cur = st.cur
+	b.off = st.off
+	b.Reads = st.reads
+	b.Writes = st.writes
+}
 
 func (b *BlockDev) sector(n uint64) *[SectorSize]byte {
 	s := b.sectors[n]

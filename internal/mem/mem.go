@@ -17,10 +17,20 @@ const PageSize = 4096
 // PageShift is log2(PageSize).
 const PageShift = 12
 
-// Phys is sparse physical RAM. The zero value is ready to use: pages are
-// allocated on first touch and read as zero before any write.
+// Phys is sparse physical RAM with copy-on-write forking. Pages live in
+// two layers: an immutable shared base (installed by Freeze or by forking
+// from a Frozen snapshot) and a private overlay of pages this Phys has
+// written since. Reads fall through the overlay to the base; the first
+// write to a page copies it into the overlay. The zero value of the
+// overlay-only form is ready to use: pages are allocated on first touch
+// and read as zero before any write.
 type Phys struct {
+	// pages is the private, writable overlay.
 	pages map[uint64]*[PageSize]byte
+	// base is the immutable copy-on-write base (nil before any Freeze).
+	// Base pages are shared between every Phys forked from the same
+	// Frozen and must never be written through.
+	base map[uint64]*[PageSize]byte
 }
 
 // NewPhys returns an empty physical memory.
@@ -28,13 +38,69 @@ func NewPhys() *Phys {
 	return &Phys{pages: make(map[uint64]*[PageSize]byte)}
 }
 
+// Frozen is an immutable page store captured by Freeze: the copy-on-write
+// base shared by every Phys forked from the same snapshot.
+type Frozen struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// Pages returns the number of pages in the frozen store.
+func (f *Frozen) Pages() int { return len(f.pages) }
+
+// Freeze promotes the current contents into a new immutable base and
+// clears the overlay, returning the base as a Frozen snapshot. The Phys
+// keeps running on top of it copy-on-write, so freezing a live machine is
+// safe: its later writes land in the fresh overlay, never in the
+// snapshot. Cost is O(populated pages) for the merge, zero copying.
+func (p *Phys) Freeze() *Frozen {
+	merged := make(map[uint64]*[PageSize]byte, len(p.base)+len(p.pages))
+	for pn, pg := range p.base {
+		merged[pn] = pg
+	}
+	for pn, pg := range p.pages {
+		merged[pn] = pg
+	}
+	p.base = merged
+	p.pages = make(map[uint64]*[PageSize]byte)
+	return &Frozen{pages: merged}
+}
+
+// NewPhysFrom returns a fresh Phys backed copy-on-write by the frozen
+// store: O(1), no pages are copied until written.
+func NewPhysFrom(f *Frozen) *Phys {
+	return &Phys{pages: make(map[uint64]*[PageSize]byte), base: f.pages}
+}
+
+// ResetTo rewinds the Phys to exactly the frozen store's contents,
+// discarding every page written since (O(1) beyond garbage): the overlay
+// is dropped and the base repointed, so intervening Freezes do not stick.
+func (p *Phys) ResetTo(f *Frozen) {
+	p.base = f.pages
+	p.pages = make(map[uint64]*[PageSize]byte)
+}
+
+// DirtyPages returns the number of overlay pages written since the last
+// Freeze/ResetTo (the copy-on-write cost a Reset reclaims).
+func (p *Phys) DirtyPages() int { return len(p.pages) }
+
+// page returns the page containing addr. With create=false the lookup
+// falls through to the copy-on-write base and may return nil (read as
+// zero); with create=true the page is copied up into the private overlay
+// so the caller may write through it.
 func (p *Phys) page(addr uint64, create bool) *[PageSize]byte {
 	pn := addr >> PageShift
-	pg := p.pages[pn]
-	if pg == nil && create {
-		pg = new([PageSize]byte)
-		p.pages[pn] = pg
+	if pg := p.pages[pn]; pg != nil {
+		return pg
 	}
+	shared := p.base[pn]
+	if !create {
+		return shared
+	}
+	pg := new([PageSize]byte)
+	if shared != nil {
+		*pg = *shared
+	}
+	p.pages[pn] = pg
 	return pg
 }
 
@@ -127,8 +193,17 @@ func (p *Phys) Write8(addr uint64, v byte) {
 	p.page(addr, true)[addr&(PageSize-1)] = v
 }
 
-// PopulatedPages returns the number of RAM pages that have been touched.
-func (p *Phys) PopulatedPages() int { return len(p.pages) }
+// PopulatedPages returns the number of RAM pages that have been touched
+// (distinct pages across the copy-on-write base and the overlay).
+func (p *Phys) PopulatedPages() int {
+	n := len(p.pages)
+	for pn := range p.base {
+		if _, shadowed := p.pages[pn]; !shadowed {
+			n++
+		}
+	}
+	return n
+}
 
 // Device is a memory-mapped peripheral. Offsets are relative to the
 // device's bus window. Accesses are 1, 4 or 8 bytes wide.

@@ -133,6 +133,14 @@ type PTE struct {
 // not change the attack surface the paper considers).
 type Table struct {
 	entries map[uint64]PTE
+	// shared marks entries as copy-on-write: the map is referenced by at
+	// least one clone and must be copied before the next mutation
+	// (mutable() copies and clears the flag). Race-freedom of concurrent
+	// Clone rests on a caller invariant, not on this flag alone: tables
+	// reachable from a snapshot State are never mutated after capture,
+	// so their flag stays true and Clone never writes it. Cloning a
+	// *live* table concurrently with Map/Unmap is not supported.
+	shared bool
 	// gen is the table's invalidation generation. Every Map/Unmap bumps
 	// it; TLB entries snapshot the generation at fill time, so a bump is a
 	// broadcast TLBI for every translation cached from this table. This is
@@ -146,17 +154,57 @@ func NewTable() *Table {
 	return &Table{entries: make(map[uint64]PTE)}
 }
 
+// mutable returns the entries map, first un-sharing it (one full copy)
+// if any clone still references it.
+func (t *Table) mutable() map[uint64]PTE {
+	if t.shared {
+		cp := make(map[uint64]PTE, len(t.entries))
+		for pn, pte := range t.entries {
+			cp[pn] = pte
+		}
+		t.entries = cp
+		t.shared = false
+	}
+	return t.entries
+}
+
 // Map installs a translation for the page containing va. Per VMSAv8
 // (Appendix A.2), any valid stage-1 mapping is implicitly readable at EL1:
 // R1 is forced on, which is exactly why stage-1 cannot express kernel XOM.
 func (t *Table) Map(va, pa uint64, perm Perm) {
-	t.entries[va>>PageShift] = PTE{PA: pa &^ (PageSize - 1), Perm: perm | R1}
+	t.mutable()[va>>PageShift] = PTE{PA: pa &^ (PageSize - 1), Perm: perm | R1}
 	t.gen++
 }
 
 // Unmap removes the translation for the page containing va.
 func (t *Table) Unmap(va uint64) {
-	delete(t.entries, va>>PageShift)
+	delete(t.mutable(), va>>PageShift)
+	t.gen++
+}
+
+// Clone returns an independent copy-on-write copy of the table in O(1):
+// both tables share the entries map until either mutates it. A shared
+// source is not written (its flag is already set), so concurrent Clone
+// calls on the same already-shared table — the snapshot fork path — are
+// race-free. The clone starts at generation zero as a brand-new object:
+// TLB entries snapshot the table *pointer* alongside the generation, so
+// nothing cached from the original can ever hit against the clone.
+func (t *Table) Clone() *Table {
+	if !t.shared {
+		t.shared = true
+	}
+	return &Table{entries: t.entries, shared: true}
+}
+
+// RestoreFrom replaces the table's contents with a copy-on-write view of
+// src's, bumping the generation so every translation cached from this
+// table is invalidated (the broadcast-TLBI contract of DESIGN.md §3).
+func (t *Table) RestoreFrom(src *Table) {
+	if !src.shared {
+		src.shared = true
+	}
+	t.entries = src.entries
+	t.shared = true
 	t.gen++
 }
 
@@ -201,6 +249,28 @@ func (s *Stage2) Restrict(pa uint64, p S2Perm) {
 // Clear removes the override for the IPA page containing pa.
 func (s *Stage2) Clear(pa uint64) {
 	delete(s.overrides, pa>>PageShift)
+	s.gen++
+}
+
+// Clone returns an independent copy of the stage-2 overlay (generation
+// reset: clones are always installed behind a full TLB flush).
+func (s *Stage2) Clone() *Stage2 {
+	overrides := make(map[uint64]S2Perm, len(s.overrides))
+	for pn, p := range s.overrides {
+		overrides[pn] = p
+	}
+	return &Stage2{overrides: overrides, Enabled: s.Enabled}
+}
+
+// RestoreFrom replaces the overlay's contents with a copy of src's,
+// bumping the generation so cached translations are re-checked.
+func (s *Stage2) RestoreFrom(src *Stage2) {
+	overrides := make(map[uint64]S2Perm, len(src.overrides))
+	for pn, p := range src.overrides {
+		overrides[pn] = p
+	}
+	s.overrides = overrides
+	s.Enabled = src.Enabled
 	s.gen++
 }
 

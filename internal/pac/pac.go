@@ -209,6 +209,11 @@ func (s *Signer) SetKeys(ks KeySet) {
 	}
 }
 
+// Keys returns the currently installed key bank (snapshot capture).
+func (s *Signer) Keys() KeySet {
+	return KeySet{Keys: s.keys}
+}
+
 // pacFor computes the PAC bits for ptr under modifier, positioned within
 // the PAC field mask. The MAC input is the canonical form of the pointer so
 // that signing is independent of any stale PAC bits.

@@ -1,0 +1,211 @@
+package snapshot
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"camouflage/internal/kernel"
+)
+
+// Machine is a pooled machine: a kernel plus the snapshot it descends
+// from. Run it freely; hand it back with Release (which resets it) or
+// abandon it (forks are independent — the pool does not track them).
+type Machine struct {
+	// K is the kernel, positioned exactly at the snapshot point.
+	K *kernel.Kernel
+	// Snap is the snapshot the machine descends from (for nested
+	// snapshots or manual resets mid-use).
+	Snap *Snapshot
+
+	key  string
+	pool *Pool
+	// fresh marks the just-booted origin machine: its first Acquire is
+	// part of the boot, not a boot avoided, so it is not counted as a
+	// reuse.
+	fresh bool
+}
+
+// Release resets the machine to its snapshot and parks it warm for the
+// next Acquire of the same key. When the key's idle list is already
+// full, the machine is dropped *without* paying the reset; a machine
+// whose reset fails is dropped too. Drops are counted in Stats.
+func (m *Machine) Release() {
+	p := m.pool
+	if p == nil {
+		return
+	}
+	// Consume the handle: a second Release is a no-op instead of parking
+	// the same kernel twice (Acquire re-arms the pool pointer when it
+	// hands the machine out again).
+	m.pool = nil
+	p.release(m)
+}
+
+func (p *Pool) release(m *Machine) {
+	e := p.entry(m.key)
+	e.mu.Lock()
+	full := len(e.idle) >= p.MaxIdlePerKey
+	e.mu.Unlock()
+	if full {
+		p.dropped.Add(1)
+		return
+	}
+	if err := m.Snap.Reset(m.K); err != nil {
+		// Only a programming error reaches here (machine wired to a
+		// snapshot of a different built image); surface it in Stats
+		// rather than degrade the pool invisibly.
+		p.dropped.Add(1)
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.idle) >= p.MaxIdlePerKey {
+		p.dropped.Add(1)
+		return
+	}
+	e.idle = append(e.idle, m)
+}
+
+// Pool hands out warm pre-booted machines keyed by build options. The
+// first Acquire of a key pays one boot and snapshots it; later Acquires
+// reuse a reset idle machine or fork a new one in O(1). All methods are
+// safe for concurrent use; concurrent Acquires of a cold key block until
+// its one boot completes.
+type Pool struct {
+	mu      sync.Mutex
+	entries map[string]*poolEntry
+
+	// MaxIdlePerKey bounds parked machines per key (further Releases
+	// drop the machine; its copy-on-write base stays shared).
+	MaxIdlePerKey int
+
+	boots   atomic.Uint64
+	reuses  atomic.Uint64
+	dropped atomic.Uint64
+}
+
+type poolEntry struct {
+	once sync.Once
+	snap *Snapshot
+	err  error
+
+	mu   sync.Mutex
+	idle []*Machine
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{entries: make(map[string]*poolEntry), MaxIdlePerKey: 16}
+}
+
+// Shared is the process-wide pool used by the experiment suites, the
+// benchmarks and core.Replicate.
+var Shared = NewPool()
+
+func (p *Pool) entry(key string) *poolEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entries[key]
+	if e == nil {
+		e = &poolEntry{}
+		p.entries[key] = e
+	}
+	return e
+}
+
+// ensureBooted runs the entry's one-time boot: the booted kernel
+// becomes both the snapshot source and — since after Take it is
+// indistinguishable from a fork — the first warm machine.
+func (p *Pool) ensureBooted(e *poolEntry, key string, boot func() (*kernel.Kernel, error)) error {
+	e.once.Do(func() {
+		k, err := boot()
+		if err != nil {
+			e.err = err
+			return
+		}
+		p.boots.Add(1)
+		// e.snap is published under e.mu as well as via once.Do: callers
+		// read it after once.Do, Stats reads it under e.mu only.
+		e.mu.Lock()
+		e.snap = Take(k)
+		e.idle = append(e.idle, &Machine{K: k, Snap: e.snap, key: key, pool: p, fresh: true})
+		e.mu.Unlock()
+	})
+	return e.err
+}
+
+// Acquire returns a machine positioned at the post-boot snapshot for
+// key. The boot closure runs at most once per key.
+func (p *Pool) Acquire(key string, boot func() (*kernel.Kernel, error)) (*Machine, error) {
+	e := p.entry(key)
+	if err := p.ensureBooted(e, key, boot); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if n := len(e.idle); n > 0 {
+		m := e.idle[n-1]
+		e.idle = e.idle[:n-1]
+		e.mu.Unlock()
+		if !m.fresh {
+			p.reuses.Add(1)
+		}
+		// Hand out a fresh handle around the parked kernel: the previous
+		// owner's released handle stays permanently inert, so a stale
+		// double-Release can never reset a machine a new owner is using.
+		return &Machine{K: m.K, Snap: m.Snap, key: m.key, pool: p}, nil
+	}
+	e.mu.Unlock()
+	k, err := e.snap.Fork()
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{K: k, Snap: e.snap, key: key, pool: p}, nil
+}
+
+// SnapshotFor returns the post-boot snapshot for key, booting it on
+// first use (for callers that fork directly, e.g. core.Replicate). No
+// machine is acquired: a warm key answers from the cached snapshot.
+func (p *Pool) SnapshotFor(key string, boot func() (*kernel.Kernel, error)) (*Snapshot, error) {
+	e := p.entry(key)
+	if err := p.ensureBooted(e, key, boot); err != nil {
+		return nil, err
+	}
+	return e.snap, nil
+}
+
+// Stats is a point-in-time view of pool effectiveness: every reuse or
+// fork is a full build+verify+boot avoided. A nonzero Dropped under low
+// parallelism signals misuse (reset failures); under high parallelism
+// it just means Releases exceeded MaxIdlePerKey.
+type Stats struct {
+	Keys    int    `json:"keys"`
+	Idle    int    `json:"idle"`
+	Boots   uint64 `json:"boots"`
+	Forks   uint64 `json:"forks"`
+	Reuses  uint64 `json:"reuses"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// Stats returns current counters. Forks aggregates every fork taken
+// from the pool's snapshots — through Acquire and through holders of a
+// SnapshotFor result alike — so the boots-vs-machines-served ratio
+// reflects all pool-derived machines.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		Keys:    len(p.entries),
+		Boots:   p.boots.Load(),
+		Reuses:  p.reuses.Load(),
+		Dropped: p.dropped.Load(),
+	}
+	for _, e := range p.entries {
+		e.mu.Lock()
+		st.Idle += len(e.idle)
+		if e.snap != nil {
+			st.Forks += e.snap.Forks()
+		}
+		e.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,173 @@
+// Package snapshot implements copy-on-write snapshotting of booted
+// simulated machines: capture a kernel — freshly booted or mid-execution
+// — into an immutable Snapshot, Fork independent machines from it in
+// O(live host objects) with zero guest-memory copying, and Reset a
+// dirtied machine back to the captured point in O(pages touched).
+//
+// Every experiment cell, benchmark repetition and attack run previously
+// paid the full construction cost — codegen, the §4.1 static-analysis
+// gate, and boot — even though the post-boot state is identical every
+// time. A Snapshot pays that cost once; forks and resets replay none of
+// it. Because construction is deterministic, a forked machine is
+// indistinguishable from a freshly booted one: same cycle counters, same
+// PRNG stream position, same memory image (pinned by the determinism
+// tests in this package).
+//
+// The Pool layers a warm-machine cache on top: machines are keyed by
+// their build options (protection level, seed, threshold, compat mode),
+// booted once per key, and handed out as forks or reset idle machines.
+// The lmbench/workload/figures suites, core.Replicate and the attack
+// campaign driver all draw from the shared pool.
+package snapshot
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"camouflage/internal/codegen"
+	"camouflage/internal/kernel"
+)
+
+// Snapshot is an immutable capture of a booted machine. Any number of
+// goroutines may Fork from (or Reset machines to) the same Snapshot
+// concurrently.
+type Snapshot struct {
+	st *kernel.State
+
+	// forks and resets count uses (pool/bench reporting).
+	forks  atomic.Uint64
+	resets atomic.Uint64
+}
+
+// Take captures the kernel's complete state — CPU, PAuth keys, MMU
+// stages, hypervisor lockdown, devices, host mirrors, and guest RAM
+// frozen copy-on-write. The kernel keeps running on a fresh overlay;
+// taking a snapshot never perturbs it.
+func Take(k *kernel.Kernel) *Snapshot {
+	return &Snapshot{st: k.CaptureState()}
+}
+
+// Fork builds an independent machine resuming from the captured state:
+// new CPU, bus, MMU and device mirrors; guest RAM shared copy-on-write
+// with the snapshot. No codegen, verification or boot runs.
+func (s *Snapshot) Fork() (*kernel.Kernel, error) {
+	k, err := kernel.NewFromState(s.st)
+	if err != nil {
+		return nil, err
+	}
+	s.forks.Add(1)
+	return k, nil
+}
+
+// Reset rewinds a machine to the captured state in O(pages touched),
+// discarding everything it ran since. The machine must descend from the
+// same built image (it was forked from this snapshot, or this snapshot
+// was taken from it).
+func (s *Snapshot) Reset(k *kernel.Kernel) error {
+	if err := k.RestoreState(s.st); err != nil {
+		return err
+	}
+	s.resets.Add(1)
+	return nil
+}
+
+// Forks returns how many machines have been forked from the snapshot.
+func (s *Snapshot) Forks() uint64 { return s.forks.Load() }
+
+// Resets returns how many machines have been reset to the snapshot.
+func (s *Snapshot) Resets() uint64 { return s.resets.Load() }
+
+// FrozenPages returns the size of the copy-on-write base in pages.
+func (s *Snapshot) FrozenPages() int { return s.st.FrozenPages() }
+
+// BootCycles returns the captured machine's boot cost.
+func (s *Snapshot) BootCycles() uint64 { return s.st.BootCycles() }
+
+// KeyForOptions derives the pool key identifying machines built with the
+// given options: every field that shapes the post-boot state
+// participates, normalized exactly as kernel.New normalizes it, so two
+// option sets share a key exactly when their booted machines are
+// interchangeable.
+func KeyForOptions(opts kernel.Options) string {
+	cfg := opts.Config
+	if cfg == nil {
+		cfg = codegen.ConfigFull() // mirror kernel.New's default
+	}
+	thr := opts.FailureThreshold
+	if thr == 0 {
+		thr = kernel.DefaultFailureThreshold
+	}
+	return fmt.Sprintf("scheme=%d fwd=%t dfi=%t zmod=%t seed=%d thr=%d compat=%t v80=%t",
+		cfg.Scheme, cfg.ForwardCFI, cfg.DFI, cfg.ZeroModifier,
+		opts.Seed, thr, bool(opts.Compat), opts.V80)
+}
+
+// BootOptions returns a boot closure for Pool.Acquire that builds,
+// §4.1-verifies and boots a kernel with the given options (the standard
+// pairing with KeyForOptions). Verification is mandatory on every path
+// that can seed the shared pool: core.Replicate and the suites share
+// one key space, so a key warmed here must be as trustworthy as one
+// warmed through core.New.
+func BootOptions(opts kernel.Options) func() (*kernel.Kernel, error) {
+	return func() (*kernel.Kernel, error) {
+		k, err := kernel.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := kernel.VerifyImage(k.Img); err != nil {
+			return nil, err
+		}
+		if err := k.Boot(); err != nil {
+			return nil, err
+		}
+		return k, nil
+	}
+}
+
+// ForEach runs f(0) … f(n-1) and returns the lowest-index error:
+// sequentially, or — with parallel set — across a bounded worker pool.
+// Workers are capped well above hardware parallelism but independent of
+// n, so fan-out over a user-controlled count (campaign mutations) keeps
+// at most O(workers) machines live instead of O(n). It is the shared
+// replication scaffold of the figures/lmbench/workload suites and the
+// campaign driver: callers assemble results by index, keeping output
+// independent of schedule.
+func ForEach(n int, parallel bool, f func(i int) error) error {
+	if !parallel {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := 8 * runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+
+	"camouflage/internal/codegen"
+	"camouflage/internal/insn"
+	"camouflage/internal/kernel"
+)
+
+// bootFull builds and boots a fully protected kernel.
+func bootFull(t *testing.T, seed uint64) *kernel.Kernel {
+	t.Helper()
+	k, err := kernel.New(kernel.Options{Config: codegen.ConfigFull(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// runFixture runs a syscall-heavy program to completion and returns the
+// machine's observable fingerprint.
+type fingerprint struct {
+	Cycles, Retired uint64
+	PACFailures     int
+	Oops            int
+	Halted          bool
+	UART            string
+	Heap            uint64
+}
+
+func runFixture(t *testing.T, k *kernel.Kernel) fingerprint {
+	t.Helper()
+	prog, err := kernel.BuildProgram("fixture", func(u *kernel.UserASM) {
+		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0)
+		u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
+		u.CounterLoop("loop", insn.X21, 24, func() {
+			u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
+			u.MovImm(insn.X1, kernel.UserDataBase)
+			u.MovImm(insn.X2, 64)
+			u.SyscallReg(kernel.SysRead)
+			u.SyscallReg(kernel.SysGetppid)
+		})
+		u.SyscallReg(kernel.SysClose)
+		u.Exit(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterProgram(1, prog)
+	if _, err := k.Spawn(1); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(10_000_000)
+	return fingerprint{
+		Cycles:      k.CPU.Cycles,
+		Retired:     k.CPU.Retired,
+		PACFailures: k.PACFailures,
+		Oops:        len(k.Oops),
+		Halted:      k.Halted,
+		UART:        k.UART.Output(),
+		Heap:        k.AllocScratch(0),
+	}
+}
+
+// TestForkMatchesFreshBoot: a machine forked from a post-boot snapshot
+// is observably identical to a freshly built and booted one — same
+// cycle/instruction counters, same heap layout, same fault log.
+func TestForkMatchesFreshBoot(t *testing.T) {
+	origin := bootFull(t, 42)
+	snap := Take(origin)
+	fork, err := snap.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := bootFull(t, 42)
+
+	got := runFixture(t, fork)
+	want := runFixture(t, fresh)
+	if got != want {
+		t.Fatalf("forked run diverges from fresh boot:\n fork:  %+v\n fresh: %+v", got, want)
+	}
+}
+
+// TestTakeDoesNotPerturbOrigin: the origin machine keeps running after
+// being snapshotted, and behaves exactly as an unsnapshotted machine.
+func TestTakeDoesNotPerturbOrigin(t *testing.T) {
+	origin := bootFull(t, 43)
+	Take(origin)
+	want := runFixture(t, bootFull(t, 43))
+	got := runFixture(t, origin)
+	if got != want {
+		t.Fatalf("origin perturbed by Take:\n origin: %+v\n fresh:  %+v", got, want)
+	}
+}
+
+// TestResetAfterDirtyRun: resetting a dirtied fork reproduces a pristine
+// fork exactly, and reclaims the copy-on-write overlay.
+func TestResetAfterDirtyRun(t *testing.T) {
+	origin := bootFull(t, 44)
+	snap := Take(origin)
+	fork, err := snap.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runFixture(t, fork) // dirty it
+	if fork.CPU.Bus.RAM.DirtyPages() == 0 {
+		t.Fatal("fixture run dirtied no pages")
+	}
+	if err := snap.Reset(fork); err != nil {
+		t.Fatal(err)
+	}
+	if n := fork.CPU.Bus.RAM.DirtyPages(); n != 0 {
+		t.Fatalf("reset left %d dirty pages", n)
+	}
+	got := runFixture(t, fork)
+	if got != want {
+		t.Fatalf("reset run diverges from pristine fork:\n reset:    %+v\n pristine: %+v", got, want)
+	}
+}
+
+// TestMidExecutionSnapshot: capture a machine mid-run (program spawned,
+// partially executed) and check a fork resumes to the same end state as
+// the origin.
+func TestMidExecutionSnapshot(t *testing.T) {
+	mk := func() *kernel.Kernel {
+		k := bootFull(t, 45)
+		prog, err := kernel.BuildProgram("mid", func(u *kernel.UserASM) {
+			u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0)
+			u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
+			u.CounterLoop("loop", insn.X21, 40, func() {
+				u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
+				u.MovImm(insn.X1, kernel.UserDataBase)
+				u.MovImm(insn.X2, 8)
+				u.SyscallReg(kernel.SysRead)
+			})
+			u.Exit(0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.RegisterProgram(1, prog)
+		if _, err := k.Spawn(1); err != nil {
+			t.Fatal(err)
+		}
+		k.Run(50_000) // stop mid-loop
+		return k
+	}
+
+	origin := mk()
+	snap := Take(origin)
+	fork, err := snap.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish := func(k *kernel.Kernel) (uint64, uint64, bool) {
+		k.Run(10_000_000)
+		return k.CPU.Cycles, k.CPU.Retired, k.Halted
+	}
+	oc, or, oh := finish(origin)
+	fc, fr, fh := finish(fork)
+	if oc != fc || or != fr || oh != fh {
+		t.Fatalf("mid-execution fork diverges: origin (%d, %d, %v) fork (%d, %d, %v)",
+			oc, or, oh, fc, fr, fh)
+	}
+}
+
+// TestConcurrentForks: many goroutines forking and running from one
+// snapshot produce identical results (exercised under -race).
+func TestConcurrentForks(t *testing.T) {
+	origin := bootFull(t, 46)
+	snap := Take(origin)
+	const n = 8
+	prints := make([]fingerprint, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fork, err := snap.Fork()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			prints[i] = runFixture(t, fork)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if prints[i] != prints[0] {
+			t.Fatalf("fork %d diverges: %+v vs %+v", i, prints[i], prints[0])
+		}
+	}
+}
+
+// TestPoolBootsOncePerKey: repeated Acquire/Release of one key pays a
+// single boot; machines from reuse and fork paths behave identically.
+func TestPoolBootsOncePerKey(t *testing.T) {
+	pool := NewPool()
+	opts := kernel.Options{Config: codegen.ConfigBackward(), Seed: 47}
+	key := KeyForOptions(opts)
+
+	m1, err := pool.Acquire(key, BootOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runFixture(t, m1.K)
+	m1.Release()
+
+	m2, err := pool.Acquire(key, BootOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runFixture(t, m2.K)
+	m2.Release()
+
+	if got != want {
+		t.Fatalf("reused machine diverges: %+v vs %+v", got, want)
+	}
+	m2.Release() // double release: must be a no-op, not a second park
+	st := pool.Stats()
+	if st.Boots != 1 {
+		t.Fatalf("boots = %d, want 1", st.Boots)
+	}
+	if st.Reuses < 1 {
+		t.Fatalf("reuses = %d, want >= 1", st.Reuses)
+	}
+	if st.Idle != 1 {
+		t.Fatalf("idle = %d after double release, want 1", st.Idle)
+	}
+}
+
+// TestPoolConcurrentAcquire: a cold key acquired from many goroutines
+// still boots exactly once, and every machine is identical.
+func TestPoolConcurrentAcquire(t *testing.T) {
+	pool := NewPool()
+	opts := kernel.Options{Config: codegen.ConfigFull(), Seed: 48}
+	key := KeyForOptions(opts)
+
+	const n = 6
+	prints := make([]fingerprint, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := pool.Acquire(key, BootOptions(opts))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			prints[i] = runFixture(t, m.K)
+			m.Release()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if prints[i] != prints[0] {
+			t.Fatalf("pooled machine %d diverges", i)
+		}
+	}
+	if st := pool.Stats(); st.Boots != 1 {
+		t.Fatalf("boots = %d, want 1", st.Boots)
+	}
+}
+
+// TestKeyForOptionsDistinguishesLevels: option sets that build different
+// machines never share a pool key.
+func TestKeyForOptionsDistinguishesLevels(t *testing.T) {
+	keys := map[string]string{}
+	for name, opts := range map[string]kernel.Options{
+		"none":     {Config: codegen.ConfigNone(), Seed: 1},
+		"backward": {Config: codegen.ConfigBackward(), Seed: 1},
+		"full":     {Config: codegen.ConfigFull(), Seed: 1},
+		"seed2":    {Config: codegen.ConfigFull(), Seed: 2},
+		"thr":      {Config: codegen.ConfigFull(), Seed: 1, FailureThreshold: 64},
+	} {
+		k := KeyForOptions(opts)
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("options %q and %q collide on key %q", name, prev, k)
+		}
+		keys[k] = name
+	}
+}

@@ -13,12 +13,12 @@ package workload
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"camouflage/internal/codegen"
 	"camouflage/internal/cpu"
 	"camouflage/internal/insn"
 	"camouflage/internal/kernel"
+	"camouflage/internal/snapshot"
 )
 
 // Workload is one Figure 4 bar group.
@@ -161,15 +161,18 @@ type Result struct {
 	Relative float64
 }
 
-// Run executes one workload under one configuration.
+// Run executes one workload under one configuration on a pristine
+// machine from the shared snapshot pool (one boot per configuration,
+// then copy-on-write forks/resets; Setup runs on the fork, after the
+// snapshot point, so it never leaks between cells).
 func Run(cfg func() *codegen.Config, level string, w Workload) (Result, error) {
-	k, err := kernel.New(kernel.Options{Config: cfg(), Seed: 99})
+	opts := kernel.Options{Config: cfg(), Seed: 99}
+	m, err := snapshot.Shared.Acquire(snapshot.KeyForOptions(opts), snapshot.BootOptions(opts))
 	if err != nil {
 		return Result{}, err
 	}
-	if err := k.Boot(); err != nil {
-		return Result{}, err
-	}
+	defer m.Release()
+	k := m.K
 	if w.Setup != nil {
 		w.Setup(k)
 	}
@@ -205,9 +208,9 @@ func Run(cfg func() *codegen.Config, level string, w Workload) (Result, error) {
 func RunSuite() ([]Result, error) { return runSuite(false) }
 
 // RunSuiteParallel is RunSuite with one goroutine per (workload, level)
-// cell, each on its own freshly booted kernel. Relative costs are filled
-// in afterwards from the completed grid, so results match RunSuite
-// exactly.
+// cell, each on its own isolated machine (a copy-on-write fork from the
+// warm pool). Relative costs are filled in afterwards from the completed
+// grid, so results match RunSuite exactly.
 func RunSuiteParallel() ([]Result, error) { return runSuite(true) }
 
 func runSuite(parallel bool) ([]Result, error) {
@@ -221,31 +224,15 @@ func runSuite(parallel bool) ([]Result, error) {
 	}
 	workloads := Suite()
 	out := make([]Result, len(workloads)*len(levels))
-	errs := make([]error, len(out))
-	cell := func(idx int) {
+	err := snapshot.ForEach(len(out), parallel, func(idx int) error {
 		w := workloads[idx/len(levels)]
 		lv := levels[idx%len(levels)]
-		out[idx], errs[idx] = Run(lv.Cfg, lv.Name, w)
-	}
-	if parallel {
-		var wg sync.WaitGroup
-		for i := range out {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				cell(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range out {
-			cell(i)
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+		var err error
+		out[idx], err = Run(lv.Cfg, lv.Name, w)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	base := map[string]uint64{}
 	for i, r := range out {

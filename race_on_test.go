@@ -1,0 +1,8 @@
+//go:build race
+
+package camouflage
+
+// raceEnabled reports that the race detector is active: wall-clock ratio
+// assertions are skipped, since instrumentation slows the interpreter
+// fast path far more than the build+boot pipeline.
+const raceEnabled = true
