@@ -29,6 +29,7 @@
 package camouflage
 
 import (
+	"context"
 	"io"
 
 	"camouflage/internal/core"
@@ -106,6 +107,14 @@ type ExperimentStats = figures.RunStats
 // run. It returns per-experiment stats for the bench log.
 func RunExperiments(w io.Writer, ids []string, parallel bool) ([]ExperimentStats, error) {
 	return figures.RunAll(w, ids, parallel)
+}
+
+// RunExperimentsContext is RunExperiments with cancellation: once ctx
+// is done the run stops between experiments and returns ctx.Err(). It
+// is the entry point the camouflaged service daemon uses to honour
+// request deadlines.
+func RunExperimentsContext(ctx context.Context, w io.Writer, ids []string, parallel bool) ([]ExperimentStats, error) {
+	return figures.RunAllContext(ctx, w, ids, parallel)
 }
 
 type errUnknownExperiment string

@@ -1,0 +1,325 @@
+// Package client is the Go client for camouflaged, the Camouflage
+// simulation service daemon, and defines the wire types the daemon and
+// its clients share. The daemon owns the process-wide warm pool of
+// booted machines, so remote runs pay boots only once per configuration
+// across *all* clients; renderings are byte-identical to in-process
+// sequential runs (pinned by the server tests and the CI server-smoke
+// job).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"camouflage/internal/attack"
+	"camouflage/internal/figures"
+	"camouflage/internal/snapshot"
+)
+
+// ExperimentsRequest selects a figures.All() subset to run.
+type ExperimentsRequest struct {
+	// IDs are experiment IDs in the registry (empty = all, paper order).
+	IDs []string `json:"ids,omitempty"`
+	// Parallel runs experiments (and suite cells) concurrently on
+	// isolated machines; the rendering is byte-identical either way.
+	Parallel bool `json:"parallel,omitempty"`
+	// DeadlineMS bounds the run; past it the server stops between
+	// experiments and returns 504 (0 = no deadline).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// ExperimentsResponse carries the rendering and the same per-experiment
+// stats cmd/experiments writes to BENCH_results.json.
+type ExperimentsResponse struct {
+	Output      string             `json:"output"`
+	Parallel    bool               `json:"parallel"`
+	TotalWallNs int64              `json:"total_wall_ns"`
+	Pool        snapshot.Stats     `json:"pool"`
+	Experiments []figures.RunStats `json:"experiments"`
+}
+
+// ExperimentInfo is one registry entry (GET /v1/experiments).
+type ExperimentInfo struct {
+	ID       string   `json:"id"`
+	Title    string   `json:"title"`
+	PaperRef string   `json:"paper_ref"`
+	Levels   []string `json:"levels,omitempty"`
+}
+
+// CampaignRequest tunes a differential attack campaign run.
+type CampaignRequest struct {
+	// Mutations is the forked attempts per (attack, level) cell.
+	Mutations int `json:"mutations,omitempty"`
+	// Seed drives the mutation PRNGs.
+	Seed uint64 `json:"seed,omitempty"`
+	// Parallel strikes the forks concurrently.
+	Parallel bool `json:"parallel,omitempty"`
+	// Levels filters the §6.2 configurations by name (empty = all).
+	Levels []string `json:"levels,omitempty"`
+	// DeadlineMS bounds the run (0 = no deadline).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// CampaignResponse carries the defeat/bypass matrix and its rendering.
+type CampaignResponse struct {
+	Report      *attack.CampaignReport `json:"report"`
+	Output      string                 `json:"output"`
+	TotalWallNs int64                  `json:"total_wall_ns"`
+}
+
+// MachineRequest leases a warm machine by build options.
+type MachineRequest struct {
+	// Level is the protection level name: "none", "backward-edge" or
+	// "full" (empty = "full").
+	Level string `json:"level,omitempty"`
+	// Seed drives boot-time randomness.
+	Seed uint64 `json:"seed,omitempty"`
+	// FailureThreshold overrides the §5.4 brute-force halt threshold.
+	FailureThreshold int `json:"failure_threshold,omitempty"`
+	// Compat leases the §5.5 backwards-compatible build on a v8.0 core.
+	Compat bool `json:"compat,omitempty"`
+}
+
+// MachineResponse identifies a granted lease.
+type MachineResponse struct {
+	ID         string `json:"id"`
+	Key        string `json:"key"`
+	BootCycles uint64 `json:"boot_cycles"`
+}
+
+// MachineRunRequest steps a leased machine.
+type MachineRunRequest struct {
+	// MaxInstrs is the instruction budget (0 = the server default).
+	MaxInstrs uint64 `json:"max_instrs,omitempty"`
+}
+
+// MachineRunResponse reports why the run stopped and where the machine
+// landed.
+type MachineRunResponse struct {
+	// Stop is "limit", "hlt" or "error".
+	Stop string `json:"stop"`
+	// StopCode is the HLT immediate for Stop == "hlt".
+	StopCode uint16 `json:"stop_code,omitempty"`
+	// Error carries the simulation error detail for Stop == "error"
+	// (the machine and its lease survive).
+	Error       string `json:"error,omitempty"`
+	PC          uint64 `json:"pc"`
+	Cycles      uint64 `json:"cycles"`
+	Instrs      uint64 `json:"instrs"`
+	Halted      bool   `json:"halted"`
+	PACFailures int    `json:"pac_failures"`
+}
+
+// OopsRecord mirrors one kernel fault-log entry.
+type OopsRecord struct {
+	ESR        uint64 `json:"esr"`
+	FAR        uint64 `json:"far"`
+	ELR        uint64 `json:"elr"`
+	Kernel     bool   `json:"kernel"`
+	PACFailure bool   `json:"pac_failure"`
+}
+
+// MachineState is the readback view of a leased machine: registers,
+// console output and the fault log.
+type MachineState struct {
+	ID          string       `json:"id"`
+	Key         string       `json:"key"`
+	PC          uint64       `json:"pc"`
+	SP          [2]uint64    `json:"sp"`
+	EL          int          `json:"el"`
+	X           []uint64     `json:"x"`
+	Cycles      uint64       `json:"cycles"`
+	Instrs      uint64       `json:"instrs"`
+	Halted      bool         `json:"halted"`
+	PACFailures int          `json:"pac_failures"`
+	UART        string       `json:"uart"`
+	Oops        []OopsRecord `json:"oops,omitempty"`
+}
+
+// QueueStats describes the daemon's bounded work queue.
+type QueueStats struct {
+	// Depth is requests waiting for a slot right now.
+	Depth int `json:"depth"`
+	// Running is jobs holding a slot.
+	Running int `json:"running"`
+	// Capacity is the concurrent-slot count; MaxQueue bounds Depth.
+	Capacity int `json:"capacity"`
+	MaxQueue int `json:"max_queue"`
+	// AdmittedByKey is in-flight jobs per admission key: machine leases
+	// under their pool key (concurrent leases of one key share a single
+	// boot and fan out as forks), experiments and campaigns under
+	// synthetic keys.
+	AdmittedByKey map[string]int `json:"admitted_by_key,omitempty"`
+}
+
+// LeaseStats describes machine-lease lifecycle counters.
+type LeaseStats struct {
+	Active   int    `json:"active"`
+	Issued   uint64 `json:"issued"`
+	Released uint64 `json:"released"`
+	// Expired counts leases reclaimed by the idle reaper.
+	Expired uint64 `json:"expired"`
+}
+
+// StatsResponse is the GET /v1/stats document.
+type StatsResponse struct {
+	Pool     snapshot.Stats `json:"pool"`
+	Queue    QueueStats     `json:"queue"`
+	Leases   LeaseStats     `json:"leases"`
+	Draining bool           `json:"draining"`
+	UptimeNs int64          `json:"uptime_ns"`
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("camouflaged: %d %s", e.Status, e.Message)
+}
+
+// Client talks to one camouflaged daemon.
+type Client struct {
+	base string
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8344").
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Experiments lists the registry.
+func (c *Client) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
+	var out []ExperimentInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunExperiments runs a figures.All() selection on the daemon.
+func (c *Client) RunExperiments(ctx context.Context, req ExperimentsRequest) (*ExperimentsResponse, error) {
+	var out ExperimentsResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/experiments", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RunCampaign runs a differential attack campaign on the daemon.
+func (c *Client) RunCampaign(ctx context.Context, req CampaignRequest) (*CampaignResponse, error) {
+	var out CampaignResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/campaigns", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats reads the daemon's pool/queue/lease counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Machine is a leased warm machine on the daemon.
+type Machine struct {
+	c *Client
+	// ID is the lease identifier; Key the pool key the machine was
+	// acquired under; BootCycles the captured boot cost it inherited.
+	ID         string
+	Key        string
+	BootCycles uint64
+}
+
+// Lease acquires a warm machine from the daemon's pool. Release it when
+// done; the daemon's idle reaper reclaims abandoned leases.
+func (c *Client) Lease(ctx context.Context, req MachineRequest) (*Machine, error) {
+	var out MachineResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/machines", req, &out); err != nil {
+		return nil, err
+	}
+	return &Machine{c: c, ID: out.ID, Key: out.Key, BootCycles: out.BootCycles}, nil
+}
+
+// Run steps the machine by an instruction budget.
+func (m *Machine) Run(ctx context.Context, maxInstrs uint64) (*MachineRunResponse, error) {
+	var out MachineRunResponse
+	err := m.c.do(ctx, http.MethodPost, "/v1/machines/"+m.ID+"/run",
+		MachineRunRequest{MaxInstrs: maxInstrs}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// State reads back registers, console output and the fault log.
+func (m *Machine) State(ctx context.Context) (*MachineState, error) {
+	var out MachineState
+	if err := m.c.do(ctx, http.MethodGet, "/v1/machines/"+m.ID, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reset rewinds the machine to its lease-time snapshot.
+func (m *Machine) Reset(ctx context.Context) error {
+	return m.c.do(ctx, http.MethodPost, "/v1/machines/"+m.ID+"/reset", nil, nil)
+}
+
+// Release hands the machine back to the daemon's warm pool.
+func (m *Machine) Release(ctx context.Context) error {
+	return m.c.do(ctx, http.MethodPost, "/v1/machines/"+m.ID+"/release", nil, nil)
+}

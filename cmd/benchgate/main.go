@@ -1,0 +1,103 @@
+// Command benchgate is the CI bench-trajectory gate: it parses `go test
+// -bench` output, writes a machine-readable trajectory document, and
+// fails when the warm pool's fork-vs-boot advantage drops below the
+// pinned floor (DESIGN.md §7 records ≥5x; the same floor
+// TestForkAtLeast5xFasterThanBoot enforces in-process).
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' -benchtime=3x -count=3 . | tee bench.txt
+//	benchgate -in bench.txt -json BENCH_results.json -floor 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"camouflage/internal/benchparse"
+)
+
+// trajectory is the JSON document the CI job uploads as an artifact:
+// raw entries plus the derived ratios the gate checks, with runtime
+// metadata so revisions stay comparable.
+type trajectory struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+
+	// ForkVsBoot is mean(boot+run ns/op) / mean(fork+run ns/op); Floor
+	// the gate it must clear.
+	ForkVsBoot float64 `json:"fork_vs_boot"`
+	Floor      float64 `json:"floor"`
+
+	Entries []benchparse.Entry `json:"entries"`
+}
+
+func main() {
+	in := flag.String("in", "-", "bench output file (- for stdin)")
+	jsonPath := flag.String("json", "BENCH_results.json", "trajectory document path (empty to disable)")
+	floor := flag.Float64("floor", 5.0, "minimum fork-vs-boot advantage")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	entries, err := benchparse.Parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(entries) == 0 {
+		log.Fatal("benchgate: no benchmark results in input")
+	}
+
+	boot, okBoot := benchparse.MeanNsPerOp(entries, "BenchmarkForkVsBoot/boot+run")
+	fork, okFork := benchparse.MeanNsPerOp(entries, "BenchmarkForkVsBoot/fork+run")
+	if !okBoot || !okFork {
+		log.Fatal("benchgate: BenchmarkForkVsBoot results missing (run it with -bench)")
+	}
+	if fork <= 0 {
+		log.Fatal("benchgate: fork+run ns/op is zero")
+	}
+	ratio := boot / fork
+
+	doc := trajectory{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		ForkVsBoot:    ratio,
+		Floor:         *floor,
+		Entries:       entries,
+	}
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: trajectory written to %s\n", *jsonPath)
+	}
+
+	fmt.Printf("benchgate: fork-vs-boot advantage %.2fx (floor %.1fx)\n", ratio, *floor)
+	if ratio < *floor {
+		fmt.Printf("benchgate: FAIL — boot+run %.0f ns/op vs fork+run %.0f ns/op\n", boot, fork)
+		os.Exit(1)
+	}
+}

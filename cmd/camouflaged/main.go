@@ -1,0 +1,91 @@
+// Command camouflaged is the Camouflage simulation service daemon: a
+// long-running HTTP/JSON server that owns the process-wide warm pool of
+// booted machines and serves experiment runs, differential attack
+// campaigns and interactive machine leases (DESIGN.md §8). Because the
+// pool lives as long as the process, every configuration pays its
+// build+verify+boot exactly once across all requests and all clients —
+// the economics one-shot CLI invocations can never reach.
+//
+// Usage:
+//
+//	camouflaged                       — serve on :8344
+//	camouflaged -addr 127.0.0.1:9000  — serve elsewhere
+//	camouflaged -concurrency 8 -queue 64 -max-leases 128
+//
+// Endpoints (see README for curl examples):
+//
+//	GET  /v1/experiments               — experiment registry
+//	POST /v1/experiments               — run a figures.All() selection
+//	POST /v1/campaigns                 — differential attack campaign
+//	POST /v1/machines                  — lease a warm machine
+//	GET  /v1/machines/{id}             — registers, UART, fault log
+//	POST /v1/machines/{id}/run         — step by instruction budget
+//	POST /v1/machines/{id}/reset       — rewind to lease snapshot
+//	POST /v1/machines/{id}/release     — hand the machine back
+//	GET  /v1/stats                     — pool / queue / lease counters
+//
+// SIGTERM or SIGINT drains gracefully: in-flight jobs finish, leases
+// return to the pool, idle machines are evicted, then the listener
+// closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"camouflage/internal/server"
+	"camouflage/internal/snapshot"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	concurrency := flag.Int("concurrency", 4, "jobs running at once")
+	maxQueue := flag.Int("queue", 32, "jobs allowed to wait for a slot (503 beyond)")
+	maxLeases := flag.Int("max-leases", 64, "machine leases checked out at once")
+	leaseIdle := flag.Duration("lease-idle", 10*time.Minute, "idle time before a lease is reaped")
+	idlePerKey := flag.Int("idle-per-key", 16, "warm machines parked per pool key")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	flag.Parse()
+
+	snapshot.Shared.MaxIdlePerKey = *idlePerKey
+	srv := server.New(server.Config{
+		Concurrency: *concurrency,
+		MaxQueue:    *maxQueue,
+		MaxLeases:   *maxLeases,
+		LeaseIdle:   *leaseIdle,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("camouflaged: serving on %s (concurrency %d, queue %d)", *addr, *concurrency, *maxQueue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("camouflaged: %v — draining (budget %s)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("camouflaged: drain incomplete: %v", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("camouflaged: shutdown: %v", err)
+		}
+		st := snapshot.Shared.Stats()
+		log.Printf("camouflaged: done (boots %d, forks %d, reuses %d, evicted %d)",
+			st.Boots, st.Forks, st.Reuses, st.Evicted)
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

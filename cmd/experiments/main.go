@@ -8,6 +8,13 @@
 //	experiments -list          — list available experiment IDs
 //	experiments -parallel      — one goroutine per experiment/level
 //	experiments -json=path     — bench log path ("" disables)
+//	experiments -remote=URL    — run on a camouflaged daemon instead
+//
+// With -remote the selection runs inside the daemon's long-lived
+// process (sharing its warm pool across every client) and the text
+// rendering is byte-identical to a local run — pinned by the server
+// tests and the CI server-smoke job. The bench log then records the
+// daemon's per-experiment stats and pool counters.
 //
 // Alongside the text rendering, a machine-readable bench log
 // (BENCH_results.json by default) records per-experiment wall time and
@@ -18,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +35,7 @@ import (
 	"time"
 
 	"camouflage"
+	"camouflage/client"
 	"camouflage/internal/snapshot"
 )
 
@@ -60,6 +69,8 @@ func main() {
 		"run experiments concurrently (isolated Systems; identical output)")
 	jsonPath := flag.String("json", "BENCH_results.json",
 		"write a machine-readable bench log to this path (empty to disable)")
+	remote := flag.String("remote", "",
+		"run on a camouflaged daemon at this base URL (e.g. http://127.0.0.1:8344) instead of in-process")
 	flag.Parse()
 
 	if *list {
@@ -69,10 +80,30 @@ func main() {
 		return
 	}
 
+	var (
+		stats []camouflage.ExperimentStats
+		pool  snapshot.Stats
+	)
 	t0 := time.Now()
-	stats, err := camouflage.RunExperiments(os.Stdout, flag.Args(), *parallel)
-	if err != nil {
-		log.Fatal(err)
+	if *remote != "" {
+		resp, err := client.New(*remote).RunExperiments(context.Background(), client.ExperimentsRequest{
+			IDs:      flag.Args(),
+			Parallel: *parallel,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := os.Stdout.WriteString(resp.Output); err != nil {
+			log.Fatal(err)
+		}
+		stats, pool = resp.Experiments, resp.Pool
+	} else {
+		var err error
+		stats, err = camouflage.RunExperiments(os.Stdout, flag.Args(), *parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool = snapshot.Shared.Stats()
 	}
 	wall := time.Since(t0)
 
@@ -88,7 +119,7 @@ func main() {
 			},
 			Parallel:    *parallel,
 			TotalWallNs: wall.Nanoseconds(),
-			Pool:        snapshot.Shared.Stats(),
+			Pool:        pool,
 			Experiments: stats,
 		}
 		b, err := json.MarshalIndent(doc, "", "  ")

@@ -12,6 +12,7 @@ package attack
 // boot + victim warm-up).
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -307,6 +308,15 @@ func campaignScenarios() []scenario {
 // RunCampaign executes the differential campaign and returns the
 // defeat/bypass matrix.
 func RunCampaign(o CampaignOptions) (*CampaignReport, error) {
+	return RunCampaignContext(context.Background(), o)
+}
+
+// RunCampaignContext is RunCampaign with cancellation: once ctx is done
+// no new cell is armed and no new strike is forked (strikes already
+// running finish their instruction budget), and ctx.Err() is returned.
+// It is the service daemon's campaign entry point — request deadlines
+// flow through here into every forked mutation.
+func RunCampaignContext(ctx context.Context, o CampaignOptions) (*CampaignReport, error) {
 	if o.Mutations <= 0 {
 		o.Mutations = 32
 	}
@@ -339,6 +349,9 @@ func RunCampaign(o CampaignOptions) (*CampaignReport, error) {
 	rep := &CampaignReport{Mutations: o.Mutations}
 	for _, lv := range levels {
 		for _, sc := range scenarios {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			k, err := bootWith(lv.Cfg(), sc.seed)
 			if err != nil {
 				return nil, err
@@ -357,7 +370,7 @@ func RunCampaign(o CampaignOptions) (*CampaignReport, error) {
 
 			outcomes := make([]Outcome, o.Mutations)
 			dirty := make([]int, o.Mutations)
-			err = snapshot.ForEach(o.Mutations, o.Parallel, func(m int) error {
+			err = snapshot.ForEachContext(ctx, o.Mutations, o.Parallel, func(m int) error {
 				fork, err := snap.Fork()
 				if err != nil {
 					return err

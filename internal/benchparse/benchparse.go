@@ -1,0 +1,119 @@
+// Package benchparse parses `go test -bench` text output into
+// structured entries and aggregates repeated runs (-count=N) — the
+// substrate of the CI bench-trajectory gate, which pins the fork-vs-boot
+// advantage and records throughput trajectories across revisions.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	// Name is the benchmark name with the GOMAXPROCS suffix stripped
+	// ("BenchmarkForkVsBoot/fork+run", not ".../fork+run-8").
+	Name string `json:"name"`
+	// N is the iteration count the line reports.
+	N int64 `json:"n"`
+	// NsPerOp is wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds custom b.ReportMetric values by unit (e.g.
+	// "instr/s", "cycles/key").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse reads `go test -bench` output, returning one Entry per
+// benchmark result line (repeated -count runs yield repeated entries).
+// Non-benchmark lines (headers, PASS, ok) are ignored.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name N value unit [value unit ...]
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: stripProcSuffix(fields[0]), N: n}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchparse: bad value %q in %q", fields[i], line)
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				e.NsPerOp = v
+				continue
+			}
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = v
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// stripProcSuffix removes the trailing -GOMAXPROCS decoration go test
+// appends to benchmark names ("BenchmarkBoot-8" -> "BenchmarkBoot").
+// Only a purely numeric final dash segment is stripped, so sub-benchmark
+// names containing dashes ("fork+run", "backward-edge") survive.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// MeanNsPerOp averages ns/op over every entry named name (the -count
+// repeats); ok reports whether any matched.
+func MeanNsPerOp(entries []Entry, name string) (mean float64, ok bool) {
+	var sum float64
+	var n int
+	for _, e := range entries {
+		if e.Name == name {
+			sum += e.NsPerOp
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// MeanMetric averages a custom metric over every entry named name.
+func MeanMetric(entries []Entry, name, unit string) (mean float64, ok bool) {
+	var sum float64
+	var n int
+	for _, e := range entries {
+		if e.Name == name {
+			if v, has := e.Metrics[unit]; has {
+				sum += v
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

@@ -1,0 +1,66 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: camouflage
+cpu: Some CPU @ 2.00GHz
+BenchmarkForkVsBoot/boot+run-8         	       3	 90000000 ns/op
+BenchmarkForkVsBoot/fork+run-8         	       3	 10000000 ns/op
+BenchmarkForkVsBoot/boot+run-8         	       3	 110000000 ns/op
+BenchmarkForkVsBoot/fork+run-8         	       3	 10000000 ns/op
+BenchmarkExecThroughput/none/fastpath-8 	       3	     4200 ns/op	  23000000 instr/s
+BenchmarkSimulatorMIPS-8                	       3	      311 ns/op	         3.000 instrs
+BenchmarkWorkload/qsort/backward-edge-8 	       3	   500000 ns/op	    150000 model_cycles
+PASS
+ok  	camouflage	12.3s
+`
+
+func TestParse(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 7 {
+		t.Fatalf("parsed %d entries, want 7", len(entries))
+	}
+	if entries[0].Name != "BenchmarkForkVsBoot/boot+run" {
+		t.Fatalf("name = %q (suffix not stripped?)", entries[0].Name)
+	}
+	// A dash inside the sub-benchmark path must survive stripping.
+	if entries[6].Name != "BenchmarkWorkload/qsort/backward-edge" {
+		t.Fatalf("name = %q, want dash preserved", entries[6].Name)
+	}
+	if entries[4].Metrics["instr/s"] != 23000000 {
+		t.Fatalf("custom metric = %v", entries[4].Metrics)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot, ok := MeanNsPerOp(entries, "BenchmarkForkVsBoot/boot+run")
+	if !ok || boot != 100000000 {
+		t.Fatalf("boot mean = %v ok=%v, want 1e8", boot, ok)
+	}
+	fork, ok := MeanNsPerOp(entries, "BenchmarkForkVsBoot/fork+run")
+	if !ok || fork != 10000000 {
+		t.Fatalf("fork mean = %v ok=%v, want 1e7", fork, ok)
+	}
+	if ratio := boot / fork; ratio != 10 {
+		t.Fatalf("ratio = %v, want 10", ratio)
+	}
+	ips, ok := MeanMetric(entries, "BenchmarkExecThroughput/none/fastpath", "instr/s")
+	if !ok || ips != 23000000 {
+		t.Fatalf("instr/s mean = %v ok=%v", ips, ok)
+	}
+	if _, ok := MeanNsPerOp(entries, "BenchmarkMissing"); ok {
+		t.Fatal("MeanNsPerOp matched a missing name")
+	}
+}

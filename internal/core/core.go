@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"camouflage/internal/analysis"
@@ -49,6 +50,18 @@ func (l ProtectionLevel) String() string {
 	return "level?"
 }
 
+// LevelByName parses a level name as String prints it ("none",
+// "backward-edge", "full") — the wire format of the service daemon's
+// machine-lease API.
+func LevelByName(name string) (ProtectionLevel, error) {
+	for _, l := range []ProtectionLevel{LevelNone, LevelBackwardEdge, LevelFull} {
+		if l.String() == name {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown protection level %q", name)
+}
+
 // Config returns the codegen configuration for a level.
 func (l ProtectionLevel) Config() *codegen.Config {
 	switch l {
@@ -80,6 +93,14 @@ type System struct {
 	Kernel *kernel.Kernel
 	// Level is the protection level the system was built with.
 	Level ProtectionLevel
+}
+
+// KernelOptionsFor lowers (level, opts) to the kernel build options —
+// the normalization every pool consumer must share so that equivalent
+// requests land on the same snapshot.KeyForOptions key. The service
+// daemon's machine-lease admission uses it directly.
+func KernelOptionsFor(level ProtectionLevel, opts Options) kernel.Options {
+	return kernelOptions(level, opts)
 }
 
 // kernelOptions lowers (level, opts) to the kernel build options; shared
@@ -155,13 +176,19 @@ func (ss *SystemSnapshot) Reset(s *System) error {
 // deterministic and forking is exact, so every replica is identical to a
 // sequentially built one (pinned by TestReplicateMatchesNew).
 func Replicate(level ProtectionLevel, opts Options, n int) ([]*System, error) {
+	return ReplicateContext(context.Background(), level, opts, n)
+}
+
+// ReplicateContext is Replicate with cancellation: once ctx is done no
+// further replica is forked and ctx.Err() is returned.
+func ReplicateContext(ctx context.Context, level ProtectionLevel, opts Options, n int) ([]*System, error) {
 	kopts := kernelOptions(level, opts)
 	snap, err := snapshot.Shared.SnapshotFor(snapshot.KeyForOptions(kopts), snapshot.BootOptions(kopts))
 	if err != nil {
 		return nil, err
 	}
 	systems := make([]*System, n)
-	err = snapshot.ForEach(n, true, func(i int) error {
+	err = snapshot.ForEachContext(ctx, n, true, func(i int) error {
 		k, err := snap.Fork()
 		if err != nil {
 			return err

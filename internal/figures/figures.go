@@ -5,10 +5,12 @@ package figures
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"camouflage/internal/analysis"
@@ -72,14 +74,23 @@ func Lookup(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// Parallel selects the concurrent execution strategy for the measurement
-// functions in this package (and, via the Render functions, the lmbench
-// and workload suites): one goroutine per (experiment, protection level)
-// or per trial, each on a fully isolated simulated System. Results are
-// assembled by index, so renderings are byte-identical to sequential
-// runs. It is process-wide mode, set once before any experiment starts
-// — normally through RunAll's parallel argument, not directly.
-var Parallel bool
+// parallelMode selects the concurrent execution strategy for the
+// measurement functions in this package (and, via the Render functions,
+// the lmbench and workload suites): one goroutine per (experiment,
+// protection level) or per trial, each on a fully isolated simulated
+// System. Results are assembled by index, so renderings are
+// byte-identical to sequential runs — which is also why the mode being
+// process-wide is harmless when the service daemon runs overlapping
+// requests with different modes: either strategy produces the same
+// bytes. It is atomic so overlapping RunAllContext calls are race-free.
+var parallelMode atomic.Bool
+
+// SetParallel sets the process-wide execution strategy (normally through
+// RunAll's parallel argument, not directly).
+func SetParallel(p bool) { parallelMode.Store(p) }
+
+// IsParallel reports the current execution strategy.
+func IsParallel() bool { return parallelMode.Load() }
 
 // RunStats records one experiment execution for the machine-readable
 // bench log (BENCH_results.json).
@@ -109,7 +120,15 @@ type RunStats struct {
 // and are emitted in order — byte-for-byte identical to the sequential
 // run.
 func RunAll(w io.Writer, ids []string, parallel bool) ([]RunStats, error) {
-	Parallel = parallel
+	return RunAllContext(context.Background(), w, ids, parallel)
+}
+
+// RunAllContext is RunAll with cancellation: the run stops between
+// experiments once ctx is done (sequential mode) or skips experiments
+// not yet started (parallel mode) and returns ctx.Err(). A cancelled
+// run never emits a partial experiment rendering.
+func RunAllContext(ctx context.Context, w io.Writer, ids []string, parallel bool) ([]RunStats, error) {
+	SetParallel(parallel)
 	var exps []Experiment
 	if len(ids) == 0 {
 		exps = All()
@@ -133,6 +152,9 @@ func RunAll(w io.Writer, ids []string, parallel bool) ([]RunStats, error) {
 		return err
 	}
 	run := func(i int, out io.Writer) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		e := exps[i]
 		c0, r0 := cpu.TotalCounters()
 		t0 := time.Now()
@@ -265,7 +287,7 @@ type KeySwitchStats struct {
 // when Parallel is set — via the shared replication scaffold. Callers
 // assemble results by index, keeping output independent of schedule.
 func forEach(n int, f func(i int) error) error {
-	return snapshot.ForEach(n, Parallel, f)
+	return snapshot.ForEach(n, IsParallel(), f)
 }
 
 // MeasureKeySwitch measures the per-key cost of a kernel entry/exit key
@@ -430,7 +452,7 @@ func RenderFigure2(w io.Writer) error {
 // RenderFigure3 reproduces Figure 3 (lmbench relative latencies).
 func RenderFigure3(w io.Writer) error {
 	suite := lmbench.RunSuite
-	if Parallel {
+	if IsParallel() {
 		suite = lmbench.RunSuiteParallel
 	}
 	results, err := suite()
@@ -458,7 +480,7 @@ func RenderFigure3(w io.Writer) error {
 // RenderFigure4 reproduces Figure 4 (user-space workloads).
 func RenderFigure4(w io.Writer) error {
 	suite := workload.RunSuite
-	if Parallel {
+	if IsParallel() {
 		suite = workload.RunSuiteParallel
 	}
 	results, err := suite()

@@ -107,7 +107,7 @@ func TestParallelRunAllMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() { Parallel = false }()
+	defer SetParallel(false)
 	parStats, err := RunAll(&par, ids, true)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"camouflage/client"
+)
+
+// errBusy rejects work when the wait line is full — the daemon sheds
+// load instead of queueing unboundedly (503 on the wire).
+var errBusy = errors.New("server: work queue full")
+
+// queue is the daemon's bounded admission layer: Capacity jobs run
+// concurrently, at most MaxQueue more wait for a slot, anything beyond
+// that is rejected immediately. Every admitted job is tagged with an
+// admission key — machine leases use their snapshot.KeyForOptions pool
+// key, experiments and campaigns synthetic ones — so /v1/stats can show
+// which configurations the daemon is serving. Boot dedup itself lives
+// in the pool: concurrent jobs admitted under one cold key block on the
+// pool's once-per-key boot and then fan out as copy-on-write forks.
+type queue struct {
+	slots    chan struct{}
+	maxQueue int
+	// inSystem counts admitted jobs (waiting + running); running counts
+	// slot holders. Waiting depth is the difference.
+	inSystem atomic.Int64
+	running  atomic.Int64
+
+	mu       sync.Mutex
+	inflight map[string]int
+}
+
+func newQueue(capacity, maxQueue int) *queue {
+	return &queue{
+		slots:    make(chan struct{}, capacity),
+		maxQueue: maxQueue,
+		inflight: make(map[string]int),
+	}
+}
+
+// acquire admits one job: it fails fast with errBusy when the wait line
+// is full, waits for a slot otherwise, and gives up with ctx.Err() if
+// the request deadline expires first. The returned release must be
+// called exactly once.
+func (q *queue) acquire(ctx context.Context, key string) (release func(), err error) {
+	if int(q.inSystem.Add(1)) > q.maxQueue+cap(q.slots) {
+		q.inSystem.Add(-1)
+		return nil, errBusy
+	}
+	select {
+	case q.slots <- struct{}{}:
+	case <-ctx.Done():
+		q.inSystem.Add(-1)
+		return nil, ctx.Err()
+	}
+	q.running.Add(1)
+	q.note(key, +1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			q.note(key, -1)
+			q.running.Add(-1)
+			q.inSystem.Add(-1)
+			<-q.slots
+		})
+	}, nil
+}
+
+func (q *queue) note(key string, d int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.inflight[key] += d
+	if q.inflight[key] <= 0 {
+		delete(q.inflight, key)
+	}
+}
+
+// stats snapshots the queue for /v1/stats.
+func (q *queue) stats() client.QueueStats {
+	q.mu.Lock()
+	var byKey map[string]int
+	if len(q.inflight) > 0 {
+		byKey = make(map[string]int, len(q.inflight))
+		for k, v := range q.inflight {
+			byKey[k] = v
+		}
+	}
+	q.mu.Unlock()
+	depth := int(q.inSystem.Load()) - int(q.running.Load())
+	if depth < 0 {
+		depth = 0
+	}
+	return client.QueueStats{
+		Depth:         depth,
+		Running:       int(q.running.Load()),
+		Capacity:      cap(q.slots),
+		MaxQueue:      q.maxQueue,
+		AdmittedByKey: byKey,
+	}
+}

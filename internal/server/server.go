@@ -1,0 +1,525 @@
+// Package server implements camouflaged, the long-running simulation
+// service daemon (DESIGN.md §8). It owns the process-wide warm pool of
+// booted machines and serves the paper's evaluation artefacts over
+// HTTP/JSON: experiment runs (the figures.All() registry), differential
+// attack campaigns, and machine leases that let a client step a warm
+// forked kernel interactively. A bounded work queue sheds load instead
+// of queueing unboundedly; per-key admission means concurrent requests
+// for one configuration share a single boot and fan out as
+// copy-on-write forks; request deadlines cancel work between
+// experiments, cells and strikes; SIGTERM drains gracefully.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"camouflage/client"
+	"camouflage/internal/attack"
+	"camouflage/internal/core"
+	"camouflage/internal/figures"
+	"camouflage/internal/snapshot"
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// Pool is the warm pool machine leases draw from (default
+	// snapshot.Shared). Experiments and campaigns always run on
+	// snapshot.Shared — their suites reach the shared pool internally —
+	// so a non-default Pool only isolates the lease surface.
+	Pool *snapshot.Pool
+	// Concurrency is how many admitted jobs run at once (default 4).
+	Concurrency int
+	// MaxQueue bounds jobs waiting for a slot; beyond it requests are
+	// rejected with 503 (default 32).
+	MaxQueue int
+	// MaxLeases bounds simultaneously checked-out machines (default 64).
+	MaxLeases int
+	// LeaseIdle is how long an untouched lease survives before the
+	// reaper returns its machine to the pool (default 10m; <0 disables).
+	LeaseIdle time.Duration
+}
+
+// Server is the daemon. It implements http.Handler.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	queue  *queue
+	leases *leaseTable
+	start  time.Time
+
+	drainMu  sync.Mutex
+	draining bool
+	jobs     sync.WaitGroup
+
+	requests atomic.Uint64
+}
+
+// New builds a Server around cfg.
+func New(cfg Config) *Server {
+	if cfg.Pool == nil {
+		cfg.Pool = snapshot.Shared
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 32
+	}
+	if cfg.MaxLeases <= 0 {
+		cfg.MaxLeases = 64
+	}
+	if cfg.LeaseIdle == 0 {
+		cfg.LeaseIdle = 10 * time.Minute
+	}
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		queue:  newQueue(cfg.Concurrency, cfg.MaxQueue),
+		leases: newLeaseTable(cfg.MaxLeases, cfg.LeaseIdle),
+		start:  time.Now(),
+	}
+	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
+	s.mux.HandleFunc("POST /v1/machines", s.handleLease)
+	s.mux.HandleFunc("GET /v1/machines/{id}", s.handleMachineState)
+	s.mux.HandleFunc("POST /v1/machines/{id}/run", s.handleMachineRun)
+	s.mux.HandleFunc("POST /v1/machines/{id}/reset", s.handleMachineReset)
+	s.mux.HandleFunc("POST /v1/machines/{id}/release", s.handleMachineRelease)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops admitting work, waits for in-flight jobs (bounded by
+// ctx), hands every active lease back to the pool and evicts the pool's
+// idle machines. After Drain the Server answers reads but rejects all
+// mutating requests with 503.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.leases.releaseAll()
+	s.cfg.Pool.EvictIdle(0)
+	if s.cfg.Pool != snapshot.Shared {
+		// Experiments and campaigns park machines in the shared pool
+		// regardless of the lease pool; drain both.
+		snapshot.Shared.EvictIdle(0)
+	}
+	return err
+}
+
+// beginJob admits one mutating request unless the daemon is draining.
+// The matching endJob must run when the work finishes.
+func (s *Server) beginJob() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.jobs.Add(1)
+	return true
+}
+
+func (s *Server) endJob() { s.jobs.Done() }
+
+// --- plumbing ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// readJSON decodes the request body (an empty body decodes to the zero
+// value, for curl convenience). It answers 400 itself on malformed
+// JSON and reports whether the handler may proceed.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(v)
+	if err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// withDeadline applies a client-requested deadline to the request
+// context.
+func withDeadline(r *http.Request, ms int64) (context.Context, context.CancelFunc) {
+	if ms <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+}
+
+// failRun maps a job error to its HTTP status: deadline expiry and
+// client cancellation are 504/499-ish (both reported 504 for
+// simplicity), everything else 500.
+func failRun(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeErr(w, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, err.Error())
+}
+
+// admit runs the common admission path: drain check, queue slot with
+// deadline, post-admission deadline re-check (a request that spent its
+// whole budget waiting must not start). On failure it has already
+// answered; the caller proceeds only when done != nil and must defer
+// done().
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, key string) (done func()) {
+	if !s.beginJob() {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return nil
+	}
+	release, err := s.queue.acquire(ctx, key)
+	if err != nil {
+		s.endJob()
+		if errors.Is(err, errBusy) {
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+		} else {
+			failRun(w, err)
+		}
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		release()
+		s.endJob()
+		failRun(w, err)
+		return nil
+	}
+	return func() {
+		release()
+		s.endJob()
+	}
+}
+
+// --- experiments ---
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	var out []client.ExperimentInfo
+	for _, e := range figures.All() {
+		out = append(out, client.ExperimentInfo{
+			ID: e.ID, Title: e.Title, PaperRef: e.PaperRef, Levels: e.Levels,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var req client.ExperimentsRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	for _, id := range req.IDs {
+		if _, ok := figures.Lookup(id); !ok {
+			writeErr(w, http.StatusBadRequest, "unknown experiment "+id)
+			return
+		}
+	}
+	ctx, cancel := withDeadline(r, req.DeadlineMS)
+	defer cancel()
+	done := s.admit(ctx, w, "experiments")
+	if done == nil {
+		return
+	}
+	defer done()
+
+	var buf strings.Builder
+	t0 := time.Now()
+	stats, err := figures.RunAllContext(ctx, &buf, req.IDs, req.Parallel)
+	if err != nil {
+		failRun(w, err)
+		return
+	}
+	// Cycle/instruction attribution in RunStats comes from process-wide
+	// counters; in a daemon any overlapping request (another
+	// experiments run, a campaign, a lease step) shows up in the
+	// deltas, so served stats never claim exactness.
+	for i := range stats {
+		stats[i].Exact = false
+	}
+	writeJSON(w, http.StatusOK, client.ExperimentsResponse{
+		Output:      buf.String(),
+		Parallel:    req.Parallel,
+		TotalWallNs: time.Since(t0).Nanoseconds(),
+		// Experiments always run on the shared pool, whatever the lease
+		// pool is configured to be.
+		Pool:        snapshot.Shared.Stats(),
+		Experiments: stats,
+	})
+}
+
+// --- campaigns ---
+
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	var req client.CampaignRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	// Validate the level filter up front: a typo is the client's
+	// mistake (400), not a server failure.
+	known := map[string]bool{}
+	for _, lv := range attack.Levels() {
+		known[lv.Name] = true
+	}
+	for _, name := range req.Levels {
+		if !known[name] {
+			writeErr(w, http.StatusBadRequest, "unknown level "+name)
+			return
+		}
+	}
+	ctx, cancel := withDeadline(r, req.DeadlineMS)
+	defer cancel()
+	done := s.admit(ctx, w, "campaign")
+	if done == nil {
+		return
+	}
+	defer done()
+
+	t0 := time.Now()
+	rep, err := attack.RunCampaignContext(ctx, attack.CampaignOptions{
+		Mutations: req.Mutations,
+		Seed:      req.Seed,
+		Parallel:  req.Parallel,
+		Levels:    req.Levels,
+	})
+	if err != nil {
+		failRun(w, err)
+		return
+	}
+	var buf strings.Builder
+	rep.Render(&buf)
+	writeJSON(w, http.StatusOK, client.CampaignResponse{
+		Report:      rep,
+		Output:      buf.String(),
+		TotalWallNs: time.Since(t0).Nanoseconds(),
+	})
+}
+
+// --- machine leases ---
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req client.MachineRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Level == "" {
+		req.Level = "full"
+	}
+	level, err := core.LevelByName(req.Level)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	kopts := core.KernelOptionsFor(level, core.Options{
+		Seed:             req.Seed,
+		FailureThreshold: req.FailureThreshold,
+		Compat:           req.Compat,
+	})
+	key := snapshot.KeyForOptions(kopts)
+
+	ctx, cancel := withDeadline(r, 0)
+	defer cancel()
+	done := s.admit(ctx, w, key)
+	if done == nil {
+		return
+	}
+	defer done()
+
+	s.leases.reap()
+	m, err := s.cfg.Pool.Acquire(key, snapshot.BootOptions(kopts))
+	if err != nil {
+		failRun(w, err)
+		return
+	}
+	l, err := s.leases.add(m)
+	if err != nil {
+		m.Release()
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, client.MachineResponse{
+		ID:         l.id,
+		Key:        key,
+		BootCycles: l.m.Snap.BootCycles(),
+	})
+}
+
+// withLease looks up a lease and runs f while holding the lease's
+// operation lock (machines are single-core; operations serialize). The
+// released flag is re-checked under the lock: a release or reap racing
+// with the lookup must not let f step a machine already handed back to
+// the pool — and possibly re-issued to another client.
+func (s *Server) withLease(w http.ResponseWriter, r *http.Request, f func(l *lease)) {
+	l, ok := s.leases.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such machine lease")
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.released {
+		writeErr(w, http.StatusNotFound, "no such machine lease")
+		return
+	}
+	l.touch()
+	f(l)
+}
+
+// maxRunBudget caps one /run step so a single request cannot wedge a
+// queue slot arbitrarily long; longer runs loop on the client side.
+const maxRunBudget = 500_000_000
+
+func (s *Server) handleMachineRun(w http.ResponseWriter, r *http.Request) {
+	var req client.MachineRunRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.MaxInstrs == 0 {
+		req.MaxInstrs = 1_000_000
+	}
+	if req.MaxInstrs > maxRunBudget {
+		req.MaxInstrs = maxRunBudget
+	}
+	// Lease runs are simulation work like any other: they go through the
+	// queue under the machine's pool key, so N clients stepping leases
+	// cannot oversubscribe the daemon past its configured concurrency.
+	l, ok := s.leases.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such machine lease")
+		return
+	}
+	done := s.admit(r.Context(), w, l.m.Key())
+	if done == nil {
+		return
+	}
+	defer done()
+	s.withLease(w, r, func(l *lease) {
+		k := l.m.K
+		stop := k.Run(req.MaxInstrs)
+		resp := client.MachineRunResponse{
+			Stop:        stopName(stop.Kind),
+			StopCode:    stop.Code,
+			PC:          k.CPU.PC,
+			Cycles:      k.CPU.Cycles,
+			Instrs:      k.CPU.Retired,
+			Halted:      k.Halted,
+			PACFailures: k.PACFailures,
+		}
+		if stop.Err != nil {
+			// The machine survives; the error is part of the result.
+			resp.Error = stop.Err.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+func (s *Server) handleMachineState(w http.ResponseWriter, r *http.Request) {
+	s.withLease(w, r, func(l *lease) {
+		k := l.m.K
+		st := client.MachineState{
+			ID:          l.id,
+			Key:         l.m.Key(),
+			PC:          k.CPU.PC,
+			SP:          [2]uint64{k.CPU.SP(0), k.CPU.SP(1)},
+			EL:          k.CPU.EL,
+			X:           append([]uint64(nil), k.CPU.X[:]...),
+			Cycles:      k.CPU.Cycles,
+			Instrs:      k.CPU.Retired,
+			Halted:      k.Halted,
+			PACFailures: k.PACFailures,
+			UART:        k.UART.Output(),
+		}
+		for _, o := range k.Oops {
+			st.Oops = append(st.Oops, client.OopsRecord{
+				ESR: o.ESR, FAR: o.FAR, ELR: o.ELR,
+				Kernel: o.Kernel, PACFailure: o.PACFailure,
+			})
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+}
+
+func (s *Server) handleMachineReset(w http.ResponseWriter, r *http.Request) {
+	l, ok := s.leases.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such machine lease")
+		return
+	}
+	done := s.admit(r.Context(), w, l.m.Key())
+	if done == nil {
+		return
+	}
+	defer done()
+	s.withLease(w, r, func(l *lease) {
+		if err := l.m.Snap.Reset(l.m.K); err != nil {
+			writeErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "reset"})
+	})
+}
+
+func (s *Server) handleMachineRelease(w http.ResponseWriter, r *http.Request) {
+	// Release works even while draining: clients handing machines back
+	// is exactly what drain wants.
+	l, ok := s.leases.take(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such machine lease")
+		return
+	}
+	l.mu.Lock()
+	l.m.Release()
+	l.released = true
+	l.mu.Unlock()
+	s.leases.released.Add(1)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+}
+
+// --- stats ---
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.leases.reap()
+	s.drainMu.Lock()
+	draining := s.draining
+	s.drainMu.Unlock()
+	writeJSON(w, http.StatusOK, client.StatsResponse{
+		Pool:     s.cfg.Pool.Stats(),
+		Queue:    s.queue.stats(),
+		Leases:   s.leases.stats(),
+		Draining: draining,
+		UptimeNs: time.Since(s.start).Nanoseconds(),
+	})
+}

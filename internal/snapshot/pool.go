@@ -25,6 +25,10 @@ type Machine struct {
 	fresh bool
 }
 
+// Key returns the pool key the machine was acquired under (empty for a
+// released handle). The service daemon reports it per lease.
+func (m *Machine) Key() string { return m.key }
+
 // Release resets the machine to its snapshot and parks it warm for the
 // next Acquire of the same key. When the key's idle list is already
 // full, the machine is dropped *without* paying the reset; a machine
@@ -82,6 +86,7 @@ type Pool struct {
 	boots   atomic.Uint64
 	reuses  atomic.Uint64
 	dropped atomic.Uint64
+	evicted atomic.Uint64
 }
 
 type poolEntry struct {
@@ -173,10 +178,42 @@ func (p *Pool) SnapshotFor(key string, boot func() (*kernel.Kernel, error)) (*Sn
 	return e.snap, nil
 }
 
+// EvictIdle trims every key's idle list down to keep parked machines
+// (keep <= 0 empties the pool), returning how many machines were let
+// go. Evictions are counted separately from Release-time drops so
+// Stats can distinguish deliberate shrinking (daemon idle reaper,
+// graceful drain) from parking pressure. The copy-on-write bases stay
+// cached: the next Acquire of an evicted key forks, it does not
+// re-boot.
+func (p *Pool) EvictIdle(keep int) int {
+	if keep < 0 {
+		keep = 0
+	}
+	p.mu.Lock()
+	entries := make([]*poolEntry, 0, len(p.entries))
+	for _, e := range p.entries {
+		entries = append(entries, e)
+	}
+	p.mu.Unlock()
+	n := 0
+	for _, e := range entries {
+		e.mu.Lock()
+		for len(e.idle) > keep {
+			e.idle[len(e.idle)-1] = nil
+			e.idle = e.idle[:len(e.idle)-1]
+			n++
+		}
+		e.mu.Unlock()
+	}
+	p.evicted.Add(uint64(n))
+	return n
+}
+
 // Stats is a point-in-time view of pool effectiveness: every reuse or
 // fork is a full build+verify+boot avoided. A nonzero Dropped under low
 // parallelism signals misuse (reset failures); under high parallelism
-// it just means Releases exceeded MaxIdlePerKey.
+// it just means Releases exceeded MaxIdlePerKey. Evicted counts idle
+// machines deliberately let go through EvictIdle.
 type Stats struct {
 	Keys    int    `json:"keys"`
 	Idle    int    `json:"idle"`
@@ -184,6 +221,7 @@ type Stats struct {
 	Forks   uint64 `json:"forks"`
 	Reuses  uint64 `json:"reuses"`
 	Dropped uint64 `json:"dropped"`
+	Evicted uint64 `json:"evicted"`
 }
 
 // Stats returns current counters. Forks aggregates every fork taken
@@ -198,6 +236,7 @@ func (p *Pool) Stats() Stats {
 		Boots:   p.boots.Load(),
 		Reuses:  p.reuses.Load(),
 		Dropped: p.dropped.Load(),
+		Evicted: p.evicted.Load(),
 	}
 	for _, e := range p.entries {
 		e.mu.Lock()

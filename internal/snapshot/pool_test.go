@@ -1,0 +1,115 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+
+	"camouflage/internal/codegen"
+	"camouflage/internal/kernel"
+)
+
+// TestMaxIdlePerKeyEnforcedUnderConcurrentRelease: hammering Release
+// from many goroutines must never park more than MaxIdlePerKey machines
+// — the bound is rechecked under the entry lock after the reset, so the
+// check-reset-park race cannot overshoot. Machines beyond the bound are
+// accounted as Dropped.
+func TestMaxIdlePerKeyEnforcedUnderConcurrentRelease(t *testing.T) {
+	pool := NewPool()
+	pool.MaxIdlePerKey = 3
+	opts := kernel.Options{Config: codegen.ConfigBackward(), Seed: 51}
+	key := KeyForOptions(opts)
+
+	const machines = 12
+	ms := make([]*Machine, machines)
+	for i := range ms {
+		m, err := pool.Acquire(key, BootOptions(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m
+	}
+
+	var wg sync.WaitGroup
+	for _, m := range ms {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			m.Release()
+		}(m)
+	}
+	wg.Wait()
+
+	st := pool.Stats()
+	if st.Idle > pool.MaxIdlePerKey {
+		t.Fatalf("idle = %d, want <= MaxIdlePerKey = %d", st.Idle, pool.MaxIdlePerKey)
+	}
+	if got := st.Idle + int(st.Dropped); got != machines {
+		t.Fatalf("idle (%d) + dropped (%d) = %d, want %d (every release parks or drops)",
+			st.Idle, st.Dropped, got, machines)
+	}
+	if st.Boots != 1 {
+		t.Fatalf("boots = %d, want 1", st.Boots)
+	}
+}
+
+// TestEvictIdle: trimming the idle list is accounted separately from
+// Release drops, and an evicted key still answers the next Acquire from
+// the cached snapshot (a fork, not a re-boot).
+func TestEvictIdle(t *testing.T) {
+	pool := NewPool()
+	opts := kernel.Options{Config: codegen.ConfigBackward(), Seed: 52}
+	key := KeyForOptions(opts)
+
+	ms := make([]*Machine, 4)
+	for i := range ms {
+		m, err := pool.Acquire(key, BootOptions(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m
+	}
+	for _, m := range ms {
+		m.Release()
+	}
+	if st := pool.Stats(); st.Idle != 4 {
+		t.Fatalf("idle = %d, want 4", st.Idle)
+	}
+
+	if n := pool.EvictIdle(1); n != 3 {
+		t.Fatalf("EvictIdle(1) = %d, want 3", n)
+	}
+	st := pool.Stats()
+	if st.Idle != 1 || st.Evicted != 3 {
+		t.Fatalf("after eviction: idle = %d evicted = %d, want 1 and 3", st.Idle, st.Evicted)
+	}
+
+	if n := pool.EvictIdle(0); n != 1 {
+		t.Fatalf("EvictIdle(0) = %d, want 1", n)
+	}
+	bootsBefore := pool.Stats().Boots
+	m, err := pool.Acquire(key, BootOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	if st := pool.Stats(); st.Boots != bootsBefore {
+		t.Fatalf("acquire after full eviction re-booted (boots %d -> %d)", bootsBefore, st.Boots)
+	}
+}
+
+// TestMachineKey: the lease API reports the pool key per machine; the
+// key survives Release (only the pool pointer is consumed) so
+// diagnostics after release still identify the configuration.
+func TestMachineKey(t *testing.T) {
+	pool := NewPool()
+	opts := kernel.Options{Config: codegen.ConfigBackward(), Seed: 53}
+	key := KeyForOptions(opts)
+	m, err := pool.Acquire(key, BootOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Key() != key {
+		t.Fatalf("Key() = %q, want %q", m.Key(), key)
+	}
+	m.Release()
+}

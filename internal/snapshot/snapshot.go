@@ -21,6 +21,7 @@
 package snapshot
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -135,8 +136,21 @@ func BootOptions(opts kernel.Options) func() (*kernel.Kernel, error) {
 // campaign driver: callers assemble results by index, keeping output
 // independent of schedule.
 func ForEach(n int, parallel bool, f func(i int) error) error {
+	return ForEachContext(context.Background(), n, parallel, f)
+}
+
+// ForEachContext is ForEach with cancellation: once ctx is done no new
+// index starts (indices already running finish normally — machines are
+// never torn down mid-instruction) and ctx.Err() is reported unless an
+// earlier index failed on its own. It is the deadline path of the
+// service daemon: request contexts flow through here into every
+// replicated cell and campaign strike.
+func ForEachContext(ctx context.Context, n int, parallel bool, f func(i int) error) error {
 	if !parallel {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := f(i); err != nil {
 				return err
 			}
@@ -157,6 +171,15 @@ func ForEach(n int, parallel bool, f func(i int) error) error {
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					return
+				}
+				// Claim-then-check: a skipped index records ctx.Err() in
+				// its slot, so cancellation surfaces through the same
+				// lowest-index-error scan as real failures — and a run
+				// whose every index completed before the context expired
+				// still reports success.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
 					return
 				}
 				errs[i] = f(i)
