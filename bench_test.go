@@ -342,6 +342,61 @@ func BenchmarkExecThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkMemFastPath measures the data-side fast path on a load/store-
+// heavy guest loop (pair and single loads/stores over a small working
+// set). The "hostptr" variant runs the host-pointer TLB path; "buspath"
+// disables only host-pointer caching (MMU.NoHostPtr), so every access
+// still hits the TLB but pays translation bookkeeping plus bus routing
+// and the page-map lookup — isolating exactly what the pointer cache
+// buys. cmd/benchgate enforces a floor on the hostptr/buspath ratio.
+func BenchmarkMemFastPath(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noHost bool
+	}{
+		{"hostptr", false},
+		{"buspath", true},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			systems, err := ReplicateSystems(LevelNone, Options{Seed: 13}, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys := systems[0]
+			prog, err := kernel.BuildProgram("memmix", func(u *kernel.UserASM) {
+				u.MovImm(insn.X8, kernel.UserDataBase)
+				u.MovImm(insn.X5, 1<<40) // effectively endless
+				u.A.Label("loop")
+				for i := 0; i < 4; i++ {
+					off := uint16(i * 16)
+					u.A.I(insn.STP(insn.X6, insn.X7, insn.X8, int16(off)))
+					u.A.I(insn.LDP(insn.X9, insn.X10, insn.X8, int16(off)))
+					u.A.I(insn.STR(insn.X9, insn.X8, off+64))
+					u.A.I(insn.LDR(insn.X6, insn.X8, off+64))
+				}
+				u.A.I(insn.SUBi(insn.X5, insn.X5, 1))
+				u.A.CBNZ(insn.X5, "loop")
+				u.Exit(0)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Kernel.RegisterProgram(1, prog)
+			if _, err := sys.Kernel.Spawn(1); err != nil {
+				b.Fatal(err)
+			}
+			c := sys.Kernel.CPU
+			c.MMU.NoHostPtr = mode.noHost
+			c.MMU.InvalidateTLBAll()
+			b.ResetTimer()
+			sys.Kernel.Run(uint64(b.N))
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+		})
+	}
+}
+
 // BenchmarkBoot measures the full build+verify+boot pipeline.
 func BenchmarkBoot(b *testing.B) {
 	for i := 0; i < b.N; i++ {

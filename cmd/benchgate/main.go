@@ -1,13 +1,23 @@
 // Command benchgate is the CI bench-trajectory gate: it parses `go test
 // -bench` output, writes a machine-readable trajectory document, and
-// fails when the warm pool's fork-vs-boot advantage drops below the
-// pinned floor (DESIGN.md §7 records ≥5x; the same floor
-// TestForkAtLeast5xFasterThanBoot enforces in-process).
+// fails when a pinned performance floor regresses:
+//
+//   - the warm pool's fork-vs-boot advantage (DESIGN.md §7 records ≥5x;
+//     the same floor TestForkAtLeast5xFasterThanBoot enforces in-process);
+//   - the execution pipeline's steady-state allocation budget (0
+//     allocs/op for the fastpath BenchmarkExecThroughput variants — the
+//     data fast path and block chaining are allocation-free by design);
+//   - the host-pointer advantage on the load/store-heavy
+//     BenchmarkMemFastPath (hostptr vs buspath ns/op ratio).
 //
 // Usage:
 //
-//	go test -run '^$' -bench '...' -benchtime=3x -count=3 . | tee bench.txt
-//	benchgate -in bench.txt -json BENCH_results.json -floor 5
+//	go test -run '^$' -bench '...' -benchtime=3x -count=3 -benchmem . | tee bench.txt
+//	benchgate -in bench.txt -json BENCH_results.json -floor 5 -memfast-floor 1.5 -max-allocs 0
+//
+// The allocation and mem-fast-path gates apply only when their
+// benchmarks appear in the input (with -benchmem for the former), so the
+// gate also accepts reduced benchmark selections.
 package main
 
 import (
@@ -38,13 +48,37 @@ type trajectory struct {
 	ForkVsBoot float64 `json:"fork_vs_boot"`
 	Floor      float64 `json:"floor"`
 
+	// MemFastPath is mean(buspath ns/op) / mean(hostptr ns/op) for
+	// BenchmarkMemFastPath (0 when the benchmark was not run);
+	// MemFastFloor the gate it must clear.
+	MemFastPath  float64 `json:"mem_fast_path,omitempty"`
+	MemFastFloor float64 `json:"mem_fast_floor,omitempty"`
+
+	// ExecAllocs is the worst mean allocs/op observed across the
+	// fastpath BenchmarkExecThroughput variants (present only when run
+	// with -benchmem); MaxAllocs the budget it must stay within.
+	ExecAllocs *float64 `json:"exec_allocs_per_op,omitempty"`
+	MaxAllocs  float64  `json:"max_allocs,omitempty"`
+
 	Entries []benchparse.Entry `json:"entries"`
+}
+
+// execFastpathVariants are the BenchmarkExecThroughput sub-benchmarks
+// the allocation gate covers (the baseline variants deliberately run the
+// seed's allocating paths).
+var execFastpathVariants = []string{
+	"BenchmarkExecThroughput/none/fastpath",
+	"BenchmarkExecThroughput/full/fastpath",
 }
 
 func main() {
 	in := flag.String("in", "-", "bench output file (- for stdin)")
 	jsonPath := flag.String("json", "BENCH_results.json", "trajectory document path (empty to disable)")
 	floor := flag.Float64("floor", 5.0, "minimum fork-vs-boot advantage")
+	memfastFloor := flag.Float64("memfast-floor", 1.5,
+		"minimum host-pointer advantage on BenchmarkMemFastPath (0 disables)")
+	maxAllocs := flag.Float64("max-allocs", 0,
+		"allocs/op budget for the fastpath BenchmarkExecThroughput variants (negative disables)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -74,6 +108,44 @@ func main() {
 	}
 	ratio := boot / fork
 
+	// Host-pointer floor: only gated when BenchmarkMemFastPath ran — but
+	// say so loudly, so a CI regex typo that drops the benchmark cannot
+	// silently turn the gate off behind a green build.
+	var memRatio float64
+	bus, okBus := benchparse.MeanNsPerOp(entries, "BenchmarkMemFastPath/buspath")
+	host, okHost := benchparse.MeanNsPerOp(entries, "BenchmarkMemFastPath/hostptr")
+	switch {
+	case okBus && okHost:
+		if host <= 0 {
+			log.Fatal("benchgate: hostptr ns/op is zero")
+		}
+		memRatio = bus / host
+	case *memfastFloor > 0:
+		fmt.Fprintln(os.Stderr,
+			"benchgate: WARNING — BenchmarkMemFastPath results missing; the host-pointer floor is NOT being gated")
+	}
+
+	// Allocation budget: gated when the fastpath throughput variants ran;
+	// they must then carry allocs/op (run go test with -benchmem). As
+	// above, absence disables the gate visibly, never silently.
+	var execAllocs *float64
+	if *maxAllocs >= 0 {
+		for _, name := range execFastpathVariants {
+			if _, ran := benchparse.MeanNsPerOp(entries, name); !ran {
+				fmt.Fprintf(os.Stderr,
+					"benchgate: WARNING — %s missing; the allocs/op budget is NOT being gated for it\n", name)
+				continue
+			}
+			allocs, ok := benchparse.MeanMetric(entries, name, "allocs/op")
+			if !ok {
+				log.Fatalf("benchgate: %s has no allocs/op (run go test with -benchmem)", name)
+			}
+			if execAllocs == nil || allocs > *execAllocs {
+				execAllocs = &allocs
+			}
+		}
+	}
+
 	doc := trajectory{
 		GeneratedUnix: time.Now().Unix(),
 		GoVersion:     runtime.Version(),
@@ -82,6 +154,10 @@ func main() {
 		NumCPU:        runtime.NumCPU(),
 		ForkVsBoot:    ratio,
 		Floor:         *floor,
+		MemFastPath:   memRatio,
+		MemFastFloor:  *memfastFloor,
+		ExecAllocs:    execAllocs,
+		MaxAllocs:     *maxAllocs,
 		Entries:       entries,
 	}
 	if *jsonPath != "" {
@@ -95,9 +171,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: trajectory written to %s\n", *jsonPath)
 	}
 
+	failed := false
 	fmt.Printf("benchgate: fork-vs-boot advantage %.2fx (floor %.1fx)\n", ratio, *floor)
 	if ratio < *floor {
 		fmt.Printf("benchgate: FAIL — boot+run %.0f ns/op vs fork+run %.0f ns/op\n", boot, fork)
+		failed = true
+	}
+	if memRatio > 0 {
+		fmt.Printf("benchgate: host-pointer advantage %.2fx (floor %.1fx)\n", memRatio, *memfastFloor)
+		if *memfastFloor > 0 && memRatio < *memfastFloor {
+			fmt.Printf("benchgate: FAIL — buspath %.0f ns/op vs hostptr %.0f ns/op\n", bus, host)
+			failed = true
+		}
+	}
+	if execAllocs != nil {
+		fmt.Printf("benchgate: exec fastpath steady-state allocs/op %.3f (budget %.0f)\n",
+			*execAllocs, *maxAllocs)
+		if *execAllocs > *maxAllocs {
+			fmt.Println("benchgate: FAIL — the fast path must not allocate in steady state")
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -11,6 +11,7 @@
 //	camouflaged                       — serve on :8344
 //	camouflaged -addr 127.0.0.1:9000  — serve elsewhere
 //	camouflaged -concurrency 8 -queue 64 -max-leases 128
+//	camouflaged -pprof 127.0.0.1:6060 — expose net/http/pprof separately
 //
 // Endpoints (see README for curl examples):
 //
@@ -35,6 +36,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only on -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,7 +54,21 @@ func main() {
 	leaseIdle := flag.Duration("lease-idle", 10*time.Minute, "idle time before a lease is reaped")
 	idlePerKey := flag.Int("idle-per-key", 16, "warm machines parked per pool key")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables). "+
+			"Keeps profiling off the API listener so future perf PRs can profile the daemon under load.")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers; the API
+			// listener below uses its own mux and never exposes them.
+			log.Printf("camouflaged: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("camouflaged: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	snapshot.Shared.MaxIdlePerKey = *idlePerKey
 	srv := server.New(server.Config{

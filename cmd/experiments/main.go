@@ -9,6 +9,7 @@
 //	experiments -parallel      — one goroutine per experiment/level
 //	experiments -json=path     — bench log path ("" disables)
 //	experiments -remote=URL    — run on a camouflaged daemon instead
+//	experiments -cpuprofile=p  — write a pprof CPU profile of the run
 //
 // With -remote the selection runs inside the daemon's long-lived
 // process (sharing its warm pool across every client) and the text
@@ -32,6 +33,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sync"
 	"time"
 
 	"camouflage"
@@ -71,7 +74,36 @@ func main() {
 		"write a machine-readable bench log to this path (empty to disable)")
 	remote := flag.String("remote", "",
 		"run on a camouflaged daemon at this base URL (e.g. http://127.0.0.1:8344) instead of in-process")
+	cpuprofile := flag.String("cpuprofile", "",
+		"write a CPU profile of the run to this path (perf-PR workflow; local runs only)")
 	flag.Parse()
+
+	// stopProfile flushes the CPU profile; fatal routes every later
+	// error through it, because log.Fatal's os.Exit skips defers and
+	// would leave the profile file truncated exactly when a run
+	// misbehaves — the case a profile is most wanted for.
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		var once sync.Once
+		stopProfile = func() {
+			once.Do(func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			})
+		}
+		defer stopProfile()
+	}
+	fatal := func(err error) {
+		stopProfile()
+		log.Fatal(err)
+	}
 
 	if *list {
 		for _, e := range camouflage.Experiments() {
@@ -91,17 +123,17 @@ func main() {
 			Parallel: *parallel,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if _, err := os.Stdout.WriteString(resp.Output); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		stats, pool = resp.Experiments, resp.Pool
 	} else {
 		var err error
 		stats, err = camouflage.RunExperiments(os.Stdout, flag.Args(), *parallel)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		pool = snapshot.Shared.Stats()
 	}
@@ -124,10 +156,10 @@ func main() {
 		}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "bench log: %s\n", *jsonPath)
 	}

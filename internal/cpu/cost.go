@@ -48,6 +48,16 @@ func CyclesToNanos(cycles uint64) float64 {
 	return float64(cycles) * 1e9 / float64(ClockHz)
 }
 
+// costTab is cost() precomputed over the whole uint8 op space so the
+// execute loop pays one array load instead of a switch dispatch.
+var costTab [256]uint64
+
+func init() {
+	for op := 0; op < len(costTab); op++ {
+		costTab[op] = cost(insn.Op(op))
+	}
+}
+
 // cost returns the base cycle cost of an instruction. PAuth branch forms
 // pay both the authentication and the branch.
 func cost(op insn.Op) uint64 {

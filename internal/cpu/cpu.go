@@ -6,6 +6,7 @@
 package cpu
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync/atomic"
 
@@ -141,14 +142,30 @@ type CPU struct {
 	// never crosses a page boundary, so one (page, generation) pair per
 	// block suffices for precise invalidation.
 	blocks map[uint64]*codeBlock
-	// pageGen maps a physical page number to its code generation. Only
-	// pages that ever held a cached block appear here; a guest store to
-	// such a page bumps the generation, killing every block on the page.
-	pageGen map[uint64]uint64
+	// pageGen maps a physical page number to its code-generation cell.
+	// Only pages that ever held a cached block appear here; a guest store
+	// to such a page bumps the cell, killing every block on the page.
+	// Blocks hold the cell pointer (codeBlock.genp), so validating a
+	// block — on a cache hit or before following a chain edge — is a
+	// single pointer dereference, not a map lookup.
+	pageGen map[uint64]*uint64
 	// execGen increments whenever any code page is invalidated. The block
 	// execution loop snapshots it so a store into the *currently running*
 	// block (same-block self-modification) forces an immediate refetch.
 	execGen uint64
+	// ChainFollows counts block transitions served by a direct chain edge
+	// instead of a full fetchBlock (diagnostics).
+	ChainFollows uint64
+
+	// sgenPN/sgenCell are a tiny direct-mapped memo of pageGen lookups
+	// for the store fast path: stores cluster on a handful of pages
+	// (stack, per-CPU block, the workload's data), so most stores resolve
+	// their code-invalidation check against this array instead of the
+	// map. A nil cell is a valid memo ("page never held code"). The memo
+	// is cleared whenever page→cell presence can change: decodeBlock
+	// creating a cell, and InvalidateDecode replacing the map.
+	sgenPN   [8]uint64
+	sgenCell [8]*uint64
 
 	// legacyDecode is the seed's per-word decode cache, active only under
 	// NoBlockCache.
@@ -164,6 +181,36 @@ type codeBlock struct {
 	instrs []insn.Instr
 	page   uint64
 	gen    uint64
+	// genp points at the page's generation cell; *genp == gen while the
+	// block is valid (the same condition fetchBlock checks via the map,
+	// without the map).
+	genp *uint64
+	// fall and taken are the lazily resolved direct successor links: fall
+	// covers the sequential exit (a conditional not taken, or a
+	// straight-line run spilling past the page boundary / size cap),
+	// taken the immediate-target branch exit (B, BL, B.cond, CBZ, CBNZ).
+	fall, taken chainEdge
+}
+
+// chainEdge is a memoized fetchBlock result: "starting PC e.pc resolved
+// to block e.to under this translation regime". Following an edge is
+// sound only while every snapshot still matches — the same §3 contract a
+// TLB entry obeys — and while the target block itself is valid
+// (to.gen == *to.genp, the pageGen/execGen clause). The regime snapshot
+// pins the stage-1 table identity+generation for e.pc's address side,
+// the stage-2 generation+enable, the EL and the MMU enable; any
+// Map/Unmap, context-switch table swap, stage-2 Restrict/Clear or
+// exception-level change therefore severs the chain automatically.
+type chainEdge struct {
+	to    *codeBlock
+	pc    uint64
+	table *mmu.Table
+	tgen  uint64
+	s2gen uint64
+	s2en  bool
+	tt1   bool // e.pc translates through TT1 (kernel side)
+	mmuOn bool
+	el    int8
 }
 
 // maxBlockInstrs bounds decode-ahead waste on pathological straight-line
@@ -182,9 +229,23 @@ func New(feat Features) *CPU {
 		EL:        1,
 		IRQMasked: true,
 		blocks:    make(map[uint64]*codeBlock),
-		pageGen:   make(map[uint64]uint64),
+		pageGen:   make(map[uint64]*uint64),
 	}
+	// Wire the MMU's host-pointer fast path to this CPU's bus: data-side
+	// TLB fills cache the backing RAM page so repeat loads/stores skip
+	// bus routing entirely (device windows never get a pointer).
+	c.MMU.Mem = c.Bus
+	c.clearStoreGenMemo()
 	return c
+}
+
+// clearStoreGenMemo empties the pageGen lookup memo (no physical page
+// number is all-ones, so ^0 marks a slot empty).
+func (c *CPU) clearStoreGenMemo() {
+	for i := range c.sgenPN {
+		c.sgenPN[i] = ^uint64(0)
+		c.sgenCell[i] = nil
+	}
 }
 
 // Reg reads Xn (register 31 reads as zero).
@@ -348,8 +409,22 @@ func (c *CPU) ReadSys(r insn.SysReg) (uint64, error) {
 	return 0, fmt.Errorf("cpu: MRS from unknown register %v", r)
 }
 
-// loadMem translates and loads size bytes.
+// loadMem translates and loads size bytes. The fast path is a TLB hit
+// with a live host pointer: a bounds-checked little-endian read from the
+// backing page array, no bus routing, no page-map lookup, no
+// allocations. Device-mapped and untouched pages never carry a host
+// pointer, so they — and every miss — take the Translate + Bus path.
 func (c *CPU) loadMem(va uint64, size int) (uint64, *mmu.Fault, error) {
+	if pg, off, _, ok := c.MMU.HostData(va, c.EL, uint64(size), mmu.Load); ok {
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(pg[off : off+8]), nil, nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(pg[off : off+4])), nil, nil
+		default:
+			return uint64(pg[off]), nil, nil
+		}
+	}
 	pa, f := c.MMU.Translate(va, mmu.Load, c.EL)
 	if f != nil {
 		return 0, f, nil
@@ -364,17 +439,45 @@ func (c *CPU) loadMem(va uint64, size int) (uint64, *mmu.Fault, error) {
 // cached block, its generation is bumped, which kills every block on the
 // page — including blocks that merely *span* the written range from an
 // earlier entry point (the seed's word-granular delete missed those).
+// execGen moves once per store, not once per touched page: the execution
+// loop only compares it for equality, so one bump carries the same
+// information as several.
+//
+// The fast path mirrors loadMem's: a store-side TLB hit with a live host
+// pointer writes the backing page array directly. The code-invalidation
+// check stays on the fast path (one pageGen cell lookup), because a
+// store through a host pointer is still a guest store into potential
+// code. Stores that straddle a page boundary miss the fast path (the
+// bounds check fails) and invalidate both pages on the slow path.
 func (c *CPU) storeMem(va uint64, size int, v uint64) (*mmu.Fault, error) {
+	if !c.NoBlockCache {
+		if pg, off, pn, ok := c.MMU.HostData(va, c.EL, uint64(size), mmu.Store); ok {
+			c.noteGuestStore(pn)
+			switch size {
+			case 8:
+				binary.LittleEndian.PutUint64(pg[off:off+8], v)
+			case 4:
+				binary.LittleEndian.PutUint32(pg[off:off+4], uint32(v))
+			default:
+				pg[off] = byte(v)
+			}
+			return nil, nil
+		}
+	}
 	pa, f := c.MMU.Translate(va, mmu.Store, c.EL)
 	if f != nil {
 		return f, nil
 	}
 	last := (pa + uint64(size) - 1) >> mmu.PageShift
+	bumped := false
 	for p := pa >> mmu.PageShift; p <= last; p++ {
-		if g, ok := c.pageGen[p]; ok {
-			c.pageGen[p] = g + 1
-			c.execGen++
+		if g := c.pageGen[p]; g != nil {
+			*g++
+			bumped = true
 		}
+	}
+	if bumped {
+		c.execGen++
 	}
 	if c.NoBlockCache && c.legacyDecode != nil {
 		for a := pa &^ 3; a < pa+uint64(size); a += 4 {
@@ -384,6 +487,35 @@ func (c *CPU) storeMem(va uint64, size int, v uint64) (*mmu.Fault, error) {
 	return nil, c.Bus.Store(pa, size, v)
 }
 
+// hostStorePair is the STP fast-path probe: a 16-byte host-pointer hit,
+// gated on the block cache being live (the legacy decode map needs the
+// slow path's word-granular invalidation).
+func (c *CPU) hostStorePair(addr uint64) (*[mem.PageSize]byte, uint64, uint64, bool) {
+	if c.NoBlockCache {
+		return nil, 0, 0, false
+	}
+	return c.MMU.HostData(addr, c.EL, 16, mmu.Store)
+}
+
+// noteGuestStore runs the block-cache invalidation contract for a
+// fast-path store to physical page pn: if the page ever held code, bump
+// its generation cell and execGen. The direct-mapped memo keeps the
+// common no-code case to an array probe.
+func (c *CPU) noteGuestStore(pn uint64) {
+	i := pn & 7
+	var g *uint64
+	if c.sgenPN[i] == pn {
+		g = c.sgenCell[i]
+	} else {
+		g = c.pageGen[pn]
+		c.sgenPN[i], c.sgenCell[i] = pn, g
+	}
+	if g != nil {
+		*g++
+		c.execGen++
+	}
+}
+
 // fetchBlock translates PC and returns the decoded basic block starting
 // there, decoding it if absent or stale.
 func (c *CPU) fetchBlock() (*codeBlock, *mmu.Fault, error) {
@@ -391,7 +523,7 @@ func (c *CPU) fetchBlock() (*codeBlock, *mmu.Fault, error) {
 	if f != nil {
 		return nil, f, nil
 	}
-	if b, ok := c.blocks[pa]; ok && b.gen == c.pageGen[b.page] {
+	if b, ok := c.blocks[pa]; ok && b.gen == *b.genp {
 		return b, nil, nil
 	}
 	return c.decodeBlock(pa)
@@ -403,12 +535,16 @@ func (c *CPU) fetchBlock() (*codeBlock, *mmu.Fault, error) {
 // generation so stores can invalidate it precisely.
 func (c *CPU) decodeBlock(pa uint64) (*codeBlock, *mmu.Fault, error) {
 	page := pa >> mmu.PageShift
-	gen, ok := c.pageGen[page]
-	if !ok {
-		gen = 1
-		c.pageGen[page] = gen
+	genp := c.pageGen[page]
+	if genp == nil {
+		genp = new(uint64)
+		*genp = 1
+		c.pageGen[page] = genp
+		// A page just became code: any memoized "no cell" verdict for it
+		// is now stale.
+		c.clearStoreGenMemo()
 	}
-	b := &codeBlock{page: page, gen: gen}
+	b := &codeBlock{page: page, gen: *genp, genp: genp}
 	end := (page + 1) << mmu.PageShift
 	for a := pa; a < end && len(b.instrs) < maxBlockInstrs; a += insn.Size {
 		w, err := c.Bus.Load(a, 4)
@@ -466,11 +602,15 @@ func (c *CPU) fetchLegacy() (insn.Instr, *mmu.Fault, error) {
 
 // InvalidateDecode drops every decoded instruction (used after host-side
 // writes to guest code, e.g. module loading or bootloader key-hiding,
-// which bypass storeMem's tracking).
+// which bypass storeMem's tracking). Replacing both maps orphans the
+// whole block graph at once — including every resolved chain edge, which
+// can only reference blocks of the same map epoch — so nothing stale
+// stays reachable.
 func (c *CPU) InvalidateDecode() {
 	c.blocks = make(map[uint64]*codeBlock)
-	c.pageGen = make(map[uint64]uint64)
+	c.pageGen = make(map[uint64]*uint64)
 	c.legacyDecode = nil
+	c.clearStoreGenMemo()
 	c.execGen++
 }
 

@@ -1,12 +1,83 @@
 package cpu
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"camouflage/internal/insn"
 	"camouflage/internal/mmu"
 	"camouflage/internal/pac"
 )
+
+// storeClass marks the ops whose execution can write guest memory and
+// therefore move execGen (guest stores, including stores into the
+// service doorbell whose host handler may invalidate code). The block
+// execution loop re-checks execGen only after these: nothing else can
+// patch code mid-block, so the per-instruction re-check the seed paid is
+// unnecessary. Indexed by insn.Op; sized for the whole uint8 op space.
+var storeClass [256]bool
+
+func init() {
+	for _, op := range []insn.Op{
+		insn.OpSTR, insn.OpSTRW, insn.OpSTRB,
+		insn.OpSTRpre, insn.OpSTP, insn.OpSTPpre,
+	} {
+		storeClass[op] = true
+	}
+}
+
+// directBranch reports whether op is a direct (immediate-target) branch
+// whose taken exit may be chained: B, BL, B.cond, CBZ, CBNZ. Indirect
+// and authenticated branches (BR/BLR/RET and the *AA/*AB forms), ERET,
+// SVC and everything else always re-enter through fetchBlock.
+func directBranch(op insn.Op) bool {
+	switch op {
+	case insn.OpB, insn.OpBL, insn.OpBcond, insn.OpCBZ, insn.OpCBNZ:
+		return true
+	}
+	return false
+}
+
+// chainValid reports whether e may be followed right now: the PC must be
+// the one the edge memoizes, the target block must still be valid
+// (pageGen clause), and every translation-regime snapshot must still
+// match (§3 contract — see chainEdge).
+func (c *CPU) chainValid(e *chainEdge) bool {
+	b := e.to
+	if b == nil || c.PC != e.pc || b.gen != *b.genp {
+		return false
+	}
+	m := c.MMU
+	if m.Enabled != e.mmuOn || int8(c.EL) != e.el {
+		return false
+	}
+	if !e.mmuOn {
+		return true
+	}
+	table := m.TT0
+	if e.tt1 {
+		table = m.TT1
+	}
+	return e.table == table && e.tgen == table.Gen() &&
+		e.s2gen == m.S2.Gen() && e.s2en == m.S2.Enabled
+}
+
+// resolveChain memoizes "PC pc fetched block to" into slot, snapshotting
+// the translation regime the resolution depended on.
+func (c *CPU) resolveChain(slot *chainEdge, pc uint64, to *codeBlock) {
+	m := c.MMU
+	e := chainEdge{to: to, pc: pc, mmuOn: m.Enabled, el: int8(c.EL)}
+	if m.Enabled {
+		e.tt1 = m.KernelSide(pc)
+		table := m.TT0
+		if e.tt1 {
+			table = m.TT1
+		}
+		e.table, e.tgen = table, table.Gen()
+		e.s2gen, e.s2en = m.S2.Gen(), m.S2.Enabled
+	}
+	*slot = e
+}
 
 // Run executes until the instruction budget is exhausted, a HLT retires,
 // or an unrecoverable error occurs.
@@ -18,6 +89,14 @@ import (
 // when the guest invalidates code the block could cover (execGen), when
 // an IRQ becomes deliverable, or when the budget expires. Cycle and
 // retirement accounting is identical to single-stepping.
+//
+// Block-to-block transitions follow direct chains where possible: a
+// block that ran to completion and exited through its sequential fall-
+// through or a direct branch follows (or lazily resolves) a chainEdge to
+// its successor, skipping the per-entry Translate and block-map lookup.
+// Chains are never followed blind — chainValid re-checks the §3
+// snapshots on every follow — and break on IRQ delivery, budget expiry,
+// exceptions, indirect/authenticated branches and any execGen movement.
 func (c *CPU) Run(maxInstrs uint64) Stop {
 	startCycles, startRetired := c.Cycles, c.Retired
 	defer func() {
@@ -27,28 +106,51 @@ func (c *CPU) Run(maxInstrs uint64) Stop {
 	if c.NoBlockCache {
 		return c.runLegacy(maxInstrs)
 	}
+	var (
+		b       *codeBlock // current block; nil → fetch at loop top
+		blockVA uint64     // VA the current block was entered at
+		pending *chainEdge // slot awaiting resolution by the next fetch
+		pendPC  uint64
+	)
 	for n := uint64(0); n < maxInstrs; {
 		if c.IRQPending && !c.IRQMasked && c.EL == 0 {
 			c.IRQPending = false
 			c.TakeException(VecIRQLower, ECUnknown, 0, 0)
 			n++
+			b, pending = nil, nil
 			continue
 		}
-		b, fault, err := c.fetchBlock()
-		if err != nil {
-			return Stop{Kind: StopError, Err: err}
-		}
-		if fault != nil {
-			c.instructionAbort(fault)
-			n++
-			continue
+		if b == nil {
+			var fault *mmu.Fault
+			var err error
+			b, fault, err = c.fetchBlock()
+			if err != nil {
+				return Stop{Kind: StopError, Err: err}
+			}
+			if fault != nil {
+				c.instructionAbort(fault)
+				n++
+				b, pending = nil, nil
+				continue
+			}
+			blockVA = c.PC
+			if pending != nil {
+				// Memoize the edge that led here. The PC guard keeps an
+				// intervening abort from binding the wrong target; the
+				// regime snapshot is taken now, so whatever changed since
+				// the exit is what the edge records.
+				if pendPC == c.PC {
+					c.resolveChain(pending, c.PC, b)
+				}
+				pending = nil
+			}
 		}
 		startGen := c.execGen
-		for idx := 0; idx < len(b.instrs) && n < maxInstrs; idx++ {
-			if c.IRQPending && !c.IRQMasked && c.EL == 0 {
-				break // deliver at the top of the outer loop
-			}
-			ins := b.instrs[idx]
+		last := len(b.instrs) - 1
+		completed := false
+		idx := 0
+		for ; idx <= last && n < maxInstrs; idx++ {
+			ins := &b.instrs[idx]
 			if ins.Op == insn.OpInvalid {
 				c.undefined()
 				n++
@@ -61,12 +163,50 @@ func (c *CPU) Run(maxInstrs uint64) Stop {
 				return stop
 			}
 			if c.PC != pc+insn.Size {
-				break // branch taken, exception, or ERET
+				// Branch taken, exception, or ERET. Only a clean exit off
+				// the final instruction is a chainable completion.
+				completed = idx == last
+				break
 			}
-			if c.execGen != startGen {
-				break // the block's own code may have been patched
+			// Mid-block hazards can only be raised by store-class
+			// instructions: a guest store may patch code (execGen) and
+			// only a device/doorbell store can raise an IRQ while the EL
+			// and mask bits are unchanged (exceptions and ERET exit via
+			// the PC check above; MSR ends every block). The seed paid
+			// both re-checks on every instruction.
+			if storeClass[ins.Op] {
+				if c.execGen != startGen {
+					break // the block's own code may have been patched
+				}
+				if c.IRQPending && !c.IRQMasked && c.EL == 0 {
+					break // deliver at the top of the outer loop
+				}
 			}
 		}
+		if idx > last {
+			completed = true // fell off the sequential end
+		}
+		exited := b
+		b = nil
+		if !completed || n >= maxInstrs ||
+			(c.IRQPending && !c.IRQMasked && c.EL == 0) {
+			continue
+		}
+		var slot *chainEdge
+		if c.PC == blockVA+uint64(len(exited.instrs))*insn.Size {
+			slot = &exited.fall
+		} else if directBranch(exited.instrs[last].Op) {
+			slot = &exited.taken
+		} else {
+			continue // SVC, ERET, indirect/authenticated branch, abort
+		}
+		if c.chainValid(slot) {
+			c.ChainFollows++
+			b = slot.to
+			blockVA = c.PC
+			continue
+		}
+		pending, pendPC = slot, c.PC
 	}
 	return Stop{Kind: StopLimit}
 }
@@ -113,7 +253,7 @@ func (c *CPU) Step() (Stop, bool) {
 		c.undefined()
 		return Stop{}, false
 	}
-	return c.execute(ins)
+	return c.execute(&ins)
 }
 
 // instructionAbort raises a prefetch abort for a fetch fault.
@@ -160,8 +300,10 @@ func FaultKindFromISS(iss uint64) mmu.FaultKind {
 }
 
 // execute runs one decoded instruction. PC has not yet been advanced.
-func (c *CPU) execute(i insn.Instr) (Stop, bool) {
-	cy := cost(i.Op)
+// The pointer argument avoids copying the ~24-byte Instr on every
+// dispatch; execute never mutates or retains it.
+func (c *CPU) execute(i *insn.Instr) (Stop, bool) {
+	cy := costTab[i.Op]
 	next := c.PC + insn.Size
 	branched := false
 
@@ -363,24 +505,32 @@ func (c *CPU) execute(i insn.Instr) (Stop, bool) {
 		if i.Op == insn.OpLDP {
 			addr = base + uint64(i.Imm)
 		}
-		v1, f, err := c.loadMem(addr, 8)
-		if err != nil {
-			return Stop{Kind: StopError, Err: err}, true
-		}
-		if f == nil {
-			var v2 uint64
-			v2, f, err = c.loadMem(addr+8, 8)
+		// Paired fast path: one host-pointer probe covers both halves
+		// when they land in the same page (a hit proves the whole page
+		// translates, so neither half can fault).
+		if pg, off, _, ok := c.MMU.HostData(addr, c.EL, 16, mmu.Load); ok {
+			c.SetReg(i.Rd, binary.LittleEndian.Uint64(pg[off:off+8]))
+			c.SetReg(i.Rm, binary.LittleEndian.Uint64(pg[off+8:off+16]))
+		} else {
+			v1, f, err := c.loadMem(addr, 8)
 			if err != nil {
 				return Stop{Kind: StopError, Err: err}, true
 			}
 			if f == nil {
-				c.SetReg(i.Rd, v1)
-				c.SetReg(i.Rm, v2)
+				var v2 uint64
+				v2, f, err = c.loadMem(addr+8, 8)
+				if err != nil {
+					return Stop{Kind: StopError, Err: err}, true
+				}
+				if f == nil {
+					c.SetReg(i.Rd, v1)
+					c.SetReg(i.Rm, v2)
+				}
 			}
-		}
-		if f != nil {
-			c.dataAbort(f)
-			return Stop{}, false
+			if f != nil {
+				c.dataAbort(f)
+				return Stop{}, false
+			}
 		}
 		if i.Op == insn.OpLDPpost {
 			c.setRegSP(i.Rn, base+uint64(i.Imm))
@@ -389,19 +539,25 @@ func (c *CPU) execute(i insn.Instr) (Stop, bool) {
 	case insn.OpSTP, insn.OpSTPpre:
 		base := c.regSP(i.Rn)
 		addr := base + uint64(i.Imm)
-		f, err := c.storeMem(addr, 8, c.Reg(i.Rd))
-		if err != nil {
-			return Stop{Kind: StopError, Err: err}, true
-		}
-		if f == nil {
-			f, err = c.storeMem(addr+8, 8, c.Reg(i.Rm))
+		if pg, off, pn, ok := c.hostStorePair(addr); ok {
+			c.noteGuestStore(pn)
+			binary.LittleEndian.PutUint64(pg[off:off+8], c.Reg(i.Rd))
+			binary.LittleEndian.PutUint64(pg[off+8:off+16], c.Reg(i.Rm))
+		} else {
+			f, err := c.storeMem(addr, 8, c.Reg(i.Rd))
 			if err != nil {
 				return Stop{Kind: StopError, Err: err}, true
 			}
-		}
-		if f != nil {
-			c.dataAbort(f)
-			return Stop{}, false
+			if f == nil {
+				f, err = c.storeMem(addr+8, 8, c.Reg(i.Rm))
+				if err != nil {
+					return Stop{Kind: StopError, Err: err}, true
+				}
+			}
+			if f != nil {
+				c.dataAbort(f)
+				return Stop{}, false
+			}
 		}
 		if i.Op == insn.OpSTPpre {
 			c.setRegSP(i.Rn, addr)
@@ -484,11 +640,7 @@ func (c *CPU) execute(i insn.Instr) (Stop, bool) {
 		if !c.requirePAuth() {
 			return Stop{}, false
 		}
-		ids := map[insn.Op]pac.KeyID{
-			insn.OpPACIZA: pac.KeyIA, insn.OpPACIZB: pac.KeyIB,
-			insn.OpPACDZA: pac.KeyDA, insn.OpPACDZB: pac.KeyDB,
-		}
-		id := ids[i.Op]
+		id := zeroModKey[i.Op]
 		if c.pauthEnabled(id) {
 			c.SetReg(i.Rd, c.Signer.Sign(c.Reg(i.Rd), 0, id))
 		}
@@ -496,11 +648,7 @@ func (c *CPU) execute(i insn.Instr) (Stop, bool) {
 		if !c.requirePAuth() {
 			return Stop{}, false
 		}
-		ids := map[insn.Op]pac.KeyID{
-			insn.OpAUTIZA: pac.KeyIA, insn.OpAUTIZB: pac.KeyIB,
-			insn.OpAUTDZA: pac.KeyDA, insn.OpAUTDZB: pac.KeyDB,
-		}
-		id := ids[i.Op]
+		id := zeroModKey[i.Op]
 		if c.pauthEnabled(id) {
 			out, ok := c.Signer.Auth(c.Reg(i.Rd), 0, id)
 			if !ok {
@@ -612,11 +760,20 @@ func (c *CPU) execute(i insn.Instr) (Stop, bool) {
 	c.Cycles += cy
 	c.Retired++
 	if c.tracer != nil {
-		c.tracer.Retire(c.PC, c.EL, i)
+		c.tracer.Retire(c.PC, c.EL, *i)
 	}
 	_ = branched
 	c.PC = next
 	return Stop{}, false
+}
+
+// zeroModKey maps the zero-modifier PAuth ops to their key (hoisted to
+// package level: building it per execution allocated on a hot path).
+var zeroModKey = map[insn.Op]pac.KeyID{
+	insn.OpPACIZA: pac.KeyIA, insn.OpPACIZB: pac.KeyIB,
+	insn.OpPACDZA: pac.KeyDA, insn.OpPACDZB: pac.KeyDB,
+	insn.OpAUTIZA: pac.KeyIA, insn.OpAUTIZB: pac.KeyIB,
+	insn.OpAUTDZA: pac.KeyDA, insn.OpAUTDZB: pac.KeyDB,
 }
 
 // requirePAuth raises undefined-instruction on pre-8.3 cores and reports

@@ -6,6 +6,8 @@ import (
 
 	"camouflage/internal/asm"
 	"camouflage/internal/insn"
+	"camouflage/internal/mem"
+	"camouflage/internal/mmu"
 	"camouflage/internal/pac"
 )
 
@@ -559,5 +561,126 @@ func TestBankedSPAcrossELs(t *testing.T) {
 	}
 	if c.SP(0) != 0x1000 {
 		t.Fatal("banked SP lost")
+	}
+}
+
+// TestChainFollowsEngage: a hot loop's block-to-block transitions (the
+// backward conditional branch and the call's direct edge) must be served
+// by chain follows, not fresh fetches, once warm.
+func TestChainFollowsEngage(t *testing.T) {
+	c := runSnippet(t, nil, func(a *asm.Assembler) {
+		a.I(insn.MOVZ(insn.X5, 64, 0))
+		a.Label("loop")
+		a.I(insn.ADDr(insn.X6, insn.X6, insn.X5))
+		a.I(insn.SUBi(insn.X5, insn.X5, 1))
+		a.CBNZ(insn.X5, "loop")
+		a.I(insn.HLT(0))
+	})
+	if c.ChainFollows < 32 {
+		t.Fatalf("ChainFollows = %d; direct chaining is not engaging", c.ChainFollows)
+	}
+}
+
+// TestSelfModifyingStoreSeversChain: once the warm loop's direct edges
+// have been resolved and followed, a guest store into the chained
+// target's code must sever the chain — re-entering the loop has to
+// re-fetch and execute the patched instruction, not the memoized block.
+func TestSelfModifyingStoreSeversChain(t *testing.T) {
+	patch := insn.MOVZ(insn.X0, 7, 0).Encode()
+	c := runSnippet(t, nil, func(a *asm.Assembler) {
+		a.I(insn.MOVZ(insn.X5, 4, 0))
+		a.Label("warm")
+		a.B("target") // direct edge warm→target: resolved and followed hot
+		a.Label("back")
+		a.I(insn.SUBi(insn.X5, insn.X5, 1))
+		a.CBNZ(insn.X5, "warm")
+		a.CBNZ(insn.X6, "done") // second pass: stop
+		a.I(insn.MOVZ(insn.X6, 1, 0))
+		// Patch target's MOVZ, then drive the warm loop once more
+		// through its already-resolved edges.
+		a.I(insn.MOVImm64(insn.X9, uint64(patch))...)
+		a.ADR(insn.X10, "target")
+		a.I(insn.STRW(insn.X9, insn.X10, 0))
+		a.I(insn.MOVZ(insn.X5, 1, 0))
+		a.B("warm")
+		a.Label("done")
+		a.I(insn.HLT(0))
+		a.Label("target")
+		a.I(insn.MOVZ(insn.X0, 1, 0))
+		a.B("back")
+	})
+	if c.X[0] != 7 {
+		t.Fatalf("x0 = %d; a resolved chain served stale code after the patch", c.X[0])
+	}
+	if c.ChainFollows < 4 {
+		t.Fatalf("ChainFollows = %d; the warm loop never chained, so severing was not exercised", c.ChainFollows)
+	}
+}
+
+// TestDeviceAccessesBypassHostPointers: with the MMU on and the data
+// fast path warm, loads and stores to a device-mapped page must keep
+// reaching the device (UART bytes arrive exactly once, status reads
+// come from the device), while RAM accesses in the same loop use the
+// host-pointer path.
+func TestDeviceAccessesBypassHostPointers(t *testing.T) {
+	const (
+		textPA = uint64(0x8_0000)
+		dataPA = uint64(0x40_0000)
+		uartPA = uint64(0x0900_0000)
+	)
+	textVA := uint64(pac.KernelBase) | textPA
+	dataVA := uint64(pac.KernelBase) | dataPA
+	uartVA := uint64(pac.KernelBase) | uartPA
+
+	a := asm.New()
+	a.Label("entry")
+	a.I(insn.MOVZ(insn.X5, 4, 0))   // iterations
+	a.I(insn.MOVZ(insn.X6, 'A', 0)) // byte to transmit
+	a.I(insn.MOVImm64(insn.X7, uartVA)...)
+	a.I(insn.MOVImm64(insn.X8, dataVA)...)
+	a.Label("loop")
+	a.I(insn.STRB(insn.X6, insn.X7, 0))  // UART TX (device store)
+	a.I(insn.LDRW(insn.X9, insn.X7, 24)) // UART status (device load, =1)
+	a.I(insn.ADDr(insn.X10, insn.X10, insn.X9))
+	a.I(insn.STR(insn.X5, insn.X8, 0)) // RAM store (host-pointer path)
+	a.I(insn.LDR(insn.X11, insn.X8, 0))
+	a.I(insn.SUBi(insn.X5, insn.X5, 1))
+	a.CBNZ(insn.X5, "loop")
+	a.I(insn.HLT(0))
+	img, err := a.Link(map[string]uint64{".text": textVA})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Features{PAuth: true})
+	u := &mem.UART{}
+	if err := c.Bus.Map(uartPA, 0x1000, u); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range img.Sections {
+		c.Bus.RAM.WriteBytes(textPA+(s.Base-textVA), s.Bytes)
+	}
+	c.MMU.Enabled = true
+	for off := uint64(0); off < 0x2000; off += mmu.PageSize {
+		c.MMU.TT1.Map(textVA+off, textPA+off, mmu.KernelText)
+	}
+	c.MMU.TT1.Map(dataVA, dataPA, mmu.KernelData)
+	c.MMU.TT1.Map(uartVA, uartPA, mmu.KernelData)
+	c.PC = img.Symbols["entry"]
+	if stop := c.Run(10000); stop.Kind != StopHLT {
+		t.Fatalf("stop = %+v", stop)
+	}
+
+	if got := u.Output(); got != "AAAA" {
+		t.Fatalf("UART output = %q, want \"AAAA\" (device stores lost or duplicated)", got)
+	}
+	if c.X[10] != 4 {
+		t.Fatalf("status sum = %d, want 4 (device loads served from RAM?)", c.X[10])
+	}
+	if c.X[11] != 1 {
+		t.Fatalf("RAM readback = %d, want 1", c.X[11])
+	}
+	if v, _ := c.Bus.Load(dataPA, 8); v != 1 {
+		t.Fatalf("RAM store lost: %d", v)
 	}
 }

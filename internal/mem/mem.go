@@ -31,6 +31,15 @@ type Phys struct {
 	// Base pages are shared between every Phys forked from the same
 	// Frozen and must never be written through.
 	base map[uint64]*[PageSize]byte
+	// gen is the host-pointer generation. Any event that can change which
+	// backing array serves an address bumps it: Freeze (overlay pages are
+	// promoted into a shared base that must never be written through),
+	// ResetTo (the overlay is dropped and the base repointed), and every
+	// copy-on-write materialization or first-touch allocation (a page's
+	// backing array changes from the shared base copy, or from implicit
+	// zeroes, to a fresh private array). A cached *[PageSize]byte obtained
+	// from PageForLoad/PageForStore is valid only while gen is unchanged.
+	gen uint64
 }
 
 // NewPhys returns an empty physical memory.
@@ -62,6 +71,7 @@ func (p *Phys) Freeze() *Frozen {
 	}
 	p.base = merged
 	p.pages = make(map[uint64]*[PageSize]byte)
+	p.gen++
 	return &Frozen{pages: merged}
 }
 
@@ -77,6 +87,7 @@ func NewPhysFrom(f *Frozen) *Phys {
 func (p *Phys) ResetTo(f *Frozen) {
 	p.base = f.pages
 	p.pages = make(map[uint64]*[PageSize]byte)
+	p.gen++
 }
 
 // DirtyPages returns the number of overlay pages written since the last
@@ -101,7 +112,28 @@ func (p *Phys) page(addr uint64, create bool) *[PageSize]byte {
 		*pg = *shared
 	}
 	p.pages[pn] = pg
+	p.gen++
 	return pg
+}
+
+// Gen returns the host-pointer generation. Cached page pointers are
+// valid only while it is unchanged (see the gen field's doc).
+func (p *Phys) Gen() uint64 { return p.gen }
+
+// PageForLoad returns the backing page for reads of the page containing
+// addr — possibly a shared copy-on-write base page — or nil when the
+// page has never been touched (reads as zero). The pointer is valid
+// until the next Gen bump; callers caching it must revalidate.
+func (p *Phys) PageForLoad(addr uint64) *[PageSize]byte {
+	return p.page(addr, false)
+}
+
+// PageForStore returns the private writable page containing addr,
+// materializing a copy-on-write copy (or a fresh zero page) on first
+// touch — which itself bumps Gen, so callers must read Gen after this
+// call when caching the pointer.
+func (p *Phys) PageForStore(addr uint64) *[PageSize]byte {
+	return p.page(addr, true)
 }
 
 // ReadBytes copies n bytes starting at addr into a fresh slice.
@@ -136,13 +168,27 @@ func (p *Phys) WriteBytes(addr uint64, b []byte) {
 	}
 }
 
+// readSlow assembles an n-byte little-endian value byte by byte: the
+// allocation-free fallback for absent pages (read as zero) and accesses
+// straddling a page boundary.
+func (p *Phys) readSlow(addr uint64, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(p.Read8(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
 // Read64 loads a little-endian 64-bit value.
 func (p *Phys) Read64(addr uint64) uint64 {
-	if pg := p.page(addr, false); pg != nil && addr&(PageSize-1) <= PageSize-8 {
-		off := addr & (PageSize - 1)
-		return binary.LittleEndian.Uint64(pg[off : off+8])
+	if addr&(PageSize-1) <= PageSize-8 {
+		if pg := p.page(addr, false); pg != nil {
+			off := addr & (PageSize - 1)
+			return binary.LittleEndian.Uint64(pg[off : off+8])
+		}
+		return 0
 	}
-	return binary.LittleEndian.Uint64(p.ReadBytes(addr, 8))
+	return p.readSlow(addr, 8)
 }
 
 // Write64 stores a little-endian 64-bit value.
@@ -160,11 +206,14 @@ func (p *Phys) Write64(addr uint64, v uint64) {
 
 // Read32 loads a little-endian 32-bit value.
 func (p *Phys) Read32(addr uint64) uint32 {
-	if pg := p.page(addr, false); pg != nil && addr&(PageSize-1) <= PageSize-4 {
-		off := addr & (PageSize - 1)
-		return binary.LittleEndian.Uint32(pg[off : off+4])
+	if addr&(PageSize-1) <= PageSize-4 {
+		if pg := p.page(addr, false); pg != nil {
+			off := addr & (PageSize - 1)
+			return binary.LittleEndian.Uint32(pg[off : off+4])
+		}
+		return 0
 	}
-	return binary.LittleEndian.Uint32(p.ReadBytes(addr, 4))
+	return uint32(p.readSlow(addr, 4))
 }
 
 // Write32 stores a little-endian 32-bit value.
@@ -227,6 +276,11 @@ type mapping struct {
 type Bus struct {
 	RAM  *Phys
 	maps []mapping
+	// last caches the most recently hit device window: device accesses
+	// cluster (a driver hammers one window), so the cache short-circuits
+	// the binary search. Invalidated by Map (the slice is re-sorted and
+	// pointers into it move).
+	last *mapping
 }
 
 // NewBus returns a bus backed by fresh RAM.
@@ -243,17 +297,52 @@ func (b *Bus) Map(base, size uint64, dev Device) error {
 	}
 	b.maps = append(b.maps, mapping{base, size, dev})
 	sort.Slice(b.maps, func(i, j int) bool { return b.maps[i].base < b.maps[j].base })
+	b.last = nil
+	// Mapping a window changes address routing: any host pointer cached
+	// for a page the window now overlaps must die, exactly like a
+	// Freeze/ResetTo. Today windows are only mapped at construction, but
+	// the invalidation contract should not depend on that.
+	b.RAM.gen++
 	return nil
 }
 
+// find returns the device window containing addr, or nil for RAM.
+// Windows are kept base-sorted by Map, so the lookup is a last-hit probe
+// followed by binary search for the rightmost window at or below addr —
+// O(log n) in the number of devices instead of the seed's linear scan.
 func (b *Bus) find(addr uint64) *mapping {
-	for i := range b.maps {
-		m := &b.maps[i]
-		if addr >= m.base && addr < m.base+m.size {
-			return m
+	if m := b.last; m != nil && addr-m.base < m.size {
+		return m
+	}
+	lo, hi := 0, len(b.maps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.maps[mid].base <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
+	if lo == 0 {
+		return nil
+	}
+	m := &b.maps[lo-1]
+	if addr-m.base < m.size {
+		b.last = m
+		return m
+	}
 	return nil
+}
+
+// findOverlap reports whether any device window overlaps [lo, hi).
+func (b *Bus) findOverlap(lo, hi uint64) bool {
+	for i := range b.maps {
+		m := &b.maps[i]
+		if lo < m.base+m.size && m.base < hi {
+			return true
+		}
+	}
+	return false
 }
 
 // Load reads size bytes (1, 4 or 8) at physical address addr.
@@ -271,6 +360,34 @@ func (b *Bus) Load(addr uint64, size int) (uint64, error) {
 	}
 	return 0, fmt.Errorf("mem: bad load size %d", size)
 }
+
+// PageForLoad returns the RAM page backing the page containing pa for
+// the host-pointer fast path, or nil when the page has never been
+// touched or any device window overlaps it — device-mapped ranges never
+// get a host pointer and must keep taking the Load/Store path.
+func (b *Bus) PageForLoad(pa uint64) *[PageSize]byte {
+	page := pa &^ uint64(PageSize-1)
+	if b.findOverlap(page, page+PageSize) {
+		return nil
+	}
+	return b.RAM.PageForLoad(pa)
+}
+
+// PageForStore is PageForLoad for writes: it returns the private
+// writable page (materializing a copy-on-write copy, which bumps
+// MemGen), or nil when a device window overlaps the page.
+func (b *Bus) PageForStore(pa uint64) *[PageSize]byte {
+	page := pa &^ uint64(PageSize-1)
+	if b.findOverlap(page, page+PageSize) {
+		return nil
+	}
+	return b.RAM.PageForStore(pa)
+}
+
+// MemGen returns the RAM host-pointer generation (see Phys.Gen). Callers
+// that swap b.RAM wholesale must flush any cache keyed by this value
+// themselves (the kernel snapshot paths do, via MMU.InvalidateTLBAll).
+func (b *Bus) MemGen() uint64 { return b.RAM.gen }
 
 // Store writes size bytes (1, 4 or 8) at physical address addr.
 func (b *Bus) Store(addr uint64, size int, v uint64) error {

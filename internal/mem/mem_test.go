@@ -175,3 +175,143 @@ func TestBlockDev(t *testing.T) {
 		t.Fatal("transfer counters not advancing")
 	}
 }
+
+// fixedDev is a minimal device whose loads return its id (routing tests).
+type fixedDev struct{ id uint64 }
+
+func (d *fixedDev) Name() string                                  { return "fixed" }
+func (d *fixedDev) Load(offset uint64, size int) (uint64, error)  { return d.id, nil }
+func (d *fixedDev) Store(offset uint64, size int, v uint64) error { return nil }
+
+// TestBusManyDevices: with a large device population the binary-search
+// find must route every access to the right window, leave the RAM holes
+// between windows alone, and keep the first/last/boundary addresses
+// exact (regression for the linear scan's replacement).
+func TestBusManyDevices(t *testing.T) {
+	b := NewBus()
+	const n = 64
+	const base, stride, size = uint64(0x0900_0000), uint64(0x10_000), uint64(0x1000)
+	for i := uint64(0); i < n; i++ {
+		if err := b.Map(base+i*stride, size, &fixedDev{id: 100 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every window routes to its own device, probed in an order that
+	// defeats the last-hit cache (forward, backward, then alternating).
+	probe := func(i uint64) {
+		t.Helper()
+		for _, off := range []uint64{0, size - 1} {
+			v, err := b.Load(base+i*stride+off, 1)
+			if err != nil || v != 100+i {
+				t.Fatalf("device %d offset %#x: (%d, %v)", i, off, v, err)
+			}
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		probe(i)
+	}
+	for i := uint64(n); i > 0; i-- {
+		probe(i - 1)
+	}
+	for i := uint64(0); i < n/2; i++ {
+		probe(i)
+		probe(n - 1 - i)
+	}
+	// The RAM holes between and around the windows still hit RAM.
+	for _, addr := range []uint64{
+		0x1000,                          // far below the first window
+		base - 8,                        // just below the first window
+		base + size,                     // just past a window, inside the hole
+		base + (n-1)*stride - 16,        // just below the last window
+		base + (n-1)*stride + size + 64, // above everything
+	} {
+		if err := b.Store(addr, 8, addr); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := b.Load(addr, 8); v != addr {
+			t.Fatalf("RAM at %#x routed into a device window", addr)
+		}
+	}
+}
+
+// TestPhysHostPointerGen: the host-pointer generation moves on exactly
+// the events that can change which array backs an address — first-touch
+// materialization, copy-on-write materialization, Freeze and ResetTo —
+// and the accessors hand out the right layer's page.
+func TestPhysHostPointerGen(t *testing.T) {
+	p := NewPhys()
+	if pg := p.PageForLoad(0x1000); pg != nil {
+		t.Fatal("untouched page has a load pointer")
+	}
+	g0 := p.Gen()
+	st := p.PageForStore(0x1000)
+	if st == nil {
+		t.Fatal("PageForStore returned nil")
+	}
+	if p.Gen() == g0 {
+		t.Fatal("first-touch materialization did not bump Gen")
+	}
+	st[8] = 0xAB
+	if p.Read8(0x1008) != 0xAB {
+		t.Fatal("write through host pointer not visible")
+	}
+	if p.PageForLoad(0x1000) != st {
+		t.Fatal("load pointer should be the overlay page after a write")
+	}
+
+	// Freeze: the overlay page is promoted into the shared base; cached
+	// pointers now alias the snapshot and must be invalidated.
+	g1 := p.Gen()
+	frozen := p.Freeze()
+	if p.Gen() == g1 {
+		t.Fatal("Freeze did not bump Gen")
+	}
+	// Loads may serve the (shared, read-only) base page; a store must
+	// materialize a fresh private copy and bump Gen again.
+	ld := p.PageForLoad(0x1000)
+	if ld == nil || ld[8] != 0xAB {
+		t.Fatal("post-freeze load pointer lost the page contents")
+	}
+	g2 := p.Gen()
+	st2 := p.PageForStore(0x1000)
+	if p.Gen() == g2 {
+		t.Fatal("copy-on-write materialization did not bump Gen")
+	}
+	if st2 == ld {
+		t.Fatal("post-freeze store pointer aliases the frozen base")
+	}
+	st2[8] = 0xCD
+	if fork := NewPhysFrom(frozen); fork.Read8(0x1008) != 0xAB {
+		t.Fatal("write after Freeze leaked into the frozen base")
+	}
+
+	// ResetTo rewinds the overlay; stale pointers die with it.
+	g3 := p.Gen()
+	p.ResetTo(frozen)
+	if p.Gen() == g3 {
+		t.Fatal("ResetTo did not bump Gen")
+	}
+	if p.Read8(0x1008) != 0xAB {
+		t.Fatal("ResetTo did not restore the frozen contents")
+	}
+}
+
+// TestBusHostPagesDeclineDevices: Bus.PageForLoad/PageForStore must
+// refuse any page a device window overlaps — device state is never
+// served through a flat-array pointer.
+func TestBusHostPagesDeclineDevices(t *testing.T) {
+	b := NewBus()
+	if err := b.Map(0x0900_0000, 0x1000, &UART{}); err != nil {
+		t.Fatal(err)
+	}
+	if b.PageForLoad(0x0900_0000+UARTTx) != nil {
+		t.Fatal("device page handed out for load")
+	}
+	if b.PageForStore(0x0900_0000+UARTTx) != nil {
+		t.Fatal("device page handed out for store")
+	}
+	// An adjacent pure-RAM page is still eligible.
+	if b.PageForStore(0x0901_0000) == nil {
+		t.Fatal("RAM page next to a device window refused")
+	}
+}

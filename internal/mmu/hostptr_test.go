@@ -1,0 +1,176 @@
+package mmu
+
+// Tests for the host-pointer fast path: the two new §3 validity clauses
+// (host-pointer validity = table gen × stage-2 gen × memGen; device
+// pages never get a pointer) pinned at the MMU layer.
+
+import (
+	"testing"
+
+	"camouflage/internal/mem"
+)
+
+// newHostMMU wires a test MMU to a fresh bus (the CPU does the same in
+// New) and maps one kernel data page.
+func newHostMMU(t *testing.T) (*MMU, *mem.Bus, uint64, uint64) {
+	t.Helper()
+	m := newTestMMU()
+	bus := mem.NewBus()
+	m.Mem = bus
+	va := kbase | 0x30_0000
+	pa := uint64(0x30_0000)
+	m.TT1.Map(va, pa, KernelData)
+	bus.Store(pa, 8, 0x1122334455667788)
+	return m, bus, va, pa
+}
+
+// hostLoad/hostStore adapt HostData to the per-kind shapes the tests
+// read naturally.
+func hostLoad(m *MMU, va uint64, size uint64) (*[PageSize]byte, uint64, bool) {
+	pg, off, _, ok := m.HostData(va, 1, size, Load)
+	return pg, off, ok
+}
+
+func hostStore(m *MMU, va uint64, size uint64) (*[PageSize]byte, uint64, uint64, bool) {
+	return m.HostData(va, 1, size, Store)
+}
+
+// fillLoad runs the slow path once so the next probe can hit.
+func fillLoad(t *testing.T, m *MMU, va uint64) {
+	t.Helper()
+	if _, f := m.Translate(va, Load, 1); f != nil {
+		t.Fatalf("fill translate: %v", f)
+	}
+}
+
+func fillStore(t *testing.T, m *MMU, va uint64) {
+	t.Helper()
+	if _, f := m.Translate(va, Store, 1); f != nil {
+		t.Fatalf("fill translate: %v", f)
+	}
+}
+
+func TestHostLoadHitAfterFill(t *testing.T) {
+	m, _, va, _ := newHostMMU(t)
+	if _, _, ok := hostLoad(m, va, 8); ok {
+		t.Fatal("host pointer hit before any fill")
+	}
+	fillLoad(t, m, va)
+	pg, off, ok := hostLoad(m, va+0x10, 8)
+	if !ok {
+		t.Fatal("no host-pointer hit after fill")
+	}
+	if off != 0x10 {
+		t.Fatalf("offset = %#x, want 0x10", off)
+	}
+	if pg[0] != 0x88 {
+		t.Fatalf("page contents wrong: %#x", pg[0])
+	}
+}
+
+func TestHostLoadDeclinesPageStraddle(t *testing.T) {
+	m, _, va, _ := newHostMMU(t)
+	fillLoad(t, m, va)
+	if _, _, ok := hostLoad(m, va+PageSize-4, 8); ok {
+		t.Fatal("host pointer served an access straddling the page end")
+	}
+}
+
+func TestDevicePageNeverGetsHostPointer(t *testing.T) {
+	m, bus, _, _ := newHostMMU(t)
+	u := &mem.UART{}
+	devPA := uint64(0x0900_0000)
+	if err := bus.Map(devPA, 0x1000, u); err != nil {
+		t.Fatal(err)
+	}
+	devVA := kbase | 0x0900_0000
+	m.TT1.Map(devVA, devPA, KernelData)
+	fillLoad(t, m, devVA)
+	fillStore(t, m, devVA)
+	if _, _, ok := hostLoad(m, devVA, 8); ok {
+		t.Fatal("device page served from the host-pointer load path")
+	}
+	if _, _, _, ok := hostStore(m, devVA, 8); ok {
+		t.Fatal("device page served from the host-pointer store path")
+	}
+}
+
+// TestHostPointerStaleAfterFreeze: Freeze promotes overlay pages into
+// the shared base; a cached store pointer would write the snapshot, so
+// the memGen clause must kill it.
+func TestHostPointerStaleAfterFreeze(t *testing.T) {
+	m, bus, va, _ := newHostMMU(t)
+	fillStore(t, m, va)
+	if _, _, _, ok := hostStore(m, va, 8); !ok {
+		t.Fatal("no store hit before freeze")
+	}
+	frozen := bus.RAM.Freeze()
+	if _, _, _, ok := hostStore(m, va, 8); ok {
+		t.Fatal("store pointer survived Freeze (would write the snapshot)")
+	}
+	// Refill materializes a private copy; writes stay out of the base.
+	fillStore(t, m, va)
+	pg, off, _, ok := hostStore(m, va, 8)
+	if !ok {
+		t.Fatal("no store hit after refill")
+	}
+	pg[off] = 0xFF
+	if fork := mem.NewPhysFrom(frozen); fork.Read8(0x30_0000) == 0xFF {
+		t.Fatal("post-freeze write leaked into the frozen base")
+	}
+}
+
+// TestHostPointerStaleAfterMaterialize: a load pointer cached against a
+// copy-on-write base page must die when a store materializes the
+// private copy — otherwise loads would keep reading the stale base.
+func TestHostPointerStaleAfterMaterialize(t *testing.T) {
+	m, bus, va, pa := newHostMMU(t)
+	frozen := bus.RAM.Freeze()
+	bus.RAM.ResetTo(frozen) // run on a pristine overlay over the base
+	fillLoad(t, m, va)
+	basePg, _, ok := hostLoad(m, va, 8)
+	if !ok {
+		t.Fatal("no load hit against the base page")
+	}
+	bus.Store(pa, 8, 0xDEAD) // materializes the overlay copy
+	if _, _, ok := hostLoad(m, va, 8); ok {
+		t.Fatal("load pointer survived copy-on-write materialization")
+	}
+	fillLoad(t, m, va)
+	overlayPg, _, ok := hostLoad(m, va, 8)
+	if !ok {
+		t.Fatal("no load hit after refill")
+	}
+	if overlayPg == basePg {
+		t.Fatal("refilled load pointer still references the base page")
+	}
+}
+
+func TestHostPointerStaleAfterUnmapAndStage2(t *testing.T) {
+	m, _, va, pa := newHostMMU(t)
+	fillLoad(t, m, va)
+	m.TT1.Unmap(va)
+	if _, _, ok := hostLoad(m, va, 8); ok {
+		t.Fatal("host pointer survived Unmap")
+	}
+	m.TT1.Map(va, pa, KernelData)
+	fillLoad(t, m, va)
+	m.S2.Enabled = true
+	m.S2.Restrict(pa, S2Perm{X: true}) // XOM: no reads
+	if _, _, ok := hostLoad(m, va, 8); ok {
+		t.Fatal("host pointer survived a stage-2 restrict")
+	}
+}
+
+func TestNoHostPtrDisablesFastPath(t *testing.T) {
+	m, _, va, _ := newHostMMU(t)
+	m.NoHostPtr = true
+	fillLoad(t, m, va)
+	fillStore(t, m, va)
+	if _, _, ok := hostLoad(m, va, 8); ok {
+		t.Fatal("NoHostPtr did not disable the load fast path")
+	}
+	if _, _, _, ok := hostStore(m, va, 8); ok {
+		t.Fatal("NoHostPtr did not disable the store fast path")
+	}
+}

@@ -14,6 +14,7 @@ package mmu
 import (
 	"fmt"
 
+	"camouflage/internal/mem"
 	"camouflage/internal/pac"
 )
 
@@ -214,6 +215,12 @@ func (t *Table) Lookup(va uint64) (PTE, bool) {
 	return pte, ok
 }
 
+// Gen returns the table's invalidation generation (bumped by every
+// Map/Unmap/RestoreFrom). Callers caching translation results outside
+// the TLB — the CPU's direct block chains — snapshot it and treat any
+// change as a broadcast TLBI, exactly like a TLB entry does.
+func (t *Table) Gen() uint64 { return t.gen }
+
 // MappedPages returns the number of mapped pages.
 func (t *Table) MappedPages() int { return len(t.entries) }
 
@@ -274,6 +281,10 @@ func (s *Stage2) RestoreFrom(src *Stage2) {
 	s.gen++
 }
 
+// Gen returns the stage-2 invalidation generation (bumped by every
+// Restrict/Clear/RestoreFrom); see Table.Gen for the caching contract.
+func (s *Stage2) Gen() uint64 { return s.gen }
+
 // Check reports whether the access is allowed by stage 2.
 func (s *Stage2) Check(pa uint64, kind AccessKind) bool {
 	if !s.Enabled {
@@ -311,6 +322,13 @@ const (
 // switch and mutated by Map/Unmap), and the stage-2 generation and enable
 // state. A hit requires every snapshot to still match, so a stale entry
 // can never be served — bumping a generation IS the TLBI.
+//
+// Load/Store entries for RAM-backed pages additionally cache the host
+// pointer to the backing page array (hptr), guarded by the memory
+// generation (memgen) at fill time: a TLB hit with a live host pointer
+// turns the whole access into a bounds-checked flat-array read/write —
+// no bus routing, no page-map lookup, zero allocations. Device-mapped
+// and untouched pages fill with hptr == nil and keep the Bus path.
 type tlbEntry struct {
 	valid bool
 	el    int8
@@ -321,6 +339,9 @@ type tlbEntry struct {
 	tgen  uint64
 	s2gen uint64
 	s2en  bool
+
+	hptr   *[PageSize]byte
+	memgen uint64
 }
 
 // MMU combines the two stage-1 tables, the stage-2 overlay and the address
@@ -337,6 +358,14 @@ type MMU struct {
 	// NoTLB disables the software TLB (benchmarking the slow path only;
 	// set before first use).
 	NoTLB bool
+	// Mem, when set, enables the host-pointer fast path: successful
+	// Load/Store fills also cache the backing RAM page pointer so
+	// HostData can serve repeat accesses without touching the
+	// bus. The CPU wires this to its own mem.Bus.
+	Mem *mem.Bus
+	// NoHostPtr disables host-pointer caching only (benchmarking the
+	// TLB-hit-plus-Bus path; set before first use).
+	NoHostPtr bool
 
 	// itlb serves Fetch, dtlb serves Load/Store.
 	itlb, dtlb [tlbSize]tlbEntry
@@ -396,6 +425,13 @@ func (m *MMU) stripTag(va uint64) uint64 {
 	return va
 }
 
+// KernelSide reports whether va translates through TT1 (a kernel
+// address: bit 55 set after tag stripping). The CPU's chain edges use it
+// to pin which table a memoized translation depended on.
+func (m *MMU) KernelSide(va uint64) bool {
+	return m.Cfg.IsKernel(m.stripTag(va))
+}
+
 // Translate resolves va for the given access at the given EL, returning
 // the physical address or a fault. It applies, in order: top-byte-ignore,
 // the canonical-address check (which is what catches PAC-poisoned
@@ -427,6 +463,19 @@ func (m *MMU) Translate(va uint64, kind AccessKind, el int) (uint64, *Fault) {
 			e.table == table && e.tgen == table.gen &&
 			e.s2gen == m.S2.gen && e.s2en == m.S2.Enabled {
 			m.Hits++
+			// The translation is still valid but the host pointer may
+			// have gone stale (Freeze/ResetTo/COW materialization bump
+			// memGen without touching the tables). Re-arm it here so the
+			// fast path recovers without waiting for an entry eviction.
+			if m.Mem != nil && !m.NoHostPtr && kind != Fetch &&
+				e.memgen != m.Mem.MemGen() {
+				if kind == Load {
+					e.hptr = m.Mem.PageForLoad(e.pa)
+				} else {
+					e.hptr = m.Mem.PageForStore(e.pa)
+				}
+				e.memgen = m.Mem.MemGen()
+			}
 			return e.pa | (eva & (PageSize - 1)), nil
 		}
 		m.Misses++
@@ -468,6 +517,59 @@ func (m *MMU) Translate(va uint64, kind AccessKind, el int) (uint64, *Fault) {
 			table: table, tgen: table.gen,
 			s2gen: m.S2.gen, s2en: m.S2.Enabled,
 		}
+		// Host-pointer fill for data accesses on RAM-backed pages. The
+		// memgen snapshot is taken after PageForStore: materializing a
+		// copy-on-write page bumps the generation, and the entry must
+		// guard the pointer it actually cached, not its predecessor.
+		if m.Mem != nil && !m.NoHostPtr {
+			switch kind {
+			case Load:
+				e.hptr = m.Mem.PageForLoad(pte.PA)
+				e.memgen = m.Mem.MemGen()
+			case Store:
+				e.hptr = m.Mem.PageForStore(pte.PA)
+				e.memgen = m.Mem.MemGen()
+			}
+		}
 	}
 	return pa, nil
+}
+
+// HostData probes the D-side TLB for a host-pointer hit covering a
+// Load or Store of size bytes at va. It is the one copy of the §3
+// host-pointer validity clause — a single body for both access kinds,
+// so a future validity input cannot be added to one path and missed on
+// the other: every snapshot of the entry must still match, the cached
+// host pointer must exist (RAM-backed page) and still be current
+// (memgen), and the access must not straddle the page end.
+//
+// On a hit it returns the backing page, the in-page offset and the
+// physical page number (stores use the latter for the block cache's
+// code-invalidation check without re-translating); the caller performs
+// the access as a flat-array read/write. On a miss the caller falls
+// back to Translate + Bus, which refills (or re-arms) the entry.
+func (m *MMU) HostData(va uint64, el int, size uint64, kind AccessKind) (*[PageSize]byte, uint64, uint64, bool) {
+	if !m.Enabled || m.NoTLB || m.NoHostPtr {
+		return nil, 0, 0, false
+	}
+	eva := m.stripTag(va)
+	off := eva & (PageSize - 1)
+	if off > PageSize-size {
+		return nil, 0, 0, false
+	}
+	vpage := eva >> PageShift
+	e := &m.dtlb[tlbIndex(vpage, el, kind)]
+	if e.hptr == nil || !e.valid || e.vpage != vpage || e.el != int8(el) || e.kind != kind ||
+		e.memgen != m.Mem.RAM.Gen() {
+		return nil, 0, 0, false
+	}
+	table := m.TT0
+	if m.Cfg.IsKernel(eva) {
+		table = m.TT1
+	}
+	if e.table != table || e.tgen != table.gen || e.s2gen != m.S2.gen || e.s2en != m.S2.Enabled {
+		return nil, 0, 0, false
+	}
+	m.Hits++
+	return e.hptr, off, e.pa >> PageShift, true
 }

@@ -286,3 +286,71 @@ func TestKeyForOptionsDistinguishesLevels(t *testing.T) {
 		keys[k] = name
 	}
 }
+
+// TestWarmFastPathAcrossCaptureAndReset pins the snapshot half of the
+// host-pointer invalidation contract. The origin runs a full fixture
+// first, so its data-side TLB is warm with host pointers into the
+// pre-capture overlay. Take must invalidate them (mem.Freeze bumps the
+// memory generation): if any post-capture store leaked through a stale
+// pointer into the now-shared frozen base, forks taken before and after
+// the origin's continued run would diverge. Reset of a dirtied fork
+// must likewise kill the fork's warm pointers, or its re-run would see
+// pages from the discarded overlay.
+func TestWarmFastPathAcrossCaptureAndReset(t *testing.T) {
+	origin := bootFull(t, 47)
+	runFixture(t, origin) // warm the origin's fast path
+
+	secondRun := func(k *kernel.Kernel) fingerprint {
+		t.Helper()
+		prog, err := kernel.BuildProgram("second", func(u *kernel.UserASM) {
+			u.CounterLoop("loop", insn.X21, 16, func() {
+				u.SyscallReg(kernel.SysGetppid)
+			})
+			u.Exit(0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.RegisterProgram(2, prog)
+		if _, err := k.Spawn(2); err != nil {
+			t.Fatal(err)
+		}
+		k.Run(10_000_000)
+		return fingerprint{
+			Cycles:  k.CPU.Cycles,
+			Retired: k.CPU.Retired,
+			UART:    k.UART.Output(),
+			Heap:    k.AllocScratch(0),
+		}
+	}
+
+	snap := Take(origin)
+	before, err := snap.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP := secondRun(before)
+
+	// The origin keeps running with pointers it warmed before capture;
+	// its stores must all land in its private overlay.
+	originFP := secondRun(origin)
+	after, err := snap.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := secondRun(after); got != wantFP {
+		t.Fatalf("origin's post-capture run corrupted the snapshot:\n pre-fork %+v\npost-fork %+v", wantFP, got)
+	}
+	if originFP != wantFP {
+		t.Fatalf("origin diverged from its own fork after capture:\norigin %+v\n  fork %+v", originFP, wantFP)
+	}
+
+	// Reset a dirty fork (its fast path is warm from the run above) and
+	// re-run: identical to the first run or stale pointers survived.
+	if err := snap.Reset(before); err != nil {
+		t.Fatal(err)
+	}
+	if got := secondRun(before); got != wantFP {
+		t.Fatalf("reset fork re-run diverged:\nwant %+v\n got %+v", wantFP, got)
+	}
+}
