@@ -297,37 +297,46 @@ func BenchmarkExecThroughput(b *testing.B) {
 	modes := []struct {
 		name     string
 		baseline bool
+		cpus     int
 	}{
-		{"fastpath", false},
-		{"baseline", true},
+		{"fastpath", false, 1},
+		{"baseline", true, 1},
+		// fastpath-2cpu drives the deterministic SMP scheduler: the same
+		// mix pinned to both cores of a 2-vCPU machine, budget split by
+		// round-robin quanta. Guards the scheduler + shared-generation
+		// overhead on top of the 1-vCPU fast path.
+		{"fastpath-2cpu", false, 2},
+	}
+	mixProgram := func(u *kernel.UserASM) {
+		u.MovImm(insn.X5, 1<<40) // effectively endless
+		u.A.Label("loop")
+		for i := 0; i < 4; i++ {
+			u.A.I(insn.ADDi(insn.X6, insn.X6, 3))
+			u.A.I(insn.EORr(insn.X7, insn.X7, insn.X6))
+		}
+		u.SyscallReg(kernel.SysGetppid)
+		u.A.I(insn.SUBi(insn.X5, insn.X5, 1))
+		u.A.CBNZ(insn.X5, "loop")
+		u.Exit(0)
 	}
 	for _, lv := range levels {
 		for _, mode := range modes {
 			lv, mode := lv, mode
 			b.Run(lv.name+"/"+mode.name, func(b *testing.B) {
-				systems, err := ReplicateSystems(lv.level, Options{Seed: 3}, 1)
+				systems, err := ReplicateSystems(lv.level, Options{Seed: 3, CPUs: mode.cpus}, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
 				sys := systems[0]
-				prog, err := kernel.BuildProgram("mix", func(u *kernel.UserASM) {
-					u.MovImm(insn.X5, 1<<40) // effectively endless
-					u.A.Label("loop")
-					for i := 0; i < 4; i++ {
-						u.A.I(insn.ADDi(insn.X6, insn.X6, 3))
-						u.A.I(insn.EORr(insn.X7, insn.X7, insn.X6))
+				for cpuID := 0; cpuID < mode.cpus; cpuID++ {
+					prog, err := kernel.BuildProgram("mix", mixProgram)
+					if err != nil {
+						b.Fatal(err)
 					}
-					u.SyscallReg(kernel.SysGetppid)
-					u.A.I(insn.SUBi(insn.X5, insn.X5, 1))
-					u.A.CBNZ(insn.X5, "loop")
-					u.Exit(0)
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				sys.Kernel.RegisterProgram(1, prog)
-				if _, err := sys.Kernel.Spawn(1); err != nil {
-					b.Fatal(err)
+					sys.Kernel.RegisterProgram(1+cpuID, prog)
+					if _, err := sys.Kernel.SpawnOn(cpuID, 1+cpuID); err != nil {
+						b.Fatal(err)
+					}
 				}
 				c := sys.Kernel.CPU
 				c.NoBlockCache = mode.baseline

@@ -117,6 +117,18 @@ func RunExperimentsContext(ctx context.Context, w io.Writer, ids []string, paral
 	return figures.RunAllContext(ctx, w, ids, parallel)
 }
 
+// ExperimentOptions parameterizes an experiment run (id selection,
+// parallelism, vCPU count of the booted machines).
+type ExperimentOptions = figures.RunOptions
+
+// RunExperimentsOpts is RunExperiments with full options, notably the
+// vCPU count: with CPUs: 2 every machine the experiments boot is a true
+// 2-core SMP system (deterministic round-robin scheduler, per-core
+// caches, shared shootdown generations — DESIGN.md §9).
+func RunExperimentsOpts(ctx context.Context, w io.Writer, opts ExperimentOptions) ([]ExperimentStats, error) {
+	return figures.RunAllWith(ctx, w, opts)
+}
+
 type errUnknownExperiment string
 
 func (e errUnknownExperiment) Error() string {

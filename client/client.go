@@ -28,6 +28,11 @@ type ExperimentsRequest struct {
 	// Parallel runs experiments (and suite cells) concurrently on
 	// isolated machines; the rendering is byte-identical either way.
 	Parallel bool `json:"parallel,omitempty"`
+	// CPUs is the vCPU count of every machine the experiments boot
+	// (0/1: uniprocessor, byte-identical to pre-SMP renderings). The
+	// daemon serializes non-default counts against other experiment
+	// runs (the count changes the rendered bytes).
+	CPUs int `json:"cpus,omitempty"`
 	// DeadlineMS bounds the run; past it the server stops between
 	// experiments and returns 504 (0 = no deadline).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
@@ -61,6 +66,9 @@ type CampaignRequest struct {
 	Parallel bool `json:"parallel,omitempty"`
 	// Levels filters the §6.2 configurations by name (empty = all).
 	Levels []string `json:"levels,omitempty"`
+	// CPUs is the vCPU count of every cell machine; at 2+ the campaign
+	// includes the cross-core f_ops replay scenario.
+	CPUs int `json:"cpus,omitempty"`
 	// DeadlineMS bounds the run (0 = no deadline).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
@@ -83,6 +91,10 @@ type MachineRequest struct {
 	FailureThreshold int `json:"failure_threshold,omitempty"`
 	// Compat leases the §5.5 backwards-compatible build on a v8.0 core.
 	Compat bool `json:"compat,omitempty"`
+	// CPUs is the machine's vCPU count (0/1: uniprocessor; up to
+	// kernel.MaxCPUs). Leased SMP machines run their cores under the
+	// deterministic round-robin scheduler on every /run step.
+	CPUs int `json:"cpus,omitempty"`
 }
 
 // MachineResponse identifies a granted lease.
@@ -164,6 +176,9 @@ type LeaseStats struct {
 	Released uint64 `json:"released"`
 	// Expired counts leases reclaimed by the idle reaper.
 	Expired uint64 `json:"expired"`
+	// ForceExpired counts leases the drain path gave up waiting for
+	// (their machines were abandoned, not parked — see Server.Drain).
+	ForceExpired uint64 `json:"force_expired,omitempty"`
 }
 
 // StatsResponse is the GET /v1/stats document.

@@ -32,6 +32,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "campaign mutation seed")
 	levels := flag.String("levels", "", "comma-separated level filter (e.g. none,full); empty = all")
 	seq := flag.Bool("seq", false, "strike forks sequentially instead of in parallel")
+	cpus := flag.Int("cpus", 1,
+		"vCPUs per campaign machine (1 = pre-SMP-identical; 2+ adds the cross-core replay cell)")
 	flag.Parse()
 
 	if *campaign {
@@ -44,6 +46,7 @@ func main() {
 			Seed:      *seed,
 			Parallel:  !*seq,
 			Levels:    lv,
+			CPUs:      *cpus,
 		})
 		if err != nil {
 			log.Fatal(err)

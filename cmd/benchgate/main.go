@@ -4,20 +4,31 @@
 //
 //   - the warm pool's fork-vs-boot advantage (DESIGN.md §7 records ≥5x;
 //     the same floor TestForkAtLeast5xFasterThanBoot enforces in-process);
+//
 //   - the execution pipeline's steady-state allocation budget (0
 //     allocs/op for the fastpath BenchmarkExecThroughput variants — the
 //     data fast path and block chaining are allocation-free by design);
+//
 //   - the host-pointer advantage on the load/store-heavy
 //     BenchmarkMemFastPath (hostptr vs buspath ns/op ratio).
+//
+//   - the ns/op trajectory of the fastpath BenchmarkExecThroughput
+//     variants against a committed baseline trajectory (-baseline,
+//     -exec-regress): same-machine-class regressions beyond the budget
+//     fail the gate.
 //
 // Usage:
 //
 //	go test -run '^$' -bench '...' -benchtime=3x -count=3 -benchmem . | tee bench.txt
-//	benchgate -in bench.txt -json BENCH_results.json -floor 5 -memfast-floor 1.5 -max-allocs 0
+//	benchgate -in bench.txt -json BENCH_results.json -floor 5 -memfast-floor 1.5 -max-allocs 0 \
+//	    -baseline BENCH_results.json.committed -exec-regress 0.05
 //
-// The allocation and mem-fast-path gates apply only when their
-// benchmarks appear in the input (with -benchmem for the former), so the
-// gate also accepts reduced benchmark selections.
+// The allocation, mem-fast-path and baseline gates apply only when
+// their benchmarks appear in the input (with -benchmem for the former)
+// and the baseline is readable — but a gate silently not running is how
+// regressions slip through CI, so every such self-disable is loud: a
+// WARNING locally and, under -require-baseline (the default when the CI
+// environment variable is set), a hard failure.
 package main
 
 import (
@@ -60,15 +71,41 @@ type trajectory struct {
 	ExecAllocs *float64 `json:"exec_allocs_per_op,omitempty"`
 	MaxAllocs  float64  `json:"max_allocs,omitempty"`
 
+	// ExecVsBase maps each fastpath ExecThroughput variant to its ns/op
+	// ratio against the -baseline trajectory (present only when the
+	// regression gate ran).
+	ExecVsBase map[string]float64 `json:"exec_vs_baseline,omitempty"`
+
 	Entries []benchparse.Entry `json:"entries"`
 }
 
+// loadBaseline reads a previous trajectory document.
+func loadBaseline(path string) (*trajectory, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t trajectory
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, err
+	}
+	if len(t.Entries) == 0 {
+		return nil, fmt.Errorf("no entries")
+	}
+	return &t, nil
+}
+
 // execFastpathVariants are the BenchmarkExecThroughput sub-benchmarks
-// the allocation gate covers (the baseline variants deliberately run the
-// seed's allocating paths).
+// the allocation and baseline-regression gates cover (the baseline
+// variants deliberately run the seed's allocating paths). The 2-vCPU
+// variants pin the SMP scheduler: steady state must stay
+// allocation-free and on the ns/op trajectory like the uniprocessor
+// fast path.
 var execFastpathVariants = []string{
 	"BenchmarkExecThroughput/none/fastpath",
 	"BenchmarkExecThroughput/full/fastpath",
+	"BenchmarkExecThroughput/none/fastpath-2cpu",
+	"BenchmarkExecThroughput/full/fastpath-2cpu",
 }
 
 func main() {
@@ -79,7 +116,31 @@ func main() {
 		"minimum host-pointer advantage on BenchmarkMemFastPath (0 disables)")
 	maxAllocs := flag.Float64("max-allocs", 0,
 		"allocs/op budget for the fastpath BenchmarkExecThroughput variants (negative disables)")
+	baselinePath := flag.String("baseline", "",
+		"previous trajectory document (the committed BENCH_results.json) to regression-check "+
+			"the fastpath BenchmarkExecThroughput variants against (empty disables)")
+	execRegress := flag.Float64("exec-regress", 0.05,
+		"max fractional ns/op regression vs -baseline for the fastpath BenchmarkExecThroughput "+
+			"variants (0 disables; only applied when the baseline's go/arch metadata matches this run, "+
+			"since cross-machine ns/op is noise, not signal)")
+	requireBaseline := flag.Bool("require-baseline", os.Getenv("CI") != "",
+		"fail hard — instead of warning and passing — when the -baseline document is missing or "+
+			"unparseable, or when a gate's benchmarks are absent from the input (the loud self-disable "+
+			"paths); defaults to on under a CI environment so a workflow regex typo cannot silently "+
+			"turn a gate off behind a green build")
 	flag.Parse()
+
+	failed := false
+	// disable reports a gate that cannot run for the given reason: a
+	// warning locally, a failure under -require-baseline.
+	disable := func(format string, args ...any) {
+		if *requireBaseline {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — "+format+" (required by -require-baseline)\n", args...)
+			failed = true
+			return
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: WARNING — "+format+"\n", args...)
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -121,8 +182,7 @@ func main() {
 		}
 		memRatio = bus / host
 	case *memfastFloor > 0:
-		fmt.Fprintln(os.Stderr,
-			"benchgate: WARNING — BenchmarkMemFastPath results missing; the host-pointer floor is NOT being gated")
+		disable("BenchmarkMemFastPath results missing; the host-pointer floor is NOT being gated")
 	}
 
 	// Allocation budget: gated when the fastpath throughput variants ran;
@@ -132,8 +192,7 @@ func main() {
 	if *maxAllocs >= 0 {
 		for _, name := range execFastpathVariants {
 			if _, ran := benchparse.MeanNsPerOp(entries, name); !ran {
-				fmt.Fprintf(os.Stderr,
-					"benchgate: WARNING — %s missing; the allocs/op budget is NOT being gated for it\n", name)
+				disable("%s missing; the allocs/op budget is NOT being gated for it", name)
 				continue
 			}
 			allocs, ok := benchparse.MeanMetric(entries, name, "allocs/op")
@@ -142,6 +201,54 @@ func main() {
 			}
 			if execAllocs == nil || allocs > *execAllocs {
 				execAllocs = &allocs
+			}
+		}
+	}
+
+	// Baseline regression gate: compare the fastpath ExecThroughput
+	// variants against the committed trajectory. A missing or
+	// unparseable baseline is a loud self-disable — fatal in CI.
+	execVsBase := map[string]float64{}
+	if *baselinePath != "" && *execRegress > 0 {
+		base, err := loadBaseline(*baselinePath)
+		switch {
+		case err != nil:
+			disable("baseline %s unusable (%v); the ExecThroughput regression gate is NOT running", *baselinePath, err)
+		case base.GOARCH != runtime.GOARCH || base.GOOS != runtime.GOOS:
+			// ns/op across OS/architectures is noise, not signal: compare
+			// only like with like, but say so. Toolchain *version* drift
+			// deliberately does NOT skip the gate — CI pins go-version
+			// "stable", so an exact-version key would silently disarm the
+			// gate on every Go release (the self-disable failure mode this
+			// flag set exists to kill); the 5% budget absorbs normal
+			// toolchain movement, and a release that genuinely shifts
+			// ns/op is exactly when the committed baseline should be
+			// re-measured.
+			fmt.Fprintf(os.Stderr,
+				"benchgate: note — baseline from %s/%s, this run is %s/%s; "+
+					"skipping the ns/op regression comparison (not comparable)\n",
+				base.GOOS, base.GOARCH, runtime.GOOS, runtime.GOARCH)
+		default:
+			if base.GoVersion != runtime.Version() {
+				fmt.Fprintf(os.Stderr,
+					"benchgate: note — baseline measured under %s, this run is %s; comparing anyway\n",
+					base.GoVersion, runtime.Version())
+			}
+			for _, name := range execFastpathVariants {
+				cur, okCur := benchparse.MeanNsPerOp(entries, name)
+				prev, okPrev := benchparse.MeanNsPerOp(base.Entries, name)
+				if !okCur || !okPrev || prev <= 0 {
+					disable("%s absent from run or baseline; its regression gate is NOT running", name)
+					continue
+				}
+				ratio := cur / prev
+				execVsBase[name] = ratio
+				fmt.Printf("benchgate: %s %.1f ns/op vs baseline %.1f (x%.3f, budget x%.3f)\n",
+					name, cur, prev, ratio, 1+*execRegress)
+				if ratio > 1+*execRegress {
+					fmt.Printf("benchgate: FAIL — %s regressed beyond the %.0f%% budget\n", name, *execRegress*100)
+					failed = true
+				}
 			}
 		}
 	}
@@ -158,6 +265,7 @@ func main() {
 		MemFastFloor:  *memfastFloor,
 		ExecAllocs:    execAllocs,
 		MaxAllocs:     *maxAllocs,
+		ExecVsBase:    execVsBase,
 		Entries:       entries,
 	}
 	if *jsonPath != "" {
@@ -171,7 +279,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: trajectory written to %s\n", *jsonPath)
 	}
 
-	failed := false
 	fmt.Printf("benchgate: fork-vs-boot advantage %.2fx (floor %.1fx)\n", ratio, *floor)
 	if ratio < *floor {
 		fmt.Printf("benchgate: FAIL — boot+run %.0f ns/op vs fork+run %.0f ns/op\n", boot, fork)

@@ -93,12 +93,20 @@ func main() {
 		if err := srv.Drain(ctx); err != nil {
 			log.Printf("camouflaged: drain incomplete: %v", err)
 		}
-		if err := hs.Shutdown(ctx); err != nil {
+		// The listener gets its own small budget: a drain that spent its
+		// whole allowance force-expiring wedged leases must not leave
+		// Shutdown with an already-expired context (the daemon would
+		// never close the listener and never exit — the shutdown leak
+		// this drain path is designed to prevent).
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if err := hs.Shutdown(sctx); err != nil {
 			log.Printf("camouflaged: shutdown: %v", err)
 		}
 		st := snapshot.Shared.Stats()
-		log.Printf("camouflaged: done (boots %d, forks %d, reuses %d, evicted %d)",
-			st.Boots, st.Forks, st.Reuses, st.Evicted)
+		ls := srv.LeaseStats()
+		log.Printf("camouflaged: done (boots %d, forks %d, reuses %d, evicted %d, leases released %d, force-expired %d)",
+			st.Boots, st.Forks, st.Reuses, st.Evicted, ls.Released, ls.ForceExpired)
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)

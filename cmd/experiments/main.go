@@ -72,6 +72,8 @@ func main() {
 		"run experiments concurrently (isolated Systems; identical output)")
 	jsonPath := flag.String("json", "BENCH_results.json",
 		"write a machine-readable bench log to this path (empty to disable)")
+	cpus := flag.Int("cpus", 1,
+		"vCPUs per booted machine (1 = pre-SMP-identical output; 2+ boots true SMP systems)")
 	remote := flag.String("remote", "",
 		"run on a camouflaged daemon at this base URL (e.g. http://127.0.0.1:8344) instead of in-process")
 	cpuprofile := flag.String("cpuprofile", "",
@@ -121,6 +123,7 @@ func main() {
 		resp, err := client.New(*remote).RunExperiments(context.Background(), client.ExperimentsRequest{
 			IDs:      flag.Args(),
 			Parallel: *parallel,
+			CPUs:     *cpus,
 		})
 		if err != nil {
 			fatal(err)
@@ -131,7 +134,9 @@ func main() {
 		stats, pool = resp.Experiments, resp.Pool
 	} else {
 		var err error
-		stats, err = camouflage.RunExperiments(os.Stdout, flag.Args(), *parallel)
+		stats, err = camouflage.RunExperimentsOpts(context.Background(), os.Stdout, camouflage.ExperimentOptions{
+			IDs: flag.Args(), Parallel: *parallel, CPUs: *cpus,
+		})
 		if err != nil {
 			fatal(err)
 		}

@@ -250,6 +250,93 @@ func FOpsReplay(cfg *codegen.Config, level string) (Report, error) {
 	return Report{Attack: "f_ops replay (reuse)", Level: level, Outcome: OutcomeInconclusive}, nil
 }
 
+// crossCoreVictimProgram is the second core's victim: open /dev/zero
+// (fd 0) and keep reading it — the dispatch the cross-core replay
+// silently redirects.
+func crossCoreVictimProgram() func(u *kernel.UserASM) {
+	return func(u *kernel.UserASM) {
+		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0) // fd 0
+		u.A.Label("spin")
+		u.Syscall(kernel.SysRead, 0, kernel.UserDataBase, 8)
+		u.A.B("spin")
+	}
+}
+
+// CrossCoreReplay is the SMP form of the §6.2.1 reuse attack, run on a
+// real 2-vCPU machine instead of the synthetic ReplayCensus counts: a
+// victim on core 0 holds a correctly signed f_ops pointer (signed under
+// that core's — i.e. the whole kernel's — DB key), and the attacker
+// transplants it into a file object a second victim, running
+// concurrently on core 1, dispatches through. Kernel PAuth keys are
+// per-boot, not per-core (every core installs the same XOM-hidden
+// keys), so nothing about crossing cores weakens the transplant — what
+// decides the outcome is the modifier: the §4.3 address-bound modifier
+// rejects it on core 1's very next read, while the zero-modifier
+// ablation authenticates it and the driver is silently swapped across
+// cores.
+func CrossCoreReplay(cfg *codegen.Config, level string) (Report, error) {
+	if cfg.CPUs() < 2 {
+		cfg.NumCPUs = 2
+	}
+	k, err := bootWith(cfg, 25)
+	if err != nil {
+		return Report{}, err
+	}
+	donorProg, err := kernel.BuildProgram("replayvictim", replayVictimProgram())
+	if err != nil {
+		return Report{}, err
+	}
+	sinkProg, err := kernel.BuildProgram("ccvictim", crossCoreVictimProgram())
+	if err != nil {
+		return Report{}, err
+	}
+	k.RegisterProgram(1, donorProg)
+	k.RegisterProgram(2, sinkProg)
+	if _, err := k.Spawn(1); err != nil {
+		return Report{}, err
+	}
+	sink, err := k.SpawnOn(1, 2)
+	if err != nil {
+		return Report{}, err
+	}
+	k.Run(1_000_000) // both victims open their files and settle into reads
+
+	nullFile := k.FileAddrByFD(0)      // core 0 victim's /dev/null
+	zeroFile := k.FileAddrByFDOn(1, 0) // core 1 victim's /dev/zero
+	if nullFile == 0 || zeroFile == 0 {
+		return Report{}, fmt.Errorf("crosscore replay: fds not open")
+	}
+
+	// Transplant the signed f_ops across cores.
+	ram := k.CPU.Bus.RAM
+	signedNullOps := ram.Read64(kernel.KVAToPA(nullFile) + kernel.FileOps)
+	ram.Write64(kernel.KVAToPA(zeroFile)+kernel.FileOps, signedNullOps)
+	k.CPU.InvalidateDecode()
+
+	// Drain: core 1 may be suspended mid-vfs_read with the *old* f_ops
+	// already loaded into a register (the transplant raced a dispatch in
+	// flight — real SMP semantics). A short slice lets that read retire
+	// before the sentinel goes in, so the sentinel then witnesses only
+	// post-transplant dispatches.
+	k.Run(200_000)
+
+	// Sentinel in the core-1 victim's buffer: a genuine /dev/zero read
+	// zeroes it; a replayed null_ops read (EOF) leaves it untouched.
+	sentPA := kernel.UVAToPA(sink.PID, kernel.UserDataBase)
+	ram.Write64(sentPA, 0x5E5E5E5E5E5E5E5E)
+	k.Run(4_000_000)
+
+	if k.PACFailures > 0 {
+		return Report{Attack: "cross-core f_ops replay", Level: level, Outcome: OutcomeDetected,
+			PACFailures: k.PACFailures, Detail: "cross-core transplant rejected on sibling core"}, nil
+	}
+	if ram.Read64(sentPA) == 0x5E5E5E5E5E5E5E5E && k.Task(sink.PID) != nil {
+		return Report{Attack: "cross-core f_ops replay", Level: level, Outcome: OutcomeHijacked,
+			Detail: "driver silently swapped across cores: core-1 reads dispatch to null_ops"}, nil
+	}
+	return Report{Attack: "cross-core f_ops replay", Level: level, Outcome: OutcomeInconclusive}, nil
+}
+
 // ROPFrameRecord is the backward-edge attack of §2.1: overwrite saved
 // return addresses in the frame records of a task blocked inside the
 // kernel, then let it resume.
@@ -397,13 +484,20 @@ func Levels() []struct {
 
 // Matrix runs every attack against every configuration: the §6.2
 // security-evaluation table.
-func Matrix() ([]Report, error) {
+func Matrix() ([]Report, error) { return MatrixCPUs(1) }
+
+// MatrixCPUs is Matrix on machines with the given vCPU count (the
+// victims stay pinned to the boot core; the cross-core scenario lives
+// in CrossCoreReplay and the campaign driver).
+func MatrixCPUs(cpus int) ([]Report, error) {
 	var out []Report
 	for _, lv := range Levels() {
 		for _, run := range []func(*codegen.Config, string) (Report, error){
 			ROPFrameRecord, FOpsSwap, FOpsReplay, CredSwap,
 		} {
-			r, err := run(lv.Cfg(), lv.Name)
+			cfg := lv.Cfg()
+			cfg.NumCPUs = cpus
+			r, err := run(cfg, lv.Name)
 			if err != nil {
 				return nil, err
 			}

@@ -32,6 +32,12 @@ type CampaignOptions struct {
 	Parallel bool
 	// Levels filters the §6.2 configurations by name (nil = all).
 	Levels []string
+	// CPUs is the vCPU count of every cell machine (0/1: uniprocessor,
+	// byte-identical to pre-SMP campaigns). At 2 or more, the cell list
+	// additionally includes the cross-core f_ops replay scenario: a
+	// donor victim on core 0, a recipient victim on core 1, and a
+	// mutated signed-pointer transplant between them.
+	CPUs int
 }
 
 // CampaignCell aggregates one (attack, level) cell of the matrix.
@@ -130,8 +136,84 @@ func judgeByVictimAlive(k *kernel.Kernel, _ campaignWindow, _ uint64) Outcome {
 }
 
 // campaignScenarios returns the §6.2 attacks in their mutated campaign
-// form.
-func campaignScenarios() []scenario {
+// form; at 2+ vCPUs the cross-core replay scenario joins the list.
+func campaignScenarios(cpus int) []scenario {
+	scs := baseScenarios()
+	if cpus >= 2 {
+		scs = append(scs, crossCoreScenario())
+	}
+	return scs
+}
+
+// crossCoreScenario is the SMP campaign cell: arm two victims on two
+// cores (donor holds a correctly signed f_ops, recipient dispatches
+// through the slot the strike corrupts), then transplant mutated forms
+// of the donor's signed pointer across cores.
+func crossCoreScenario() scenario {
+	return scenario{
+		name: "cross-core f_ops replay", seed: 29, budget: 6_000_000,
+		arm: func(k *kernel.Kernel) (campaignWindow, error) {
+			w := newWindow(k)
+			donor, err := kernel.BuildProgram("replayvictim", replayVictimProgram())
+			if err != nil {
+				return w, err
+			}
+			sink, err := kernel.BuildProgram("ccvictim", crossCoreVictimProgram())
+			if err != nil {
+				return w, err
+			}
+			k.RegisterProgram(1, donor)
+			k.RegisterProgram(2, sink)
+			if _, err := k.Spawn(1); err != nil {
+				return w, err
+			}
+			if _, err := k.SpawnOn(1, 2); err != nil {
+				return w, err
+			}
+			k.Run(1_000_000)
+			w.fileVA = k.FileAddrByFD(0)       // donor: signed null_ops holder (core 0)
+			w.fileVA2 = k.FileAddrByFDOn(1, 0) // recipient (core 1)
+			if w.fileVA == 0 || w.fileVA2 == 0 {
+				return w, fmt.Errorf("campaign crosscore: fds not open")
+			}
+			return w, nil
+		},
+		strike: func(k *kernel.Kernel, w campaignWindow, rng *boot.PRNG) error {
+			ram := k.CPU.Bus.RAM
+			signed := ram.Read64(kernel.KVAToPA(w.fileVA) + kernel.FileOps)
+			switch rng.Uint64() % 3 {
+			case 1:
+				signed ^= 1 << 50 // also break the MAC itself
+			case 2:
+				own := ram.Read64(kernel.KVAToPA(w.fileVA2) + kernel.FileOps)
+				signed = (own &^ w.pacMask) | (signed & w.pacMask)
+			}
+			ram.Write64(kernel.KVAToPA(w.fileVA2)+kernel.FileOps, signed)
+			ram.Write64(kernel.UVAToPA(2, kernel.UserDataBase), 0x5E5E5E5E5E5E5E5E)
+			return nil
+		},
+		judge: func(k *kernel.Kernel, w campaignWindow, _ uint64) Outcome {
+			if k.PACFailures > 0 {
+				return OutcomeDetected
+			}
+			ram := k.CPU.Bus.RAM
+			sent := ram.Read64(kernel.UVAToPA(2, kernel.UserDataBase))
+			// A dispatch in flight on core 1 when the strike landed may
+			// consume the sentinel with the old ops (real SMP timing), so
+			// "transplanted pointer still installed under a live victim"
+			// counts as the silent swap too.
+			planted := ram.Read64(kernel.KVAToPA(w.fileVA2)+kernel.FileOps) ==
+				ram.Read64(kernel.KVAToPA(w.fileVA)+kernel.FileOps)
+			if (sent == 0x5E5E5E5E5E5E5E5E || planted) && k.Task(2) != nil {
+				return OutcomeHijacked // driver silently swapped across cores
+			}
+			return OutcomeInconclusive
+		},
+	}
+}
+
+// baseScenarios returns the uniprocessor campaign cells.
+func baseScenarios() []scenario {
 	return []scenario{
 		{
 			name: "ROP (frame-record smash)", seed: 23, budget: 5_000_000,
@@ -344,7 +426,7 @@ func RunCampaignContext(ctx context.Context, o CampaignOptions) (*CampaignReport
 		}
 		levels = kept
 	}
-	scenarios := campaignScenarios()
+	scenarios := campaignScenarios(o.CPUs)
 
 	rep := &CampaignReport{Mutations: o.Mutations}
 	for _, lv := range levels {
@@ -352,7 +434,9 @@ func RunCampaignContext(ctx context.Context, o CampaignOptions) (*CampaignReport
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			k, err := bootWith(lv.Cfg(), sc.seed)
+			cfg := lv.Cfg()
+			cfg.NumCPUs = o.CPUs
+			k, err := bootWith(cfg, sc.seed)
 			if err != nil {
 				return nil, err
 			}

@@ -71,6 +71,12 @@ type Config struct {
 	// object-address modifier. It preserves memcpy but is susceptible to
 	// reuse attacks, which the attack harness demonstrates.
 	ZeroModifier bool
+	// NumCPUs is the number of simulated cores the build targets (0 and
+	// 1 both mean uniprocessor). SMP builds (>1) address the per-CPU
+	// block through TPIDR_EL0 instead of an absolute constant and lay
+	// out one per-CPU frame per core; uniprocessor builds are
+	// bit-identical to pre-SMP images.
+	NumCPUs int
 	// partsNextID assigns PARTS LTO function ids; it lives in the config
 	// because PARTS requires whole-build LTO (§7) — one counter per link.
 	partsNextID uint64
@@ -98,6 +104,28 @@ func ConfigBackward() *Config { return &Config{Scheme: SchemeCamouflage} }
 // ConfigFull returns the full-protection build (backward + forward + DFI).
 func ConfigFull() *Config {
 	return &Config{Scheme: SchemeCamouflage, ForwardCFI: true, DFI: true}
+}
+
+// CPUs returns the normalized core count (NumCPUs with 0 meaning 1).
+func (c *Config) CPUs() int {
+	if c.NumCPUs <= 1 {
+		return 1
+	}
+	return c.NumCPUs
+}
+
+// WithCPUs wraps a config constructor so every Config it builds targets
+// n vCPUs (n <= 1 returns the constructor unchanged) — the shared shim
+// the suite runners use to retarget their per-level constructors.
+func WithCPUs(cfg func() *Config, n int) func() *Config {
+	if n <= 1 {
+		return cfg
+	}
+	return func() *Config {
+		c := cfg()
+		c.NumCPUs = n
+		return c
+	}
 }
 
 // partsID returns the next LTO function id.

@@ -85,6 +85,9 @@ type Options struct {
 	// Scheme overrides the backward-edge scheme (for Figure 2 studies);
 	// zero value keeps the level's default.
 	Scheme codegen.Scheme
+	// CPUs is the vCPU count of the machine (0/1: uniprocessor,
+	// bit-identical to pre-SMP builds; up to kernel.MaxCPUs).
+	CPUs int
 }
 
 // System is a booted Camouflage machine.
@@ -110,6 +113,7 @@ func kernelOptions(level ProtectionLevel, opts Options) kernel.Options {
 	if opts.Scheme != codegen.SchemeNone {
 		cfg.Scheme = opts.Scheme
 	}
+	cfg.NumCPUs = opts.CPUs
 	kopts := kernel.Options{
 		Config:           cfg,
 		Seed:             opts.Seed,

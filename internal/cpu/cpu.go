@@ -107,6 +107,12 @@ type CPU struct {
 	TTBR1      uint64
 	CONTEXTIDR uint64
 	TPIDR      uint64
+	// TPIDR0 models TPIDR_EL0. SMP kernel builds repurpose it as the
+	// per-CPU data base (the role TPIDR_EL1 plays on arm64 Linux, which
+	// this model already spends on `current`): the host loads it with
+	// the CPU's per-CPU frame VA at construction, and the kernel's
+	// emitPerCPUAddr reads it with a single MRS.
+	TPIDR0 uint64
 
 	// Bus is the physical memory system.
 	Bus *mem.Bus
@@ -138,34 +144,37 @@ type CPU struct {
 	// (benchmarking baseline; set before running, not mid-flight).
 	NoBlockCache bool
 
-	// blocks caches decoded straight-line runs keyed by entry PA. A block
-	// never crosses a page boundary, so one (page, generation) pair per
-	// block suffices for precise invalidation.
+	// ID is the CPU's index within its machine (0 for the boot CPU).
+	// Guest code reads it through MPIDR_EL1.
+	ID int
+
+	// cluster is the shared invalidation domain: code-page generation
+	// cells, the execution generation and the memo epoch, published
+	// atomically so stores on one CPU invalidate cached blocks, chain
+	// edges and memo verdicts on its peers (DESIGN.md §9).
+	cluster *Cluster
+
+	// blocks caches decoded straight-line runs keyed by entry PA — a
+	// strictly per-CPU structure (like a hardware I-cache). A block never
+	// crosses a page boundary, so one (page, generation-cell) pair per
+	// block suffices for precise invalidation: the cells live in the
+	// shared cluster, so peer stores invalidate this CPU's blocks too.
 	blocks map[uint64]*codeBlock
-	// pageGen maps a physical page number to its code-generation cell.
-	// Only pages that ever held a cached block appear here; a guest store
-	// to such a page bumps the cell, killing every block on the page.
-	// Blocks hold the cell pointer (codeBlock.genp), so validating a
-	// block — on a cache hit or before following a chain edge — is a
-	// single pointer dereference, not a map lookup.
-	pageGen map[uint64]*uint64
-	// execGen increments whenever any code page is invalidated. The block
-	// execution loop snapshots it so a store into the *currently running*
-	// block (same-block self-modification) forces an immediate refetch.
-	execGen uint64
 	// ChainFollows counts block transitions served by a direct chain edge
 	// instead of a full fetchBlock (diagnostics).
 	ChainFollows uint64
 
-	// sgenPN/sgenCell are a tiny direct-mapped memo of pageGen lookups
-	// for the store fast path: stores cluster on a handful of pages
-	// (stack, per-CPU block, the workload's data), so most stores resolve
-	// their code-invalidation check against this array instead of the
-	// map. A nil cell is a valid memo ("page never held code"). The memo
-	// is cleared whenever page→cell presence can change: decodeBlock
-	// creating a cell, and InvalidateDecode replacing the map.
-	sgenPN   [8]uint64
-	sgenCell [8]*uint64
+	// sgenPN/sgenCell are a tiny direct-mapped memo of cluster cell
+	// lookups for the store fast path: stores cluster on a handful of
+	// pages (stack, per-CPU block, the workload's data), so most stores
+	// resolve their code-invalidation check against this array instead
+	// of the shared map. A nil cell is a valid memo ("page never held
+	// code") only within one cellEpoch: any CPU decoding from a fresh
+	// page moves the epoch, and noteGuestStore clears the memo before
+	// trusting it.
+	sgenPN    [8]uint64
+	sgenCell  [8]*atomic.Uint64
+	memoEpoch uint64
 
 	// legacyDecode is the seed's per-word decode cache, active only under
 	// NoBlockCache.
@@ -181,10 +190,11 @@ type codeBlock struct {
 	instrs []insn.Instr
 	page   uint64
 	gen    uint64
-	// genp points at the page's generation cell; *genp == gen while the
-	// block is valid (the same condition fetchBlock checks via the map,
-	// without the map).
-	genp *uint64
+	// genp points at the page's shared generation cell; genp.Load() ==
+	// gen while the block is valid (the same condition fetchBlock checks
+	// via the cluster map, without the map). The cell is shared across
+	// the machine's CPUs, so a peer's store invalidates this block too.
+	genp *atomic.Uint64
 	// fall and taken are the lazily resolved direct successor links: fall
 	// covers the sequential exit (a conditional not taken, or a
 	// straight-line run spilling past the page boundary / size cap),
@@ -218,7 +228,8 @@ type chainEdge struct {
 const maxBlockInstrs = 256
 
 // New returns a CPU wired to a fresh bus and MMU using the default VMSAv8
-// layout, starting at EL1 with PAuth available.
+// layout, starting at EL1 with PAuth available. The CPU forms its own
+// single-member cluster; NewPeer grows the machine.
 func New(feat Features) *CPU {
 	cfg := pac.DefaultConfig
 	c := &CPU{
@@ -228,8 +239,8 @@ func New(feat Features) *CPU {
 		Feat:      feat,
 		EL:        1,
 		IRQMasked: true,
+		cluster:   newCluster(),
 		blocks:    make(map[uint64]*codeBlock),
-		pageGen:   make(map[uint64]*uint64),
 	}
 	// Wire the MMU's host-pointer fast path to this CPU's bus: data-side
 	// TLB fills cache the backing RAM page so repeat loads/stores skip
@@ -239,13 +250,49 @@ func New(feat Features) *CPU {
 	return c
 }
 
-// clearStoreGenMemo empties the pageGen lookup memo (no physical page
-// number is all-ones, so ^0 marks a slot empty).
+// NewPeer returns a sibling core of the same simulated machine: it
+// shares c's physical bus (RAM and device windows), stage-1 kernel
+// table, stage-2 overlay, MMU-enable state and invalidation cluster, but
+// owns its own architectural state, TLB, decoded-block cache and chain
+// edges — exactly the per-core/shared split of real SMP hardware. The
+// peer starts with its own empty user table (TT0 is swapped per-CPU on
+// context switch) and its own PAuth key bank (keys are installed per
+// core by the secondary boot path, as on hardware).
+func (c *CPU) NewPeer(id int) *CPU {
+	p := &CPU{
+		Bus:       c.Bus,
+		MMU:       mmu.New(c.MMU.Cfg),
+		Signer:    pac.NewSigner(c.MMU.Cfg),
+		Feat:      c.Feat,
+		EL:        1,
+		IRQMasked: true,
+		ID:        id,
+		cluster:   c.cluster,
+		blocks:    make(map[uint64]*codeBlock),
+	}
+	p.MMU.TT1 = c.MMU.TT1
+	p.MMU.S2 = c.MMU.S2
+	p.MMU.Enabled = c.MMU.Enabled
+	p.MMU.NoTLB = c.MMU.NoTLB
+	p.MMU.NoHostPtr = c.MMU.NoHostPtr
+	p.MMU.Mem = c.Bus
+	p.clearStoreGenMemo()
+	return p
+}
+
+// Cluster returns the CPU's shared invalidation domain (tests and
+// diagnostics).
+func (c *CPU) Cluster() *Cluster { return c.cluster }
+
+// clearStoreGenMemo empties the cell lookup memo (no physical page
+// number is all-ones, so ^0 marks a slot empty) and re-synchronises it
+// with the cluster's cell epoch.
 func (c *CPU) clearStoreGenMemo() {
 	for i := range c.sgenPN {
 		c.sgenPN[i] = ^uint64(0)
 		c.sgenCell[i] = nil
 	}
+	c.memoEpoch = c.cluster.cellEpoch.Load()
 }
 
 // Reg reads Xn (register 31 reads as zero).
@@ -356,6 +403,8 @@ func (c *CPU) WriteSys(r insn.SysReg, v uint64) error {
 		c.CONTEXTIDR = v
 	case insn.TPIDR_EL1:
 		c.TPIDR = v
+	case insn.TPIDR_EL0:
+		c.TPIDR0 = v
 	case insn.SP_EL0:
 		c.sp[0] = v
 	default:
@@ -397,6 +446,11 @@ func (c *CPU) ReadSys(r insn.SysReg) (uint64, error) {
 		return c.CONTEXTIDR, nil
 	case insn.TPIDR_EL1:
 		return c.TPIDR, nil
+	case insn.TPIDR_EL0:
+		return c.TPIDR0, nil
+	case insn.MPIDR_EL1:
+		// Aff0 carries the core number (read-only, as in hardware).
+		return uint64(c.ID), nil
 	case insn.SP_EL0:
 		return c.sp[0], nil
 	case insn.PMCCNTR_EL0:
@@ -469,15 +523,8 @@ func (c *CPU) storeMem(va uint64, size int, v uint64) (*mmu.Fault, error) {
 		return f, nil
 	}
 	last := (pa + uint64(size) - 1) >> mmu.PageShift
-	bumped := false
 	for p := pa >> mmu.PageShift; p <= last; p++ {
-		if g := c.pageGen[p]; g != nil {
-			*g++
-			bumped = true
-		}
-	}
-	if bumped {
-		c.execGen++
+		c.cluster.noteStore(p)
 	}
 	if c.NoBlockCache && c.legacyDecode != nil {
 		for a := pa &^ 3; a < pa+uint64(size); a += 4 {
@@ -498,21 +545,27 @@ func (c *CPU) hostStorePair(addr uint64) (*[mem.PageSize]byte, uint64, uint64, b
 }
 
 // noteGuestStore runs the block-cache invalidation contract for a
-// fast-path store to physical page pn: if the page ever held code, bump
-// its generation cell and execGen. The direct-mapped memo keeps the
-// common no-code case to an array probe.
+// fast-path store to physical page pn: if the page ever held code — on
+// any CPU of the cluster — bump its generation cell and the shared
+// execGen. The direct-mapped memo keeps the common no-code case to an
+// array probe; it is trusted only while the cluster's cell epoch is
+// unchanged, because a peer decoding from a fresh page turns a memoized
+// nil verdict stale.
 func (c *CPU) noteGuestStore(pn uint64) {
+	if e := c.cluster.cellEpoch.Load(); e != c.memoEpoch {
+		c.clearStoreGenMemo()
+	}
 	i := pn & 7
-	var g *uint64
+	var g *atomic.Uint64
 	if c.sgenPN[i] == pn {
 		g = c.sgenCell[i]
 	} else {
-		g = c.pageGen[pn]
+		g = c.cluster.lookup(pn)
 		c.sgenPN[i], c.sgenCell[i] = pn, g
 	}
 	if g != nil {
-		*g++
-		c.execGen++
+		g.Add(1)
+		c.cluster.execGen.Add(1)
 	}
 }
 
@@ -523,7 +576,7 @@ func (c *CPU) fetchBlock() (*codeBlock, *mmu.Fault, error) {
 	if f != nil {
 		return nil, f, nil
 	}
-	if b, ok := c.blocks[pa]; ok && b.gen == *b.genp {
+	if b, ok := c.blocks[pa]; ok && b.gen == b.genp.Load() {
 		return b, nil, nil
 	}
 	return c.decodeBlock(pa)
@@ -535,16 +588,11 @@ func (c *CPU) fetchBlock() (*codeBlock, *mmu.Fault, error) {
 // generation so stores can invalidate it precisely.
 func (c *CPU) decodeBlock(pa uint64) (*codeBlock, *mmu.Fault, error) {
 	page := pa >> mmu.PageShift
-	genp := c.pageGen[page]
-	if genp == nil {
-		genp = new(uint64)
-		*genp = 1
-		c.pageGen[page] = genp
-		// A page just became code: any memoized "no cell" verdict for it
-		// is now stale.
-		c.clearStoreGenMemo()
-	}
-	b := &codeBlock{page: page, gen: *genp, genp: genp}
+	// The shared cell is created on first decode; cluster.cell bumps the
+	// cell epoch then, which invalidates every CPU's memoized "no cell"
+	// verdict for this page.
+	genp := c.cluster.cell(page)
+	b := &codeBlock{page: page, gen: genp.Load(), genp: genp}
 	end := (page + 1) << mmu.PageShift
 	for a := pa; a < end && len(b.instrs) < maxBlockInstrs; a += insn.Size {
 		w, err := c.Bus.Load(a, 4)
@@ -602,16 +650,16 @@ func (c *CPU) fetchLegacy() (insn.Instr, *mmu.Fault, error) {
 
 // InvalidateDecode drops every decoded instruction (used after host-side
 // writes to guest code, e.g. module loading or bootloader key-hiding,
-// which bypass storeMem's tracking). Replacing both maps orphans the
-// whole block graph at once — including every resolved chain edge, which
-// can only reference blocks of the same map epoch — so nothing stale
-// stays reachable.
+// which bypass storeMem's tracking). This CPU's block map is replaced;
+// every *other* CPU's blocks and chain edges die through the shared
+// cluster: invalidateAll bumps every generation cell, and a block (or
+// the target of a chain edge) validates only while its cell is
+// unchanged — so nothing stale stays reachable anywhere in the machine.
 func (c *CPU) InvalidateDecode() {
 	c.blocks = make(map[uint64]*codeBlock)
-	c.pageGen = make(map[uint64]*uint64)
+	c.cluster.invalidateAll()
 	c.legacyDecode = nil
 	c.clearStoreGenMemo()
-	c.execGen++
 }
 
 // TakeException vectors to EL1. kind is a Vec* offset, ec the exception

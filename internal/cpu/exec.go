@@ -44,7 +44,7 @@ func directBranch(op insn.Op) bool {
 // match (§3 contract — see chainEdge).
 func (c *CPU) chainValid(e *chainEdge) bool {
 	b := e.to
-	if b == nil || c.PC != e.pc || b.gen != *b.genp {
+	if b == nil || c.PC != e.pc || b.gen != b.genp.Load() {
 		return false
 	}
 	m := c.MMU
@@ -145,7 +145,7 @@ func (c *CPU) Run(maxInstrs uint64) Stop {
 				pending = nil
 			}
 		}
-		startGen := c.execGen
+		startGen := c.cluster.execGen.Load()
 		last := len(b.instrs) - 1
 		completed := false
 		idx := 0
@@ -175,7 +175,7 @@ func (c *CPU) Run(maxInstrs uint64) Stop {
 			// the PC check above; MSR ends every block). The seed paid
 			// both re-checks on every instruction.
 			if storeClass[ins.Op] {
-				if c.execGen != startGen {
+				if c.cluster.execGen.Load() != startGen {
 					break // the block's own code may have been patched
 				}
 				if c.IRQPending && !c.IRQMasked && c.EL == 0 {

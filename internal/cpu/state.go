@@ -29,6 +29,7 @@ type State struct {
 	TTBR1      uint64
 	CONTEXTIDR uint64
 	TPIDR      uint64
+	TPIDR0     uint64
 
 	Keys pac.KeySet
 
@@ -46,7 +47,7 @@ func (c *CPU) CaptureState() State {
 		IRQMasked: c.IRQMasked, SP: c.sp,
 		SCTLR: c.SCTLR, VBAR: c.VBAR, ELR: c.ELR, SPSR: c.SPSR,
 		ESR: c.ESR, FAR: c.FAR, TTBR0: c.TTBR0, TTBR1: c.TTBR1,
-		CONTEXTIDR: c.CONTEXTIDR, TPIDR: c.TPIDR,
+		CONTEXTIDR: c.CONTEXTIDR, TPIDR: c.TPIDR, TPIDR0: c.TPIDR0,
 		Keys:   c.Signer.Keys(),
 		Cycles: c.Cycles, Retired: c.Retired,
 		PACFailures: c.PACFailures, IRQPending: c.IRQPending,
@@ -74,6 +75,7 @@ func (c *CPU) RestoreState(st State) {
 	c.TTBR1 = st.TTBR1
 	c.CONTEXTIDR = st.CONTEXTIDR
 	c.TPIDR = st.TPIDR
+	c.TPIDR0 = st.TPIDR0
 	if c.Feat.PAuth {
 		c.Signer.SetKeys(st.Keys)
 	}

@@ -61,6 +61,8 @@ func All() []Experiment {
 		{"ablation-keys", "Key management: XOM vs EL2 traps", "§4.1 vs §7 (Ferri)",
 			[]string{"full"}, RenderKeyAblation},
 		{"ablation-replay", "Replay surface census by modifier scheme", "§4.2, §7", nil, RenderReplayCensus},
+		{"smp-replay", "Cross-core f_ops replay on a 2-vCPU machine", "§4.2, §6.2.1",
+			[]string{"none", "backward-edge", "full", "full/zero-mod"}, RenderSMPReplay},
 	}
 }
 
@@ -91,6 +93,46 @@ func SetParallel(p bool) { parallelMode.Store(p) }
 
 // IsParallel reports the current execution strategy.
 func IsParallel() bool { return parallelMode.Load() }
+
+// cpuMode is the vCPU count the machine-booting experiments target.
+// Unlike parallelMode it *changes the rendered bytes* (SMP kernels have
+// different cycle counts), so overlapping RunAllWith calls with
+// different counts must not interleave: default-count runs share
+// cpuMu's read side (cpuMode stays 1 while any of them is active),
+// non-default runs hold it exclusively for their whole duration. This
+// is what lets the service daemon serve concurrent default requests at
+// full concurrency while a cpus=2 request runs alone.
+var (
+	cpuMu   sync.RWMutex
+	cpuMode atomic.Int64
+)
+
+// CPUCount returns the vCPU count the current experiment run targets.
+func CPUCount() int {
+	if n := int(cpuMode.Load()); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// RunWithCPUs runs f — typically direct Experiment.Run calls — under
+// the experiment-wide CPU-count regime (the exported form of the
+// regime RunAllWith applies itself).
+func RunWithCPUs(n int, f func() error) error { return withCPUMode(n, f) }
+
+// withCPUMode runs f under the experiment-wide CPU-count regime.
+func withCPUMode(n int, f func() error) error {
+	if n <= 1 {
+		cpuMu.RLock()
+		defer cpuMu.RUnlock()
+		return f()
+	}
+	cpuMu.Lock()
+	defer cpuMu.Unlock()
+	cpuMode.Store(int64(n))
+	defer cpuMode.Store(1)
+	return f()
+}
 
 // RunStats records one experiment execution for the machine-readable
 // bench log (BENCH_results.json).
@@ -123,11 +165,38 @@ func RunAll(w io.Writer, ids []string, parallel bool) ([]RunStats, error) {
 	return RunAllContext(context.Background(), w, ids, parallel)
 }
 
+// RunOptions parameterizes an experiment run beyond the id selection.
+type RunOptions struct {
+	// IDs selects experiments (nil: all).
+	IDs []string
+	// Parallel runs experiments (and suite cells) concurrently.
+	Parallel bool
+	// CPUs is the vCPU count of every machine the experiments boot
+	// (0/1: uniprocessor, byte-identical to pre-SMP renderings).
+	CPUs int
+}
+
+// RunAllWith is RunAllContext with full options — the entry point the
+// service daemon's `cpus` request field flows through.
+func RunAllWith(ctx context.Context, w io.Writer, opts RunOptions) ([]RunStats, error) {
+	var stats []RunStats
+	err := withCPUMode(opts.CPUs, func() error {
+		var err error
+		stats, err = runAll(ctx, w, opts.IDs, opts.Parallel)
+		return err
+	})
+	return stats, err
+}
+
 // RunAllContext is RunAll with cancellation: the run stops between
 // experiments once ctx is done (sequential mode) or skips experiments
 // not yet started (parallel mode) and returns ctx.Err(). A cancelled
 // run never emits a partial experiment rendering.
 func RunAllContext(ctx context.Context, w io.Writer, ids []string, parallel bool) ([]RunStats, error) {
+	return RunAllWith(ctx, w, RunOptions{IDs: ids, Parallel: parallel})
+}
+
+func runAll(ctx context.Context, w io.Writer, ids []string, parallel bool) ([]RunStats, error) {
 	SetParallel(parallel)
 	var exps []Experiment
 	if len(ids) == 0 {
@@ -451,11 +520,7 @@ func RenderFigure2(w io.Writer) error {
 
 // RenderFigure3 reproduces Figure 3 (lmbench relative latencies).
 func RenderFigure3(w io.Writer) error {
-	suite := lmbench.RunSuite
-	if IsParallel() {
-		suite = lmbench.RunSuiteParallel
-	}
-	results, err := suite()
+	results, err := lmbench.RunSuiteCPUs(IsParallel(), CPUCount())
 	if err != nil {
 		return err
 	}
@@ -479,11 +544,7 @@ func RenderFigure3(w io.Writer) error {
 
 // RenderFigure4 reproduces Figure 4 (user-space workloads).
 func RenderFigure4(w io.Writer) error {
-	suite := workload.RunSuite
-	if IsParallel() {
-		suite = workload.RunSuiteParallel
-	}
-	results, err := suite()
+	results, err := workload.RunSuiteCPUs(IsParallel(), CPUCount())
 	if err != nil {
 		return err
 	}
@@ -524,7 +585,7 @@ func RenderCoccinelle(w io.Writer) error {
 
 // RenderAttacks reproduces the §6.2 security matrix.
 func RenderAttacks(w io.Writer) error {
-	reports, err := attack.Matrix()
+	reports, err := attack.MatrixCPUs(CPUCount())
 	if err != nil {
 		return err
 	}
@@ -534,7 +595,9 @@ func RenderAttacks(w io.Writer) error {
 	for _, r := range reports {
 		fmt.Fprintf(w, "  %-26s %-15s %-13s %s\n", r.Attack, r.Level, r.Outcome, r.Detail)
 	}
-	rep, err := attack.BruteForcePAC(codegen.ConfigFull(), "full", 8)
+	bcfg := codegen.ConfigFull()
+	bcfg.NumCPUs = CPUCount()
+	rep, err := attack.BruteForcePAC(bcfg, "full", 8)
 	if err != nil {
 		return err
 	}
@@ -547,7 +610,9 @@ func RenderAttacks(w io.Writer) error {
 // EL2-trap alternative (§7).
 func RenderKeyAblation(w io.Writer) error {
 	// XOM path: measured on a real booted kernel (warm-pooled).
-	opts := kernel.Options{Config: codegen.ConfigFull(), Seed: 5}
+	kcfg := codegen.ConfigFull()
+	kcfg.NumCPUs = CPUCount()
+	opts := kernel.Options{Config: kcfg, Seed: 5}
 	m, err := snapshot.Shared.Acquire(snapshot.KeyForOptions(opts), snapshot.BootOptions(opts))
 	if err != nil {
 		return err
@@ -588,6 +653,38 @@ func RenderReplayCensus(w io.Writer) error {
 		r := attack.ReplayCensus(s, threads, depths, funcs)
 		fmt.Fprintf(w, "  %-34s %8d colliding pairs\n", s, r.CollidingPairs)
 	}
+	return nil
+}
+
+// RenderSMPReplay runs the cross-core f_ops replay on real 2-vCPU
+// machines (or the run's configured count when higher): the SMP
+// counterpart of the synthetic ReplayCensus — instead of counting
+// modifier collisions, it stages the reuse attack across concurrently
+// running cores and reports which builds stop it.
+func RenderSMPReplay(w io.Writer) error {
+	cpus := CPUCount()
+	if cpus < 2 {
+		cpus = 2
+	}
+	levels := attack.Levels()
+	reports := make([]attack.Report, len(levels))
+	err := forEach(len(levels), func(i int) error {
+		cfg := levels[i].Cfg()
+		cfg.NumCPUs = cpus
+		var err error
+		reports[i], err = attack.CrossCoreReplay(cfg, levels[i].Name)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "CROSS-CORE REPLAY (§6.2.1 on a %d-vCPU machine): donor on core 0, recipient on core 1\n", cpus)
+	fmt.Fprintf(w, "  %-26s %-15s %-13s %s\n", "attack", "build", "outcome", "detail")
+	for _, r := range reports {
+		fmt.Fprintf(w, "  %-26s %-15s %-13s %s\n", r.Attack, r.Level, r.Outcome, r.Detail)
+	}
+	fmt.Fprintln(w, "  (kernel PAuth keys are per-boot, not per-core: only the §4.3 address-bound")
+	fmt.Fprintln(w, "   modifier — not core isolation — decides whether the transplant authenticates)")
 	return nil
 }
 

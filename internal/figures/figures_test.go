@@ -2,6 +2,7 @@ package figures
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -141,5 +142,30 @@ func TestRunAllUnknownID(t *testing.T) {
 	var buf bytes.Buffer
 	if _, err := RunAll(&buf, []string{"nope"}, false); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestSMPFigureDeterminism pins the acceptance criterion that a 2-vCPU
+// System runs the figures suite with byte-identical output across
+// repeated runs: fig4 (the workload suite — every cell boots and runs a
+// real 2-core machine) is rendered twice at CPUs: 2 and compared
+// byte-for-byte.
+func TestSMPFigureDeterminism(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		_, err := RunAllWith(context.Background(), &buf, RunOptions{
+			IDs: []string{"fig4"}, CPUs: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render()
+	if second := render(); second != first {
+		t.Fatalf("2-vCPU fig4 rendering not byte-identical across runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if first == "" {
+		t.Fatal("empty rendering")
 	}
 }

@@ -32,9 +32,14 @@ import (
 // Cortex-A53-class hardware.
 const TrapCycles = 280
 
-// Hypervisor is the EL2 monitor attached to one CPU.
+// Hypervisor is the EL2 monitor attached to one machine: the boot CPU
+// plus any secondary cores registered with AttachPeer. The stage-2
+// overlay is shared machine state (every core's MMU points at the same
+// Stage2), so MapXOM/ProtectReadOnly act through the boot CPU; the MSR
+// lockdown filter is installed per core.
 type Hypervisor struct {
-	cpu *cpu.CPU
+	cpu  *cpu.CPU
+	cpus []*cpu.CPU
 
 	// lockdown is set once the kernel has booted; after that, MMU control
 	// register writes from EL1 are denied.
@@ -52,6 +57,15 @@ type Hypervisor struct {
 // Attach installs the hypervisor on the CPU's system-register path.
 func Attach(c *cpu.CPU) *Hypervisor {
 	h := &Hypervisor{cpu: c}
+	h.AttachPeer(c)
+	return h
+}
+
+// AttachPeer extends the hypervisor's MSR lockdown filter to a sibling
+// core of the same machine (secondary vCPUs share the stage-2 overlay
+// already; what each needs individually is the register-write veto).
+func (h *Hypervisor) AttachPeer(c *cpu.CPU) {
+	h.cpus = append(h.cpus, c)
 	prev := c.OnMSR
 	c.OnMSR = func(r insn.SysReg, v uint64) bool {
 		if prev != nil && prev(r, v) {
@@ -59,7 +73,6 @@ func Attach(c *cpu.CPU) *Hypervisor {
 		}
 		return h.filterMSR(r, v)
 	}
-	return h
 }
 
 // filterMSR enforces the lockdown policy.
@@ -103,11 +116,13 @@ func (h *Hypervisor) ProtectReadOnly(pa, size uint64) {
 }
 
 // Lockdown freezes the MMU configuration. Called by the kernel at the end
-// of early boot. It flushes the software TLB so nothing translated under
-// the pre-lockdown configuration survives the seal.
+// of early boot. It flushes every core's software TLB so nothing
+// translated under the pre-lockdown configuration survives the seal.
 func (h *Hypervisor) Lockdown() {
 	h.lockdown = true
-	h.cpu.MMU.InvalidateTLBAll()
+	for _, c := range h.cpus {
+		c.MMU.InvalidateTLBAll()
+	}
 }
 
 // LockedDown reports whether lockdown is active.

@@ -48,6 +48,13 @@ var (
 	CONTEXTIDR_EL1 = sysreg(3, 0, 13, 0, 1)
 	TPIDR_EL1      = sysreg(3, 0, 13, 0, 4)
 
+	// MPIDR_EL1 identifies the core (Aff0 carries the CPU number);
+	// read-only, used by SMP guest code and the secondary boot path.
+	MPIDR_EL1 = sysreg(3, 0, 0, 0, 5)
+	// TPIDR_EL0 is the EL0 thread register; the model's SMP kernel
+	// repurposes it as the per-CPU data base (see cpu.CPU.TPIDR0).
+	TPIDR_EL0 = sysreg(3, 3, 13, 0, 2)
+
 	// PMCCNTR_EL0 is the cycle counter, used by in-guest micro-benchmarks.
 	PMCCNTR_EL0 = sysreg(3, 3, 9, 13, 0)
 	CNTFRQ_EL0  = sysreg(3, 3, 14, 0, 0)
@@ -97,6 +104,8 @@ var sysRegNames = map[SysReg]string{
 	VBAR_EL1:       "VBAR_EL1",
 	CONTEXTIDR_EL1: "CONTEXTIDR_EL1",
 	TPIDR_EL1:      "TPIDR_EL1",
+	MPIDR_EL1:      "MPIDR_EL1",
+	TPIDR_EL0:      "TPIDR_EL0",
 	PMCCNTR_EL0:    "PMCCNTR_EL0",
 	CNTFRQ_EL0:     "CNTFRQ_EL0",
 	CNTVCT_EL0:     "CNTVCT_EL0",

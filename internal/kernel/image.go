@@ -59,7 +59,7 @@ func buildImage(cfg *codegen.Config, keys pac.KeySet, mode boot.Compat) *asm.Ass
 	a.Section(".text")
 	emitStartKernel(a, cfg, protected)
 	emitEL0Sync(a, cfg, protected, mode)
-	emitEL1Sync(a)
+	emitEL1Sync(a, cfg)
 	emitSwitchTo(a, cfg)
 	emitSyscalls(a, cfg)
 	emitDrivers(a, cfg)
@@ -70,7 +70,7 @@ func buildImage(cfg *codegen.Config, keys pac.KeySet, mode boot.Compat) *asm.Ass
 
 	// ---- .data: per-CPU block, pauth table, static work ----
 	a.Section(".data")
-	emitData(a)
+	emitData(a, cfg)
 
 	return a
 }
@@ -80,8 +80,18 @@ func emitMov64(a *asm.Assembler, rd insn.Reg, v uint64) {
 	a.I(insn.MOVImm64(rd, v)...)
 }
 
-// emitPerCPUAddr loads the per-CPU block VA into rd.
-func emitPerCPUAddr(a *asm.Assembler, rd insn.Reg) {
+// emitPerCPUAddr loads the executing core's per-CPU frame VA into rd.
+// Uniprocessor builds materialise the absolute address, keeping the
+// image bit-identical to pre-SMP kernels; SMP builds read TPIDR_EL0,
+// which the host loads with DataBase+PerCPUOffset+cpu*PerCPUSize at CPU
+// construction (the model's stand-in for arm64 Linux keeping the
+// per-CPU offset in a thread register — TPIDR_EL1 here already carries
+// `current`).
+func emitPerCPUAddr(a *asm.Assembler, cfg *codegen.Config, rd insn.Reg) {
+	if cfg.CPUs() > 1 {
+		a.I(insn.MRS(rd, insn.TPIDR_EL0))
+		return
+	}
 	emitMov64(a, rd, DataBase+PerCPUOffset)
 }
 
@@ -106,6 +116,18 @@ func emitStartKernel(a *asm.Assembler, cfg *codegen.Config, protected bool) {
 		a.BL("sign_ptr_table")
 	}
 	a.I(insn.HLT(HaltBootOK))
+
+	// secondary_start is the boot path of every non-boot core (SMP
+	// builds only): install the kernel keys from the XOM setter — key
+	// registers are strictly per-core state, exactly as on hardware —
+	// then report in and park until the host scheduler dispatches work.
+	if cfg.CPUs() > 1 {
+		a.Label("secondary_start")
+		if protected {
+			a.BL("key_setter")
+		}
+		a.I(insn.HLT(HaltSecondaryOK))
+	}
 
 	// host_call_stub lets the host invoke a guest function (module
 	// loading, benchmarks): x16 = target, x0.. = arguments.
@@ -154,6 +176,9 @@ const (
 	HaltUser   = 0x0000 // user workload completed
 	// HaltHostCall marks the return of a host-initiated guest call.
 	HaltHostCall = 0x0004
+	// HaltSecondaryOK marks a secondary core's boot path (key install)
+	// completing; the core then parks until the host dispatches work.
+	HaltSecondaryOK = 0x0005
 )
 
 // emitEL0Sync emits the kernel entry/exit path (§3.3, §6.1.1): save the
@@ -204,7 +229,7 @@ func emitEL0Sync(a *asm.Assembler, cfg *codegen.Config, protected bool, mode boo
 
 	a.Label("ret_to_user")
 	// Halt request from the service layer?
-	emitPerCPUAddr(a, insn.X9)
+	emitPerCPUAddr(a, cfg, insn.X9)
 	a.I(insn.LDR(insn.X10, insn.X9, PerCPUHalt))
 	a.CBZ(insn.X10, "rtu_keys")
 	a.I(insn.HLT(HaltUser))
@@ -245,7 +270,7 @@ func emitEL0Sync(a *asm.Assembler, cfg *codegen.Config, protected bool, mode boo
 	// user_fault: a fault taken from EL0 (bad pointer, etc.): record and
 	// let the service kill the task; then run whatever is next.
 	a.Label("user_fault")
-	emitPerCPUAddr(a, insn.X9)
+	emitPerCPUAddr(a, cfg, insn.X9)
 	a.I(insn.MRS(insn.X10, insn.ESR_EL1))
 	a.I(insn.STR(insn.X10, insn.X9, PerCPUFault))
 	a.I(insn.MRS(insn.X10, insn.FAR_EL1))
@@ -277,9 +302,9 @@ func userKeyRegs(id pac.KeyID) (lo, hi insn.SysReg) {
 // fault when used). The service layer implements the §5.4 brute-force
 // policy: log, kill the offending task, and halt the system once the
 // failure threshold is crossed.
-func emitEL1Sync(a *asm.Assembler) {
+func emitEL1Sync(a *asm.Assembler, cfg *codegen.Config) {
 	a.Label("el1_sync")
-	emitPerCPUAddr(a, insn.X9)
+	emitPerCPUAddr(a, cfg, insn.X9)
 	a.I(insn.MRS(insn.X10, insn.ESR_EL1))
 	a.I(insn.STR(insn.X10, insn.X9, PerCPUFault))
 	a.I(insn.MRS(insn.X10, insn.FAR_EL1))
@@ -291,7 +316,7 @@ func emitEL1Sync(a *asm.Assembler) {
 	a.Label("after_fault")
 	// The service decided: halt (1 = orderly, 2 = panic), or switch to
 	// the victim's successor.
-	emitPerCPUAddr(a, insn.X9)
+	emitPerCPUAddr(a, cfg, insn.X9)
 	a.I(insn.LDR(insn.X10, insn.X9, PerCPUHalt))
 	a.CBZ(insn.X10, "fault_pick")
 	a.I(insn.MOVZ(insn.X11, 2, 0))

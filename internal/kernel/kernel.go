@@ -60,6 +60,10 @@ type Task struct {
 	SavedELR   uint64
 	// ProgID identifies the loaded user program.
 	ProgID int
+	// CPU is the core the task is affined to (tasks never migrate:
+	// the scheduler is per-core round-robin, like a no-balancing
+	// SCHED_FIFO; forks inherit the parent's core).
+	CPU int
 }
 
 type pipeState struct {
@@ -76,7 +80,13 @@ type fileState struct {
 
 // Kernel owns the simulated machine and the host service layer.
 type Kernel struct {
-	CPU  *cpu.CPU
+	// CPU is the boot core (CPUs[0]): the target of every single-core
+	// API (Spawn, CallGuest, the attack harness, Stats).
+	CPU *cpu.CPU
+	// CPUs are all cores of the machine, sharing one bus, stage-1
+	// kernel table, stage-2 overlay and invalidation cluster; each owns
+	// its architectural state, TLB, block cache and user-table pointer.
+	CPUs []*cpu.CPU
 	Hyp  *hyp.Hypervisor
 	UART *mem.UART
 	Net  *mem.NetDev
@@ -88,10 +98,23 @@ type Kernel struct {
 	keys pac.KeySet // bootloader's kernel keys (never in guest-readable memory)
 	rng  *boot.PRNG
 
+	// active is the core whose instructions are retiring right now; the
+	// deterministic scheduler (and CallGuestOn) sets it before running a
+	// core, so service handlers know which per-CPU frame and current
+	// task a doorbell store belongs to. Execution is strictly one core
+	// at a time (round-robin quanta), which is what keeps SMP runs
+	// byte-reproducible.
+	active int
+	// currents mirrors each core's current task (nil: core idle).
+	currents []*Task
+	// parked marks cores with nothing to run: post-boot secondaries,
+	// and cores whose last task exited. Parked cores are skipped by the
+	// scheduler until SpawnOn hands them work.
+	parked []bool
+
 	heapNext uint64
 	nextPID  int
 	tasks    map[int]*Task
-	current  *Task
 	tables   map[int]*mmu.Table
 	programs map[int]*Program
 	pipes    map[uint64]*pipeState
@@ -157,13 +180,19 @@ func (d *svcDev) Store(offset uint64, size int, v uint64) error {
 	return nil
 }
 
-// New builds and loads the kernel but does not boot it.
+// New builds and loads the kernel but does not boot it. The CPU count
+// comes from Options.Config.NumCPUs (0/1: uniprocessor, bit-identical
+// to pre-SMP builds).
 func New(opts Options) (*Kernel, error) {
 	if opts.Config == nil {
 		opts.Config = codegen.ConfigFull()
 	}
 	if opts.FailureThreshold == 0 {
 		opts.FailureThreshold = DefaultFailureThreshold
+	}
+	ncpus := opts.Config.CPUs()
+	if ncpus > MaxCPUs {
+		return nil, fmt.Errorf("kernel: %d vCPUs exceeds MaxCPUs=%d", ncpus, MaxCPUs)
 	}
 	rng := boot.NewPRNG(opts.Seed ^ 0xB007_B007)
 	keys := rng.GenerateKeys()
@@ -235,6 +264,10 @@ func New(opts Options) (*Kernel, error) {
 	mapRange(DataBase, secSize(".data"), mmu.KernelData)
 	mapRange(HeapBase, HeapSize, mmu.KernelData)
 	mapRange(StackBase, 64*StackSize, mmu.KernelData)
+	if ncpus > 1 {
+		// Secondary boot stacks live above the 64-slot task arena.
+		mapRange(StackBase+64*StackSize, uint64(MaxCPUs)*StackSize, mmu.KernelData)
+	}
 	for _, dev := range []uint64{UARTBase, NetBase, BlkBase, SvcBase} {
 		mapRange(dev, mmu.PageSize, mmu.KernelData)
 	}
@@ -255,8 +288,37 @@ func New(opts Options) (*Kernel, error) {
 		c.SCTLR = insn.SCTLRPAuthAll
 	}
 	c.EL = 1
+	c.TPIDR0 = PerCPUVA(0)
+
+	// Secondary cores: same initial control state, own per-CPU frame
+	// base; they share the bus, TT1, stage-2 and invalidation cluster
+	// through NewPeer, and come under the hypervisor's MSR filter like
+	// the boot core.
+	k.CPUs = []*cpu.CPU{c}
+	k.currents = make([]*Task, ncpus)
+	k.parked = make([]bool, ncpus)
+	for i := 1; i < ncpus; i++ {
+		p := c.NewPeer(i)
+		p.VBAR = VecBase
+		if !opts.V80 {
+			p.SCTLR = insn.SCTLRPAuthAll
+		}
+		p.TPIDR0 = PerCPUVA(i)
+		k.Hyp.AttachPeer(p)
+		k.CPUs = append(k.CPUs, p)
+		k.parked[i] = true // parked until SpawnOn dispatches work
+	}
 	return k, nil
 }
+
+// NumCPUs returns the machine's core count.
+func (k *Kernel) NumCPUs() int { return len(k.CPUs) }
+
+// cpu returns the core whose quantum is executing (service dispatch).
+func (k *Kernel) cpu() *cpu.CPU { return k.CPUs[k.active] }
+
+// cur returns the current task of the executing core.
+func (k *Kernel) cur() *Task { return k.currents[k.active] }
 
 // mapDevices installs the device windows (and the service doorbell) on
 // the kernel's bus. Shared by New and the snapshot fork path.
@@ -293,9 +355,12 @@ func (k *Kernel) heapAlloc(n uint64) uint64 {
 	return addr
 }
 
-// Boot runs start_kernel on the simulated CPU: key install via the XOM
-// setter and early-boot signing of static pointers; then the hypervisor
-// locks the MMU configuration.
+// Boot runs start_kernel on the boot core — key install via the XOM
+// setter and early-boot signing of static pointers — then brings every
+// secondary core through secondary_start (each installs the kernel keys
+// into its own per-core key registers, the state the paper's design
+// switches on every kernel entry), and finally the hypervisor locks the
+// MMU configuration machine-wide.
 func (k *Kernel) Boot() error {
 	start := k.CPU.Cycles
 	k.CPU.SetSP(1, StackBase+StackSize) // boot stack (becomes task 0's)
@@ -304,53 +369,87 @@ func (k *Kernel) Boot() error {
 	if stop.Kind != cpu.StopHLT || stop.Code != HaltBootOK {
 		return fmt.Errorf("kernel: boot failed: %+v", stop)
 	}
+	for i := 1; i < len(k.CPUs); i++ {
+		c := k.CPUs[i]
+		c.SetSP(1, secondaryBootStackTop(i))
+		c.PC = k.Img.Symbols["secondary_start"]
+		k.active = i
+		sstop := c.Run(1_000_000)
+		k.active = 0
+		if sstop.Kind != cpu.StopHLT || sstop.Code != HaltSecondaryOK {
+			return fmt.Errorf("kernel: cpu%d secondary boot failed: %+v", i, sstop)
+		}
+	}
 	k.BootCycles = k.CPU.Cycles - start
 	k.Hyp.Lockdown()
 	return nil
 }
 
-// percpuPA is the physical address of the per-CPU block.
-func percpuPA() uint64 { return KVAToPA(DataBase) + PerCPUOffset }
+// secondaryBootStackTop returns the top of a secondary core's boot (and
+// host-call) stack: the top MaxCPUs slots of the kernel stack arena,
+// which task stacks (indexed by PID from slot 1) never reach.
+func secondaryBootStackTop(cpu int) uint64 {
+	return StackBase + uint64(secondaryStackSlot0+cpu+1)*StackSize
+}
+
+// percpuPA is the physical address of a core's per-CPU frame.
+func percpuPA(cpu int) uint64 {
+	return KVAToPA(DataBase) + PerCPUOffset + uint64(cpu)*PerCPUSize
+}
 
 func (k *Kernel) arg(i int) uint64 {
-	return k.CPU.Bus.RAM.Read64(percpuPA() + PerCPUArg0 + uint64(8*i))
+	return k.CPU.Bus.RAM.Read64(percpuPA(k.active) + PerCPUArg0 + uint64(8*i))
 }
 
 func (k *Kernel) setArg(i int, v uint64) {
-	k.CPU.Bus.RAM.Write64(percpuPA()+PerCPUArg0+uint64(8*i), v)
+	k.CPU.Bus.RAM.Write64(percpuPA(k.active)+PerCPUArg0+uint64(8*i), v)
 }
 
 func (k *Kernel) setRet(i int, v uint64) {
-	k.CPU.Bus.RAM.Write64(percpuPA()+PerCPURet0+uint64(8*i), v)
+	k.CPU.Bus.RAM.Write64(percpuPA(k.active)+PerCPURet0+uint64(8*i), v)
 }
 
 func (k *Kernel) setPrevNext(prev, next uint64) {
-	k.CPU.Bus.RAM.Write64(percpuPA()+PerCPUPrev, prev)
-	k.CPU.Bus.RAM.Write64(percpuPA()+PerCPUNext, next)
+	k.CPU.Bus.RAM.Write64(percpuPA(k.active)+PerCPUPrev, prev)
+	k.CPU.Bus.RAM.Write64(percpuPA(k.active)+PerCPUNext, next)
 }
 
+// setHalt halts the whole machine: every core's halt flag is raised so
+// each exits the guest at its next kernel-exit or fault check.
 func (k *Kernel) setHalt() {
 	k.Halted = true
-	k.CPU.Bus.RAM.Write64(percpuPA()+PerCPUHalt, 1)
+	for i := range k.CPUs {
+		k.CPU.Bus.RAM.Write64(percpuPA(i)+PerCPUHalt, 1)
+	}
+}
+
+// parkCPU retires one core from scheduling: its halt flag is raised (the
+// guest exits through HLT at the next check) without halting the
+// machine. SpawnOn revives a parked core.
+func (k *Kernel) parkCPU(cpu int) {
+	k.CPU.Bus.RAM.Write64(percpuPA(cpu)+PerCPUHalt, 1)
 }
 
 // setPanic marks the §5.4 brute-force halt (reported as HaltPanic).
 func (k *Kernel) setPanic() {
 	k.Halted = true
-	k.CPU.Bus.RAM.Write64(percpuPA()+PerCPUHalt, 2)
+	for i := range k.CPUs {
+		k.CPU.Bus.RAM.Write64(percpuPA(i)+PerCPUHalt, 1)
+	}
+	k.CPU.Bus.RAM.Write64(percpuPA(k.active)+PerCPUHalt, 2)
 }
 
 // readFaultInfo reads the ESR/FAR the fault stub recorded.
 func (k *Kernel) readFaultInfo() (esr, far uint64) {
-	esr = k.CPU.Bus.RAM.Read64(percpuPA() + PerCPUFault)
-	far = k.CPU.Bus.RAM.Read64(percpuPA() + PerCPUFAR)
+	esr = k.CPU.Bus.RAM.Read64(percpuPA(k.active) + PerCPUFault)
+	far = k.CPU.Bus.RAM.Read64(percpuPA(k.active) + PerCPUFAR)
 	return
 }
 
 // service dispatches one host-service call from the guest.
 func (k *Kernel) service(code uint64) error {
 	k.ServiceCalls[code]++
-	k.CPU.Cycles += serviceCost[code]
+	k.cpu().Cycles += serviceCost[code]
 	switch code {
 	case SvcOpen:
 		k.svcOpen()
@@ -367,7 +466,7 @@ func (k *Kernel) service(code uint64) error {
 	case SvcExit:
 		k.svcExit()
 	case SvcSigact:
-		k.current.SigHandler = k.arg(0)
+		k.cur().SigHandler = k.arg(0)
 	case SvcKill:
 		k.svcKill()
 	case SvcSigreturn:
@@ -451,11 +550,38 @@ func (k *Kernel) CallGuest(fnVA uint64, args ...uint64) error {
 
 // CallGuestRegs is CallGuest with explicit register assignments.
 func (k *Kernel) CallGuestRegs(fnVA uint64, regs map[insn.Reg]uint64) error {
-	c := k.CPU
+	return k.CallGuestRegsOn(0, fnVA, regs)
+}
+
+// CallGuestOn is CallGuest targeted at a specific core — the cross-core
+// entry point of the attack harness (e.g. invoking a driver dispatch on
+// a sibling core against state another core signed).
+func (k *Kernel) CallGuestOn(cpuID int, fnVA uint64, args ...uint64) error {
+	regs := make(map[insn.Reg]uint64, len(args))
+	for i, v := range args {
+		regs[insn.Reg(i)] = v
+	}
+	return k.CallGuestRegsOn(cpuID, fnVA, regs)
+}
+
+// CallGuestRegsOn runs a guest function on the given core, on that
+// core's boot stack, with service dispatch attributed to it.
+func (k *Kernel) CallGuestRegsOn(cpuID int, fnVA uint64, regs map[insn.Reg]uint64) error {
+	if cpuID < 0 || cpuID >= len(k.CPUs) {
+		return fmt.Errorf("kernel: no cpu %d", cpuID)
+	}
+	c := k.CPUs[cpuID]
+	savedActive := k.active
+	k.active = cpuID
+	defer func() { k.active = savedActive }()
 	savedPC, savedEL := c.PC, c.EL
 	savedSP := c.SP(1)
 	c.EL = 1
-	c.SetSP(1, StackBase+StackSize)
+	stackTop := StackBase + StackSize
+	if cpuID > 0 {
+		stackTop = secondaryBootStackTop(cpuID)
+	}
+	c.SetSP(1, stackTop)
 	for r, v := range regs {
 		c.SetReg(r, v)
 	}
@@ -488,7 +614,7 @@ func (k *Kernel) newFileObject(opsVA, inode uint64, pathID int) uint64 {
 // returning the fd (or -1).
 func (k *Kernel) installFD(fileVA uint64) int {
 	ram := k.CPU.Bus.RAM
-	base := KVAToPA(k.current.Addr) + TaskFiles
+	base := KVAToPA(k.cur().Addr) + TaskFiles
 	for fd := 0; fd < TaskNFiles; fd++ {
 		if ram.Read64(base+uint64(8*fd)) == 0 {
 			ram.Write64(base+uint64(8*fd), fileVA)
@@ -524,7 +650,7 @@ func (k *Kernel) svcClose() {
 		k.setRet(0, errno(-9))
 		return
 	}
-	slot := KVAToPA(k.current.Addr) + TaskFiles + uint64(8*fd)
+	slot := KVAToPA(k.cur().Addr) + TaskFiles + uint64(8*fd)
 	if ram.Read64(slot) == 0 {
 		k.setRet(0, errno(-9))
 		return
@@ -542,47 +668,73 @@ func (k *Kernel) svcStat() {
 	k.setRet(0, 0)
 }
 
-// pickNext chooses the next runnable task after current (round robin).
+// pickNext chooses the next runnable task after current (round robin)
+// among the tasks affined to the executing core.
 func (k *Kernel) pickNext() *Task {
 	if len(k.tasks) == 0 {
 		return nil
 	}
 	start := 0
-	if k.current != nil {
-		start = k.current.PID
+	if k.cur() != nil {
+		start = k.cur().PID
 	}
 	for off := 1; off <= k.nextPID; off++ {
 		pid := (start+off-1)%k.nextPID + 1
-		if t := k.tasks[pid]; t != nil && t.State == TaskRunnable && t != k.current {
+		if t := k.tasks[pid]; t != nil && t.CPU == k.active &&
+			t.State == TaskRunnable && t != k.cur() {
 			return t
 		}
 	}
-	if k.current != nil && k.current.State == TaskRunnable {
-		return k.current
+	if k.cur() != nil && k.cur().State == TaskRunnable {
+		return k.cur()
 	}
 	return nil
 }
 
-// switchAccounting points the MMU and host mirror at the next task. The
-// guest's cpu_switch_to moves the architectural state.
+// anyRunnable reports whether any task in the system is runnable —
+// i.e. whether, machine-wide, somebody could still make progress (or
+// wake a blocked sibling). Running currents count: they stay Runnable
+// while on a core.
+func (k *Kernel) anyRunnable() bool {
+	for _, t := range k.tasks {
+		if t.State == TaskRunnable {
+			return true
+		}
+	}
+	return false
+}
+
+// switchAccounting points the executing core's MMU and host mirror at
+// the next task. The guest's cpu_switch_to moves the architectural
+// state.
 func (k *Kernel) switchAccounting(next *Task) {
-	if next == nil || next == k.current {
+	if next == nil || next == k.cur() {
 		return
 	}
-	k.CPU.MMU.TT0 = k.tables[next.PID]
-	k.current = next
+	k.cpu().MMU.TT0 = k.tables[next.PID]
+	k.currents[k.active] = next
 }
 
 func (k *Kernel) svcPickNext() {
 	block := k.arg(0) != 0
-	prev := k.current
+	prev := k.cur()
 	if block {
 		prev.State = TaskBlocked
 	}
 	next := k.pickNext()
 	if next == nil {
 		if block {
-			// Deadlock: nothing runnable. Halt rather than spin.
+			if len(k.CPUs) > 1 && k.anyRunnable() {
+				// Nothing runnable on this core, but another core can
+				// still make progress (and may wake this task): spin —
+				// the guest switches to itself and re-polls. The
+				// deterministic quantum scheduler interleaves the cores,
+				// so the wakeup arrives exactly as on a real SMP idle
+				// poll loop.
+				k.setPrevNext(prev.Addr, prev.Addr)
+				return
+			}
+			// Deadlock: nothing runnable anywhere. Halt rather than spin.
 			k.setHalt()
 			k.setPrevNext(prev.Addr, prev.Addr)
 			return
@@ -594,7 +746,11 @@ func (k *Kernel) svcPickNext() {
 }
 
 func (k *Kernel) svcFork() {
-	parent := k.current
+	if k.taskSlotsExhausted() {
+		k.setRet(0, errno(-11)) // -EAGAIN, as fork(2) reports it
+		return
+	}
+	parent := k.cur()
 	parentPtRegs := k.arg(0)
 	child := k.newTask(parent.PID, parent.ProgID)
 	child.Keys = parent.Keys // fork shares the address-space keys (§2.2)
@@ -649,7 +805,7 @@ func (k *Kernel) initContext(t *Task, pc, sp uint64) {
 
 func (k *Kernel) svcExec() {
 	progID := int(k.arg(0))
-	t := k.current
+	t := k.cur()
 	prog := k.programs[progID]
 	if prog == nil {
 		k.setRet(0, errno(-2))
@@ -670,15 +826,21 @@ func (k *Kernel) svcExec() {
 }
 
 func (k *Kernel) svcExit() {
-	k.current.State = TaskZombie
-	delete(k.tasks, k.current.PID)
+	k.cur().State = TaskZombie
+	delete(k.tasks, k.cur().PID)
 	next := k.pickNext()
 	if next == nil {
-		k.setHalt()
-		k.setPrevNext(k.current.Addr, 0)
+		if len(k.CPUs) > 1 && k.anyRunnable() {
+			// This core's task set drained, but siblings still have
+			// work: park only this core (machine keeps running).
+			k.parkCPU(k.active)
+		} else {
+			k.setHalt()
+		}
+		k.setPrevNext(k.cur().Addr, 0)
 		return
 	}
-	k.setPrevNext(k.current.Addr, next.Addr)
+	k.setPrevNext(k.cur().Addr, next.Addr)
 	k.switchAccounting(next)
 }
 
@@ -689,7 +851,7 @@ func (k *Kernel) svcKill() {
 		k.setRet(0, errno(-3)) // -ESRCH
 		return
 	}
-	if target == k.current && target.SigHandler != 0 {
+	if target == k.cur() && target.SigHandler != 0 {
 		// Deliver immediately: redirect the trap-frame ELR through the
 		// handler; sigreturn restores it.
 		ptregs := target.StackTop - PtRegsSize
@@ -701,7 +863,7 @@ func (k *Kernel) svcKill() {
 }
 
 func (k *Kernel) svcSigreturn() {
-	t := k.current
+	t := k.cur()
 	if t.SavedELR != 0 {
 		ptregs := t.StackTop - PtRegsSize
 		k.CPU.Bus.RAM.Write64(KVAToPA(ptregs)+PtRegsELR, t.SavedELR)
@@ -732,7 +894,7 @@ func (k *Kernel) CredObjVA() uint64 { return k.credObj }
 
 // userPA resolves a user VA of the current task for host-side copies.
 func (k *Kernel) userPA(va uint64) uint64 {
-	return UVAToPA(k.current.PID, va)
+	return UVAToPA(k.cur().PID, va)
 }
 
 func (k *Kernel) svcPipeIO() {
@@ -746,7 +908,7 @@ func (k *Kernel) svcPipeIO() {
 		return
 	}
 	ram := k.CPU.Bus.RAM
-	k.CPU.Cycles += n / 8 // copy cost
+	k.cpu().Cycles += n / 8 // copy cost
 	if write {
 		data := ram.ReadBytes(k.userPA(buf), int(n))
 		p.buf = append(p.buf, data...)
@@ -787,13 +949,13 @@ func (k *Kernel) svcPoll() {
 func (k *Kernel) svcFault() {
 	kernelFault := k.arg(0) == 1
 	esr, far := k.readFaultInfo()
-	isPAC := kernelFault && k.CPU.Signer.IsPoisoned(far)
+	isPAC := kernelFault && k.cpu().Signer.IsPoisoned(far)
 	rec := OopsRecord{
-		ESR: esr, FAR: far, ELR: k.CPU.ELR,
+		ESR: esr, FAR: far, ELR: k.cpu().ELR,
 		Kernel: kernelFault, PACFailure: isPAC,
 	}
-	if k.current != nil {
-		rec.PID = k.current.PID
+	if k.cur() != nil {
+		rec.PID = k.cur().PID
 	}
 	k.Oops = append(k.Oops, rec)
 
@@ -807,13 +969,16 @@ func (k *Kernel) svcFault() {
 		}
 	}
 	// SIGKILL the current task.
-	victim := k.current
+	victim := k.cur()
 	if victim != nil {
 		victim.State = TaskZombie
 		delete(k.tasks, victim.PID)
 	}
 	next := k.pickNext()
 	if next == nil {
+		if len(k.CPUs) > 1 && k.anyRunnable() {
+			k.parkCPU(k.active) // siblings keep running
+		}
 		k.setPrevNext(0, 0) // guest halts with HaltNoNext
 		return
 	}
@@ -836,10 +1001,27 @@ func (k *Kernel) writeTaskKeys(t *Task) {
 	}
 }
 
-// newTask allocates a task struct and kernel stack.
+// taskSlotsExhausted reports whether the next PID's stack slot would
+// land in the secondary boot-stack region of an SMP machine. Both task
+// creation paths (svcFork, SpawnOn) check it and fail gracefully — the
+// guest gets -EAGAIN, the host an error — because the condition is
+// guest-reachable (fork loops) and must never take down the host. On
+// uniprocessor builds such PIDs simply fault on their unmapped stack,
+// the pre-SMP behaviour, so nothing is gated there.
+func (k *Kernel) taskSlotsExhausted() bool {
+	return len(k.CPUs) > 1 && k.nextPID >= secondaryStackSlot0
+}
+
+// newTask allocates a task struct and kernel stack; the task is affined
+// to the executing core. Callers must have checked taskSlotsExhausted.
 func (k *Kernel) newTask(ppid, progID int) *Task {
 	pid := k.nextPID
 	k.nextPID++
+	if len(k.CPUs) > 1 && pid >= secondaryStackSlot0 {
+		// Unreachable when callers honour taskSlotsExhausted; a PID here
+		// would corrupt the secondary boot stacks.
+		panic("kernel: task stack arena exhausted")
+	}
 	addr := k.heapAlloc(TaskSize)
 	stackBase := StackBase + uint64(pid)*StackSize
 	t := &Task{
@@ -847,6 +1029,7 @@ func (k *Kernel) newTask(ppid, progID int) *Task {
 		StackTop: stackBase + StackSize,
 		State:    TaskBlocked,
 		ProgID:   progID,
+		CPU:      k.active,
 	}
 	ram := k.CPU.Bus.RAM
 	pa := KVAToPA(addr)
@@ -879,8 +1062,10 @@ func (k *Kernel) loadUserSpace(t *Task, prog *Program) {
 		va := UserStackTop - off
 		tbl.Map(va, UVAToPA(t.PID, va), mmu.UserData)
 	}
-	if k.current == t {
-		k.CPU.MMU.TT0 = tbl
+	for i, cur := range k.currents {
+		if cur == t {
+			k.CPUs[i].MMU.TT0 = tbl
+		}
 	}
 }
 
@@ -917,51 +1102,161 @@ func (k *Kernel) RegisterProgram(id int, p *Program) {
 	k.programs[id] = p
 }
 
-// Spawn creates the initial user task for a program and makes it current.
+// Spawn creates the initial user task for a program on the boot core
+// and makes it current.
 func (k *Kernel) Spawn(progID int) (*Task, error) {
+	return k.SpawnOn(0, progID)
+}
+
+// SpawnOn creates the initial user task for a program on the given core
+// and makes it that core's current task, reviving the core if it was
+// parked. It is the host-side dispatch path of the SMP model: per-core
+// task sets, entered exactly as Spawn always entered the boot core.
+func (k *Kernel) SpawnOn(cpuID, progID int) (*Task, error) {
+	if cpuID < 0 || cpuID >= len(k.CPUs) {
+		return nil, fmt.Errorf("kernel: no cpu %d", cpuID)
+	}
 	prog := k.programs[progID]
 	if prog == nil {
 		return nil, fmt.Errorf("kernel: no program %d", progID)
 	}
+	if k.taskSlotsExhausted() {
+		return nil, fmt.Errorf("kernel: task stack arena exhausted")
+	}
+	savedActive := k.active
+	k.active = cpuID
+	defer func() { k.active = savedActive }()
+	c := k.CPUs[cpuID]
 	t := k.newTask(0, progID)
 	t.Keys = k.rng.GenerateKeys()
 	k.writeTaskKeys(t)
 	k.loadUserSpace(t, prog)
 	t.State = TaskRunnable
-	k.current = t
-	k.CPU.MMU.TT0 = k.tables[t.PID]
+	k.currents[cpuID] = t
+	k.parked[cpuID] = false
+	k.CPU.Bus.RAM.Write64(percpuPA(cpuID)+PerCPUHalt, 0) // clear any park flag
+	c.MMU.TT0 = k.tables[t.PID]
 	// Enter user mode directly.
-	k.CPU.WriteSys(insn.TPIDR_EL1, t.Addr)
-	k.CPU.SetSP(1, t.StackTop)
-	k.CPU.SetSP(0, UserStackTop)
-	k.CPU.EL = 0
-	k.CPU.PC = prog.entryVA
+	c.WriteSys(insn.TPIDR_EL1, t.Addr)
+	c.SetSP(1, t.StackTop)
+	c.SetSP(0, UserStackTop)
+	c.EL = 0
+	c.PC = prog.entryVA
 	return t, nil
 }
 
+// SMPQuantum is the round-robin time slice of the deterministic SMP
+// scheduler, in instructions. Any fixed value keeps runs
+// byte-reproducible; 4096 is small enough for tight cross-core
+// interactions (pipe wakeups land within a slice of the writer) and
+// large enough that slice-switch overhead vanishes.
+const SMPQuantum = 4096
+
 // Run executes until a halt condition or the instruction budget.
+//
+// Uniprocessor machines run the boot core directly — bit-for-bit the
+// pre-SMP behaviour. SMP machines interleave the unparked cores
+// round-robin in fixed instruction quanta on one host goroutine: the
+// schedule is a pure function of guest state, so repeated runs are
+// byte-identical (the determinism contract every suite depends on).
+// Run returns when the boot core stops (HLT or error), when the machine
+// halts, or when the total budget is exhausted; a secondary core's HLT
+// parks that core and the run continues.
 func (k *Kernel) Run(maxInstrs uint64) cpu.Stop {
-	return k.CPU.Run(maxInstrs)
+	if len(k.CPUs) == 1 {
+		k.active = 0
+		return k.CPU.Run(maxInstrs)
+	}
+	return k.runSMP(maxInstrs)
 }
 
-// Current returns the current task.
-func (k *Kernel) Current() *Task { return k.current }
+func (k *Kernel) runSMP(maxInstrs uint64) cpu.Stop {
+	remaining := maxInstrs
+	for remaining > 0 {
+		ranAny := false
+		for i := range k.CPUs {
+			if k.parked[i] || remaining == 0 {
+				continue
+			}
+			slice := uint64(SMPQuantum)
+			if slice > remaining {
+				slice = remaining
+			}
+			k.active = i
+			before := k.CPUs[i].Retired
+			stop := k.CPUs[i].Run(slice)
+			used := k.CPUs[i].Retired - before
+			if used > remaining {
+				remaining = 0
+			} else {
+				remaining -= used
+			}
+			ranAny = true
+			switch stop.Kind {
+			case cpu.StopError:
+				k.active = 0
+				return stop
+			case cpu.StopHLT:
+				// The core finished (workload exit, park request, panic):
+				// retire it from the rotation. SpawnOn revives it.
+				k.parked[i] = true
+				if i == 0 || k.Halted {
+					k.active = 0
+					return stop
+				}
+			}
+		}
+		if !ranAny {
+			break // every core parked
+		}
+	}
+	k.active = 0
+	return cpu.Stop{Kind: cpu.StopLimit}
+}
+
+// Current returns the boot core's current task.
+func (k *Kernel) Current() *Task { return k.currents[0] }
+
+// CurrentOn returns the given core's current task.
+func (k *Kernel) CurrentOn(cpuID int) *Task { return k.currents[cpuID] }
+
+// Parked reports whether a core is out of the scheduling rotation.
+func (k *Kernel) Parked(cpuID int) bool { return k.parked[cpuID] }
 
 // Task returns a task by pid.
 func (k *Kernel) Task(pid int) *Task { return k.tasks[pid] }
 
-// FileByFD resolves the current task's fd to its file-state mirror.
-func (k *Kernel) FileByFD(fd int) *fileState {
-	if fd < 0 || fd >= TaskNFiles || k.current == nil {
+// fileByFDOf resolves a task's fd to its file-state mirror.
+func (k *Kernel) fileByFDOf(t *Task, fd int) *fileState {
+	if fd < 0 || fd >= TaskNFiles || t == nil {
 		return nil
 	}
-	va := k.CPU.Bus.RAM.Read64(KVAToPA(k.current.Addr) + TaskFiles + uint64(8*fd))
+	va := k.CPU.Bus.RAM.Read64(KVAToPA(t.Addr) + TaskFiles + uint64(8*fd))
 	return k.files[va]
 }
 
-// FileAddrByFD returns the guest VA of the current task's open file.
+// FileByFD resolves the boot core's current task's fd to its file-state
+// mirror.
+func (k *Kernel) FileByFD(fd int) *fileState {
+	return k.fileByFDOf(k.currents[0], fd)
+}
+
+// FileAddrByFD returns the guest VA of the boot core's current task's
+// open file.
 func (k *Kernel) FileAddrByFD(fd int) uint64 {
 	if f := k.FileByFD(fd); f != nil {
+		return f.addr
+	}
+	return 0
+}
+
+// FileAddrByFDOn is FileAddrByFD for another core's current task (the
+// cross-core attack scenarios inspect both victims' fd tables).
+func (k *Kernel) FileAddrByFDOn(cpuID, fd int) uint64 {
+	if cpuID < 0 || cpuID >= len(k.currents) {
+		return 0
+	}
+	if f := k.fileByFDOf(k.currents[cpuID], fd); f != nil {
 		return f.addr
 	}
 	return 0

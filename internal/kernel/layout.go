@@ -133,19 +133,38 @@ const (
 )
 
 // Per-CPU block layout (in .data): service-call arguments and results,
-// scheduler handoff slots, and the halt flag.
+// scheduler handoff slots, and the halt flag. SMP builds lay out one
+// frame per core at PerCPUSize strides (MaxCPUs frames fit between
+// PerCPUOffset and PauthTableOffset); each core finds its own frame
+// through TPIDR_EL0 (see emitPerCPUAddr).
 const (
 	PerCPUArg0   = 0x00 // 6 argument slots
 	PerCPURet0   = 0x30 // 2 result slots
 	PerCPUPrev   = 0x40 // cpu_switch_to: previous task
 	PerCPUNext   = 0x48 // cpu_switch_to: next task
-	PerCPUHalt   = 0x50 // nonzero → kernel exits the simulation
+	PerCPUHalt   = 0x50 // nonzero → this core exits the simulation
 	PerCPUCur    = 0x58 // current task (mirrors TPIDR_EL1)
 	PerCPUFault  = 0x60 // last kernel fault ESR
 	PerCPUFAR    = 0x68 // last kernel fault FAR
 	PerCPUSize   = 0x80
 	PerCPUOffset = 0x0800 // from DataBase
 )
+
+// MaxCPUs bounds the vCPU count of one machine: MaxCPUs per-CPU frames
+// fit under PauthTableOffset, and the secondary boot stacks occupy the
+// top MaxCPUs slots of the 64-slot kernel stack arena.
+const MaxCPUs = 8
+
+// secondaryStackSlot0 is the first stack slot used for secondary boot
+// stacks: the task arena keeps its full 64 PID-indexed slots, and SMP
+// builds map MaxCPUs extra slots above it (uniprocessor builds map
+// exactly the pre-SMP range, keeping them bit-identical).
+const secondaryStackSlot0 = 64
+
+// PerCPUVA returns the VA of a core's per-CPU frame.
+func PerCPUVA(cpu int) uint64 {
+	return DataBase + PerCPUOffset + uint64(cpu)*PerCPUSize
+}
 
 // PauthTableOffset locates the .pauth_ptrs table (§4.6) inside .data:
 // a count followed by entries of four quads each.

@@ -33,20 +33,26 @@ type State struct {
 	rng  *boot.PRNG
 
 	frozen *mem.Frozen
-	cpu    cpu.State
-	mmuOn  bool
-	tt1    *mmu.Table
-	s2     *mmu.Stage2
-	hyp    hyp.State
-	uart   []byte
-	net    mem.NetDevState
-	blk    mem.BlockDevState
+	// cpus holds one register file per core (index 0: boot core).
+	cpus  []cpu.State
+	mmuOn bool
+	tt1   *mmu.Table
+	s2    *mmu.Stage2
+	hyp   hyp.State
+	uart  []byte
+	net   mem.NetDevState
+	blk   mem.BlockDevState
 
-	heapNext    uint64
-	nextPID     int
-	tasks       map[int]Task
-	currentPID  int
-	current     *Task // deep copy; kept even when zombied out of tasks
+	heapNext uint64
+	nextPID  int
+	tasks    map[int]Task
+	// currentPIDs/currents mirror each core's current task (deep
+	// copies; kept even when zombied out of tasks). parked mirrors the
+	// scheduler rotation; activeCPU the core executing at capture.
+	currentPIDs []int
+	currents    []*Task
+	parked      []bool
+	activeCPU   int
 	tables      map[int]*mmu.Table
 	programs    map[int]*Program
 	pipes       map[uint64][]byte
@@ -82,7 +88,6 @@ func (k *Kernel) CaptureState() *State {
 		rng:  k.rng.Clone(),
 
 		frozen: k.CPU.Bus.RAM.Freeze(),
-		cpu:    k.CPU.CaptureState(),
 		mmuOn:  k.CPU.MMU.Enabled,
 		tt1:    k.CPU.MMU.TT1.Clone(),
 		s2:     k.CPU.MMU.S2.Clone(),
@@ -90,6 +95,9 @@ func (k *Kernel) CaptureState() *State {
 		uart:   k.UART.CaptureState(),
 		net:    k.Net.CaptureState(),
 		blk:    k.Blk.CaptureState(),
+
+		parked:    append([]bool(nil), k.parked...),
+		activeCPU: k.active,
 
 		heapNext:    k.heapNext,
 		nextPID:     k.nextPID,
@@ -109,13 +117,20 @@ func (k *Kernel) CaptureState() *State {
 		svcCalls:    make(map[uint64]uint64, len(k.ServiceCalls)),
 		bootCycles:  k.BootCycles,
 	}
+	for _, c := range k.CPUs {
+		st.cpus = append(st.cpus, c.CaptureState())
+	}
 	for pid, t := range k.tasks {
 		st.tasks[pid] = *t
 	}
-	if k.current != nil {
-		st.currentPID = k.current.PID
-		cp := *k.current
-		st.current = &cp
+	st.currentPIDs = make([]int, len(k.currents))
+	st.currents = make([]*Task, len(k.currents))
+	for i, cur := range k.currents {
+		if cur != nil {
+			st.currentPIDs[i] = cur.PID
+			cp := *cur
+			st.currents[i] = &cp
+		}
 	}
 	for pid, tbl := range k.tables {
 		st.tables[pid] = tbl.Clone()
@@ -148,17 +163,22 @@ func (k *Kernel) restoreHostMirrors(st *State) {
 		cp := t
 		k.tasks[pid] = &cp
 	}
-	k.current = nil
-	if st.current != nil {
-		if t := k.tasks[st.currentPID]; t != nil {
-			k.current = t
+	k.currents = make([]*Task, len(st.currents))
+	for i, cur := range st.currents {
+		if cur == nil {
+			continue
+		}
+		if t := k.tasks[st.currentPIDs[i]]; t != nil {
+			k.currents[i] = t
 		} else {
 			// The captured current task had already exited (zombie):
 			// rebuild it outside the task table, as the live kernel had it.
-			cp := *st.current
-			k.current = &cp
+			cp := *cur
+			k.currents[i] = &cp
 		}
 	}
+	k.parked = append([]bool(nil), st.parked...)
+	k.active = st.activeCPU
 	k.tables = make(map[int]*mmu.Table, len(st.tables))
 	for pid, tbl := range st.tables {
 		k.tables[pid] = tbl.Clone()
@@ -194,12 +214,14 @@ func (k *Kernel) restoreHostMirrors(st *State) {
 	k.BootCycles = st.bootCycles
 	k.rng = st.rng.Clone()
 
-	// Point the MMU's user table at the current task's clone (or an empty
-	// table when the capture predates the first spawn).
-	if k.current != nil && k.tables[k.current.PID] != nil {
-		k.CPU.MMU.TT0 = k.tables[k.current.PID]
-	} else {
-		k.CPU.MMU.TT0 = mmu.NewTable()
+	// Point each core's user table at its current task's clone (or an
+	// empty table when the capture predates the first spawn there).
+	for i, c := range k.CPUs {
+		if cur := k.currents[i]; cur != nil && k.tables[cur.PID] != nil {
+			c.MMU.TT0 = k.tables[cur.PID]
+		} else {
+			c.MMU.TT0 = mmu.NewTable()
+		}
 	}
 }
 
@@ -218,6 +240,7 @@ func NewFromState(st *State) (*Kernel, error) {
 
 	k := &Kernel{
 		CPU:  c,
+		CPUs: []*cpu.CPU{c},
 		UART: &mem.UART{},
 		Net:  &mem.NetDev{},
 		Blk:  mem.NewBlockDev(),
@@ -234,10 +257,17 @@ func NewFromState(st *State) (*Kernel, error) {
 	k.Blk.RestoreState(st.blk)
 
 	k.Hyp = hyp.Attach(c)
+	for i := 1; i < len(st.cpus); i++ {
+		p := c.NewPeer(i)
+		k.Hyp.AttachPeer(p)
+		k.CPUs = append(k.CPUs, p)
+	}
 	k.Hyp.RestoreState(st.hyp)
 
 	k.restoreHostMirrors(st)
-	c.RestoreState(st.cpu)
+	for i, cs := range st.cpus {
+		k.CPUs[i].RestoreState(cs)
+	}
 	return k, nil
 }
 
@@ -250,17 +280,25 @@ func (k *Kernel) RestoreState(st *State) error {
 	if k.Img != st.img {
 		return fmt.Errorf("kernel: restore across different built images")
 	}
+	if len(k.CPUs) != len(st.cpus) {
+		return fmt.Errorf("kernel: restore across different CPU counts (%d vs %d)",
+			len(k.CPUs), len(st.cpus))
+	}
 	k.CPU.Bus.RAM.ResetTo(st.frozen)
 	k.UART.RestoreState(st.uart)
 	k.Net.RestoreState(st.net)
 	k.Blk.RestoreState(st.blk)
-	k.CPU.MMU.Enabled = st.mmuOn
+	for _, c := range k.CPUs {
+		c.MMU.Enabled = st.mmuOn
+	}
 	k.CPU.MMU.TT1.RestoreFrom(st.tt1)
 	k.CPU.MMU.S2.RestoreFrom(st.s2)
 	k.Hyp.RestoreState(st.hyp)
 	k.restoreHostMirrors(st)
 	// CPU restore last: it drops the decoded-block cache and flushes the
-	// TLB, sealing the rewind.
-	k.CPU.RestoreState(st.cpu)
+	// TLBs, sealing the rewind on every core.
+	for i, cs := range st.cpus {
+		k.CPUs[i].RestoreState(cs)
+	}
 	return nil
 }

@@ -119,12 +119,12 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		a.I(insn.SUBi(insn.SP, insn.SP, 32))
 		a.I(insn.STP(insn.X1, insn.X2, insn.SP, 0))
 		a.BL("f_walk1") // do_filp_open → link_path_walk → walk_component
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDP(insn.X1, insn.X2, insn.SP, 0))
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
 		a.I(insn.STR(insn.X2, insn.X11, PerCPUArg0+8))
 		emitServiceCall(a, SvcOpen)
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0)) // fd or -errno
 		a.I(insn.LSRi(insn.X9, insn.X0, 63))
 		a.CBNZ(insn.X9, "do_sys_open.fail")
@@ -142,10 +142,10 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 	protFn(a, cfg, "sys_close", func() {
 		a.I(insn.LDR(insn.X1, insn.X0, 0))
 		a.BL("f_close_tree")
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
 		emitServiceCall(a, SvcClose)
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
 	})
 
@@ -174,10 +174,10 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		a.I(insn.LDR(insn.X1, insn.X0, 8))
 		a.BL("f_walk1")
 		a.BL("f_stat_fill")
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
 		emitServiceCall(a, SvcStat)
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
 	})
 
@@ -212,7 +212,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 	protFn(a, cfg, "sys_sigaction", func() {
 		a.I(insn.LDR(insn.X1, insn.X0, 8))
 		a.BL("f_sigact")
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
 		emitServiceCall(a, SvcSigact)
 		a.I(insn.MOVZ(insn.X0, 0, 0))
@@ -223,11 +223,11 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		a.I(insn.LDR(insn.X1, insn.X0, 8))
 		a.I(insn.LDR(insn.X2, insn.X0, 0))
 		a.BL("f_sigact")
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X2, insn.X11, PerCPUArg0))
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0+8))
 		emitServiceCall(a, SvcKill)
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
 	})
 
@@ -239,10 +239,10 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 
 	// sys_sched_yield: pick next and context-switch (§5.2).
 	protFn(a, cfg, "sys_sched_yield", func() {
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.XZR, insn.X11, PerCPUArg0)) // yield, not block
 		emitServiceCall(a, SvcPickNext)
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDP(insn.X0, insn.X1, insn.X11, PerCPUPrev))
 		a.I(insn.CMP(insn.X0, insn.X1))
 		a.Bcond(insn.EQ, "sys_sched_yield.out")
@@ -258,11 +258,11 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		a.I(insn.SUBi(insn.SP, insn.SP, 32))
 		a.I(insn.STR(insn.X0, insn.SP, 0)) // parent pt_regs
 		a.BL("f_copy1")
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X9, insn.SP, 0))
 		a.I(insn.STR(insn.X9, insn.X11, PerCPUArg0))
 		emitServiceCall(a, SvcFork)
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))   // child pid
 		a.I(insn.LDR(insn.X1, insn.X11, PerCPURet0+8)) // child pt_regs
 		a.I(insn.LDR(insn.X9, insn.SP, 0))
@@ -279,7 +279,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 	protFn(a, cfg, "sys_execve", func() {
 		a.I(insn.LDR(insn.X1, insn.X0, 0))
 		a.BL("f_exec1")
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
 		emitServiceCall(a, SvcExec)
 		a.I(insn.MOVZ(insn.X0, 0, 0))
@@ -288,7 +288,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 	// sys_exit: never returns; hands off to the fault/exit tail.
 	a.Label("sys_exit")
 	a.I(insn.LDR(insn.X1, insn.X0, 0))
-	emitPerCPUAddr(a, insn.X11)
+	emitPerCPUAddr(a, cfg, insn.X11)
 	a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
 	emitServiceCall(a, SvcExit)
 	a.B("after_fault")
@@ -299,7 +299,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		a.I(insn.LDR(insn.X1, insn.X0, 0))
 		a.I(insn.STR(insn.X1, insn.SP, 0))
 		emitServiceCall(a, SvcPipe)
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		// Sign both pipe files' f_ops and f_cred (set_file_ops /
 		// set_file_cred at creation, §4.5).
 		a.I(insn.LDR(insn.X2, insn.X11, PerCPUArg0+16))
@@ -393,7 +393,7 @@ func emitDrivers(a *asm.Assembler, cfg *codegen.Config) {
 		a.Label("pipe_read.retry")
 		a.I(insn.LDR(insn.X9, insn.SP, 0))
 		a.I(insn.LDR(insn.X10, insn.X9, FileInode))
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X10, insn.X11, PerCPUArg0))
 		a.I(insn.LDR(insn.X10, insn.SP, 8))
 		a.I(insn.STR(insn.X10, insn.X11, PerCPUArg0+8))
@@ -401,7 +401,7 @@ func emitDrivers(a *asm.Assembler, cfg *codegen.Config) {
 		a.I(insn.STR(insn.X10, insn.X11, PerCPUArg0+16))
 		a.I(insn.STR(insn.XZR, insn.X11, PerCPUArg0+24)) // read
 		emitServiceCall(a, SvcPipeIO)
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
 		a.I(insn.MOVN(insn.X9, 10, 0)) // -EAGAIN
 		a.I(insn.CMP(insn.X0, insn.X9))
@@ -410,7 +410,7 @@ func emitDrivers(a *asm.Assembler, cfg *codegen.Config) {
 		a.I(insn.MOVZ(insn.X9, 1, 0))
 		a.I(insn.STR(insn.X9, insn.X11, PerCPUArg0))
 		emitServiceCall(a, SvcPickNext)
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDP(insn.X0, insn.X1, insn.X11, PerCPUPrev))
 		a.BL("cpu_switch_to")
 		a.B("pipe_read.retry")
@@ -421,24 +421,24 @@ func emitDrivers(a *asm.Assembler, cfg *codegen.Config) {
 	// Pipe write: copy into the pipe buffer (host side) and wake readers.
 	protFn(a, cfg, "pipe_write", func() {
 		a.I(insn.LDR(insn.X10, insn.X0, FileInode))
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X10, insn.X11, PerCPUArg0))
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0+8))
 		a.I(insn.STR(insn.X2, insn.X11, PerCPUArg0+16))
 		a.I(insn.MOVZ(insn.X9, 1, 0))
 		a.I(insn.STR(insn.X9, insn.X11, PerCPUArg0+24)) // write
 		emitServiceCall(a, SvcPipeIO)
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
 	})
 
 	// pipe_poll: service-backed readiness.
 	protFn(a, cfg, "pipe_poll", func() {
 		a.I(insn.LDR(insn.X10, insn.X0, FileInode))
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X10, insn.X11, PerCPUArg0))
 		emitServiceCall(a, SvcPoll)
-		emitPerCPUAddr(a, insn.X11)
+		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
 	})
 
@@ -571,13 +571,14 @@ func emitRodata(a *asm.Assembler) {
 	ops("file_ops_blk", "dev_ok_open", "dev_release", "blk_read", "blk_write", "dev_poll")
 }
 
-// emitData lays out .data: per-CPU block, the .pauth_ptrs table (§4.6)
-// and the DECLARE_WORK-style static work_struct.
-func emitData(a *asm.Assembler) {
+// emitData lays out .data: the per-CPU frames (one per core), the
+// .pauth_ptrs table (§4.6) and the DECLARE_WORK-style static
+// work_struct.
+func emitData(a *asm.Assembler, cfg *codegen.Config) {
 	a.Label("kdata")
 	a.PadTo(PerCPUOffset)
 	a.Label("percpu")
-	a.Zero(PerCPUSize)
+	a.Zero(cfg.CPUs() * PerCPUSize)
 
 	a.PadTo(PauthTableOffset)
 	a.Label("pauth_ptrs")

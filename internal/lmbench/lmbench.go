@@ -346,16 +346,23 @@ func Levels() []struct {
 }
 
 // RunSuite measures every benchmark under every protection level.
-func RunSuite() ([]Result, error) { return runSuite(false) }
+func RunSuite() ([]Result, error) { return runSuite(false, 1) }
 
 // RunSuiteParallel is RunSuite with one goroutine per (benchmark,
 // protection level) cell. Every cell runs on its own isolated machine
 // (a copy-on-write fork from the warm pool), so the cells share nothing
 // mutable; results are assembled in the same order as RunSuite, making
 // the output deterministic.
-func RunSuiteParallel() ([]Result, error) { return runSuite(true) }
+func RunSuiteParallel() ([]Result, error) { return runSuite(true, 1) }
 
-func runSuite(parallel bool) ([]Result, error) {
+// RunSuiteCPUs is RunSuite on machines with the given vCPU count (the
+// workloads stay pinned to the boot core; secondaries boot, install
+// their keys and idle — the suite measures SMP-build kernel paths).
+func RunSuiteCPUs(parallel bool, cpus int) ([]Result, error) {
+	return runSuite(parallel, cpus)
+}
+
+func runSuite(parallel bool, cpus int) ([]Result, error) {
 	benches := Suite()
 	levels := Levels()
 	out := make([]Result, len(benches)*len(levels))
@@ -363,7 +370,7 @@ func runSuite(parallel bool) ([]Result, error) {
 		b := benches[idx/len(levels)]
 		lv := levels[idx%len(levels)]
 		var err error
-		out[idx], err = Measure(lv.Cfg, lv.Name, b)
+		out[idx], err = Measure(codegen.WithCPUs(lv.Cfg, cpus), lv.Name, b)
 		return err
 	})
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // PageSize is the physical page granule (4 KiB, the configuration of the
@@ -39,7 +40,12 @@ type Phys struct {
 	// backing array changes from the shared base copy, or from implicit
 	// zeroes, to a fresh private array). A cached *[PageSize]byte obtained
 	// from PageForLoad/PageForStore is valid only while gen is unchanged.
-	gen uint64
+	// It is an atomically published cell: on an SMP machine every CPU's
+	// host-pointer TLB validates against the one shared generation, so a
+	// copy-on-write materialization triggered by CPU 0 invalidates warm
+	// pointers on CPU 1 at its next probe (the memory-side half of the
+	// DESIGN.md §9 shootdown protocol).
+	gen atomic.Uint64
 }
 
 // NewPhys returns an empty physical memory.
@@ -71,7 +77,7 @@ func (p *Phys) Freeze() *Frozen {
 	}
 	p.base = merged
 	p.pages = make(map[uint64]*[PageSize]byte)
-	p.gen++
+	p.gen.Add(1)
 	return &Frozen{pages: merged}
 }
 
@@ -87,7 +93,7 @@ func NewPhysFrom(f *Frozen) *Phys {
 func (p *Phys) ResetTo(f *Frozen) {
 	p.base = f.pages
 	p.pages = make(map[uint64]*[PageSize]byte)
-	p.gen++
+	p.gen.Add(1)
 }
 
 // DirtyPages returns the number of overlay pages written since the last
@@ -112,13 +118,13 @@ func (p *Phys) page(addr uint64, create bool) *[PageSize]byte {
 		*pg = *shared
 	}
 	p.pages[pn] = pg
-	p.gen++
+	p.gen.Add(1)
 	return pg
 }
 
 // Gen returns the host-pointer generation. Cached page pointers are
 // valid only while it is unchanged (see the gen field's doc).
-func (p *Phys) Gen() uint64 { return p.gen }
+func (p *Phys) Gen() uint64 { return p.gen.Load() }
 
 // PageForLoad returns the backing page for reads of the page containing
 // addr — possibly a shared copy-on-write base page — or nil when the
@@ -272,15 +278,19 @@ type mapping struct {
 	dev  Device
 }
 
-// Bus routes physical accesses to RAM or to device windows.
+// Bus routes physical accesses to RAM or to device windows. On an SMP
+// machine one Bus is shared by every CPU.
 type Bus struct {
 	RAM  *Phys
 	maps []mapping
 	// last caches the most recently hit device window: device accesses
 	// cluster (a driver hammers one window), so the cache short-circuits
 	// the binary search. Invalidated by Map (the slice is re-sorted and
-	// pointers into it move).
-	last *mapping
+	// pointers into it move). It is an atomic pointer because the cache
+	// index is *written on every lookup*: two CPUs of one machine — or
+	// goroutines sharing a Bus any other way — would otherwise race on
+	// it (caught by -race; pinned by TestSMPBusFindRace).
+	last atomic.Pointer[mapping]
 }
 
 // NewBus returns a bus backed by fresh RAM.
@@ -297,12 +307,12 @@ func (b *Bus) Map(base, size uint64, dev Device) error {
 	}
 	b.maps = append(b.maps, mapping{base, size, dev})
 	sort.Slice(b.maps, func(i, j int) bool { return b.maps[i].base < b.maps[j].base })
-	b.last = nil
+	b.last.Store(nil)
 	// Mapping a window changes address routing: any host pointer cached
 	// for a page the window now overlaps must die, exactly like a
 	// Freeze/ResetTo. Today windows are only mapped at construction, but
 	// the invalidation contract should not depend on that.
-	b.RAM.gen++
+	b.RAM.gen.Add(1)
 	return nil
 }
 
@@ -311,7 +321,7 @@ func (b *Bus) Map(base, size uint64, dev Device) error {
 // followed by binary search for the rightmost window at or below addr —
 // O(log n) in the number of devices instead of the seed's linear scan.
 func (b *Bus) find(addr uint64) *mapping {
-	if m := b.last; m != nil && addr-m.base < m.size {
+	if m := b.last.Load(); m != nil && addr-m.base < m.size {
 		return m
 	}
 	lo, hi := 0, len(b.maps)
@@ -328,7 +338,7 @@ func (b *Bus) find(addr uint64) *mapping {
 	}
 	m := &b.maps[lo-1]
 	if addr-m.base < m.size {
-		b.last = m
+		b.last.Store(m)
 		return m
 	}
 	return nil
@@ -387,7 +397,7 @@ func (b *Bus) PageForStore(pa uint64) *[PageSize]byte {
 // MemGen returns the RAM host-pointer generation (see Phys.Gen). Callers
 // that swap b.RAM wholesale must flush any cache keyed by this value
 // themselves (the kernel snapshot paths do, via MMU.InvalidateTLBAll).
-func (b *Bus) MemGen() uint64 { return b.RAM.gen }
+func (b *Bus) MemGen() uint64 { return b.RAM.gen.Load() }
 
 // Store writes size bytes (1, 4 or 8) at physical address addr.
 func (b *Bus) Store(addr uint64, size int, v uint64) error {

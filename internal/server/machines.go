@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,6 +50,10 @@ type leaseTable struct {
 	issued   atomic.Uint64
 	released atomic.Uint64
 	expired  atomic.Uint64
+	// forceExpired counts leases the drain path gave up waiting for: a
+	// lease whose in-flight run outlived the drain budget is removed
+	// from the table and its machine abandoned (never parked mid-run).
+	forceExpired atomic.Uint64
 }
 
 func newLeaseTable(maxLeases int, maxIdle time.Duration) *leaseTable {
@@ -118,8 +123,18 @@ func (t *leaseTable) reap() {
 	}
 }
 
-// releaseAll hands every active lease back (graceful drain).
-func (t *leaseTable) releaseAll() {
+// releaseAll hands every active lease back (graceful drain), bounded
+// by ctx. The pre-fix behaviour blocked unconditionally on each lease's
+// operation lock: one wedged /run step (up to 500M instructions) made
+// SIGTERM hang past its drain budget, so leases held at shutdown were
+// effectively never released and the pool's idle/evicted accounting
+// never saw their machines. Now a lease whose in-flight operation
+// outlives ctx is *force-expired*: removed from the table immediately
+// and counted in ForceExpired; when its operation eventually finishes,
+// the machine is abandoned rather than parked (a machine must never
+// join the warm pool mid-run — and the pool has already been evicted by
+// then). Pinned by TestDrainForceExpiresWedgedLease.
+func (t *leaseTable) releaseAll(ctx context.Context) {
 	t.mu.Lock()
 	all := make([]*lease, 0, len(t.leases))
 	for id, l := range t.leases {
@@ -128,11 +143,36 @@ func (t *leaseTable) releaseAll() {
 	}
 	t.mu.Unlock()
 	for _, l := range all {
-		l.mu.Lock()
-		l.m.Release()
-		l.released = true
-		l.mu.Unlock()
-		t.released.Add(1)
+		// Fast path: an idle lease (no operation in flight) releases
+		// synchronously even when ctx has already expired — only leases
+		// whose operation lock is actually held get the bounded wait, so
+		// a drain whose budget was eaten by the in-flight-job phase does
+		// not mislabel healthy leases as wedged.
+		if l.mu.TryLock() {
+			l.m.Release()
+			l.released = true
+			l.mu.Unlock()
+			t.released.Add(1)
+			continue
+		}
+		abandon := new(atomic.Bool)
+		done := make(chan struct{})
+		go func(l *lease) {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			l.released = true
+			if !abandon.Load() {
+				l.m.Release()
+			}
+			close(done)
+		}(l)
+		select {
+		case <-done:
+			t.released.Add(1)
+		case <-ctx.Done():
+			abandon.Store(true)
+			t.forceExpired.Add(1)
+		}
 	}
 }
 
@@ -142,10 +182,11 @@ func (t *leaseTable) stats() client.LeaseStats {
 	active := len(t.leases)
 	t.mu.Unlock()
 	return client.LeaseStats{
-		Active:   active,
-		Issued:   t.issued.Load(),
-		Released: t.released.Load(),
-		Expired:  t.expired.Load(),
+		Active:       active,
+		Issued:       t.issued.Load(),
+		Released:     t.released.Load(),
+		Expired:      t.expired.Load(),
+		ForceExpired: t.forceExpired.Load(),
 	}
 }
 

@@ -104,9 +104,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Drain stops admitting work, waits for in-flight jobs (bounded by
-// ctx), hands every active lease back to the pool and evicts the pool's
-// idle machines. After Drain the Server answers reads but rejects all
-// mutating requests with 503.
+// ctx), hands every active lease back to the pool — force-expiring
+// leases whose operations outlive the budget, so Drain itself always
+// returns within it — and evicts the pool's idle machines. After Drain
+// the Server answers reads but rejects all mutating requests with 503.
 func (s *Server) Drain(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining = true
@@ -123,7 +124,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 	}
-	s.leases.releaseAll()
+	s.leases.releaseAll(ctx)
 	s.cfg.Pool.EvictIdle(0)
 	if s.cfg.Pool != snapshot.Shared {
 		// Experiments and campaigns park machines in the shared pool
@@ -132,6 +133,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	return err
 }
+
+// LeaseStats snapshots the lease lifecycle counters (the daemon logs
+// them after a drain).
+func (s *Server) LeaseStats() client.LeaseStats { return s.leases.stats() }
 
 // beginJob admits one mutating request unless the daemon is draining.
 // The matching endJob must run when the work finishes.
@@ -258,7 +263,9 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 
 	var buf strings.Builder
 	t0 := time.Now()
-	stats, err := figures.RunAllContext(ctx, &buf, req.IDs, req.Parallel)
+	stats, err := figures.RunAllWith(ctx, &buf, figures.RunOptions{
+		IDs: req.IDs, Parallel: req.Parallel, CPUs: req.CPUs,
+	})
 	if err != nil {
 		failRun(w, err)
 		return
@@ -314,6 +321,7 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		Seed:      req.Seed,
 		Parallel:  req.Parallel,
 		Levels:    req.Levels,
+		CPUs:      req.CPUs,
 	})
 	if err != nil {
 		failRun(w, err)
@@ -347,6 +355,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		Seed:             req.Seed,
 		FailureThreshold: req.FailureThreshold,
 		Compat:           req.Compat,
+		CPUs:             req.CPUs,
 	})
 	key := snapshot.KeyForOptions(kopts)
 

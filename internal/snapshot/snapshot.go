@@ -100,9 +100,9 @@ func KeyForOptions(opts kernel.Options) string {
 	if thr == 0 {
 		thr = kernel.DefaultFailureThreshold
 	}
-	return fmt.Sprintf("scheme=%d fwd=%t dfi=%t zmod=%t seed=%d thr=%d compat=%t v80=%t",
+	return fmt.Sprintf("scheme=%d fwd=%t dfi=%t zmod=%t seed=%d thr=%d compat=%t v80=%t cpus=%d",
 		cfg.Scheme, cfg.ForwardCFI, cfg.DFI, cfg.ZeroModifier,
-		opts.Seed, thr, bool(opts.Compat), opts.V80)
+		opts.Seed, thr, bool(opts.Compat), opts.V80, cfg.CPUs())
 }
 
 // BootOptions returns a boot closure for Pool.Acquire that builds,

@@ -354,3 +354,69 @@ func TestWarmFastPathAcrossCaptureAndReset(t *testing.T) {
 		t.Fatalf("reset fork re-run diverged:\nwant %+v\n got %+v", wantFP, got)
 	}
 }
+
+// TestSMPWarmPointerVsSiblingReset: host pointers warmed before a
+// capture must not survive into (or be corrupted by) sibling-fork
+// activity. The origin machine runs a workload (warming its host-pointer
+// TLB into the pages that later become the shared copy-on-write base),
+// is captured, and two forks proceed concurrently: fork A runs the
+// fixture while fork B is repeatedly reset and re-run. Every observable
+// fingerprint must match the sequential control — a warm pointer leaking
+// through the shared frozen base from one machine into another (or a
+// Reset tearing pages out from under a sibling) would diverge the
+// fingerprints, and -race would flag any unsynchronized generation
+// plumbing.
+func TestSMPWarmPointerVsSiblingReset(t *testing.T) {
+	origin := bootFull(t, 77)
+	_ = runFixture(t, origin) // warm the origin's host pointers pre-capture
+	snap := Take(origin)
+
+	// Sequential control: what one pristine fork observes.
+	control, err := snap.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runFixture(t, control)
+
+	a, err := snap.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := snap.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var gotA fingerprint
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		gotA = runFixture(t, a)
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			fp := runFixture(t, b)
+			if fp != want {
+				t.Errorf("sibling run %d diverged: %+v != %+v", i, fp, want)
+				return
+			}
+			if err := snap.Reset(b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if gotA != want {
+		t.Fatalf("fork A diverged under concurrent sibling resets: %+v != %+v", gotA, want)
+	}
+	// The origin, whose pre-capture warm pointers referenced pages that
+	// are now the shared base, must re-arm against its own overlay: its
+	// rerun lands exactly where the pristine forks did (forking is
+	// exact), and its post-capture writes must never have leaked through
+	// the frozen base into the forks above.
+	if fp := runFixture(t, origin); fp != want {
+		t.Fatalf("origin rerun diverged from pristine forks: %+v != %+v", fp, want)
+	}
+}

@@ -205,15 +205,20 @@ func Run(cfg func() *codegen.Config, level string, w Workload) (Result, error) {
 
 // RunSuite measures all workloads under the three Figure 4 levels and
 // fills in relative costs.
-func RunSuite() ([]Result, error) { return runSuite(false) }
+func RunSuite() ([]Result, error) { return runSuite(false, 1) }
 
 // RunSuiteParallel is RunSuite with one goroutine per (workload, level)
 // cell, each on its own isolated machine (a copy-on-write fork from the
 // warm pool). Relative costs are filled in afterwards from the completed
 // grid, so results match RunSuite exactly.
-func RunSuiteParallel() ([]Result, error) { return runSuite(true) }
+func RunSuiteParallel() ([]Result, error) { return runSuite(true, 1) }
 
-func runSuite(parallel bool) ([]Result, error) {
+// RunSuiteCPUs is RunSuite on machines with the given vCPU count.
+func RunSuiteCPUs(parallel bool, cpus int) ([]Result, error) {
+	return runSuite(parallel, cpus)
+}
+
+func runSuite(parallel bool, cpus int) ([]Result, error) {
 	levels := []struct {
 		Name string
 		Cfg  func() *codegen.Config
@@ -228,7 +233,7 @@ func runSuite(parallel bool) ([]Result, error) {
 		w := workloads[idx/len(levels)]
 		lv := levels[idx%len(levels)]
 		var err error
-		out[idx], err = Run(lv.Cfg, lv.Name, w)
+		out[idx], err = Run(codegen.WithCPUs(lv.Cfg, cpus), lv.Name, w)
 		return err
 	})
 	if err != nil {
