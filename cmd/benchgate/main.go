@@ -17,6 +17,26 @@
 //     -exec-regress): same-machine-class regressions beyond the budget
 //     fail the gate.
 //
+//   - the superblock-pipeline speedup against a committed reference
+//     trajectory (-speedup-ref, -speedup-floor): the none/fastpath ns/op
+//     must beat the reference by the floor after normalizing by the
+//     none/baseline canary — the NoBlockCache interpreter is untouched
+//     code, so its drift measures machine speed, not the pipeline. This
+//     gate compares the MINIMUM across -count repeats on both sides:
+//     microbenchmark noise is additive (a bursty neighbour slows a
+//     repeat, never speeds it), so the minimum estimates quiet-machine
+//     performance where the median wobbles by tens of percent on a
+//     shared host. Every ns/op ratio gate in this command takes minima
+//     for the same reason — a burst during one phase of the run must
+//     not move a ratio the code didn't change.
+//
+//   - parallel-SMP scaling (-parallel-scale): on a multi-core bench
+//     host, the truly-parallel 2-vCPU ExecThroughput variant must
+//     deliver the floor's multiple of single-core aggregate instr/s.
+//     The gate reads the bench host's parallelism from the -N
+//     GOMAXPROCS name suffix, so a single-core bench host skips it
+//     loudly rather than failing spuriously.
+//
 // Usage:
 //
 //	go test -run '^$' -bench '...' -benchtime=3x -count=3 -benchmem . | tee bench.txt
@@ -54,12 +74,14 @@ type trajectory struct {
 	GOARCH        string `json:"goarch"`
 	NumCPU        int    `json:"num_cpu"`
 
-	// ForkVsBoot is mean(boot+run ns/op) / mean(fork+run ns/op); Floor
-	// the gate it must clear.
+	// ForkVsBoot is min(boot+run ns/op) / min(fork+run ns/op) across
+	// the -count repeats (each side's quietest repeat — see the package
+	// comment for why ratios are taken over minima); Floor the gate it
+	// must clear.
 	ForkVsBoot float64 `json:"fork_vs_boot"`
 	Floor      float64 `json:"floor"`
 
-	// MemFastPath is mean(buspath ns/op) / mean(hostptr ns/op) for
+	// MemFastPath is min(buspath ns/op) / min(hostptr ns/op) for
 	// BenchmarkMemFastPath (0 when the benchmark was not run);
 	// MemFastFloor the gate it must clear.
 	MemFastPath  float64 `json:"mem_fast_path,omitempty"`
@@ -71,11 +93,27 @@ type trajectory struct {
 	ExecAllocs *float64 `json:"exec_allocs_per_op,omitempty"`
 	MaxAllocs  float64  `json:"max_allocs,omitempty"`
 
-	// ExecVsBase maps each fastpath ExecThroughput variant to its ns/op
-	// ratio against the -baseline trajectory (present only when the
-	// regression gate ran).
+	// ExecVsBase maps each fastpath ExecThroughput variant to its
+	// min-ns/op ratio against the -baseline trajectory (present only
+	// when the regression gate ran).
 	ExecVsBase map[string]float64 `json:"exec_vs_baseline,omitempty"`
 
+	// SpeedupVsRef is the canary-normalized none/fastpath speedup over
+	// the -speedup-ref trajectory; SpeedupFloor the gate it must clear
+	// (both 0 when the gate did not run).
+	SpeedupVsRef float64 `json:"speedup_vs_ref,omitempty"`
+	SpeedupFloor float64 `json:"speedup_floor,omitempty"`
+
+	// ParallelScale2/4 are aggregate-throughput multiples of the
+	// truly-parallel 2- and 4-vCPU ExecThroughput variants over
+	// single-core none/fastpath, measured within one run (0 when not
+	// run); ParallelFloor gates the 2-vCPU value on multi-core hosts.
+	ParallelScale2 float64 `json:"parallel_scale_2,omitempty"`
+	ParallelScale4 float64 `json:"parallel_scale_4,omitempty"`
+	ParallelFloor  float64 `json:"parallel_floor,omitempty"`
+
+	// Entries is the aggregated result set: one median entry per
+	// benchmark (the -count repeats collapse via benchparse.Aggregate).
 	Entries []benchparse.Entry `json:"entries"`
 }
 
@@ -106,6 +144,10 @@ var execFastpathVariants = []string{
 	"BenchmarkExecThroughput/full/fastpath",
 	"BenchmarkExecThroughput/none/fastpath-2cpu",
 	"BenchmarkExecThroughput/full/fastpath-2cpu",
+	// The truly-parallel engine must hold the same steady-state budget:
+	// its per-Run setup (goroutines, the stop array) amortizes to zero
+	// across a benchmark's instruction budget.
+	"BenchmarkExecThroughput/none/parallel-2cpu",
 }
 
 func main() {
@@ -123,6 +165,17 @@ func main() {
 		"max fractional ns/op regression vs -baseline for the fastpath BenchmarkExecThroughput "+
 			"variants (0 disables; only applied when the baseline's go/arch metadata matches this run, "+
 			"since cross-machine ns/op is noise, not signal)")
+	speedupRef := flag.String("speedup-ref", "",
+		"reference trajectory document for the canary-normalized speedup gate: the committed "+
+			"pre-optimization BENCH_results.json the superblock pipeline is measured against (empty disables)")
+	speedupFloor := flag.Float64("speedup-floor", 0,
+		"minimum canary-normalized speedup of BenchmarkExecThroughput/none/fastpath over -speedup-ref "+
+			"(0 disables). Normalization divides out machine-speed drift using the untouched "+
+			"none/baseline interpreter: ref_fast/cur_fast * cur_base/ref_base")
+	parallelScale := flag.Float64("parallel-scale", 0,
+		"minimum aggregate-throughput multiple of the parallel-2cpu ExecThroughput variant over "+
+			"single-core none/fastpath (0 disables; gated only when the bench host ran with "+
+			"GOMAXPROCS >= 2, as recorded in the benchmark name suffix)")
 	requireBaseline := flag.Bool("require-baseline", os.Getenv("CI") != "",
 		"fail hard — instead of warning and passing — when the -baseline document is missing or "+
 			"unparseable, or when a gate's benchmarks are absent from the input (the loud self-disable "+
@@ -151,16 +204,30 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	entries, err := benchparse.Parse(r)
+	parsed, err := benchparse.Parse(r)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(entries) == 0 {
+	if len(parsed) == 0 {
 		log.Fatal("benchgate: no benchmark results in input")
 	}
+	// Collapse the -count repeats to one median entry per benchmark: the
+	// gates below then compare medians, and the trajectory document
+	// carries a single entry per name instead of duplicates.
+	entries := benchparse.Aggregate(parsed)
+	// The bench host's parallelism comes from the GOMAXPROCS name
+	// suffix, not from this process — benchgate may evaluate output
+	// produced on a different machine.
+	benchCPUs := benchparse.MaxNumCPU(entries)
+	if benchCPUs == 0 {
+		benchCPUs = runtime.NumCPU()
+	}
 
-	boot, okBoot := benchparse.MeanNsPerOp(entries, "BenchmarkForkVsBoot/boot+run")
-	fork, okFork := benchparse.MeanNsPerOp(entries, "BenchmarkForkVsBoot/fork+run")
+	// Min-of-repeats throughout the ns/op ratio gates: each side's
+	// quietest repeat, so a load burst during one phase of the run
+	// cannot squeeze (or inflate) a ratio the code didn't change.
+	boot, okBoot := benchparse.MinNsPerOp(entries, "BenchmarkForkVsBoot/boot+run")
+	fork, okFork := benchparse.MinNsPerOp(entries, "BenchmarkForkVsBoot/fork+run")
 	if !okBoot || !okFork {
 		log.Fatal("benchgate: BenchmarkForkVsBoot results missing (run it with -bench)")
 	}
@@ -173,8 +240,8 @@ func main() {
 	// say so loudly, so a CI regex typo that drops the benchmark cannot
 	// silently turn the gate off behind a green build.
 	var memRatio float64
-	bus, okBus := benchparse.MeanNsPerOp(entries, "BenchmarkMemFastPath/buspath")
-	host, okHost := benchparse.MeanNsPerOp(entries, "BenchmarkMemFastPath/hostptr")
+	bus, okBus := benchparse.MinNsPerOp(entries, "BenchmarkMemFastPath/buspath")
+	host, okHost := benchparse.MinNsPerOp(entries, "BenchmarkMemFastPath/hostptr")
 	switch {
 	case okBus && okHost:
 		if host <= 0 {
@@ -235,8 +302,8 @@ func main() {
 					base.GoVersion, runtime.Version())
 			}
 			for _, name := range execFastpathVariants {
-				cur, okCur := benchparse.MeanNsPerOp(entries, name)
-				prev, okPrev := benchparse.MeanNsPerOp(base.Entries, name)
+				cur, okCur := benchparse.MinNsPerOp(entries, name)
+				prev, okPrev := benchparse.MinNsPerOp(base.Entries, name)
 				if !okCur || !okPrev || prev <= 0 {
 					disable("%s absent from run or baseline; its regression gate is NOT running", name)
 					continue
@@ -253,20 +320,99 @@ func main() {
 		}
 	}
 
+	// Canary-normalized speedup gate: the superblock pipeline must beat
+	// the committed reference trajectory. Machine-speed drift between
+	// the reference host and this one is divided out with the untouched
+	// NoBlockCache interpreter (none/baseline) as the canary.
+	const (
+		fastName = "BenchmarkExecThroughput/none/fastpath"
+		baseName = "BenchmarkExecThroughput/none/baseline"
+	)
+	var speedup float64
+	if *speedupRef != "" && *speedupFloor > 0 {
+		ref, err := loadBaseline(*speedupRef)
+		if err != nil {
+			disable("speedup reference %s unusable (%v); the speedup gate is NOT running", *speedupRef, err)
+		} else {
+			// Minimum of the -count repeats on both sides (see the package
+			// comment): an old-format reference without min_ns_per_op falls
+			// back to its stored ns/op inside MinNsPerOp.
+			curFast, ok1 := benchparse.MinNsPerOp(entries, fastName)
+			curBase, ok2 := benchparse.MinNsPerOp(entries, baseName)
+			refFast, ok3 := benchparse.MinNsPerOp(ref.Entries, fastName)
+			refBase, ok4 := benchparse.MinNsPerOp(ref.Entries, baseName)
+			if !ok1 || !ok2 || !ok3 || !ok4 || curFast <= 0 || refBase <= 0 {
+				disable("fastpath/baseline pair missing from run or reference; the speedup gate is NOT running")
+			} else {
+				speedup = refFast / curFast * (curBase / refBase)
+				fmt.Printf("benchgate: none/fastpath min %.2f ns/op vs reference %.2f; canary min %.1f vs %.1f → "+
+					"normalized speedup %.2fx (floor %.2fx)\n",
+					curFast, refFast, curBase, refBase, speedup, *speedupFloor)
+				if speedup < *speedupFloor {
+					fmt.Printf("benchgate: FAIL — superblock pipeline speedup below the %.2fx floor\n", *speedupFloor)
+					failed = true
+				}
+			}
+		}
+	}
+
+	// Parallel-SMP scaling gate: aggregate instr/s of the truly-parallel
+	// variants against single-core, within this one run (no cross-run
+	// normalization needed). ns/op is host time per simulated
+	// instruction of the whole budget, so the throughput multiple is the
+	// plain ns/op ratio. Only the bench host's real parallelism makes
+	// the 2-vCPU floor meaningful.
+	var scale2, scale4 float64
+	if *parallelScale > 0 {
+		// Minima again: the ratio of each variant's quietest repeat is the
+		// cleanest scaling estimate a noisy host can produce.
+		curFast, okFast := benchparse.MinNsPerOp(entries, fastName)
+		par2, okPar2 := benchparse.MinNsPerOp(entries, fastName[:len(fastName)-len("fastpath")]+"parallel-2cpu")
+		par4, okPar4 := benchparse.MinNsPerOp(entries, fastName[:len(fastName)-len("fastpath")]+"parallel-4cpu")
+		if okPar4 && par4 > 0 && okFast {
+			scale4 = curFast / par4
+		}
+		switch {
+		case !okFast || !okPar2 || par2 <= 0:
+			disable("parallel-2cpu/fastpath pair missing; the parallel scaling gate is NOT running")
+		case benchCPUs < 2:
+			fmt.Fprintf(os.Stderr,
+				"benchgate: note — bench host ran at GOMAXPROCS=%d; parallel scaling recorded but not gated\n",
+				benchCPUs)
+			scale2 = curFast / par2
+		default:
+			scale2 = curFast / par2
+			fmt.Printf("benchgate: parallel 2-vCPU aggregate throughput %.2fx single-core (floor %.2fx", scale2, *parallelScale)
+			if scale4 > 0 {
+				fmt.Printf("; 4-vCPU %.2fx", scale4)
+			}
+			fmt.Println(")")
+			if scale2 < *parallelScale {
+				fmt.Printf("benchgate: FAIL — parallel 2-vCPU scaling below the %.2fx floor\n", *parallelScale)
+				failed = true
+			}
+		}
+	}
+
 	doc := trajectory{
-		GeneratedUnix: time.Now().Unix(),
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-		NumCPU:        runtime.NumCPU(),
-		ForkVsBoot:    ratio,
-		Floor:         *floor,
-		MemFastPath:   memRatio,
-		MemFastFloor:  *memfastFloor,
-		ExecAllocs:    execAllocs,
-		MaxAllocs:     *maxAllocs,
-		ExecVsBase:    execVsBase,
-		Entries:       entries,
+		GeneratedUnix:  time.Now().Unix(),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         benchCPUs,
+		ForkVsBoot:     ratio,
+		Floor:          *floor,
+		MemFastPath:    memRatio,
+		MemFastFloor:   *memfastFloor,
+		ExecAllocs:     execAllocs,
+		MaxAllocs:      *maxAllocs,
+		ExecVsBase:     execVsBase,
+		SpeedupVsRef:   speedup,
+		SpeedupFloor:   *speedupFloor,
+		ParallelScale2: scale2,
+		ParallelScale4: scale4,
+		ParallelFloor:  *parallelScale,
+		Entries:        entries,
 	}
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(doc, "", "  ")

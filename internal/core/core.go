@@ -88,6 +88,13 @@ type Options struct {
 	// CPUs is the vCPU count of the machine (0/1: uniprocessor,
 	// bit-identical to pre-SMP builds; up to kernel.MaxCPUs).
 	CPUs int
+	// Parallel runs a multi-core machine truly in parallel — one
+	// goroutine per vCPU — instead of the deterministic round-robin
+	// scheduler. Runtime-only: it does not enter the build or the
+	// snapshot pool key, so parallel and deterministic requests share
+	// warm pool entries. See kernel.Kernel.Parallel for the memory-model
+	// contract.
+	Parallel bool
 }
 
 // System is a booted Camouflage machine.
@@ -136,6 +143,7 @@ func New(level ProtectionLevel, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	k.Parallel = opts.Parallel
 	return &System{Kernel: k, Level: level}, nil
 }
 
@@ -197,6 +205,7 @@ func ReplicateContext(ctx context.Context, level ProtectionLevel, opts Options, 
 		if err != nil {
 			return err
 		}
+		k.Parallel = opts.Parallel
 		systems[i] = &System{Kernel: k, Level: level}
 		return nil
 	})

@@ -163,6 +163,19 @@ type CPU struct {
 	// ChainFollows counts block transitions served by a direct chain edge
 	// instead of a full fetchBlock (diagnostics).
 	ChainFollows uint64
+	// TracesBuilt counts superblock traces fused from hot chains;
+	// TraceFollows counts trace entries served by runTrace (diagnostics;
+	// see superblock.go).
+	TracesBuilt  uint64
+	TraceFollows uint64
+
+	// ibtb is the direct-mapped indirect-branch target cache: memoized
+	// fetchBlock resolutions for the transitions direct chaining cannot
+	// cover (BR/BLR/RET and the authenticated forms, ERET returns,
+	// exception-vector entries), keyed by the low bits of the target PC.
+	// Each slot is an ordinary chainEdge, so the same chainValid contract
+	// — and the same severing conditions — apply on every hit.
+	ibtb [ibtbSize]chainEdge
 
 	// sgenPN/sgenCell are a tiny direct-mapped memo of cluster cell
 	// lookups for the store fast path: stores cluster on a handful of
@@ -200,6 +213,10 @@ type codeBlock struct {
 	// straight-line run spilling past the page boundary / size cap),
 	// taken the immediate-target branch exit (B, BL, B.cond, CBZ, CBNZ).
 	fall, taken chainEdge
+	// heat counts entries into the block; at hotThreshold the chain
+	// starting here is fused into tr, a superblock trace (superblock.go).
+	heat uint32
+	tr   *trace
 }
 
 // chainEdge is a memoized fetchBlock result: "starting PC e.pc resolved
@@ -336,8 +353,14 @@ func (c *CPU) SetSP(el int, v uint64) { c.sp[el] = v }
 // CurrentSP returns the active stack pointer.
 func (c *CPU) CurrentSP() uint64 { return c.sp[c.EL] }
 
-// keyFor maps a PAuth key system register to (key id, is-high-half).
+// keyFor maps a PAuth key system register to (key id, is-high-half). The
+// ten key registers occupy a contiguous encoding range (op0=3, op1=0,
+// CRn=2, CRm=1..3), so every other register — including the ESR/ELR/SPSR
+// traffic of a hot trap path — is rejected with two compares.
 func keyFor(r insn.SysReg) (pac.KeyID, bool, bool) {
+	if r < insn.APIAKeyLo_EL1 || r > insn.APGAKeyHi_EL1 {
+		return 0, false, false
+	}
 	switch r {
 	case insn.APIAKeyLo_EL1:
 		return pac.KeyIA, false, true
@@ -659,7 +682,21 @@ func (c *CPU) InvalidateDecode() {
 	c.blocks = make(map[uint64]*codeBlock)
 	c.cluster.invalidateAll()
 	c.legacyDecode = nil
+	c.ibtb = [ibtbSize]chainEdge{}
 	c.clearStoreGenMemo()
+}
+
+// LiveTraces counts the superblock traces currently attached to this
+// CPU's cached blocks (tests and diagnostics: a fork or reset must come
+// up with none).
+func (c *CPU) LiveTraces() int {
+	live := 0
+	for _, b := range c.blocks {
+		if b.tr != nil {
+			live++
+		}
+	}
+	return live
 }
 
 // TakeException vectors to EL1. kind is a Vec* offset, ec the exception

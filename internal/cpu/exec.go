@@ -121,6 +121,22 @@ func (c *CPU) Run(maxInstrs uint64) Stop {
 			continue
 		}
 		if b == nil {
+			// Probe the indirect-branch target cache first: a computed
+			// transfer (SVC/exception vector entry, ERET return, BR/BLR/
+			// RET target — including a superblock side exit through one)
+			// that already resolved to this PC under this regime skips
+			// the Translate + block-map fetch entirely. A miss falls
+			// through to the fetch, which resolves into the slot.
+			if slot := &c.ibtb[(c.PC>>2)&(ibtbSize-1)]; c.chainValid(slot) {
+				c.ChainFollows++
+				b = slot.to
+				blockVA = c.PC
+				pending = nil
+			} else if pending == nil {
+				pending, pendPC = slot, c.PC
+			}
+		}
+		if b == nil {
 			var fault *mmu.Fault
 			var err error
 			b, fault, err = c.fetchBlock()
@@ -143,6 +159,31 @@ func (c *CPU) Run(maxInstrs uint64) Stop {
 					c.resolveChain(pending, c.PC, b)
 				}
 				pending = nil
+			}
+		}
+		// Superblock path: a hot block carries a fused trace — run it if
+		// its validity clauses hold and the budget covers one body (the
+		// remainder runs block-by-block below). A trace whose constituent
+		// code went stale is dropped for a rebuild; a transient regime
+		// mismatch (context switch) keeps it. Tracing per retired
+		// instruction is incompatible with the inline dispatch loop, so
+		// an attached Tracer disables trace formation and entry entirely.
+		if c.tracer == nil {
+			if t := b.tr; t != nil {
+				if c.traceValid(t, blockVA) {
+					if maxInstrs-n >= uint64(len(t.instrs)) {
+						stop, done := c.runTrace(t, &n, maxInstrs)
+						if done {
+							return stop
+						}
+						b, pending = nil, nil
+						continue
+					}
+				} else if traceStale(t) {
+					b.tr, b.heat = nil, 0
+				}
+			} else if b.heat++; b.heat == hotThreshold {
+				c.buildTrace(b, blockVA)
 			}
 		}
 		startGen := c.cluster.execGen.Load()
@@ -198,7 +239,10 @@ func (c *CPU) Run(maxInstrs uint64) Stop {
 		} else if directBranch(exited.instrs[last].Op) {
 			slot = &exited.taken
 		} else {
-			continue // SVC, ERET, indirect/authenticated branch, abort
+			// SVC, ERET, indirect/authenticated branch: no per-block
+			// edge can memoize a computed target — the ibtb probe at the
+			// top of the loop covers these transfers.
+			continue
 		}
 		if c.chainValid(slot) {
 			c.ChainFollows++

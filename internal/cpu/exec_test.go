@@ -565,8 +565,10 @@ func TestBankedSPAcrossELs(t *testing.T) {
 }
 
 // TestChainFollowsEngage: a hot loop's block-to-block transitions (the
-// backward conditional branch and the call's direct edge) must be served
-// by chain follows, not fresh fetches, once warm.
+// backward conditional branch) must be served by chain follows, not
+// fresh fetches, while warming — and once past the hotness threshold the
+// loop must be fused into a superblock trace that serves the remaining
+// iterations without any per-block work at all.
 func TestChainFollowsEngage(t *testing.T) {
 	c := runSnippet(t, nil, func(a *asm.Assembler) {
 		a.I(insn.MOVZ(insn.X5, 64, 0))
@@ -576,8 +578,12 @@ func TestChainFollowsEngage(t *testing.T) {
 		a.CBNZ(insn.X5, "loop")
 		a.I(insn.HLT(0))
 	})
-	if c.ChainFollows < 32 {
+	if c.ChainFollows < 8 {
 		t.Fatalf("ChainFollows = %d; direct chaining is not engaging", c.ChainFollows)
+	}
+	if c.TracesBuilt == 0 || c.TraceFollows == 0 {
+		t.Fatalf("TracesBuilt = %d, TraceFollows = %d; the hot loop was not fused into a trace",
+			c.TracesBuilt, c.TraceFollows)
 	}
 }
 

@@ -97,9 +97,19 @@ func emitPerCPUAddr(a *asm.Assembler, cfg *codegen.Config, rd insn.Reg) {
 
 // emitServiceCall invokes the host service device: code goes to the
 // doorbell; arguments must already be in the per-CPU slots. Clobbers x12
-// and x13.
-func emitServiceCall(a *asm.Assembler, code uint64) {
+// and x13. SMP images ring a per-CPU doorbell slot (SvcBase + cpu*8,
+// the core number from MPIDR_EL1.Aff0) so the host service layer can
+// attribute the call to the ringing core even when cores execute truly
+// in parallel; 1-vCPU images keep the plain offset-0 store and stay
+// bit-identical to pre-SMP builds.
+func emitServiceCall(a *asm.Assembler, cfg *codegen.Config, code uint64) {
 	emitMov64(a, insn.X12, SvcBase)
+	if cfg.CPUs() > 1 {
+		a.I(insn.MRS(insn.X13, insn.MPIDR_EL1))
+		a.I(insn.UBFX(insn.X13, insn.X13, 0, 8)) // Aff0: core number
+		a.I(insn.LSLi(insn.X13, insn.X13, 3))
+		a.I(insn.ADDr(insn.X12, insn.X12, insn.X13))
+	}
 	a.I(insn.MOVZ(insn.X13, uint16(code), 0))
 	a.I(insn.STR(insn.X13, insn.X12, 0))
 }
@@ -277,7 +287,7 @@ func emitEL0Sync(a *asm.Assembler, cfg *codegen.Config, protected bool, mode boo
 	a.I(insn.STR(insn.X10, insn.X9, PerCPUFAR))
 	a.I(insn.MOVZ(insn.X13, 0, 0)) // arg0 = 0: user fault
 	a.I(insn.STR(insn.X13, insn.X9, PerCPUArg0))
-	emitServiceCall(a, SvcFault)
+	emitServiceCall(a, cfg, SvcFault)
 	a.B("after_fault")
 }
 
@@ -311,7 +321,7 @@ func emitEL1Sync(a *asm.Assembler, cfg *codegen.Config) {
 	a.I(insn.STR(insn.X10, insn.X9, PerCPUFAR))
 	a.I(insn.MOVZ(insn.X13, 1, 0)) // arg0 = 1: kernel fault
 	a.I(insn.STR(insn.X13, insn.X9, PerCPUArg0))
-	emitServiceCall(a, SvcFault)
+	emitServiceCall(a, cfg, SvcFault)
 
 	a.Label("after_fault")
 	// The service decided: halt (1 = orderly, 2 = panic), or switch to

@@ -2,6 +2,8 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"camouflage/internal/asm"
 	"camouflage/internal/boot"
@@ -67,7 +69,11 @@ type Task struct {
 }
 
 type pipeState struct {
+	// buf[r:] is the unread data. The read cursor (instead of reslicing
+	// buf forward) lets a drained pipe reuse its backing array: the
+	// write fast path appends in place, allocation-free at steady state.
 	buf []byte
+	r   int
 }
 
 // fileState mirrors one open struct file.
@@ -134,17 +140,27 @@ type Kernel struct {
 	Halted bool
 
 	// ServiceCalls counts service invocations by code (diagnostics).
-	ServiceCalls map[uint64]uint64
+	// Indexed by service code; dense so the dispatch loop counts with an
+	// array store instead of a map insert.
+	ServiceCalls [SvcMax]uint64
 
 	// BootCycles is the cycle count consumed by start_kernel.
 	BootCycles uint64
+
+	// Parallel opts a multi-core machine into truly-parallel execution:
+	// Run drives one goroutine per unparked core instead of the
+	// deterministic round-robin scheduler. Runtime-only — it is not part
+	// of the built image or any snapshot key, so the same machine (or
+	// snapshot pool entry) can be run both ways. See runParallel for the
+	// memory-model contract.
+	Parallel bool
 }
 
 // serviceCost models the cycle cost of the host-side portion of each
 // service (the un-instrumented kernel bookkeeping the service stands in
 // for; identical across protection levels, so it never inflates relative
 // overheads — see DESIGN.md).
-var serviceCost = map[uint64]uint64{
+var serviceCost = [SvcMax]uint64{
 	SvcOpen:      600,
 	SvcClose:     200,
 	SvcStat:      450,
@@ -172,10 +188,13 @@ func (d *svcDev) Name() string { return "kernsvc" }
 // Load implements mem.Device.
 func (d *svcDev) Load(offset uint64, size int) (uint64, error) { return 0, nil }
 
-// Store implements mem.Device.
+// Store implements mem.Device. The window is an array of per-CPU
+// doorbell slots, 8 bytes each: the slot offset identifies the ringing
+// core (SMP images derive it from MPIDR_EL1; 1-vCPU images always ring
+// slot 0, preserving the pre-SMP wire format).
 func (d *svcDev) Store(offset uint64, size int, v uint64) error {
-	if offset == 0 {
-		return d.k.service(v)
+	if offset&7 == 0 && offset < 8*MaxCPUs {
+		return d.k.serviceFrom(int(offset>>3), v)
 	}
 	return nil
 }
@@ -211,27 +230,26 @@ func New(opts Options) (*Kernel, error) {
 
 	c := cpu.New(cpu.Features{PAuth: !opts.V80})
 	k := &Kernel{
-		CPU:          c,
-		UART:         &mem.UART{},
-		Net:          &mem.NetDev{},
-		Blk:          mem.NewBlockDev(),
-		Cfg:          opts.Config,
-		Img:          img,
-		opts:         opts,
-		keys:         keys,
-		rng:          rng,
-		heapNext:     HeapBase,
-		nextPID:      1,
-		tasks:        make(map[int]*Task),
-		tables:       make(map[int]*mmu.Table),
-		programs:     make(map[int]*Program),
-		pipes:        make(map[uint64]*pipeState),
-		nextPipe:     1,
-		files:        make(map[uint64]*fileState),
-		extraOps:     make(map[int]uint64),
-		modNext:      ModuleBase,
-		Threshold:    opts.FailureThreshold,
-		ServiceCalls: make(map[uint64]uint64),
+		CPU:       c,
+		UART:      &mem.UART{},
+		Net:       &mem.NetDev{},
+		Blk:       mem.NewBlockDev(),
+		Cfg:       opts.Config,
+		Img:       img,
+		opts:      opts,
+		keys:      keys,
+		rng:       rng,
+		heapNext:  HeapBase,
+		nextPID:   1,
+		tasks:     make(map[int]*Task),
+		tables:    make(map[int]*mmu.Table),
+		programs:  make(map[int]*Program),
+		pipes:     make(map[uint64]*pipeState),
+		nextPipe:  1,
+		files:     make(map[uint64]*fileState),
+		extraOps:  make(map[int]uint64),
+		modNext:   ModuleBase,
+		Threshold: opts.FailureThreshold,
 	}
 
 	// Devices.
@@ -446,10 +464,25 @@ func (k *Kernel) readFaultInfo() (esr, far uint64) {
 	return
 }
 
+// serviceFrom dispatches a doorbell rung by a specific core. Under the
+// deterministic scheduler k.active already names the ringing core (the
+// scheduler sets it before running a quantum), so the assignment is a
+// no-op; in parallel mode it is what binds the service handlers to the
+// right per-CPU frame and current task. Callers in parallel mode hold
+// the bus service lock.
+func (k *Kernel) serviceFrom(cpu int, code uint64) error {
+	if cpu < len(k.CPUs) {
+		k.active = cpu
+	}
+	return k.service(code)
+}
+
 // service dispatches one host-service call from the guest.
 func (k *Kernel) service(code uint64) error {
-	k.ServiceCalls[code]++
-	k.cpu().Cycles += serviceCost[code]
+	if code < SvcMax {
+		k.ServiceCalls[code]++
+		k.cpu().Cycles += serviceCost[code]
+	}
 	switch code {
 	case SvcOpen:
 		k.svcOpen()
@@ -910,8 +943,10 @@ func (k *Kernel) svcPipeIO() {
 	ram := k.CPU.Bus.RAM
 	k.cpu().Cycles += n / 8 // copy cost
 	if write {
-		data := ram.ReadBytes(k.userPA(buf), int(n))
-		p.buf = append(p.buf, data...)
+		// Guest pages are appended straight into the pipe buffer — no
+		// intermediate copy, and at steady state (reader keeps up) no
+		// allocation either: a drained buffer is rewound and reused.
+		p.buf = ram.AppendBytes(p.buf, k.userPA(buf), int(n))
 		// Wake any blocked reader.
 		for _, t := range k.tasks {
 			if t.State == TaskBlocked {
@@ -921,21 +956,25 @@ func (k *Kernel) svcPipeIO() {
 		k.setRet(0, n)
 		return
 	}
-	if len(p.buf) == 0 {
+	avail := uint64(len(p.buf) - p.r)
+	if avail == 0 {
 		k.setRet(0, errno(-11)) // -EAGAIN: guest blocks
 		return
 	}
-	if n > uint64(len(p.buf)) {
-		n = uint64(len(p.buf))
+	if n > avail {
+		n = avail
 	}
-	ram.WriteBytes(k.userPA(buf), p.buf[:n])
-	p.buf = p.buf[n:]
+	ram.WriteBytes(k.userPA(buf), p.buf[p.r:p.r+int(n)])
+	p.r += int(n)
+	if p.r == len(p.buf) {
+		p.buf, p.r = p.buf[:0], 0
+	}
 	k.setRet(0, n)
 }
 
 func (k *Kernel) svcPoll() {
 	id := k.arg(0)
-	if p := k.pipes[id]; p != nil && len(p.buf) > 0 {
+	if p := k.pipes[id]; p != nil && len(p.buf) > p.r {
 		k.setRet(0, 1)
 		return
 	}
@@ -1167,7 +1206,100 @@ func (k *Kernel) Run(maxInstrs uint64) cpu.Stop {
 		k.active = 0
 		return k.CPU.Run(maxInstrs)
 	}
+	if k.Parallel {
+		return k.runParallel(maxInstrs)
+	}
 	return k.runSMP(maxInstrs)
+}
+
+// runParallel executes every unparked core on its own goroutine over the
+// shared bus: the opt-in truly-parallel mode. The cores pull fixed
+// quanta from one shared instruction budget and run concurrently;
+// devices and the kernel service layer are serialized at the bus
+// (mem.Bus.SetParallel), page faults take the RAM page lock, and the
+// cluster's atomic generation cells — the same shootdown protocol the
+// deterministic scheduler uses — keep decoded blocks, traces and host
+// TLB pointers coherent across cores.
+//
+// The memory model matches real hardware more than the round-robin
+// scheduler does: instruction interleaving is nondeterministic, so only
+// guest workloads that are data-race-free (no unsynchronized cross-core
+// stores to shared guest pages) produce well-defined results, and
+// host-side snapshot operations (Fork/Reset/Freeze) as well as kernel
+// map/unmap of guest-visible pages must not run during the phase. The
+// deterministic scheduler remains the default; see DESIGN.md §10.
+func (k *Kernel) runParallel(maxInstrs uint64) cpu.Stop {
+	bus := k.CPU.Bus
+	bus.SetParallel(true)
+	defer bus.SetParallel(false)
+
+	var budget atomic.Int64
+	budget.Store(int64(maxInstrs))
+	var stopAll atomic.Bool
+	stops := make([]cpu.Stop, len(k.CPUs))
+	var wg sync.WaitGroup
+	for i := range k.CPUs {
+		if k.parked[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := k.CPUs[i]
+			for !stopAll.Load() {
+				avail := budget.Load()
+				if avail <= 0 {
+					return
+				}
+				slice := int64(SMPQuantum)
+				if slice > avail {
+					slice = avail
+				}
+				if !budget.CompareAndSwap(avail, avail-slice) {
+					continue
+				}
+				before := c.Retired
+				stop := c.Run(uint64(slice))
+				if used := int64(c.Retired - before); used < slice {
+					budget.Add(slice - used)
+				}
+				switch stop.Kind {
+				case cpu.StopError:
+					stops[i] = stop
+					stopAll.Store(true)
+					return
+				case cpu.StopHLT:
+					// The core finished (workload exit, park request,
+					// panic): it leaves the run. parked[i] is only ever
+					// written by the owning goroutine here and read
+					// after the join below.
+					k.parked[i] = true
+					stops[i] = stop
+					bus.DevLock()
+					halted := k.Halted
+					bus.DevUnlock()
+					if i == 0 || halted {
+						stopAll.Store(true)
+					}
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	k.active = 0
+	// Boot-core stop wins (error or HLT), then any secondary error, then
+	// budget exhaustion — mirroring the deterministic scheduler's
+	// reporting.
+	if stops[0].Kind == cpu.StopHLT || stops[0].Kind == cpu.StopError {
+		return stops[0]
+	}
+	for _, s := range stops[1:] {
+		if s.Kind == cpu.StopError {
+			return s
+		}
+	}
+	return cpu.Stop{Kind: cpu.StopLimit}
 }
 
 func (k *Kernel) runSMP(maxInstrs uint64) cpu.Stop {

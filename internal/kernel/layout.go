@@ -205,6 +205,10 @@ const (
 	SvcWake      = 14 // arg0 = pid → mark runnable
 	SvcLog       = 15 // arg0 = value → host log
 	SvcSigreturn = 16 // restore the pre-signal ELR
+
+	// SvcMax bounds the service-code space: the dispatch fast path
+	// indexes cost and count arrays with it instead of hashing maps.
+	SvcMax = SvcSigreturn + 1
 )
 
 // Path ids for SvcOpen/SvcStat (a fixed namespace instead of string

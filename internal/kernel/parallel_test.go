@@ -1,0 +1,198 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"camouflage/internal/cpu"
+	"camouflage/internal/insn"
+)
+
+// sumProg builds a user program that folds a per-iteration accumulator
+// through iters getppid round trips, stores the final value to its own
+// user data page and exits. The result is a pure function of (iters,
+// salt) — independent of scheduling interleaving — so it serves as the
+// interleaving-tolerant observable for the parallel-vs-deterministic
+// differential tests below.
+func sumProg(iters uint16, salt uint64) func(u *UserASM) {
+	return func(u *UserASM) {
+		u.MovImm(insn.X5, uint64(iters))
+		u.MovImm(insn.X6, salt)
+		u.A.Label("loop")
+		u.A.I(insn.ADDr(insn.X6, insn.X6, insn.X5))
+		u.SyscallReg(SysGetppid)
+		u.A.I(insn.SUBi(insn.X5, insn.X5, 1))
+		u.A.CBNZ(insn.X5, "loop")
+		u.MovImm(insn.X9, UserDataBase)
+		u.A.I(insn.STR(insn.X6, insn.X9, 0))
+		u.Exit(0)
+	}
+}
+
+// drainRuns keeps issuing Run calls until every core is parked (or the
+// round bound trips): both schedulers return early when the boot core
+// halts, leaving secondaries mid-flight.
+func drainRuns(t *testing.T, k *Kernel, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		allParked := true
+		for i := 0; i < k.NumCPUs(); i++ {
+			if !k.Parked(i) {
+				allParked = false
+			}
+		}
+		if allParked {
+			return
+		}
+		stop := k.Run(20_000_000)
+		if stop.Kind == cpu.StopError {
+			t.Fatalf("run stopped with error: %+v", stop)
+		}
+	}
+	t.Fatal("cores never all parked")
+}
+
+// runComputeWorkloads boots an ncpu machine, pins one sumProg per core
+// with per-core parameters, runs to completion in the requested mode and
+// returns each task's stored result plus exit state.
+func runComputeWorkloads(t *testing.T, ncpu int, parallel bool) ([]uint64, []int) {
+	t.Helper()
+	k := bootSMP(t, ncpu, 21)
+	k.Parallel = parallel
+	tasks := make([]*Task, ncpu)
+	for i := 0; i < ncpu; i++ {
+		prog, err := BuildProgram(fmt.Sprintf("sum%d", i), sumProg(uint16(24+7*i), uint64(100+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.RegisterProgram(1+i, prog)
+		tsk, err := k.SpawnOn(i, 1+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks[i] = tsk
+	}
+	drainRuns(t, k, 50)
+	results := make([]uint64, ncpu)
+	states := make([]int, ncpu)
+	ram := k.CPU.Bus.RAM
+	for i := range results {
+		results[i] = ram.Read64(UVAToPA(tasks[i].PID, UserDataBase))
+		states[i] = tasks[i].State
+	}
+	return results, states
+}
+
+// TestParallelDifferentialCompute: identical per-core workloads run once
+// under the truly-parallel engine and once under the deterministic
+// round-robin scheduler, on separately booted same-seed machines. The
+// comparison is interleaving-tolerant — final per-task results and exit
+// states, never cycle or retirement counters (those legitimately differ
+// between schedulers). Exercised at 2 and 4 vCPUs; `-race` runs of this
+// test double as the data-race check on the shared Bus/Phys paths.
+func TestParallelDifferentialCompute(t *testing.T) {
+	for _, ncpu := range []int{2, 4} {
+		t.Run(fmt.Sprintf("%dcpu", ncpu), func(t *testing.T) {
+			parRes, parSt := runComputeWorkloads(t, ncpu, true)
+			detRes, detSt := runComputeWorkloads(t, ncpu, false)
+			for i := 0; i < ncpu; i++ {
+				if parSt[i] != TaskZombie {
+					t.Fatalf("parallel cpu%d task did not exit: state=%d", i, parSt[i])
+				}
+				if detSt[i] != TaskZombie {
+					t.Fatalf("deterministic cpu%d task did not exit: state=%d", i, detSt[i])
+				}
+				if parRes[i] != detRes[i] {
+					t.Fatalf("cpu%d result diverged: parallel=%#x deterministic=%#x",
+						i, parRes[i], detRes[i])
+				}
+				// The result is also closed-form: salt + sum(1..iters).
+				iters, salt := uint64(24+7*i), uint64(100+i)
+				if want := salt + iters*(iters+1)/2; parRes[i] != want {
+					t.Fatalf("cpu%d result wrong: got %#x want %#x", i, parRes[i], want)
+				}
+			}
+		})
+	}
+}
+
+// runPipeWorkload reproduces the cross-core pipe shape of
+// TestSMPCrossCorePipe under the requested scheduler: a producer on core
+// 0 opens a pipe and writes a payload, a consumer on core 1 blocks in
+// read until the producer's write wakes it. Returns the payload the
+// consumer observed. All pipe data moves host-side under the bus device
+// lock, so the guest side stays data-race-free by construction.
+func runPipeWorkload(t *testing.T, parallel bool) uint64 {
+	t.Helper()
+	k := bootSMP(t, 2, 23)
+	prod, err := BuildProgram("producer", func(u *UserASM) {
+		u.Syscall(SysPipe2, UserDataBase+0x100)
+		u.CounterLoop("delay", insn.X21, 30, func() {
+			u.SyscallReg(SysSchedYield)
+		})
+		u.MovImm(insn.X9, UserDataBase+0x100)
+		u.A.I(insn.LDR(insn.X0, insn.X9, 8)) // write fd
+		u.MovImm(insn.X1, UserDataBase)
+		u.MovImm(insn.X2, 8)
+		u.SyscallReg(SysWrite)
+		u.Exit(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterProgram(1, prod)
+	if _, err := k.SpawnOn(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Let the producer open the pipe under the deterministic scheduler,
+	// then clone its read fd into the consumer (host-side fd passing).
+	// The host-side RAM writes happen between Run calls, outside any
+	// parallel phase.
+	k.Run(300_000)
+
+	cons, err := BuildProgram("consumer", func(u *UserASM) {
+		u.Syscall(SysRead, 0, UserDataBase+0x40, 8)
+		u.Exit(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterProgram(2, cons)
+	consumer, err := k.SpawnOn(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prodTask := k.CurrentOn(0)
+	if prodTask == nil {
+		t.Fatal("producer not running")
+	}
+	ram := k.CPU.Bus.RAM
+	rfile := ram.Read64(KVAToPA(prodTask.Addr) + TaskFiles)
+	if rfile == 0 {
+		t.Fatal("producer pipe fd not open yet")
+	}
+	ram.Write64(KVAToPA(consumer.Addr)+TaskFiles, rfile)
+
+	// Only now engage the requested mode for the contended phase.
+	k.Parallel = parallel
+	drainRuns(t, k, 50)
+
+	got := ram.Read64(UVAToPA(consumer.PID, UserDataBase+0x40))
+	want := ram.Read64(UVAToPA(prodTask.PID, UserDataBase))
+	if got != want {
+		t.Fatalf("pipe payload (parallel=%v): got %#x want %#x", parallel, got, want)
+	}
+	return got
+}
+
+// TestParallelDifferentialPipe: the cross-core pipe handoff delivers the
+// same payload under both schedulers — the producer's write crosses to
+// the consumer's address space through the serialized service device in
+// parallel mode exactly as it does deterministically.
+func TestParallelDifferentialPipe(t *testing.T) {
+	p := runPipeWorkload(t, true)
+	d := runPipeWorkload(t, false)
+	if p != d {
+		t.Fatalf("pipe payload diverged: parallel=%#x deterministic=%#x", p, d)
+	}
+}

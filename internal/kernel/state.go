@@ -65,7 +65,7 @@ type State struct {
 	threshold   int
 	oops        []OopsRecord
 	halted      bool
-	svcCalls    map[uint64]uint64
+	svcCalls    [SvcMax]uint64
 	bootCycles  uint64
 }
 
@@ -114,7 +114,7 @@ func (k *Kernel) CaptureState() *State {
 		threshold:   k.Threshold,
 		oops:        append([]OopsRecord(nil), k.Oops...),
 		halted:      k.Halted,
-		svcCalls:    make(map[uint64]uint64, len(k.ServiceCalls)),
+		svcCalls:    k.ServiceCalls,
 		bootCycles:  k.BootCycles,
 	}
 	for _, c := range k.CPUs {
@@ -139,16 +139,14 @@ func (k *Kernel) CaptureState() *State {
 		st.programs[id] = p
 	}
 	for id, p := range k.pipes {
-		st.pipes[id] = p.buf[:len(p.buf):len(p.buf)]
+		// Only the unread tail is state; the read cursor resets to 0.
+		st.pipes[id] = p.buf[p.r:len(p.buf):len(p.buf)]
 	}
 	for va, f := range k.files {
 		st.files[va] = *f
 	}
 	for path, ops := range k.extraOps {
 		st.extraOps[path] = ops
-	}
-	for code, n := range k.ServiceCalls {
-		st.svcCalls[code] = n
 	}
 	return st
 }
@@ -207,10 +205,7 @@ func (k *Kernel) restoreHostMirrors(st *State) {
 	k.Threshold = st.threshold
 	k.Oops = append([]OopsRecord(nil), st.oops...)
 	k.Halted = st.halted
-	k.ServiceCalls = make(map[uint64]uint64, len(st.svcCalls))
-	for code, n := range st.svcCalls {
-		k.ServiceCalls[code] = n
-	}
+	k.ServiceCalls = st.svcCalls
 	k.BootCycles = st.bootCycles
 	k.rng = st.rng.Clone()
 

@@ -123,7 +123,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		a.I(insn.LDP(insn.X1, insn.X2, insn.SP, 0))
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
 		a.I(insn.STR(insn.X2, insn.X11, PerCPUArg0+8))
-		emitServiceCall(a, SvcOpen)
+		emitServiceCall(a, cfg, SvcOpen)
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0)) // fd or -errno
 		a.I(insn.LSRi(insn.X9, insn.X0, 63))
@@ -144,7 +144,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		a.BL("f_close_tree")
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
-		emitServiceCall(a, SvcClose)
+		emitServiceCall(a, cfg, SvcClose)
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
 	})
@@ -176,7 +176,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		a.BL("f_stat_fill")
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
-		emitServiceCall(a, SvcStat)
+		emitServiceCall(a, cfg, SvcStat)
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
 	})
@@ -214,7 +214,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		a.BL("f_sigact")
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
-		emitServiceCall(a, SvcSigact)
+		emitServiceCall(a, cfg, SvcSigact)
 		a.I(insn.MOVZ(insn.X0, 0, 0))
 	})
 
@@ -226,14 +226,14 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X2, insn.X11, PerCPUArg0))
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0+8))
-		emitServiceCall(a, SvcKill)
+		emitServiceCall(a, cfg, SvcKill)
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
 	})
 
 	// sys_sigreturn: restore the interrupted ELR.
 	protFn(a, cfg, "sys_sigreturn", func() {
-		emitServiceCall(a, SvcSigreturn)
+		emitServiceCall(a, cfg, SvcSigreturn)
 		a.I(insn.MOVZ(insn.X0, 0, 0))
 	})
 
@@ -241,7 +241,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 	protFn(a, cfg, "sys_sched_yield", func() {
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.XZR, insn.X11, PerCPUArg0)) // yield, not block
-		emitServiceCall(a, SvcPickNext)
+		emitServiceCall(a, cfg, SvcPickNext)
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDP(insn.X0, insn.X1, insn.X11, PerCPUPrev))
 		a.I(insn.CMP(insn.X0, insn.X1))
@@ -261,7 +261,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X9, insn.SP, 0))
 		a.I(insn.STR(insn.X9, insn.X11, PerCPUArg0))
-		emitServiceCall(a, SvcFork)
+		emitServiceCall(a, cfg, SvcFork)
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))   // child pid
 		a.I(insn.LDR(insn.X1, insn.X11, PerCPURet0+8)) // child pt_regs
@@ -281,7 +281,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		a.BL("f_exec1")
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
-		emitServiceCall(a, SvcExec)
+		emitServiceCall(a, cfg, SvcExec)
 		a.I(insn.MOVZ(insn.X0, 0, 0))
 	})
 
@@ -290,7 +290,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 	a.I(insn.LDR(insn.X1, insn.X0, 0))
 	emitPerCPUAddr(a, cfg, insn.X11)
 	a.I(insn.STR(insn.X1, insn.X11, PerCPUArg0))
-	emitServiceCall(a, SvcExit)
+	emitServiceCall(a, cfg, SvcExit)
 	a.B("after_fault")
 
 	// sys_pipe2(pt_regs): x0 = user buffer for the two fds.
@@ -298,7 +298,7 @@ func emitSyscalls(a *asm.Assembler, cfg *codegen.Config) {
 		a.I(insn.SUBi(insn.SP, insn.SP, 32))
 		a.I(insn.LDR(insn.X1, insn.X0, 0))
 		a.I(insn.STR(insn.X1, insn.SP, 0))
-		emitServiceCall(a, SvcPipe)
+		emitServiceCall(a, cfg, SvcPipe)
 		emitPerCPUAddr(a, cfg, insn.X11)
 		// Sign both pipe files' f_ops and f_cred (set_file_ops /
 		// set_file_cred at creation, §4.5).
@@ -400,7 +400,7 @@ func emitDrivers(a *asm.Assembler, cfg *codegen.Config) {
 		a.I(insn.LDR(insn.X10, insn.SP, 16))
 		a.I(insn.STR(insn.X10, insn.X11, PerCPUArg0+16))
 		a.I(insn.STR(insn.XZR, insn.X11, PerCPUArg0+24)) // read
-		emitServiceCall(a, SvcPipeIO)
+		emitServiceCall(a, cfg, SvcPipeIO)
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
 		a.I(insn.MOVN(insn.X9, 10, 0)) // -EAGAIN
@@ -409,7 +409,7 @@ func emitDrivers(a *asm.Assembler, cfg *codegen.Config) {
 		// Empty: block and switch away; retry when woken.
 		a.I(insn.MOVZ(insn.X9, 1, 0))
 		a.I(insn.STR(insn.X9, insn.X11, PerCPUArg0))
-		emitServiceCall(a, SvcPickNext)
+		emitServiceCall(a, cfg, SvcPickNext)
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDP(insn.X0, insn.X1, insn.X11, PerCPUPrev))
 		a.BL("cpu_switch_to")
@@ -427,7 +427,7 @@ func emitDrivers(a *asm.Assembler, cfg *codegen.Config) {
 		a.I(insn.STR(insn.X2, insn.X11, PerCPUArg0+16))
 		a.I(insn.MOVZ(insn.X9, 1, 0))
 		a.I(insn.STR(insn.X9, insn.X11, PerCPUArg0+24)) // write
-		emitServiceCall(a, SvcPipeIO)
+		emitServiceCall(a, cfg, SvcPipeIO)
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
 	})
@@ -437,7 +437,7 @@ func emitDrivers(a *asm.Assembler, cfg *codegen.Config) {
 		a.I(insn.LDR(insn.X10, insn.X0, FileInode))
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.STR(insn.X10, insn.X11, PerCPUArg0))
-		emitServiceCall(a, SvcPoll)
+		emitServiceCall(a, cfg, SvcPoll)
 		emitPerCPUAddr(a, cfg, insn.X11)
 		a.I(insn.LDR(insn.X0, insn.X11, PerCPURet0))
 	})

@@ -1,0 +1,66 @@
+package snapshot
+
+// Snapshot-level trace hygiene: a machine that has fused superblock
+// traces must never leak them through Fork or Reset — restored RAM can
+// hold different code than the fused copies (DESIGN.md §10).
+
+import (
+	"testing"
+
+	"camouflage/internal/insn"
+	"camouflage/internal/kernel"
+)
+
+// warmTraces runs a hot user ALU loop long enough to fuse at least one
+// superblock trace on the boot core.
+func warmTraces(t *testing.T, k *kernel.Kernel) {
+	t.Helper()
+	prog, err := kernel.BuildProgram("hotloop", func(u *kernel.UserASM) {
+		u.MovImm(insn.X5, 500)
+		u.A.Label("loop")
+		u.A.I(insn.ADDr(insn.X6, insn.X6, insn.X5))
+		u.A.I(insn.SUBi(insn.X5, insn.X5, 1))
+		u.A.CBNZ(insn.X5, "loop")
+		u.Exit(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterProgram(9, prog)
+	if _, err := k.Spawn(9); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(10_000_000)
+	if k.CPU.LiveTraces() == 0 {
+		t.Fatal("hot loop never fused a trace; nothing to test")
+	}
+}
+
+// TestSnapshotDropsWarmTraces: forking from a warm machine and resetting
+// a warm machine both come up with zero live traces, and the reset
+// machine still executes correctly afterwards.
+func TestSnapshotDropsWarmTraces(t *testing.T) {
+	k := bootFull(t, 77)
+	postBoot := Take(k)
+
+	warmTraces(t, k)
+
+	warm := Take(k)
+	fork, err := warm.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fork.CPU.LiveTraces(); got != 0 {
+		t.Fatalf("fork came up with %d live traces, want 0", got)
+	}
+
+	if err := postBoot.Reset(k); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.CPU.LiveTraces(); got != 0 {
+		t.Fatalf("reset machine holds %d live traces, want 0", got)
+	}
+
+	// The reset machine re-runs the workload from scratch and fuses anew.
+	warmTraces(t, k)
+}
