@@ -13,8 +13,10 @@ package camouflage
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"camouflage/internal/attack"
 	"camouflage/internal/boot"
@@ -24,6 +26,7 @@ import (
 	"camouflage/internal/insn"
 	"camouflage/internal/kernel"
 	"camouflage/internal/lmbench"
+	"camouflage/internal/obs"
 	"camouflage/internal/pac"
 	"camouflage/internal/qarma"
 	"camouflage/internal/workload"
@@ -357,6 +360,76 @@ func BenchmarkExecThroughput(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkObsOverhead is the A/B cost measurement for the counter
+// registry (DESIGN.md §11): the none/fastpath ExecThroughput mix run
+// quiet, then again while a scraper goroutine continuously renders the
+// Prometheus exposition and takes JSON snapshots. The hot path only
+// bumps per-core plain cells and flushes at Run exit, so the scraped
+// variant's ns/op must stay within a small budget of the quiet one —
+// cmd/benchgate's -obs-overhead flag gates the ratio.
+func BenchmarkObsOverhead(b *testing.B) {
+	mix := func(u *kernel.UserASM) {
+		u.MovImm(insn.X5, 1<<40) // effectively endless
+		u.A.Label("loop")
+		for i := 0; i < 4; i++ {
+			u.A.I(insn.ADDi(insn.X6, insn.X6, 3))
+			u.A.I(insn.EORr(insn.X7, insn.X7, insn.X6))
+		}
+		u.SyscallReg(kernel.SysGetppid)
+		u.A.I(insn.SUBi(insn.X5, insn.X5, 1))
+		u.A.CBNZ(insn.X5, "loop")
+		u.Exit(0)
+	}
+	run := func(b *testing.B) {
+		systems, err := ReplicateSystems(LevelNone, Options{Seed: 3}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := systems[0]
+		prog, err := kernel.BuildProgram("mix", mix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Kernel.RegisterProgram(1, prog)
+		if _, err := sys.Kernel.Spawn(1); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		sys.Kernel.Run(uint64(b.N))
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	}
+	b.Run("quiet", run)
+	b.Run("scraped", func(b *testing.B) {
+		// Scrape at a 10ms cadence — already ~three orders of magnitude
+		// hotter than a real Prometheus interval — rather than in a busy
+		// loop, which on a small host would measure core contention with
+		// the spinning scraper instead of the registry's cost.
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(10 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				if err := obs.WritePrometheus(io.Discard); err != nil {
+					b.Error(err)
+					return
+				}
+				obs.TakeSnapshot()
+			}
+		}()
+		run(b)
+		close(stop)
+		<-done
+	})
 }
 
 // BenchmarkMemFastPath measures the data-side fast path on a load/store-

@@ -18,6 +18,7 @@ import (
 
 	"camouflage/internal/attack"
 	"camouflage/internal/figures"
+	"camouflage/internal/obs"
 	"camouflage/internal/snapshot"
 )
 
@@ -46,6 +47,8 @@ type ExperimentsResponse struct {
 	TotalWallNs int64              `json:"total_wall_ns"`
 	Pool        snapshot.Stats     `json:"pool"`
 	Experiments []figures.RunStats `json:"experiments"`
+	// RunID names the run's trace (GET /v1/runs/{id}/trace).
+	RunID string `json:"run_id,omitempty"`
 }
 
 // ExperimentInfo is one registry entry (GET /v1/experiments).
@@ -78,6 +81,8 @@ type CampaignResponse struct {
 	Report      *attack.CampaignReport `json:"report"`
 	Output      string                 `json:"output"`
 	TotalWallNs int64                  `json:"total_wall_ns"`
+	// RunID names the run's trace (GET /v1/runs/{id}/trace).
+	RunID string `json:"run_id,omitempty"`
 }
 
 // MachineRequest leases a warm machine by build options.
@@ -133,6 +138,8 @@ type MachineRunResponse struct {
 	Instrs      uint64 `json:"instrs"`
 	Halted      bool   `json:"halted"`
 	PACFailures int    `json:"pac_failures"`
+	// RunID names the step's trace (GET /v1/runs/{id}/trace).
+	RunID string `json:"run_id,omitempty"`
 }
 
 // OopsRecord mirrors one kernel fault-log entry.
@@ -196,6 +203,9 @@ type StatsResponse struct {
 	Leases   LeaseStats     `json:"leases"`
 	Draining bool           `json:"draining"`
 	UptimeNs int64          `json:"uptime_ns"`
+	// Metrics embeds the full observability registry (the same numbers
+	// GET /metrics exposes, as JSON).
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.

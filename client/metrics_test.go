@@ -1,0 +1,104 @@
+package client
+
+// Round-trip test for the exposition parser: render the live registry
+// with obs.WritePrometheus, parse it back with ParseMetrics, and check
+// the parsed samples agree with the registry's own totals.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"camouflage/internal/obs"
+)
+
+func TestParseMetricsRoundTrip(t *testing.T) {
+	// Move some registry state so the exposition is non-trivial.
+	obs.Add(obs.CPoolHit, 5)
+	obs.Add(obs.CPACAuthDB, 2)
+	obs.NewHistogram("camouflage_client_test_seconds", "Client parser test histogram.",
+		[]float64{0.01, 1}).Observe(3 * time.Second)
+
+	var b strings.Builder
+	if err := obs.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseMetrics(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]MetricSample, len(samples))
+	for _, s := range samples {
+		if _, dup := byKey[s.Key()]; dup {
+			t.Errorf("duplicate sample key %q", s.Key())
+		}
+		byKey[s.Key()] = s
+	}
+
+	// Every static counter must parse back to its registry total.
+	for id := obs.CounterID(0); id < obs.NumCounters; id++ {
+		key := id.SampleName()
+		s, ok := byKey[key]
+		if !ok {
+			t.Errorf("counter %s missing from parsed samples", key)
+			continue
+		}
+		if want := float64(obs.CounterTotal(id)); s.Value != want {
+			t.Errorf("%s = %v, want %v", key, s.Value, want)
+		}
+	}
+
+	// Labeled samples keep their labels through the canonical key.
+	if s, ok := byKey[`camouflage_pac_auths_total{key="DB"}`]; !ok {
+		t.Error("labeled PAC sample missing")
+	} else if s.Labels["key"] != "DB" {
+		t.Errorf("label map = %v", s.Labels)
+	}
+
+	// The histogram's +Inf bucket parses via the sentinel.
+	inf, ok := byKey[`camouflage_client_test_seconds_bucket{le="+Inf"}`]
+	if !ok {
+		t.Fatal("+Inf bucket missing from parsed samples")
+	}
+	if inf.Value < 1 {
+		t.Errorf("+Inf bucket = %v, want >= 1", inf.Value)
+	}
+	if inf.Labels["le"] != "+Inf" {
+		t.Errorf("+Inf label lost: %v", inf.Labels)
+	}
+	if _, ok := byKey[`camouflage_client_test_seconds_count`]; !ok {
+		t.Error("_count sample missing")
+	}
+}
+
+func TestParseMetricsEscapes(t *testing.T) {
+	in := "# HELP x_total Escaped labels.\n" +
+		"# TYPE x_total counter\n" +
+		"x_total{path=\"a\\\\b\",msg=\"say \\\"hi\\\"\",nl=\"line\\nbreak\"} 4\n"
+	samples, err := ParseMetrics(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("parsed %d samples, want 1", len(samples))
+	}
+	s := samples[0]
+	if s.Labels["path"] != `a\b` || s.Labels["msg"] != `say "hi"` || s.Labels["nl"] != "line\nbreak" {
+		t.Fatalf("unescaped labels = %#v", s.Labels)
+	}
+	if s.Value != 4 {
+		t.Fatalf("value = %v", s.Value)
+	}
+}
+
+func TestParseMetricsRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"x_total{unterminated=\"a} 1\n",
+		"x_total notanumber\n",
+		"lonely_name_no_value\n",
+	} {
+		if _, err := ParseMetrics(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q parsed without error", in)
+		}
+	}
+}

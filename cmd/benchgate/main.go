@@ -112,6 +112,12 @@ type trajectory struct {
 	ParallelScale4 float64 `json:"parallel_scale_4,omitempty"`
 	ParallelFloor  float64 `json:"parallel_floor,omitempty"`
 
+	// ObsOverhead is the scraped/quiet ns/op ratio of
+	// BenchmarkObsOverhead (0 when not run); ObsBudget the -obs-overhead
+	// fraction it must stay within.
+	ObsOverhead float64 `json:"obs_overhead,omitempty"`
+	ObsBudget   float64 `json:"obs_budget,omitempty"`
+
 	// Entries is the aggregated result set: one median entry per
 	// benchmark (the -count repeats collapse via benchparse.Aggregate).
 	Entries []benchparse.Entry `json:"entries"`
@@ -176,6 +182,9 @@ func main() {
 		"minimum aggregate-throughput multiple of the parallel-2cpu ExecThroughput variant over "+
 			"single-core none/fastpath (0 disables; gated only when the bench host ran with "+
 			"GOMAXPROCS >= 2, as recorded in the benchmark name suffix)")
+	obsOverhead := flag.Float64("obs-overhead", 0,
+		"max fractional slowdown of BenchmarkObsOverhead/scraped over /quiet (0 disables): the "+
+			"observability registry must stay off the hot path even under continuous scraping")
 	requireBaseline := flag.Bool("require-baseline", os.Getenv("CI") != "",
 		"fail hard — instead of warning and passing — when the -baseline document is missing or "+
 			"unparseable, or when a gate's benchmarks are absent from the input (the loud self-disable "+
@@ -394,6 +403,27 @@ func main() {
 		}
 	}
 
+	// Observability overhead gate: the counter design (per-core plain
+	// cells, atomic shards touched only at Run exit) promises scrapes are
+	// invisible to execution; hold the A/B benchmark to that promise.
+	var obsRatio float64
+	if *obsOverhead > 0 {
+		quiet, okQuiet := benchparse.MinNsPerOp(entries, "BenchmarkObsOverhead/quiet")
+		scraped, okScraped := benchparse.MinNsPerOp(entries, "BenchmarkObsOverhead/scraped")
+		switch {
+		case !okQuiet || !okScraped || quiet <= 0:
+			disable("BenchmarkObsOverhead pair missing; the observability overhead gate is NOT running")
+		default:
+			obsRatio = scraped / quiet
+			fmt.Printf("benchgate: scraped %.2f ns/op vs quiet %.2f (x%.3f, budget x%.3f)\n",
+				scraped, quiet, obsRatio, 1+*obsOverhead)
+			if obsRatio > 1+*obsOverhead {
+				fmt.Printf("benchgate: FAIL — scraping slows execution beyond the %.0f%% budget\n", *obsOverhead*100)
+				failed = true
+			}
+		}
+	}
+
 	doc := trajectory{
 		GeneratedUnix:  time.Now().Unix(),
 		GoVersion:      runtime.Version(),
@@ -412,6 +442,8 @@ func main() {
 		ParallelScale2: scale2,
 		ParallelScale4: scale4,
 		ParallelFloor:  *parallelScale,
+		ObsOverhead:    obsRatio,
+		ObsBudget:      *obsOverhead,
 		Entries:        entries,
 	}
 	if *jsonPath != "" {

@@ -23,7 +23,10 @@
 //	POST /v1/machines/{id}/run         — step by instruction budget
 //	POST /v1/machines/{id}/reset       — rewind to lease snapshot
 //	POST /v1/machines/{id}/release     — hand the machine back
+//	GET  /v1/runs/{id}/trace           — structured trace of a recent run
 //	GET  /v1/stats                     — pool / queue / lease counters
+//	                                     plus the full metrics registry
+//	GET  /metrics                      — Prometheus text exposition
 //
 // SIGTERM or SIGINT drains gracefully: in-flight jobs finish, leases
 // return to the pool, idle machines are evicted, then the listener

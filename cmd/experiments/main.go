@@ -10,6 +10,9 @@
 //	experiments -json=path     — bench log path ("" disables)
 //	experiments -remote=URL    — run on a camouflaged daemon instead
 //	experiments -cpuprofile=p  — write a pprof CPU profile of the run
+//	experiments -trace         — dump the structured run trace (JSON,
+//	                             stderr): per-experiment wall times and
+//	                             engine counter deltas
 //
 // With -remote the selection runs inside the daemon's long-lived
 // process (sharing its warm pool across every client) and the text
@@ -39,6 +42,7 @@ import (
 
 	"camouflage"
 	"camouflage/client"
+	"camouflage/internal/obs"
 	"camouflage/internal/snapshot"
 )
 
@@ -78,6 +82,8 @@ func main() {
 		"run on a camouflaged daemon at this base URL (e.g. http://127.0.0.1:8344) instead of in-process")
 	cpuprofile := flag.String("cpuprofile", "",
 		"write a CPU profile of the run to this path (perf-PR workflow; local runs only)")
+	trace := flag.Bool("trace", false,
+		"dump the structured run trace as JSON to stderr (stdout rendering is unchanged)")
 	flag.Parse()
 
 	// stopProfile flushes the CPU profile; fatal routes every later
@@ -114,13 +120,25 @@ func main() {
 		return
 	}
 
+	// dumpTrace writes a run trace to stderr; stdout carries only the
+	// experiment rendering, so parity checks against untraced runs keep
+	// passing.
+	dumpTrace := func(tr obs.RunTrace) {
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tr); err != nil {
+			fatal(err)
+		}
+	}
+
 	var (
 		stats []camouflage.ExperimentStats
 		pool  snapshot.Stats
 	)
 	t0 := time.Now()
 	if *remote != "" {
-		resp, err := client.New(*remote).RunExperiments(context.Background(), client.ExperimentsRequest{
+		cl := client.New(*remote)
+		resp, err := cl.RunExperiments(context.Background(), client.ExperimentsRequest{
 			IDs:      flag.Args(),
 			Parallel: *parallel,
 			CPUs:     *cpus,
@@ -132,15 +150,30 @@ func main() {
 			fatal(err)
 		}
 		stats, pool = resp.Experiments, resp.Pool
+		if *trace && resp.RunID != "" {
+			tr, err := cl.RunTrace(context.Background(), resp.RunID)
+			if err != nil {
+				fatal(err)
+			}
+			dumpTrace(*tr)
+		}
 	} else {
+		var run *obs.Run
+		if *trace {
+			run = obs.BeginRun("experiments", "cmd/experiments")
+		}
 		var err error
 		stats, err = camouflage.RunExperimentsOpts(context.Background(), os.Stdout, camouflage.ExperimentOptions{
-			IDs: flag.Args(), Parallel: *parallel, CPUs: *cpus,
+			IDs: flag.Args(), Parallel: *parallel, CPUs: *cpus, Trace: run,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		pool = snapshot.Shared.Stats()
+		if run != nil {
+			run.End()
+			dumpTrace(run.Trace())
+		}
 	}
 	wall := time.Since(t0)
 

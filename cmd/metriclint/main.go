@@ -1,0 +1,366 @@
+// Command metriclint validates a Prometheus text exposition — the
+// guardrail behind the CI metrics-smoke job, which scrapes a live
+// camouflaged daemon twice and asserts the output stays well-formed and
+// monotonic without pulling in any external exposition library.
+//
+// Usage:
+//
+//	metriclint                      — lint an exposition from stdin
+//	metriclint -in scrape.txt       — lint a file
+//	metriclint -url http://…/metrics — scrape and lint a live endpoint
+//	metriclint -require a,b,c       — fail unless these families appear
+//	metriclint -prev first.txt      — fail if any counter moved backwards
+//	                                  relative to an earlier scrape
+//
+// Checks, in order:
+//
+//   - every sample line parses as name{labels} value with a legal
+//     metric name and well-formed label quoting;
+//   - every sample is preceded by its family's # HELP and # TYPE
+//     comments, and each family declares them exactly once;
+//   - counter families end in _total; histogram families expose
+//     _bucket/_sum/_count series, bucket counts are cumulative
+//     (monotone in le) and every bucket series ends at le="+Inf" with a
+//     count equal to the series _count;
+//   - with -prev, every counter and histogram bucket present in both
+//     scrapes is monotonically non-decreasing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"camouflage/client"
+)
+
+func main() {
+	in := flag.String("in", "-", "exposition file (- for stdin)")
+	url := flag.String("url", "", "scrape this endpoint instead of reading -in")
+	require := flag.String("require", "",
+		"comma-separated metric families that must appear in the exposition")
+	prev := flag.String("prev", "",
+		"earlier scrape of the same process: counters present in both must not decrease")
+	flag.Parse()
+
+	text, err := readExposition(*in, *url)
+	if err != nil {
+		fatal("%v", err)
+	}
+	samples, errs := lint(text)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "metriclint: %s\n", e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+
+	if *require != "" {
+		missing := requireFamilies(samples, strings.Split(*require, ","))
+		for _, fam := range missing {
+			fmt.Fprintf(os.Stderr, "metriclint: required family %s missing\n", fam)
+		}
+		if len(missing) > 0 {
+			os.Exit(1)
+		}
+	}
+
+	if *prev != "" {
+		prevText, err := readExposition(*prev, "")
+		if err != nil {
+			fatal("reading -prev: %v", err)
+		}
+		prevSamples, prevErrs := lint(prevText)
+		if len(prevErrs) > 0 {
+			fatal("-prev scrape does not lint: %s", prevErrs[0])
+		}
+		regressions := monotonic(prevSamples, samples)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "metriclint: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("metriclint: OK — %d samples, %d families\n", len(samples), countFamilies(samples))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "metriclint: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func readExposition(path, url string) (string, error) {
+	if url != "" {
+		resp, err := http.Get(url)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+// familyOf strips the histogram/summary series suffixes so bucket, sum
+// and count samples attach to their family's HELP/TYPE declaration.
+func familyOf(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if f, ok := strings.CutSuffix(name, suffix); ok {
+			return f
+		}
+	}
+	return name
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lint parses and structurally validates one exposition, returning the
+// samples (for -require / -prev) and every violation found.
+func lint(text string) ([]client.MetricSample, []string) {
+	var errs []string
+	types := map[string]string{} // family -> declared TYPE
+	helps := map[string]bool{}
+
+	// Pass 1: comment lines. HELP/TYPE must be unique per family.
+	for ln, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+			errs = append(errs, fmt.Sprintf("line %d: malformed comment %q", ln+1, line))
+			continue
+		}
+		fam := fields[2]
+		if !validName(fam) {
+			errs = append(errs, fmt.Sprintf("line %d: illegal metric name %q", ln+1, fam))
+		}
+		switch fields[1] {
+		case "HELP":
+			if helps[fam] {
+				errs = append(errs, fmt.Sprintf("line %d: duplicate HELP for %s", ln+1, fam))
+			}
+			helps[fam] = true
+		case "TYPE":
+			if _, dup := types[fam]; dup {
+				errs = append(errs, fmt.Sprintf("line %d: duplicate TYPE for %s", ln+1, fam))
+			}
+			if len(fields) < 4 {
+				errs = append(errs, fmt.Sprintf("line %d: TYPE without a type", ln+1))
+				continue
+			}
+			types[fam] = fields[3]
+		}
+	}
+
+	samples, err := client.ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		return nil, append(errs, err.Error())
+	}
+
+	// Pass 2: every sample is declared, legally named, and counters
+	// follow the _total convention.
+	for _, s := range samples {
+		fam := familyOf(s.Name)
+		if !validName(s.Name) {
+			errs = append(errs, fmt.Sprintf("sample %s: illegal metric name", s.Name))
+			continue
+		}
+		typ, declared := types[fam]
+		if !declared || !helps[fam] {
+			errs = append(errs, fmt.Sprintf("sample %s: family %s lacks HELP/TYPE", s.Key(), fam))
+			continue
+		}
+		if typ == "counter" && !strings.HasSuffix(s.Name, "_total") {
+			errs = append(errs, fmt.Sprintf("sample %s: counter without _total suffix", s.Name))
+		}
+		if typ == "counter" && s.Value < 0 {
+			errs = append(errs, fmt.Sprintf("sample %s: negative counter %v", s.Key(), s.Value))
+		}
+	}
+
+	errs = append(errs, lintHistograms(samples, types)...)
+	return samples, errs
+}
+
+// lintHistograms groups bucket series by family + non-le labels and
+// checks cumulativity, the +Inf terminal and _count agreement.
+func lintHistograms(samples []client.MetricSample, types map[string]string) []string {
+	type series struct {
+		buckets map[float64]float64 // le -> count
+		count   float64
+		hasCnt  bool
+	}
+	bySeries := map[string]*series{}
+	get := func(key string) *series {
+		s, ok := bySeries[key]
+		if !ok {
+			s = &series{buckets: map[float64]float64{}}
+			bySeries[key] = s
+		}
+		return s
+	}
+	// A series key is the family plus every label except le, rendered
+	// sorted so bucket and _count lines meet at the same entry.
+	seriesKey := func(fam string, labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteString(fam)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "|%s=%s", k, labels[k])
+		}
+		return b.String()
+	}
+
+	for _, s := range samples {
+		fam := familyOf(s.Name)
+		if types[fam] != "histogram" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leText, ok := s.Labels["le"]
+			if !ok {
+				return []string{fmt.Sprintf("sample %s: bucket without le label", s.Key())}
+			}
+			le, err := parseLE(leText)
+			if err != nil {
+				return []string{fmt.Sprintf("sample %s: bad le %q", s.Key(), leText)}
+			}
+			get(seriesKey(fam, s.Labels)).buckets[le] = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			sr := get(seriesKey(fam, s.Labels))
+			sr.count, sr.hasCnt = s.Value, true
+		}
+	}
+
+	var errs []string
+	keys := make([]string, 0, len(bySeries))
+	for k := range bySeries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		sr := bySeries[key]
+		les := make([]float64, 0, len(sr.buckets))
+		for le := range sr.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		if len(les) == 0 || les[len(les)-1] != infLE {
+			errs = append(errs, fmt.Sprintf("histogram %s: no +Inf bucket", key))
+			continue
+		}
+		prev := -1.0
+		for _, le := range les {
+			if c := sr.buckets[le]; c < prev {
+				errs = append(errs, fmt.Sprintf("histogram %s: bucket counts not cumulative at le=%v", key, le))
+				break
+			} else {
+				prev = c
+			}
+		}
+		if sr.hasCnt && sr.buckets[infLE] != sr.count {
+			errs = append(errs, fmt.Sprintf("histogram %s: +Inf bucket %v != _count %v",
+				key, sr.buckets[infLE], sr.count))
+		}
+	}
+	return errs
+}
+
+// infLE is the sort key for the +Inf bucket: the largest finite
+// float64, above every bound a real histogram declares.
+const infLE = math.MaxFloat64
+
+func parseLE(text string) (float64, error) {
+	if text == "+Inf" {
+		return infLE, nil
+	}
+	return strconv.ParseFloat(text, 64)
+}
+
+func requireFamilies(samples []client.MetricSample, families []string) []string {
+	present := map[string]bool{}
+	for _, s := range samples {
+		present[familyOf(s.Name)] = true
+	}
+	var missing []string
+	for _, fam := range families {
+		fam = strings.TrimSpace(fam)
+		if fam != "" && !present[fam] {
+			missing = append(missing, fam)
+		}
+	}
+	return missing
+}
+
+// monotonic compares two scrapes of the same process: every counter and
+// histogram bucket present in both must not decrease. Gauges move both
+// ways; only _total/_bucket/_sum/_count samples are compared.
+func monotonic(prev, cur []client.MetricSample) []string {
+	cumulative := func(name string) bool {
+		return strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_bucket") ||
+			strings.HasSuffix(name, "_sum") || strings.HasSuffix(name, "_count")
+	}
+	curBy := make(map[string]float64, len(cur))
+	for _, s := range cur {
+		curBy[s.Key()] = s.Value
+	}
+	var errs []string
+	for _, s := range prev {
+		if !cumulative(s.Name) {
+			continue
+		}
+		if now, ok := curBy[s.Key()]; ok && now < s.Value {
+			errs = append(errs, fmt.Sprintf("counter %s went backwards: %v -> %v", s.Key(), s.Value, now))
+		}
+	}
+	return errs
+}
+
+func countFamilies(samples []client.MetricSample) int {
+	fams := map[string]bool{}
+	for _, s := range samples {
+		fams[familyOf(s.Name)] = true
+	}
+	return len(fams)
+}

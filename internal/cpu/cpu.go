@@ -13,6 +13,7 @@ import (
 	"camouflage/internal/insn"
 	"camouflage/internal/mem"
 	"camouflage/internal/mmu"
+	"camouflage/internal/obs"
 	"camouflage/internal/pac"
 )
 
@@ -194,6 +195,66 @@ type CPU struct {
 	legacyDecode map[uint64]insn.Instr
 
 	tracer Tracer
+
+	// obsLocal is this core's block of observability counter cells:
+	// plain unsynchronized increments while the core runs (one
+	// goroutine owns a running CPU, the same discipline its registers
+	// rely on), drained into the process-wide obs registry by flushObs
+	// when Run returns. obsBase snapshots the pre-existing cumulative
+	// diagnostics (Cycles, Retired, chain/trace counts, MMU and PAC
+	// counters) at the last flush so only deltas are published; a
+	// counter that moved backwards (snapshot restore rewound it)
+	// re-baselines instead of underflowing.
+	obsLocal obs.Local
+	obsBase  obsBaseline
+}
+
+// obsBaseline holds the last-flushed values of the cumulative
+// diagnostic counters flushObs publishes as deltas.
+type obsBaseline struct {
+	cycles, retired                         uint64
+	chainFollows, tracesBuilt, traceFollows uint64
+	mmuHits, mmuMisses, mmuRearms, mmuWalks uint64
+	pacAuths, pacFails                      [pac.NumKeys]uint64
+}
+
+// obsDelta returns cur minus *base and re-baselines, treating a rewound
+// counter (snapshot restore) as a fresh baseline.
+func obsDelta(cur uint64, base *uint64) uint64 {
+	d := cur - *base
+	if cur < *base {
+		d = 0
+	}
+	*base = cur
+	return d
+}
+
+// flushObs drains this core's observability counters into the shared
+// registry: the new event cells verbatim, the cumulative diagnostics as
+// deltas against the last flush. Called when Run returns — never from
+// the instruction loop — and allocation-free, so the zero-allocs
+// steady-state contract holds with instrumentation compiled in.
+func (c *CPU) flushObs() {
+	l := &c.obsLocal
+	b := &c.obsBase
+	l.V[obs.CCycles] += obsDelta(c.Cycles, &b.cycles)
+	l.V[obs.CRetired] += obsDelta(c.Retired, &b.retired)
+	l.V[obs.CChainFollow] += obsDelta(c.ChainFollows, &b.chainFollows)
+	l.V[obs.CTraceBuild] += obsDelta(c.TracesBuilt, &b.tracesBuilt)
+	l.V[obs.CTraceEnter] += obsDelta(c.TraceFollows, &b.traceFollows)
+	if m := c.MMU; m != nil {
+		l.V[obs.CTLBHit] += obsDelta(m.Hits, &b.mmuHits)
+		l.V[obs.CTLBMiss] += obsDelta(m.Misses, &b.mmuMisses)
+		l.V[obs.CHostRearm] += obsDelta(m.Rearms, &b.mmuRearms)
+		l.V[obs.CS2Walk] += obsDelta(m.S2Walks, &b.mmuWalks)
+	}
+	if s := c.Signer; s != nil {
+		for k := 0; k < pac.NumKeys; k++ {
+			l.V[obs.CPACAuthIA+obs.CounterID(k)] += obsDelta(s.Auths[k], &b.pacAuths[k])
+			l.V[obs.CPACFailIA+obs.CounterID(k)] += obsDelta(s.Fails[k], &b.pacFails[k])
+		}
+	}
+	l.Flush(c.ID)
 }
 
 // codeBlock is one decoded straight-line run: the instructions from the
@@ -547,7 +608,9 @@ func (c *CPU) storeMem(va uint64, size int, v uint64) (*mmu.Fault, error) {
 	}
 	last := (pa + uint64(size) - 1) >> mmu.PageShift
 	for p := pa >> mmu.PageShift; p <= last; p++ {
-		c.cluster.noteStore(p)
+		if c.cluster.noteStore(p) {
+			c.obsLocal.V[obs.CBlockSever]++
+		}
 	}
 	if c.NoBlockCache && c.legacyDecode != nil {
 		for a := pa &^ 3; a < pa+uint64(size); a += 4 {
@@ -589,6 +652,7 @@ func (c *CPU) noteGuestStore(pn uint64) {
 	if g != nil {
 		g.Add(1)
 		c.cluster.execGen.Add(1)
+		c.obsLocal.V[obs.CBlockSever]++
 	}
 }
 
@@ -599,8 +663,15 @@ func (c *CPU) fetchBlock() (*codeBlock, *mmu.Fault, error) {
 	if f != nil {
 		return nil, f, nil
 	}
-	if b, ok := c.blocks[pa]; ok && b.gen == b.genp.Load() {
-		return b, nil, nil
+	if b, ok := c.blocks[pa]; ok {
+		if b.gen == b.genp.Load() {
+			return b, nil, nil
+		}
+		// The re-decode replaces the stale block; a trace fused onto it
+		// dies with it.
+		if b.tr != nil {
+			c.obsLocal.V[obs.CTraceSeverStale]++
+		}
 	}
 	return c.decodeBlock(pa)
 }
@@ -632,6 +703,7 @@ func (c *CPU) decodeBlock(pa uint64) (*codeBlock, *mmu.Fault, error) {
 		}
 	}
 	c.blocks[pa] = b
+	c.obsLocal.V[obs.CBlockFill]++
 	return b, nil, nil
 }
 

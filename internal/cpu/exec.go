@@ -6,6 +6,7 @@ import (
 
 	"camouflage/internal/insn"
 	"camouflage/internal/mmu"
+	"camouflage/internal/obs"
 	"camouflage/internal/pac"
 )
 
@@ -102,6 +103,11 @@ func (c *CPU) Run(maxInstrs uint64) Stop {
 	defer func() {
 		totalCycles.Add(c.Cycles - startCycles)
 		totalRetired.Add(c.Retired - startRetired)
+		// Drain this core's observability cells into the shared
+		// registry: scrapes read only the flushed accumulators, so a
+		// concurrent /metrics never touches the plain cells the loop
+		// bumps (DESIGN.md §11).
+		c.flushObs()
 	}()
 	if c.NoBlockCache {
 		return c.runLegacy(maxInstrs)
@@ -181,6 +187,11 @@ func (c *CPU) Run(maxInstrs uint64) Stop {
 					}
 				} else if traceStale(t) {
 					b.tr, b.heat = nil, 0
+					c.obsLocal.V[obs.CTraceSeverStale]++
+				} else {
+					// Transient regime mismatch (context switch): the
+					// trace is kept but this entry was rejected.
+					c.obsLocal.V[obs.CTraceSeverEntry]++
 				}
 			} else if b.heat++; b.heat == hotThreshold {
 				c.buildTrace(b, blockVA)

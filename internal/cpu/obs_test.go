@@ -1,0 +1,187 @@
+package cpu
+
+// Counter-correctness tests for the observability instrumentation
+// (DESIGN.md §11): drive pinned execution scenarios and assert the
+// registry deltas they must produce. Counters are process-global, so
+// every assertion works on before/after deltas.
+
+import (
+	"testing"
+
+	"camouflage/internal/asm"
+	"camouflage/internal/insn"
+	"camouflage/internal/obs"
+	"camouflage/internal/pac"
+)
+
+// obsDeltaOf runs f and returns the registry movement it caused.
+func obsDeltaOf(f func()) [obs.NumCounters]uint64 {
+	before := obs.CounterTotals()
+	f()
+	after := obs.CounterTotals()
+	var d [obs.NumCounters]uint64
+	for i := range d {
+		d[i] = after[i] - before[i]
+	}
+	return d
+}
+
+// TestObsHotLoopCounters pins the basic execution-pipeline counters: a
+// hot loop must retire instructions, fill blocks, fuse at least one
+// trace and enter it, and everything must be flushed by Run exit.
+func TestObsHotLoopCounters(t *testing.T) {
+	var c *CPU
+	d := obsDeltaOf(func() {
+		c = runSnippet(t, nil, func(a *asm.Assembler) {
+			a.I(insn.MOVZ(insn.X5, 256, 0))
+			a.Label("loop")
+			a.I(insn.ADDr(insn.X6, insn.X6, insn.X5))
+			a.I(insn.SUBi(insn.X5, insn.X5, 1))
+			a.CBNZ(insn.X5, "loop")
+			a.I(insn.HLT(0))
+		})
+	})
+	if d[obs.CRetired] != c.Retired {
+		t.Errorf("CRetired delta = %d, want the CPU's own %d", d[obs.CRetired], c.Retired)
+	}
+	if d[obs.CCycles] != c.Cycles {
+		t.Errorf("CCycles delta = %d, want %d", d[obs.CCycles], c.Cycles)
+	}
+	if d[obs.CBlockFill] == 0 {
+		t.Error("no block-cache fills recorded")
+	}
+	if d[obs.CTraceBuild] == 0 || d[obs.CTraceEnter] == 0 {
+		t.Errorf("trace build/enter deltas = %d/%d; the loop never fused", d[obs.CTraceBuild], d[obs.CTraceEnter])
+	}
+	if d[obs.CTraceBuild] != c.TracesBuilt || d[obs.CTraceEnter] != c.TraceFollows {
+		t.Errorf("trace deltas %d/%d diverge from CPU diagnostics %d/%d",
+			d[obs.CTraceBuild], d[obs.CTraceEnter], c.TracesBuilt, c.TraceFollows)
+	}
+	// A terminating looping trace exits somewhere: the per-cause cells
+	// must account for at least one exit.
+	exits := d[obs.CTraceExitEnd] + d[obs.CTraceExitBranch] + d[obs.CTraceExitFault] +
+		d[obs.CTraceExitHazard] + d[obs.CTraceExitIRQ] + d[obs.CTraceExitBudget] + d[obs.CTraceExitStop]
+	if exits == 0 {
+		t.Error("no trace exits recorded for a loop that terminated")
+	}
+}
+
+// TestObsSameCoreSeverCounters drives the PR 6 same-core severing
+// route (guest store into a fused page) and asserts both the
+// block-cache sever and the stale-trace sever are counted.
+func TestObsSameCoreSeverCounters(t *testing.T) {
+	patch := insn.MOVZ(insn.X0, 7, 0).Encode()
+	d := obsDeltaOf(func() {
+		runSnippet(t, nil, func(a *asm.Assembler) {
+			a.I(insn.MOVZ(insn.X5, 64, 0))
+			a.Label("loop")
+			a.I(insn.MOVZ(insn.X0, 1, 0))
+			a.I(insn.SUBi(insn.X5, insn.X5, 1))
+			a.CBNZ(insn.X5, "loop")
+			a.CBNZ(insn.X6, "done")
+			a.I(insn.MOVZ(insn.X6, 1, 0))
+			a.I(insn.MOVImm64(insn.X9, uint64(patch))...)
+			a.ADR(insn.X10, "loop")
+			a.I(insn.STRW(insn.X9, insn.X10, 0))
+			a.I(insn.MOVZ(insn.X5, 4, 0))
+			a.B("loop")
+			a.Label("done")
+			a.I(insn.HLT(0))
+		})
+	})
+	if d[obs.CBlockSever] == 0 {
+		t.Error("guest store into a code page recorded no block-cache sever")
+	}
+	if d[obs.CTraceSeverStale] == 0 {
+		t.Error("re-entry of a patched trace recorded no stale sever")
+	}
+}
+
+// TestObsCrossCoreSeverCounters drives the PR 6 cross-core severing
+// route: a peer store moves the shared generation cells, and the
+// victim's next trace entry must count a stale sever.
+func TestObsCrossCoreSeverCounters(t *testing.T) {
+	patch := insn.MOVZ(insn.X0, 7, 0).Encode()
+	c0, c1, img := buildPeers(t, func(a *asm.Assembler) {
+		a.Label("patcher")
+		a.I(insn.MOVImm64(insn.X9, uint64(patch))...)
+		a.ADR(insn.X10, "loop")
+		a.I(insn.STRW(insn.X9, insn.X10, 0))
+		a.I(insn.HLT(0))
+		a.Label("runner")
+		a.I(insn.MOVZ(insn.X5, 400, 0))
+		a.Label("loop")
+		a.I(insn.MOVZ(insn.X0, 1, 0))
+		a.I(insn.SUBi(insn.X5, insn.X5, 1))
+		a.CBNZ(insn.X5, "loop")
+		a.I(insn.HLT(0))
+	})
+	c1.PC = img.Symbols["runner"]
+	if stop := c1.Run(200); stop.Kind != StopLimit {
+		t.Fatalf("cpu1 warm run: %+v", stop)
+	}
+	c0.PC = img.Symbols["patcher"]
+	if stop := c0.Run(100); stop.Kind != StopHLT {
+		t.Fatalf("cpu0 patch run: %+v", stop)
+	}
+	d := obsDeltaOf(func() {
+		if stop := c1.Run(10_000); stop.Kind != StopHLT {
+			t.Fatalf("cpu1 resume: %+v", stop)
+		}
+	})
+	if d[obs.CTraceSeverStale] == 0 {
+		t.Error("peer-severed trace re-entry recorded no stale sever")
+	}
+}
+
+// TestObsPACCounters pins the per-key PAC attribution: IB
+// authentications land in the IB cell, and a corrupted pointer adds a
+// failure in the same key's failure cell.
+func TestObsPACCounters(t *testing.T) {
+	d := obsDeltaOf(func() {
+		runSnippet(t, func(c *CPU) {
+			c.Signer.SetKey(pac.KeyIB, pac.Key{Hi: 3, Lo: 9})
+		}, func(a *asm.Assembler) {
+			a.I(insn.MOVZ(insn.X0, 0x4000, 0))
+			a.I(insn.MOVZ(insn.X1, 0, 0)) // modifier
+			a.I(insn.PACIB(insn.X0, insn.X1))
+			a.I(insn.AUTIB(insn.X0, insn.X1)) // good auth
+			a.I(insn.HLT(0))
+		})
+	})
+	if d[obs.CPACAuthIB] == 0 {
+		t.Errorf("CPACAuthIB delta = 0 after an AUTIB")
+	}
+	if d[obs.CPACAuthIA] != 0 {
+		t.Errorf("CPACAuthIA delta = %d; IB auth leaked into the IA cell", d[obs.CPACAuthIA])
+	}
+	if d[obs.CPACFailIB] != 0 {
+		t.Errorf("CPACFailIB delta = %d for a valid authentication", d[obs.CPACFailIB])
+	}
+}
+
+// TestObsFlushOnRunExit pins the memory-model boundary: counters
+// accrued during a Run are visible to scrapes immediately after Run
+// returns (the flush lives in Run's defer, not on any slower path).
+func TestObsFlushOnRunExit(t *testing.T) {
+	a := asm.New()
+	a.Label("entry")
+	a.I(insn.MOVZ(insn.X0, 1, 0))
+	a.I(insn.HLT(0))
+	img, err := a.Link(map[string]uint64{".text": textBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Features{PAuth: true})
+	for _, s := range img.Sections {
+		c.Bus.RAM.WriteBytes(s.Base, s.Bytes)
+	}
+	c.PC = img.Symbols["entry"]
+	before := obs.CounterTotal(obs.CRetired)
+	if stop := c.Run(100); stop.Kind != StopHLT {
+		t.Fatalf("stop = %+v", stop)
+	}
+	if got := obs.CounterTotal(obs.CRetired) - before; got != c.Retired {
+		t.Fatalf("retired visible after Run = %d, want %d", got, c.Retired)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"camouflage/internal/insn"
 	"camouflage/internal/mem"
 	"camouflage/internal/mmu"
+	"camouflage/internal/obs"
 )
 
 // storeCellFor snapshots the cluster's cell epoch and the generation
@@ -488,6 +489,7 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 						if f != nil {
 							c.PC = pc
 							c.flushTrace(n, cyc, ret)
+							c.obsLocal.V[obs.CTraceExitFault]++
 							c.dataAbort(f)
 							*n++
 							return Stop{}, false
@@ -536,6 +538,7 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 						if f != nil {
 							c.PC = pc
 							c.flushTrace(n, cyc, ret)
+							c.obsLocal.V[obs.CTraceExitFault]++
 							c.dataAbort(f)
 							*n++
 							return Stop{}, false
@@ -562,6 +565,7 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 						if stCell != nil {
 							stCell.Add(1)
 							c.cluster.execGen.Add(1)
+							c.obsLocal.V[obs.CBlockSever]++
 						}
 						hostStoreN(stPG, off, size, c.Reg(ins.Rd))
 					} else if pg, o, pn, ok := c.MMU.HostData(addr, c.EL, size, mmu.Store); ok {
@@ -570,6 +574,7 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 						if stCell != nil {
 							stCell.Add(1)
 							c.cluster.execGen.Add(1)
+							c.obsLocal.V[obs.CBlockSever]++
 						}
 						hostStoreN(pg, o, size, c.Reg(ins.Rd))
 					} else {
@@ -583,6 +588,7 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 						if f != nil {
 							c.PC = pc
 							c.flushTrace(n, cyc, ret)
+							c.obsLocal.V[obs.CTraceExitFault]++
 							c.dataAbort(f)
 							*n++
 							return Stop{}, false
@@ -603,6 +609,7 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 						if stCell != nil {
 							stCell.Add(1)
 							c.cluster.execGen.Add(1)
+							c.obsLocal.V[obs.CBlockSever]++
 						}
 						hostStore64(stPG, off, c.Reg(ins.Rd))
 						hostStore64(stPG, off+8, c.Reg(ins.Rm))
@@ -612,6 +619,7 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 						if stCell != nil {
 							stCell.Add(1)
 							c.cluster.execGen.Add(1)
+							c.obsLocal.V[obs.CBlockSever]++
 						}
 						hostStore64(pg, o, c.Reg(ins.Rd))
 						hostStore64(pg, o+8, c.Reg(ins.Rm))
@@ -634,6 +642,7 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 						if f != nil {
 							c.PC = pc
 							c.flushTrace(n, cyc, ret)
+							c.obsLocal.V[obs.CTraceExitFault]++
 							c.dataAbort(f)
 							*n++
 							return Stop{}, false
@@ -647,6 +656,7 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 				case insn.OpInvalid:
 					c.PC = pc
 					c.flushTrace(n, cyc, ret)
+					c.obsLocal.V[obs.CTraceExitFault]++
 					c.undefined()
 					*n++
 					return Stop{}, false
@@ -658,21 +668,26 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 					c.PC = pc
 					c.flushTrace(n, cyc, ret)
 					cyc, ret = 0, 0
+					c.obsLocal.V[obs.CSlowFallback]++
 					stop, done = c.execute(ins)
 					*n++
 					if done {
+						c.obsLocal.V[obs.CTraceExitStop]++
 						return stop, true
 					}
 					ldVP, stVP = ^uint64(0), ^uint64(0)
 					pc = c.PC
 					if pc != succ[idx] {
+						c.obsLocal.V[obs.CTraceExitBranch]++
 						return Stop{}, false
 					}
 					if storeClass[op] {
 						if c.cluster.execGen.Load() != startGen {
+							c.obsLocal.V[obs.CTraceExitHazard]++
 							return Stop{}, false
 						}
 						if canIRQ && c.IRQPending {
+							c.obsLocal.V[obs.CTraceExitIRQ]++
 							return Stop{}, false
 						}
 					}
@@ -686,6 +701,7 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 				if pc != succ[idx] {
 					c.PC = pc
 					c.flushTrace(n, cyc, ret)
+					c.obsLocal.V[obs.CTraceExitBranch]++
 					return Stop{}, false
 				}
 				continue
@@ -706,6 +722,11 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 			if c.cluster.execGen.Load() != startGen || (canIRQ && c.IRQPending) {
 				c.PC = pc
 				c.flushTrace(n, cyc, ret)
+				if c.cluster.execGen.Load() != startGen {
+					c.obsLocal.V[obs.CTraceExitHazard]++
+				} else {
+					c.obsLocal.V[obs.CTraceExitIRQ]++
+				}
 				return Stop{}, false
 			}
 			continue
@@ -718,6 +739,16 @@ func (c *CPU) runTrace(t *trace, n *uint64, maxInstrs uint64) (stop Stop, done b
 			c.cluster.execGen.Load() != startGen {
 			c.PC = pc
 			c.flushTrace(n, cyc, ret)
+			switch {
+			case !t.looping:
+				c.obsLocal.V[obs.CTraceExitEnd]++
+			case canIRQ && c.IRQPending:
+				c.obsLocal.V[obs.CTraceExitIRQ]++
+			case maxInstrs-*n < uint64(len(code)): // ret already folded into *n
+				c.obsLocal.V[obs.CTraceExitBudget]++
+			default:
+				c.obsLocal.V[obs.CTraceExitHazard]++
+			}
 			return Stop{}, false
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	"camouflage/internal/insn"
 	"camouflage/internal/kernel"
 	"camouflage/internal/lmbench"
+	"camouflage/internal/obs"
 	"camouflage/internal/pac"
 	"camouflage/internal/snapshot"
 	"camouflage/internal/workload"
@@ -174,6 +175,11 @@ type RunOptions struct {
 	// CPUs is the vCPU count of every machine the experiments boot
 	// (0/1: uniprocessor, byte-identical to pre-SMP renderings).
 	CPUs int
+	// Trace, when non-nil, receives one phase event per completed
+	// experiment ("exp:<id>" with its wall time and counter deltas).
+	// Tracing is host-side bookkeeping only: it never changes the
+	// rendered bytes.
+	Trace *obs.Run
 }
 
 // RunAllWith is RunAllContext with full options — the entry point the
@@ -182,7 +188,7 @@ func RunAllWith(ctx context.Context, w io.Writer, opts RunOptions) ([]RunStats, 
 	var stats []RunStats
 	err := withCPUMode(opts.CPUs, func() error {
 		var err error
-		stats, err = runAll(ctx, w, opts.IDs, opts.Parallel)
+		stats, err = runAll(ctx, w, opts.IDs, opts.Parallel, opts.Trace)
 		return err
 	})
 	return stats, err
@@ -196,7 +202,7 @@ func RunAllContext(ctx context.Context, w io.Writer, ids []string, parallel bool
 	return RunAllWith(ctx, w, RunOptions{IDs: ids, Parallel: parallel})
 }
 
-func runAll(ctx context.Context, w io.Writer, ids []string, parallel bool) ([]RunStats, error) {
+func runAll(ctx context.Context, w io.Writer, ids []string, parallel bool, trace *obs.Run) ([]RunStats, error) {
 	SetParallel(parallel)
 	var exps []Experiment
 	if len(ids) == 0 {
@@ -239,6 +245,9 @@ func runAll(ctx context.Context, w io.Writer, ids []string, parallel bool) ([]Ru
 		if wall > 0 {
 			stats[i].InstrPerSec = float64(r1-r0) / wall.Seconds()
 		}
+		// Parallel cells record in completion order; their deltas overlap
+		// (same caveat as Exact=false).
+		trace.Phase("exp:"+e.ID, wall)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"camouflage/internal/obs"
 )
 
 // PageSize is the physical page granule (4 KiB, the configuration of the
@@ -136,6 +138,7 @@ func (p *Phys) page(addr uint64, create bool) *[PageSize]byte {
 	}
 	p.pages[pn] = pg
 	p.gen.Add(1)
+	obs.Add(obs.CCOWMaterialize, 1)
 	return pg
 }
 
@@ -166,6 +169,7 @@ func (p *Phys) pageLocked(pn uint64, create bool) *[PageSize]byte {
 	}
 	p.pages[pn] = pg
 	p.gen.Add(1)
+	obs.Add(obs.CCOWMaterialize, 1)
 	return pg
 }
 

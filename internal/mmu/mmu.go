@@ -372,6 +372,13 @@ type MMU struct {
 
 	// Hits and Misses count TLB probes (diagnostics).
 	Hits, Misses uint64
+	// Rearms counts host-pointer re-arms: a TLB hit whose cached page
+	// pointer had gone stale (physical-memory generation bump) and was
+	// refreshed in place. S2Walks counts full translation walks — TLB
+	// miss, stage-1 lookup plus stage-2 check. Plain fields like
+	// Hits/Misses: the MMU is per-CPU and single-goroutine while its
+	// CPU runs; the CPU drains them into the obs registry at Run exit.
+	Rearms, S2Walks uint64
 }
 
 // New returns an MMU with empty tables for the given layout.
@@ -475,6 +482,7 @@ func (m *MMU) Translate(va uint64, kind AccessKind, el int) (uint64, *Fault) {
 					e.hptr = m.Mem.PageForStore(e.pa)
 				}
 				e.memgen = m.Mem.MemGen()
+				m.Rearms++
 			}
 			return e.pa | (eva & (PageSize - 1)), nil
 		}
@@ -507,6 +515,7 @@ func (m *MMU) Translate(va uint64, kind AccessKind, el int) (uint64, *Fault) {
 		return 0, &Fault{Kind: FaultPermission, VA: va, Access: kind, EL: el}
 	}
 	pa := pte.PA | (eva & (PageSize - 1))
+	m.S2Walks++
 	if !m.S2.Check(pa, kind) {
 		return 0, &Fault{Kind: FaultStage2, VA: va, Access: kind, EL: el}
 	}

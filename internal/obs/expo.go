@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// inf64 stands in for the +Inf bucket bound: encoding/json rejects
+// actual infinities, so snapshots carry MaxFloat64 and the Prometheus
+// writer renders anything that large as the literal "+Inf".
+var inf64 = math.MaxFloat64
+
+// Inf64 returns the sentinel standing in for +Inf wherever a value
+// must survive encoding/json (bucket bounds, parsed exposition).
+func Inf64() float64 { return inf64 }
+
+// WritePrometheus renders the whole registry in Prometheus text
+// exposition format (version 0.0.4): every static counter family, then
+// vec families, gauges and histograms, each preceded by its # HELP and
+// # TYPE lines. Output is deterministic: static families appear in
+// enum order, everything else in name order.
+func WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	totals := CounterTotals()
+
+	// Static counter families, grouped in enum order (IDs of one family
+	// are contiguous by construction; emit HELP/TYPE at each first ID).
+	prevFamily := ""
+	for id := CounterID(0); id < NumCounters; id++ {
+		m := &counterMetas[id]
+		if m.family != prevFamily {
+			writeHeader(bw, m.family, m.help, "counter")
+			prevFamily = m.family
+		}
+		writeSample(bw, m.family, m.labels, strconv.FormatUint(totals[id], 10))
+	}
+
+	for _, v := range sortedVecs() {
+		writeHeader(bw, v.name, v.help, "counter")
+		for _, s := range v.snapshotCells() {
+			writeSample(bw, v.name, s.labels, strconv.FormatUint(s.value, 10))
+		}
+	}
+
+	for _, g := range sortedGauges() {
+		writeHeader(bw, g.name, g.help, "gauge")
+		writeSample(bw, g.name, "", formatFloat(g.fn()))
+	}
+
+	prevFamily = ""
+	for _, h := range sortedHists() {
+		if h.name != prevFamily {
+			writeHeader(bw, h.name, h.help, "histogram")
+			prevFamily = h.name
+		}
+		s := h.snapshot()
+		for _, b := range s.Buckets {
+			le := "+Inf"
+			if b.LE < inf64 {
+				le = formatFloat(b.LE)
+			}
+			labels := `le="` + le + `"`
+			if h.labels != "" {
+				labels = h.labels + "," + labels
+			}
+			writeSample(bw, h.name+"_bucket", labels, strconv.FormatUint(b.Count, 10))
+		}
+		writeSample(bw, h.name+"_sum", h.labels, formatFloat(s.SumSeconds))
+		writeSample(bw, h.name+"_count", h.labels, strconv.FormatUint(s.Count, 10))
+	}
+
+	return bw.Flush()
+}
+
+func writeHeader(w *bufio.Writer, name, help, typ string) {
+	w.WriteString("# HELP ")
+	w.WriteString(name)
+	w.WriteByte(' ')
+	w.WriteString(help)
+	w.WriteString("\n# TYPE ")
+	w.WriteString(name)
+	w.WriteByte(' ')
+	w.WriteString(typ)
+	w.WriteByte('\n')
+}
+
+func writeSample(w *bufio.Writer, name, labels, value string) {
+	w.WriteString(name)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot is the JSON form of the registry, embedded in /v1/stats so
+// fleet tooling gets the same numbers /metrics exposes without parsing
+// text exposition. Counter keys are full sample names (family plus
+// label set); map keys marshal sorted, so the document is
+// deterministic for a fixed registry state.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// TakeSnapshot reads the whole registry.
+func TakeSnapshot() Snapshot {
+	totals := CounterTotals()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, int(NumCounters)),
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for id := CounterID(0); id < NumCounters; id++ {
+		s.Counters[id.SampleName()] = totals[id]
+	}
+	for _, v := range sortedVecs() {
+		for _, c := range v.snapshotCells() {
+			s.Counters[v.name+"{"+c.labels+"}"] = c.value
+		}
+	}
+	for _, g := range sortedGauges() {
+		s.Gauges[g.name] = g.fn()
+	}
+	for _, h := range sortedHists() {
+		s.Histograms[h.sampleName()] = h.snapshot()
+	}
+	return s
+}

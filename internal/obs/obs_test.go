@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCounterMetasComplete pins that every CounterID has exposition
+// metadata and that IDs sharing a family are contiguous (the writer
+// emits HELP/TYPE at family changes only).
+func TestCounterMetasComplete(t *testing.T) {
+	seen := map[string]CounterID{}
+	prev := ""
+	for id := CounterID(0); id < NumCounters; id++ {
+		m := counterMetas[id]
+		if m.family == "" || m.help == "" {
+			t.Fatalf("counter %d has incomplete metadata: %+v", id, m)
+		}
+		if !strings.HasPrefix(m.family, "camouflage_") || !strings.HasSuffix(m.family, "_total") {
+			t.Errorf("counter family %q breaks the naming convention", m.family)
+		}
+		if first, ok := seen[m.family]; ok && m.family != prev {
+			t.Errorf("family %q is not contiguous (first at %d, again at %d)", m.family, first, id)
+		}
+		if _, ok := seen[m.family]; !ok {
+			seen[m.family] = id
+		}
+		prev = m.family
+	}
+}
+
+// TestLocalFlush pins the hot-path contract: plain increments in a
+// Local become visible in CounterTotal only after Flush, and Flush
+// zeroes the cells.
+func TestLocalFlush(t *testing.T) {
+	before := CounterTotal(CTraceBuild)
+	var l Local
+	l.V[CTraceBuild] += 3
+	if got := CounterTotal(CTraceBuild); got != before {
+		t.Fatalf("unflushed increment visible: %d != %d", got, before)
+	}
+	l.Flush(5)
+	if got := CounterTotal(CTraceBuild); got != before+3 {
+		t.Fatalf("after flush: got %d, want %d", got, before+3)
+	}
+	if l.V[CTraceBuild] != 0 {
+		t.Fatalf("flush did not zero the cell")
+	}
+}
+
+func TestAddAndTotals(t *testing.T) {
+	before := CounterTotals()
+	Add(CPoolDrop, 2)
+	Add(CPoolDrop, 1)
+	after := CounterTotals()
+	if d := after[CPoolDrop] - before[CPoolDrop]; d != 3 {
+		t.Fatalf("CPoolDrop delta = %d, want 3", d)
+	}
+}
+
+func TestSampleName(t *testing.T) {
+	if got := CRetired.SampleName(); got != "camouflage_cpu_instructions_retired_total" {
+		t.Fatalf("unlabeled sample name: %q", got)
+	}
+	want := `camouflage_pac_auths_total{key="GA"}`
+	if got := CPACAuthGA.SampleName(); got != want {
+		t.Fatalf("labeled sample name: %q, want %q", got, want)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("camouflage_test_hist_seconds", "Test histogram.", []float64{0.001, 1})
+	h.Observe(500 * time.Microsecond) // bucket 0 (<= 1ms)
+	h.Observe(500 * time.Millisecond) // bucket 1 (<= 1s)
+	h.Observe(2 * time.Second)        // +Inf bucket
+	s := h.snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	wantCum := []uint64{1, 2, 3}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.LE < inf64 {
+		t.Fatalf("last bucket bound %v is not the +Inf sentinel", last.LE)
+	}
+	if s.SumSeconds < 2.5 || s.SumSeconds > 2.6 {
+		t.Fatalf("sum = %v, want ~2.5005", s.SumSeconds)
+	}
+	// Idempotent by name: same pointer back, no reset.
+	if h2 := NewHistogram("camouflage_test_hist_seconds", "x", nil); h2 != h {
+		t.Fatalf("NewHistogram is not idempotent")
+	}
+}
+
+func TestVecCells(t *testing.T) {
+	v := NewVec("camouflage_test_vec_total", "Test vec.")
+	if v2 := NewVec("camouflage_test_vec_total", "x"); v2 != v {
+		t.Fatalf("NewVec is not idempotent")
+	}
+	c := v.Cell(`op="a"`)
+	c.Add(2)
+	if c2 := v.Cell(`op="a"`); c2 != c {
+		t.Fatalf("Cell is not memoized")
+	}
+	v.Cell(`op="b"`).Add(1)
+	cells := v.snapshotCells()
+	if len(cells) != 2 || cells[0].labels != `op="a"` || cells[0].value != 2 {
+		t.Fatalf("snapshotCells = %+v", cells)
+	}
+}
+
+// TestWritePrometheus checks exposition shape: every counter family
+// appears exactly once as HELP+TYPE, samples parse as "name value" or
+// "name{labels} value", histograms end with _sum and _count.
+func TestWritePrometheus(t *testing.T) {
+	RegisterGauge("camouflage_test_gauge", "Test gauge.", func() float64 { return 42 })
+	NewHistogramLabels("camouflage_test_labeled_seconds", "Labeled test histogram.",
+		`shard="a"`, []float64{1}).Observe(time.Millisecond)
+	NewHistogramLabels("camouflage_test_labeled_seconds", "Labeled test histogram.",
+		`shard="b"`, []float64{1}).Observe(2 * time.Second)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, family := range []string{
+		"camouflage_cpu_instructions_retired_total",
+		"camouflage_cpu_trace_exits_total",
+		"camouflage_mmu_stage2_walks_total",
+		"camouflage_mem_cow_materializations_total",
+		"camouflage_pac_auths_total",
+		"camouflage_snapshot_pool_boots_total",
+		"camouflage_server_queue_rejected_total",
+	} {
+		if n := strings.Count(out, "# HELP "+family+" "); n != 1 {
+			t.Errorf("family %s: %d HELP lines, want 1", family, n)
+		}
+		if n := strings.Count(out, "# TYPE "+family+" counter"); n != 1 {
+			t.Errorf("family %s: %d TYPE counter lines, want 1", family, n)
+		}
+	}
+	if !strings.Contains(out, "camouflage_test_gauge 42\n") {
+		t.Errorf("gauge sample missing")
+	}
+	if n := strings.Count(out, "# TYPE camouflage_test_labeled_seconds histogram"); n != 1 {
+		t.Errorf("labeled histogram family emitted %d TYPE lines, want 1", n)
+	}
+	if !strings.Contains(out, `camouflage_test_labeled_seconds_bucket{shard="a",le="+Inf"} 1`) {
+		t.Errorf("labeled +Inf bucket missing:\n%s", out)
+	}
+	if !strings.Contains(out, `camouflage_test_labeled_seconds_count{shard="b"} 1`) {
+		t.Errorf("labeled _count missing")
+	}
+	// The PAC family must carry all five key labels.
+	for _, key := range []string{"IA", "IB", "DA", "DB", "GA"} {
+		if !strings.Contains(out, `camouflage_pac_auths_total{key="`+key+`"} `) {
+			t.Errorf("PAC key %s sample missing", key)
+		}
+	}
+}
+
+// TestSnapshotJSON pins that the JSON embedding marshals (no +Inf
+// leaks into encoding/json) and carries every static counter.
+func TestSnapshotJSON(t *testing.T) {
+	s := TakeSnapshot()
+	if len(s.Counters) < int(NumCounters) {
+		t.Fatalf("snapshot has %d counters, want >= %d", len(s.Counters), NumCounters)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if _, ok := back.Counters["camouflage_cpu_cycles_total"]; !ok {
+		t.Fatalf("round-tripped snapshot lost the cycles counter")
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	r := BeginRun("test", "label-1")
+	if r.ID() == "" {
+		t.Fatal("empty run ID")
+	}
+	Add(CPoolHit, 7)
+	r.Phase("phase-a", 5*time.Millisecond)
+	r.Phase("phase-b", 0) // no deltas accrued
+	r.End()
+
+	tr, ok := RunTraceByID(r.ID())
+	if !ok {
+		t.Fatalf("run %s not retrievable", r.ID())
+	}
+	if !tr.Done || tr.Kind != "test" || tr.Label != "label-1" {
+		t.Fatalf("trace header: %+v", tr)
+	}
+	if len(tr.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(tr.Events))
+	}
+	if got := tr.Events[0].Counters[CPoolHit.SampleName()]; got != 7 {
+		t.Fatalf("phase-a CPoolHit delta = %d, want 7", got)
+	}
+	if tr.Events[1].Counters[CPoolHit.SampleName()] != 0 {
+		t.Fatalf("phase-b should carry no CPoolHit delta")
+	}
+
+	// Nil runs are inert.
+	var nilRun *Run
+	nilRun.Phase("x", 0)
+	nilRun.End()
+	if nilRun.ID() != "" || nilRun.Trace().ID != "" {
+		t.Fatal("nil run is not inert")
+	}
+
+	if _, ok := RunTraceByID("run-does-not-exist"); ok {
+		t.Fatal("lookup of unknown run succeeded")
+	}
+}
+
+// TestRunStoreBounded pins the ring: old runs fall out after
+// maxStoredRuns newer ones.
+func TestRunStoreBounded(t *testing.T) {
+	first := BeginRun("test", "evictee")
+	for i := 0; i < maxStoredRuns; i++ {
+		BeginRun("test", fmt.Sprintf("filler-%d", i)).End()
+	}
+	if _, ok := RunTraceByID(first.ID()); ok {
+		t.Fatalf("run %s survived %d newer runs", first.ID(), maxStoredRuns)
+	}
+}
+
+// TestConcurrentFlushAndScrape exercises flush/Add/scrape under the
+// race detector.
+func TestConcurrentFlushAndScrape(t *testing.T) {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var l Local
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.V[CTraceEnter]++
+			l.Flush(i)
+			Add(CPoolMiss, 1)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := WritePrometheus(&b); err != nil {
+			t.Error(err)
+		}
+		TakeSnapshot()
+	}
+	close(stop)
+	<-done
+}

@@ -179,6 +179,14 @@ type Signer struct {
 	rounds int
 	cipher [NumKeys]*qarma.Cipher
 	keys   [NumKeys]Key
+
+	// Auths and Fails count Auth calls and authentication failures per
+	// key (GenericMAC counts under KeyGA). Plain fields by design: a
+	// Signer is owned by one CPU, which is run by one goroutine at a
+	// time, so increments are unsynchronized and free; the owning CPU
+	// drains them into the obs registry when its Run returns.
+	Auths [NumKeys]uint64
+	Fails [NumKeys]uint64
 }
 
 // NewSigner returns a Signer for the given layout using QARMA-64 with the
@@ -290,9 +298,11 @@ func (s *Signer) Auth(signed, modifier uint64, id KeyID) (ptr uint64, ok bool) {
 	want := s.pacFor(signed, modifier, id)
 	got := signed & mask
 	canonical := s.cfg.Canonical(signed)
+	s.Auths[id]++
 	if got == want {
 		return canonical, true
 	}
+	s.Fails[id]++
 	// Poison: canonicalise, then flip a checked extension bit so the
 	// pointer is invalid regardless of address-space side.
 	return canonical ^ poisonBit(mask, id), false
@@ -308,6 +318,7 @@ func (s *Signer) Strip(ptr uint64) uint64 {
 // modifier; the result is placed in the high 32 bits as the architecture
 // does for PACGA's destination register.
 func (s *Signer) GenericMAC(value, modifier uint64) uint64 {
+	s.Auths[KeyGA]++
 	c := s.cipher[KeyGA]
 	if c == nil {
 		c = qarma.New(qarma.Key{}, s.rounds)

@@ -10,6 +10,7 @@ import (
 
 	"camouflage/client"
 	"camouflage/internal/cpu"
+	"camouflage/internal/obs"
 	"camouflage/internal/snapshot"
 )
 
@@ -76,6 +77,7 @@ func (t *leaseTable) add(m *snapshot.Machine) (*lease, error) {
 	l.touch()
 	t.leases[l.id] = l
 	t.issued.Add(1)
+	obs.Add(obs.CLeaseIssued, 1)
 	return l, nil
 }
 
@@ -120,6 +122,7 @@ func (t *leaseTable) reap() {
 		l.released = true
 		l.mu.Unlock()
 		t.expired.Add(1)
+		obs.Add(obs.CLeaseExpired, 1)
 	}
 }
 
@@ -153,6 +156,7 @@ func (t *leaseTable) releaseAll(ctx context.Context) {
 			l.released = true
 			l.mu.Unlock()
 			t.released.Add(1)
+			obs.Add(obs.CLeaseReleased, 1)
 			continue
 		}
 		abandon := new(atomic.Bool)
@@ -169,9 +173,11 @@ func (t *leaseTable) releaseAll(ctx context.Context) {
 		select {
 		case <-done:
 			t.released.Add(1)
+			obs.Add(obs.CLeaseReleased, 1)
 		case <-ctx.Done():
 			abandon.Store(true)
 			t.forceExpired.Add(1)
+			obs.Add(obs.CLeaseForceExpired, 1)
 		}
 	}
 }

@@ -1,0 +1,205 @@
+package server
+
+// Tests of the observability surface: the /metrics exposition, the
+// /v1/stats registry embedding, run traces, and the sole-occupancy
+// exactness rule for served experiment stats.
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"camouflage/client"
+	"camouflage/internal/obs"
+)
+
+// requiredFamilies is the coverage floor the metrics-smoke CI job also
+// asserts: at least one family per instrumented subsystem.
+var requiredFamilies = []string{
+	"camouflage_cpu_instructions_retired_total",
+	"camouflage_cpu_trace_enters_total",
+	"camouflage_mmu_stage2_walks_total",
+	"camouflage_mem_cow_materializations_total",
+	"camouflage_pac_auths_total",
+	"camouflage_snapshot_pool_boots_total",
+	"camouflage_snapshot_boot_seconds",
+	"camouflage_server_queue_wait_seconds",
+	"camouflage_server_requests_total",
+	"camouflage_server_queue_depth",
+}
+
+// TestMetricsEndpoint runs an experiment, scrapes /metrics twice and
+// checks exposition shape, family coverage and monotonicity.
+func TestMetricsEndpoint(t *testing.T) {
+	_, hs, c := newTestServer(t, Config{})
+
+	if _, err := c.RunExperiments(context.Background(), client.ExperimentsRequest{
+		IDs: []string{"keys"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	first, err := client.ParseMetrics(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byKey := func(samples []client.MetricSample) map[string]float64 {
+		m := make(map[string]float64, len(samples))
+		for _, s := range samples {
+			m[s.Key()] = s.Value
+		}
+		return m
+	}
+	fm := byKey(first)
+	for _, fam := range requiredFamilies {
+		found := false
+		for k := range fm {
+			if k == fam || strings.HasPrefix(k, fam+"{") || strings.HasPrefix(k, fam+"_bucket") ||
+				strings.HasPrefix(k, fam+"_sum") || strings.HasPrefix(k, fam+"_count") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("family %s missing from exposition", fam)
+		}
+	}
+	if fm["camouflage_cpu_instructions_retired_total"] == 0 {
+		t.Error("no instructions retired after an experiment run")
+	}
+
+	// Second scrape: counters must be monotonic.
+	second, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := byKey(second)
+	for k, v1 := range fm {
+		if strings.Contains(k, "_gauge") || strings.Contains(k, "_depth") ||
+			strings.Contains(k, "_running") || strings.Contains(k, "_active") ||
+			strings.Contains(k, "_idle") {
+			continue // gauges may move either way
+		}
+		if v2, ok := sm[k]; ok && v2 < v1 {
+			t.Errorf("%s went backwards: %v -> %v", k, v1, v2)
+		}
+	}
+}
+
+// TestStatsEmbedsMetrics pins the /v1/stats registry embedding.
+func TestStatsEmbedsMetrics(t *testing.T) {
+	_, _, c := newTestServer(t, Config{})
+	if _, err := c.RunExperiments(context.Background(), client.ExperimentsRequest{
+		IDs: []string{"table1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Metrics.Counters) < int(obs.NumCounters) {
+		t.Fatalf("stats metrics carry %d counters, want >= %d", len(st.Metrics.Counters), obs.NumCounters)
+	}
+	if _, ok := st.Metrics.Histograms["camouflage_server_queue_wait_seconds"]; !ok {
+		t.Error("queue wait histogram missing from stats embedding")
+	}
+	if _, ok := st.Metrics.Gauges["camouflage_server_queue_depth"]; !ok {
+		t.Error("queue depth gauge missing from stats embedding")
+	}
+}
+
+// TestRunTraceEndpoint pins the run-trace lifecycle over the wire: an
+// experiments run reports a run_id whose trace carries per-experiment
+// phases; unknown IDs 404.
+func TestRunTraceEndpoint(t *testing.T) {
+	_, _, c := newTestServer(t, Config{})
+	resp, err := c.RunExperiments(context.Background(), client.ExperimentsRequest{
+		IDs: []string{"table1", "keys"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RunID == "" {
+		t.Fatal("experiments response carries no run_id")
+	}
+	tr, err := c.RunTrace(context.Background(), resp.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done || tr.Kind != "experiments" {
+		t.Fatalf("trace header: %+v", tr)
+	}
+	names := map[string]bool{}
+	for _, e := range tr.Events {
+		names[e.Name] = true
+	}
+	if !names["exp:table1"] || !names["exp:keys"] {
+		t.Fatalf("trace events %v missing per-experiment phases", names)
+	}
+
+	if _, err := c.RunTrace(context.Background(), "run-999999"); err == nil {
+		t.Fatal("unknown run id did not 404")
+	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown run id error: %v", err)
+	}
+
+	// Machine runs report traces too.
+	m, err := c.Lease(context.Background(), client.MachineRequest{Level: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release(context.Background())
+	rr, err := m.Run(context.Background(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.RunID == "" {
+		t.Fatal("machine run carries no run_id")
+	}
+	if tr, err := c.RunTrace(context.Background(), rr.RunID); err != nil || tr.Kind != "machine-run" {
+		t.Fatalf("machine run trace: %+v, %v", tr, err)
+	}
+}
+
+// TestServedExactWhenAlone pins the RunStats.Exact fix: a sequential
+// experiments request served with no overlapping jobs keeps exact
+// attribution; a parallel one stays inexact.
+func TestServedExactWhenAlone(t *testing.T) {
+	_, _, c := newTestServer(t, Config{})
+	resp, err := c.RunExperiments(context.Background(), client.ExperimentsRequest{
+		IDs: []string{"keys"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range resp.Experiments {
+		if !s.Exact {
+			t.Errorf("%s: sequential sole-occupancy run served Exact=false", s.ID)
+		}
+		if s.Instrs == 0 {
+			t.Errorf("%s: exact stats carry no instructions", s.ID)
+		}
+	}
+	par, err := c.RunExperiments(context.Background(), client.ExperimentsRequest{
+		IDs: []string{"keys"}, Parallel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range par.Experiments {
+		if s.Exact {
+			t.Errorf("%s: parallel run wrongly served Exact=true", s.ID)
+		}
+	}
+}

@@ -5,9 +5,17 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"camouflage/client"
+	"camouflage/internal/obs"
 )
+
+// queueWaitHist observes how long admitted jobs spent waiting for a
+// slot (rejected and cancelled requests are not observed — they never
+// ran).
+var queueWaitHist = obs.NewHistogram("camouflage_server_queue_wait_seconds",
+	"Time admitted jobs spent waiting for an execution slot.", obs.DefaultLatencyBuckets)
 
 // errBusy rejects work when the wait line is full — the daemon sheds
 // load instead of queueing unboundedly (503 on the wire).
@@ -28,6 +36,11 @@ type queue struct {
 	// slot holders. Waiting depth is the difference.
 	inSystem atomic.Int64
 	running  atomic.Int64
+	// starts counts jobs that ever began running. Together with running
+	// it lets a handler prove it ran alone: running == 1 on entry and no
+	// new starts by exit means no other job overlapped it (the basis for
+	// serving exact per-run counter attribution).
+	starts atomic.Uint64
 
 	mu       sync.Mutex
 	inflight map[string]int
@@ -48,15 +61,19 @@ func newQueue(capacity, maxQueue int) *queue {
 func (q *queue) acquire(ctx context.Context, key string) (release func(), err error) {
 	if int(q.inSystem.Add(1)) > q.maxQueue+cap(q.slots) {
 		q.inSystem.Add(-1)
+		obs.Add(obs.CQueueRejected, 1)
 		return nil, errBusy
 	}
+	t0 := time.Now()
 	select {
 	case q.slots <- struct{}{}:
 	case <-ctx.Done():
 		q.inSystem.Add(-1)
 		return nil, ctx.Err()
 	}
+	queueWaitHist.ObserveSince(t0)
 	q.running.Add(1)
+	q.starts.Add(1)
 	q.note(key, +1)
 	var once sync.Once
 	return func() {

@@ -14,6 +14,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -25,8 +26,49 @@ import (
 	"camouflage/internal/attack"
 	"camouflage/internal/core"
 	"camouflage/internal/figures"
+	"camouflage/internal/obs"
 	"camouflage/internal/snapshot"
 )
+
+// requestsVec counts HTTP requests by endpoint pattern and status
+// class (2xx/4xx/5xx…).
+var requestsVec = obs.NewVec("camouflage_server_requests_total",
+	"HTTP requests by endpoint and status class.")
+
+// statusRecorder captures the status a handler wrote (200 when the
+// handler never called WriteHeader explicitly).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint request accounting: a
+// requests_total{endpoint,code} counter and a latency histogram
+// labelled by the route pattern. Labels are pre-rendered at
+// registration so the request path never formats strings.
+func instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	hist := obs.NewHistogramLabels("camouflage_server_request_seconds",
+		"HTTP request latency by endpoint.",
+		fmt.Sprintf("endpoint=%q", pattern), obs.DefaultLatencyBuckets)
+	var classLabels [6]string
+	for class := 1; class <= 5; class++ {
+		classLabels[class] = fmt.Sprintf(`endpoint=%q,code="%dxx"`, pattern, class)
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		hist.ObserveSince(t0)
+		if class := rec.status / 100; class >= 1 && class <= 5 {
+			requestsVec.Cell(classLabels[class]).Add(1)
+		}
+	}
+}
 
 // Config tunes a Server. Zero values select the documented defaults.
 type Config struct {
@@ -86,15 +128,47 @@ func New(cfg Config) *Server {
 		leases: newLeaseTable(cfg.MaxLeases, cfg.LeaseIdle),
 		start:  time.Now(),
 	}
-	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
-	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiments)
-	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
-	s.mux.HandleFunc("POST /v1/machines", s.handleLease)
-	s.mux.HandleFunc("GET /v1/machines/{id}", s.handleMachineState)
-	s.mux.HandleFunc("POST /v1/machines/{id}/run", s.handleMachineRun)
-	s.mux.HandleFunc("POST /v1/machines/{id}/reset", s.handleMachineReset)
-	s.mux.HandleFunc("POST /v1/machines/{id}/release", s.handleMachineRelease)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	for _, route := range []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"GET /v1/experiments", s.handleListExperiments},
+		{"POST /v1/experiments", s.handleExperiments},
+		{"POST /v1/campaigns", s.handleCampaigns},
+		{"POST /v1/machines", s.handleLease},
+		{"GET /v1/machines/{id}", s.handleMachineState},
+		{"POST /v1/machines/{id}/run", s.handleMachineRun},
+		{"POST /v1/machines/{id}/reset", s.handleMachineReset},
+		{"POST /v1/machines/{id}/release", s.handleMachineRelease},
+		{"GET /v1/runs/{id}/trace", s.handleRunTrace},
+		{"GET /v1/stats", s.handleStats},
+		{"GET /metrics", s.handleMetrics},
+	} {
+		s.mux.HandleFunc(route.pattern, instrument(route.pattern, route.h))
+	}
+	// Instantaneous readings, read at scrape time. Registration replaces
+	// by name, so the newest Server instance owns the gauges (tests
+	// construct several; the daemon exactly one).
+	obs.RegisterGauge("camouflage_server_queue_depth",
+		"Jobs waiting for an execution slot.", func() float64 {
+			d := s.queue.inSystem.Load() - s.queue.running.Load()
+			if d < 0 {
+				d = 0
+			}
+			return float64(d)
+		})
+	obs.RegisterGauge("camouflage_server_jobs_running",
+		"Jobs holding an execution slot.", func() float64 {
+			return float64(s.queue.running.Load())
+		})
+	obs.RegisterGauge("camouflage_server_leases_active",
+		"Machine leases currently checked out.", func() float64 {
+			return float64(s.leases.stats().Active)
+		})
+	obs.RegisterGauge("camouflage_snapshot_pool_idle",
+		"Idle machines parked in the warm pool.", func() float64 {
+			return float64(s.cfg.Pool.Stats().Idle)
+		})
 	return s
 }
 
@@ -261,21 +335,34 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	}
 	defer done()
 
+	// Sole-occupancy bracket for the Exact decision below: queue.starts
+	// already includes this job's own start, so an unchanged count at
+	// the end means no other job began while this one ran.
+	startsBefore := s.queue.starts.Load()
+	soleAtStart := s.queue.running.Load() == 1
+
+	run := obs.BeginRun("experiments", strings.Join(req.IDs, ","))
+	defer run.End()
+
 	var buf strings.Builder
 	t0 := time.Now()
 	stats, err := figures.RunAllWith(ctx, &buf, figures.RunOptions{
-		IDs: req.IDs, Parallel: req.Parallel, CPUs: req.CPUs,
+		IDs: req.IDs, Parallel: req.Parallel, CPUs: req.CPUs, Trace: run,
 	})
 	if err != nil {
 		failRun(w, err)
 		return
 	}
 	// Cycle/instruction attribution in RunStats comes from process-wide
-	// counters; in a daemon any overlapping request (another
-	// experiments run, a campaign, a lease step) shows up in the
-	// deltas, so served stats never claim exactness.
-	for i := range stats {
-		stats[i].Exact = false
+	// counters, so any overlapping job (another experiments run, a
+	// campaign, a lease step) pollutes the deltas. A run that provably
+	// ran alone — sole slot holder at start, no new starts since —
+	// keeps the exactness figures computed; anything else is stamped
+	// inexact.
+	if !soleAtStart || s.queue.starts.Load() != startsBefore {
+		for i := range stats {
+			stats[i].Exact = false
+		}
 	}
 	writeJSON(w, http.StatusOK, client.ExperimentsResponse{
 		Output:      buf.String(),
@@ -285,6 +372,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		// pool is configured to be.
 		Pool:        snapshot.Shared.Stats(),
 		Experiments: stats,
+		RunID:       run.ID(),
 	})
 }
 
@@ -315,6 +403,9 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	}
 	defer done()
 
+	run := obs.BeginRun("campaign", strings.Join(req.Levels, ","))
+	defer run.End()
+
 	t0 := time.Now()
 	rep, err := attack.RunCampaignContext(ctx, attack.CampaignOptions{
 		Mutations: req.Mutations,
@@ -327,12 +418,14 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		failRun(w, err)
 		return
 	}
+	run.Phase("campaign", time.Since(t0))
 	var buf strings.Builder
 	rep.Render(&buf)
 	writeJSON(w, http.StatusOK, client.CampaignResponse{
 		Report:      rep,
 		Output:      buf.String(),
 		TotalWallNs: time.Since(t0).Nanoseconds(),
+		RunID:       run.ID(),
 	})
 }
 
@@ -439,8 +532,12 @@ func (s *Server) handleMachineRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer done()
 	s.withLease(w, r, func(l *lease) {
+		run := obs.BeginRun("machine-run", l.id)
+		defer run.End()
 		k := l.m.K
+		t0 := time.Now()
 		stop := k.Run(req.MaxInstrs)
+		run.Phase("run", time.Since(t0))
 		resp := client.MachineRunResponse{
 			Stop:        stopName(stop.Kind),
 			StopCode:    stop.Code,
@@ -449,6 +546,7 @@ func (s *Server) handleMachineRun(w http.ResponseWriter, r *http.Request) {
 			Instrs:      k.CPU.Retired,
 			Halted:      k.Halted,
 			PACFailures: k.PACFailures,
+			RunID:       run.ID(),
 		}
 		if stop.Err != nil {
 			// The machine survives; the error is part of the result.
@@ -517,6 +615,7 @@ func (s *Server) handleMachineRelease(w http.ResponseWriter, r *http.Request) {
 	l.released = true
 	l.mu.Unlock()
 	s.leases.released.Add(1)
+	obs.Add(obs.CLeaseReleased, 1)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
 }
 
@@ -533,5 +632,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Leases:   s.leases.stats(),
 		Draining: draining,
 		UptimeNs: time.Since(s.start).Nanoseconds(),
+		Metrics:  obs.TakeSnapshot(),
 	})
+}
+
+// --- observability ---
+
+// handleMetrics serves the whole registry in Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WritePrometheus(w)
+}
+
+// handleRunTrace serves the structured trace of a recent run (IDs come
+// back in the run_id field of experiment, campaign and machine-run
+// responses; the store keeps the most recent 256).
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	tr, ok := obs.RunTraceByID(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such run")
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }

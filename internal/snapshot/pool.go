@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"camouflage/internal/kernel"
+	"camouflage/internal/obs"
 )
 
 // Machine is a pooled machine: a kernel plus the snapshot it descends
@@ -52,6 +53,7 @@ func (p *Pool) release(m *Machine) {
 	e.mu.Unlock()
 	if full {
 		p.dropped.Add(1)
+		obs.Add(obs.CPoolDrop, 1)
 		return
 	}
 	if err := m.Snap.Reset(m.K); err != nil {
@@ -59,12 +61,14 @@ func (p *Pool) release(m *Machine) {
 		// snapshot of a different built image); surface it in Stats
 		// rather than degrade the pool invisibly.
 		p.dropped.Add(1)
+		obs.Add(obs.CPoolDrop, 1)
 		return
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if len(e.idle) >= p.MaxIdlePerKey {
 		p.dropped.Add(1)
+		obs.Add(obs.CPoolDrop, 1)
 		return
 	}
 	e.idle = append(e.idle, m)
@@ -129,6 +133,7 @@ func (p *Pool) ensureBooted(e *poolEntry, key string, boot func() (*kernel.Kerne
 			return
 		}
 		p.boots.Add(1)
+		obs.Add(obs.CPoolBoot, 1)
 		// e.snap is published under e.mu as well as via once.Do: callers
 		// read it after once.Do, Stats reads it under e.mu only.
 		e.mu.Lock()
@@ -153,6 +158,7 @@ func (p *Pool) Acquire(key string, boot func() (*kernel.Kernel, error)) (*Machin
 		e.mu.Unlock()
 		if !m.fresh {
 			p.reuses.Add(1)
+			obs.Add(obs.CPoolHit, 1)
 		}
 		// Hand out a fresh handle around the parked kernel: the previous
 		// owner's released handle stays permanently inert, so a stale
@@ -206,6 +212,9 @@ func (p *Pool) EvictIdle(keep int) int {
 		e.mu.Unlock()
 	}
 	p.evicted.Add(uint64(n))
+	if n > 0 {
+		obs.Add(obs.CPoolEvict, uint64(n))
+	}
 	return n
 }
 

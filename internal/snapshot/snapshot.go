@@ -26,9 +26,26 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"camouflage/internal/codegen"
 	"camouflage/internal/kernel"
+	"camouflage/internal/obs"
+)
+
+// Phase-latency histograms (DESIGN.md §11): every build+verify+boot,
+// copy-on-write fork and snapshot reset is observed, so the fleet view
+// shows where machine-provisioning time actually goes. Cold paths only
+// — nothing on the instruction loop observes a histogram.
+var (
+	bootHist = obs.NewHistogram("camouflage_snapshot_boot_seconds",
+		"Latency of full machine provisioning (build + verify + boot).", obs.DefaultLatencyBuckets)
+	verifyHist = obs.NewHistogram("camouflage_snapshot_verify_seconds",
+		"Latency of the §4.1 static-analysis image verification.", obs.DefaultLatencyBuckets)
+	forkHist = obs.NewHistogram("camouflage_snapshot_fork_seconds",
+		"Latency of copy-on-write machine forks.", obs.DefaultLatencyBuckets)
+	resetHist = obs.NewHistogram("camouflage_snapshot_reset_seconds",
+		"Latency of machine resets back to their snapshot.", obs.DefaultLatencyBuckets)
 )
 
 // Snapshot is an immutable capture of a booted machine. Any number of
@@ -54,11 +71,14 @@ func Take(k *kernel.Kernel) *Snapshot {
 // new CPU, bus, MMU and device mirrors; guest RAM shared copy-on-write
 // with the snapshot. No codegen, verification or boot runs.
 func (s *Snapshot) Fork() (*kernel.Kernel, error) {
+	t0 := time.Now()
 	k, err := kernel.NewFromState(s.st)
 	if err != nil {
 		return nil, err
 	}
 	s.forks.Add(1)
+	obs.Add(obs.CPoolMiss, 1)
+	forkHist.ObserveSince(t0)
 	return k, nil
 }
 
@@ -67,10 +87,12 @@ func (s *Snapshot) Fork() (*kernel.Kernel, error) {
 // same built image (it was forked from this snapshot, or this snapshot
 // was taken from it).
 func (s *Snapshot) Reset(k *kernel.Kernel) error {
+	t0 := time.Now()
 	if err := k.RestoreState(s.st); err != nil {
 		return err
 	}
 	s.resets.Add(1)
+	resetHist.ObserveSince(t0)
 	return nil
 }
 
@@ -113,16 +135,20 @@ func KeyForOptions(opts kernel.Options) string {
 // warmed through core.New.
 func BootOptions(opts kernel.Options) func() (*kernel.Kernel, error) {
 	return func() (*kernel.Kernel, error) {
+		t0 := time.Now()
 		k, err := kernel.New(opts)
 		if err != nil {
 			return nil, err
 		}
+		tv := time.Now()
 		if err := kernel.VerifyImage(k.Img); err != nil {
 			return nil, err
 		}
+		verifyHist.ObserveSince(tv)
 		if err := k.Boot(); err != nil {
 			return nil, err
 		}
+		bootHist.ObserveSince(t0)
 		return k, nil
 	}
 }
