@@ -1,0 +1,136 @@
+package client
+
+// Typed bindings for the daemon's snapshot-store surface (/v1/snapshots,
+// /v1/images): list and inspect persisted snapshots, pin them against
+// eviction, delete unpinned ones, and read the per-image dedup ledger.
+
+import (
+	"context"
+	"net/http"
+)
+
+// SnapshotInfo is one persisted snapshot as listed by GET /v1/snapshots.
+type SnapshotInfo struct {
+	// Digest is the whole-snapshot content address; every administer
+	// call (inspect, pin, delete) takes it.
+	Digest string `json:"digest"`
+	// KeyDigest/Key identify the build configuration the snapshot
+	// captures (Key is the human-readable normalized option string).
+	KeyDigest string `json:"key_digest"`
+	Key       string `json:"key"`
+	// ImageDigest groups snapshots built from one kernel image.
+	ImageDigest string `json:"image_digest"`
+	Pages       int    `json:"pages"`
+	CPUs        int    `json:"cpus"`
+	BootCycles  uint64 `json:"boot_cycles"`
+	Pinned      bool   `json:"pinned"`
+	CreatedUnix int64  `json:"created_unix"`
+	// Resident reports whether the daemon currently holds this
+	// configuration armed in a warm pool; IdleMachines counts its parked
+	// machines.
+	Resident     bool `json:"resident"`
+	IdleMachines int  `json:"idle_machines"`
+}
+
+// SnapshotsResponse is the GET /v1/snapshots reply.
+type SnapshotsResponse struct {
+	Snapshots []SnapshotInfo `json:"snapshots"`
+}
+
+// SnapshotManifest mirrors the store's on-disk manifest for GET
+// /v1/snapshots/{digest}. Page references are elided from listings but
+// included here, so clients can audit exactly which chunks a snapshot
+// commits to.
+type SnapshotManifest struct {
+	Version     int             `json:"version"`
+	Digest      string          `json:"digest"`
+	KeyDigest   string          `json:"key_digest"`
+	Key         string          `json:"key"`
+	Options     SnapshotOptions `json:"options"`
+	ImageDigest string          `json:"image_digest"`
+	StateChunk  string          `json:"state_chunk"`
+	StateSize   int             `json:"state_size"`
+	Pages       []SnapshotPage  `json:"pages"`
+	CPUs        int             `json:"cpus"`
+	BootCycles  uint64          `json:"boot_cycles"`
+	CreatedUnix int64           `json:"created_unix"`
+}
+
+// SnapshotOptions is the manifest's build-options block.
+type SnapshotOptions struct {
+	Scheme       int    `json:"scheme"`
+	ForwardCFI   bool   `json:"forward_cfi"`
+	DFI          bool   `json:"dfi"`
+	ZeroModifier bool   `json:"zero_modifier"`
+	CPUs         int    `json:"cpus"`
+	Seed         uint64 `json:"seed"`
+	Compat       bool   `json:"compat"`
+	V80          bool   `json:"v80"`
+	Threshold    int    `json:"failure_threshold"`
+}
+
+// SnapshotPage binds one guest RAM page to its content-addressed chunk.
+type SnapshotPage struct {
+	PN    uint64 `json:"pn"`
+	Chunk string `json:"chunk"`
+}
+
+// PinRequest is the POST /v1/snapshots/{digest}/pin body.
+type PinRequest struct {
+	Pinned bool `json:"pinned"`
+}
+
+// ImageInfo aggregates the snapshots of one built kernel image and what
+// page-level dedup saves across them.
+type ImageInfo struct {
+	ImageDigest  string   `json:"image_digest"`
+	Snapshots    []string `json:"snapshots"`
+	TotalPages   int      `json:"total_pages"`
+	UniqueChunks int      `json:"unique_chunks"`
+}
+
+// ImagesResponse is the GET /v1/images reply.
+type ImagesResponse struct {
+	Images []ImageInfo `json:"images"`
+}
+
+// Snapshots lists the snapshots persisted in the daemon's store.
+func (c *Client) Snapshots(ctx context.Context) ([]SnapshotInfo, error) {
+	var out SnapshotsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/snapshots", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Snapshots, nil
+}
+
+// Snapshot fetches one snapshot's full manifest.
+func (c *Client) Snapshot(ctx context.Context, digest string) (*SnapshotManifest, error) {
+	var out SnapshotManifest
+	if err := c.do(ctx, http.MethodGet, "/v1/snapshots/"+digest, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PinSnapshot pins (or unpins) a snapshot: pinned snapshots survive
+// store GC, refuse DELETE, and keep their warm machines through pool
+// eviction.
+func (c *Client) PinSnapshot(ctx context.Context, digest string, pinned bool) error {
+	return c.do(ctx, http.MethodPost, "/v1/snapshots/"+digest+"/pin", PinRequest{Pinned: pinned}, nil)
+}
+
+// DeleteSnapshot evicts a snapshot from the store. The daemon answers
+// 409 when the snapshot is pinned or is backing an active machine
+// lease.
+func (c *Client) DeleteSnapshot(ctx context.Context, digest string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/snapshots/"+digest, nil, nil)
+}
+
+// Images lists persisted snapshots grouped by built kernel image.
+func (c *Client) Images(ctx context.Context) ([]ImageInfo, error) {
+	var out ImagesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/images", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Images, nil
+}

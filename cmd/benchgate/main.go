@@ -12,6 +12,11 @@
 //   - the host-pointer advantage on the load/store-heavy
 //     BenchmarkMemFastPath (hostptr vs buspath ns/op ratio).
 //
+//   - the snapshot-store warm-start advantage on BenchmarkWarmStart
+//     (-warmstart-floor): supplying a batch of machines by one verified
+//     store load plus copy-on-write forks must beat rebooting each of
+//     them by the floor's multiple.
+//
 //   - the ns/op trajectory of the fastpath BenchmarkExecThroughput
 //     variants against a committed baseline trajectory (-baseline,
 //     -exec-regress): same-machine-class regressions beyond the budget
@@ -86,6 +91,14 @@ type trajectory struct {
 	// MemFastFloor the gate it must clear.
 	MemFastPath  float64 `json:"mem_fast_path,omitempty"`
 	MemFastFloor float64 `json:"mem_fast_floor,omitempty"`
+
+	// WarmStart is min(boot+run ns/op) / min(load+fork+run ns/op) for
+	// BenchmarkWarmStart — how many times cheaper a batch of machines is
+	// when supplied from the persistent snapshot store instead of
+	// rebooted (0 when the benchmark was not run); WarmStartFloor the
+	// gate it must clear.
+	WarmStart      float64 `json:"warm_start,omitempty"`
+	WarmStartFloor float64 `json:"warm_start_floor,omitempty"`
 
 	// ExecAllocs is the worst mean allocs/op observed across the
 	// fastpath BenchmarkExecThroughput variants (present only when run
@@ -162,6 +175,8 @@ func main() {
 	floor := flag.Float64("floor", 5.0, "minimum fork-vs-boot advantage")
 	memfastFloor := flag.Float64("memfast-floor", 1.5,
 		"minimum host-pointer advantage on BenchmarkMemFastPath (0 disables)")
+	warmstartFloor := flag.Float64("warmstart-floor", 2.0,
+		"minimum store warm-start advantage on BenchmarkWarmStart — boot+run over load+fork+run (0 disables)")
 	maxAllocs := flag.Float64("max-allocs", 0,
 		"allocs/op budget for the fastpath BenchmarkExecThroughput variants (negative disables)")
 	baselinePath := flag.String("baseline", "",
@@ -259,6 +274,22 @@ func main() {
 		memRatio = bus / host
 	case *memfastFloor > 0:
 		disable("BenchmarkMemFastPath results missing; the host-pointer floor is NOT being gated")
+	}
+
+	// Store warm-start floor: a restarted process supplying a batch of
+	// machines from one verified store load must beat rebooting them.
+	// Same loud self-disable discipline as the mem-fast gate.
+	var warmRatio float64
+	warmBoot, okWarmBoot := benchparse.MinNsPerOp(entries, "BenchmarkWarmStart/boot+run")
+	warmLoad, okWarmLoad := benchparse.MinNsPerOp(entries, "BenchmarkWarmStart/load+fork+run")
+	switch {
+	case okWarmBoot && okWarmLoad:
+		if warmLoad <= 0 {
+			log.Fatal("benchgate: load+fork+run ns/op is zero")
+		}
+		warmRatio = warmBoot / warmLoad
+	case *warmstartFloor > 0:
+		disable("BenchmarkWarmStart results missing; the warm-start floor is NOT being gated")
 	}
 
 	// Allocation budget: gated when the fastpath throughput variants ran;
@@ -434,6 +465,8 @@ func main() {
 		Floor:          *floor,
 		MemFastPath:    memRatio,
 		MemFastFloor:   *memfastFloor,
+		WarmStart:      warmRatio,
+		WarmStartFloor: *warmstartFloor,
 		ExecAllocs:     execAllocs,
 		MaxAllocs:      *maxAllocs,
 		ExecVsBase:     execVsBase,
@@ -466,6 +499,13 @@ func main() {
 		fmt.Printf("benchgate: host-pointer advantage %.2fx (floor %.1fx)\n", memRatio, *memfastFloor)
 		if *memfastFloor > 0 && memRatio < *memfastFloor {
 			fmt.Printf("benchgate: FAIL — buspath %.0f ns/op vs hostptr %.0f ns/op\n", bus, host)
+			failed = true
+		}
+	}
+	if warmRatio > 0 {
+		fmt.Printf("benchgate: store warm-start advantage %.2fx (floor %.1fx)\n", warmRatio, *warmstartFloor)
+		if *warmstartFloor > 0 && warmRatio < *warmstartFloor {
+			fmt.Printf("benchgate: FAIL — boot+run %.0f ns/op vs load+fork+run %.0f ns/op\n", warmBoot, warmLoad)
 			failed = true
 		}
 	}

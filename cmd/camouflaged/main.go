@@ -11,6 +11,7 @@
 //	camouflaged                       — serve on :8344
 //	camouflaged -addr 127.0.0.1:9000  — serve elsewhere
 //	camouflaged -concurrency 8 -queue 64 -max-leases 128
+//	camouflaged -store-dir /var/lib/camouflage — persist snapshots across restarts
 //	camouflaged -pprof 127.0.0.1:6060 — expose net/http/pprof separately
 //
 // Endpoints (see README for curl examples):
@@ -24,6 +25,11 @@
 //	POST /v1/machines/{id}/reset       — rewind to lease snapshot
 //	POST /v1/machines/{id}/release     — hand the machine back
 //	GET  /v1/runs/{id}/trace           — structured trace of a recent run
+//	GET  /v1/snapshots                 — persisted snapshots (-store-dir)
+//	GET  /v1/snapshots/{digest}        — one snapshot's manifest
+//	POST /v1/snapshots/{digest}/pin    — pin/unpin against eviction
+//	DELETE /v1/snapshots/{digest}      — evict from the store
+//	GET  /v1/images                    — snapshots grouped by kernel image
 //	GET  /v1/stats                     — pool / queue / lease counters
 //	                                     plus the full metrics registry
 //	GET  /metrics                      — Prometheus text exposition
@@ -47,6 +53,7 @@ import (
 
 	"camouflage/internal/server"
 	"camouflage/internal/snapshot"
+	"camouflage/internal/store"
 )
 
 func main() {
@@ -57,6 +64,11 @@ func main() {
 	leaseIdle := flag.Duration("lease-idle", 10*time.Minute, "idle time before a lease is reaped")
 	idlePerKey := flag.Int("idle-per-key", 16, "warm machines parked per pool key")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	storeDir := flag.String("store-dir", "",
+		"persist booted snapshots in this directory (content-addressed, verified on load); "+
+			"a restart against a populated store serves its first experiment with zero kernel boots")
+	storeGC := flag.Bool("store-gc", false,
+		"run store garbage collection at startup (delete chunks no manifest references; pinned snapshots are kept)")
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables). "+
 			"Keeps profiling off the API listener so future perf PRs can profile the daemon under load.")
@@ -74,11 +86,29 @@ func main() {
 	}
 
 	snapshot.Shared.MaxIdlePerKey = *idlePerKey
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("camouflaged: %v", err)
+		}
+		if *storeGC {
+			if n, err := st.GC(); err != nil {
+				log.Printf("camouflaged: store gc: %v", err)
+			} else if n > 0 {
+				log.Printf("camouflaged: store gc removed %d unreferenced chunks", n)
+			}
+		}
+		snapshot.Shared.Store = st
+		log.Printf("camouflaged: snapshot store at %s (%d snapshots)", *storeDir, len(st.List()))
+	}
 	srv := server.New(server.Config{
 		Concurrency: *concurrency,
 		MaxQueue:    *maxQueue,
 		MaxLeases:   *maxLeases,
 		LeaseIdle:   *leaseIdle,
+		Store:       st,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
@@ -108,8 +138,8 @@ func main() {
 		}
 		st := snapshot.Shared.Stats()
 		ls := srv.LeaseStats()
-		log.Printf("camouflaged: done (boots %d, forks %d, reuses %d, evicted %d, leases released %d, force-expired %d)",
-			st.Boots, st.Forks, st.Reuses, st.Evicted, ls.Released, ls.ForceExpired)
+		log.Printf("camouflaged: done (boots %d, forks %d, reuses %d, evicted %d, store loads %d, store persists %d, leases released %d, force-expired %d)",
+			st.Boots, st.Forks, st.Reuses, st.Evicted, st.StoreLoads, st.StorePersists, ls.Released, ls.ForceExpired)
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)

@@ -9,6 +9,9 @@
 //	experiments -parallel      — one goroutine per experiment/level
 //	experiments -json=path     — bench log path ("" disables)
 //	experiments -remote=URL    — run on a camouflaged daemon instead
+//	experiments -store-dir=dir — warm-start from (and persist to) a shared
+//	                             snapshot store: repeated runs skip every
+//	                             kernel boot the store already holds
 //	experiments -cpuprofile=p  — write a pprof CPU profile of the run
 //	experiments -trace         — dump the structured run trace (JSON,
 //	                             stderr): per-experiment wall times and
@@ -44,6 +47,7 @@ import (
 	"camouflage/client"
 	"camouflage/internal/obs"
 	"camouflage/internal/snapshot"
+	"camouflage/internal/store"
 )
 
 // runtimeMeta pins the execution environment so BENCH_results.json
@@ -84,7 +88,21 @@ func main() {
 		"write a CPU profile of the run to this path (perf-PR workflow; local runs only)")
 	trace := flag.Bool("trace", false,
 		"dump the structured run trace as JSON to stderr (stdout rendering is unchanged)")
+	storeDir := flag.String("store-dir", "",
+		"warm-start from a persistent snapshot store at this directory (shared with camouflaged; "+
+			"snapshots booted by this run persist for the next one). Local runs only.")
 	flag.Parse()
+
+	if *storeDir != "" && *remote == "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snapshot.Shared.Store = st
+		// Persists are asynchronous; flush them before exit so the next
+		// invocation actually starts warm.
+		defer snapshot.Shared.WaitPersist()
+	}
 
 	// stopProfile flushes the CPU profile; fatal routes every later
 	// error through it, because log.Fatal's os.Exit skips defers and

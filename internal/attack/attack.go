@@ -82,7 +82,7 @@ func classify(k *kernel.Kernel, before uint64) (Outcome, string) {
 // repeated matrix/benchmark/campaign runs fork instead of rebooting).
 func bootWith(cfg *codegen.Config, seed uint64) (*kernel.Kernel, error) {
 	opts := kernel.Options{Config: cfg, Seed: seed, FailureThreshold: 64}
-	snap, err := snapshot.Shared.SnapshotFor(snapshot.KeyForOptions(opts), snapshot.BootOptions(opts))
+	snap, err := snapshot.Shared.SnapshotFor(snapshot.KeyFor(opts), snapshot.BootOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -417,7 +417,7 @@ type BruteReport struct {
 // and the kernel halts at the failure threshold.
 func BruteForcePAC(cfg *codegen.Config, level string, threshold int) (BruteReport, error) {
 	opts := kernel.Options{Config: cfg, Seed: 31, FailureThreshold: threshold}
-	snap, err := snapshot.Shared.SnapshotFor(snapshot.KeyForOptions(opts), snapshot.BootOptions(opts))
+	snap, err := snapshot.Shared.SnapshotFor(snapshot.KeyFor(opts), snapshot.BootOptions(opts))
 	if err != nil {
 		return BruteReport{}, err
 	}

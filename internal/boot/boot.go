@@ -45,6 +45,15 @@ func (p *PRNG) Clone() *PRNG {
 	return &cp
 }
 
+// State exports the generator's stream position for snapshot
+// persistence.
+func (p *PRNG) State() [4]uint64 { return p.s }
+
+// NewPRNGFromState rebuilds a generator at an exported stream position,
+// so a snapshot loaded from disk draws exactly the randomness the
+// captured machine would have drawn.
+func NewPRNGFromState(s [4]uint64) *PRNG { return &PRNG{s: s} }
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 random bits.

@@ -195,7 +195,7 @@ func Replicate(level ProtectionLevel, opts Options, n int) ([]*System, error) {
 // further replica is forked and ctx.Err() is returned.
 func ReplicateContext(ctx context.Context, level ProtectionLevel, opts Options, n int) ([]*System, error) {
 	kopts := kernelOptions(level, opts)
-	snap, err := snapshot.Shared.SnapshotFor(snapshot.KeyForOptions(kopts), snapshot.BootOptions(kopts))
+	snap, err := snapshot.Shared.SnapshotFor(snapshot.KeyFor(kopts), snapshot.BootOptions(kopts))
 	if err != nil {
 		return nil, err
 	}

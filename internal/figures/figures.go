@@ -622,7 +622,7 @@ func RenderKeyAblation(w io.Writer) error {
 	kcfg := codegen.ConfigFull()
 	kcfg.NumCPUs = CPUCount()
 	opts := kernel.Options{Config: kcfg, Seed: 5}
-	m, err := snapshot.Shared.Acquire(snapshot.KeyForOptions(opts), snapshot.BootOptions(opts))
+	m, err := snapshot.Shared.Acquire(snapshot.KeyFor(opts), snapshot.BootOptions(opts))
 	if err != nil {
 		return err
 	}

@@ -199,6 +199,29 @@ func (d *svcDev) Store(offset uint64, size int, v uint64) error {
 	return nil
 }
 
+// buildLinked runs the deterministic build pipeline for normalized
+// options: seed the bootloader PRNG, draw the kernel keys, emit and link
+// the image. It is shared by New and the snapshot-store load path, which
+// re-derives the immutable image from the manifest's options instead of
+// shipping code bytes — two builds from equal options are bit-identical,
+// so a loaded snapshot's image is exactly the captured machine's.
+func buildLinked(opts Options) (*asm.Image, pac.KeySet, *boot.PRNG, error) {
+	rng := boot.NewPRNG(opts.Seed ^ 0xB007_B007)
+	keys := rng.GenerateKeys()
+	a := buildImage(opts.Config, keys, opts.Compat)
+	img, err := a.Link(map[string]uint64{
+		".xom":     XOMBase,
+		".vectors": VecBase,
+		".text":    TextBase,
+		".rodata":  RodataBase,
+		".data":    DataBase,
+	})
+	if err != nil {
+		return nil, pac.KeySet{}, nil, fmt.Errorf("kernel: link: %w", err)
+	}
+	return img, keys, rng, nil
+}
+
 // New builds and loads the kernel but does not boot it. The CPU count
 // comes from Options.Config.NumCPUs (0/1: uniprocessor, bit-identical
 // to pre-SMP builds).
@@ -213,19 +236,9 @@ func New(opts Options) (*Kernel, error) {
 	if ncpus > MaxCPUs {
 		return nil, fmt.Errorf("kernel: %d vCPUs exceeds MaxCPUs=%d", ncpus, MaxCPUs)
 	}
-	rng := boot.NewPRNG(opts.Seed ^ 0xB007_B007)
-	keys := rng.GenerateKeys()
-
-	a := buildImage(opts.Config, keys, opts.Compat)
-	img, err := a.Link(map[string]uint64{
-		".xom":     XOMBase,
-		".vectors": VecBase,
-		".text":    TextBase,
-		".rodata":  RodataBase,
-		".data":    DataBase,
-	})
+	img, keys, rng, err := buildLinked(opts)
 	if err != nil {
-		return nil, fmt.Errorf("kernel: link: %w", err)
+		return nil, err
 	}
 
 	c := cpu.New(cpu.Features{PAuth: !opts.V80})

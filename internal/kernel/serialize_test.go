@@ -1,0 +1,142 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"camouflage/internal/codegen"
+	"camouflage/internal/mem"
+)
+
+func bootState(t *testing.T, opts Options) *State {
+	t.Helper()
+	k, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return k.CaptureState()
+}
+
+// TestSerializeDeterministic: the wire form is a pure function of the
+// state — two captures of identically built machines, and two encodes
+// of one capture, produce identical bytes. Content addressing depends
+// on this.
+func TestSerializeDeterministic(t *testing.T) {
+	opts := Options{Config: codegen.ConfigFull(), Seed: 1234}
+	a, err := bootState(t, opts).Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := bootState(t, opts)
+	b1, err := st.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := st.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two encodes of one state differ")
+	}
+	if !bytes.Equal(a, b1) {
+		t.Fatal("captures of identically built machines encode differently")
+	}
+}
+
+// TestSerializeRoundTrip: decode(encode(state)) forks a machine that is
+// observably identical to one forked from the original capture,
+// including on SMP machines.
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, cpus := range []int{1, 2} {
+		cfg := codegen.ConfigFull()
+		cfg.NumCPUs = cpus
+		opts := Options{Config: cfg, Seed: 99}
+		st := bootState(t, opts)
+		blob, err := st.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages := make(map[uint64]*[mem.PageSize]byte)
+		st.ForEachFrozenPage(func(pn uint64, pg *[mem.PageSize]byte) {
+			cp := *pg
+			pages[pn] = &cp
+		})
+		got, err := DeserializeState(blob, pages)
+		if err != nil {
+			t.Fatalf("cpus=%d: %v", cpus, err)
+		}
+		// Re-encode: the decoded state must be wire-identical, proving
+		// no field was dropped or defaulted on the way through.
+		blob2, err := got.Serialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("cpus=%d: re-encoded state differs from original wire form", cpus)
+		}
+		k1, err := NewFromState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := NewFromState(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k1.Run(100_000)
+		k2.Run(100_000)
+		if k1.CPU.Cycles != k2.CPU.Cycles || k1.CPU.Retired != k2.CPU.Retired ||
+			k1.CPU.PC != k2.CPU.PC || k1.UART.Output() != k2.UART.Output() {
+			t.Fatalf("cpus=%d: deserialized fork diverges from direct fork", cpus)
+		}
+	}
+}
+
+// TestSerializeRefusesPrograms: a state carrying registered user
+// programs is not portable (program images are caller-owned, outside
+// the deterministic kernel build) and must be refused with the typed
+// sentinel.
+func TestSerializeRefusesPrograms(t *testing.T) {
+	k, err := New(Options{Config: codegen.ConfigFull(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := BuildProgram("p", func(u *UserASM) { u.Exit(0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterProgram(1, prog)
+	if _, err := k.CaptureState().Serialize(); !errors.Is(err, ErrStateNotPortable) {
+		t.Fatalf("Serialize with programs = %v, want ErrStateNotPortable", err)
+	}
+}
+
+// TestDeserializeRejectsGarbage: truncated or corrupted blobs fail
+// loudly, never yield a machine.
+func TestDeserializeRejectsGarbage(t *testing.T) {
+	st := bootState(t, Options{Config: codegen.ConfigBackward(), Seed: 3})
+	blob, err := st.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeserializeState(blob[:len(blob)/2], nil); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if _, err := DeserializeState([]byte("not a snapshot"), nil); err == nil {
+		t.Fatal("garbage blob accepted")
+	}
+	// Flip one byte of the serialized kernel keys: the rebuilt image's
+	// keys no longer match and the blob must be refused.
+	bad := append([]byte(nil), blob...)
+	bad[len(stateWireMagic)+8+73] ^= 0x40 // inside the options/keys region
+	if _, err := DeserializeState(bad, nil); err == nil {
+		t.Fatal("bit-flipped blob accepted")
+	}
+}

@@ -257,7 +257,7 @@ func runOnce(cfg func() *codegen.Config, b Benchmark, iters uint64, seed uint64)
 // a fresh boot (pinned by the snapshot determinism tests), so measured
 // latencies are unchanged.
 func runOnceOpts(opts kernel.Options, b Benchmark, iters uint64) (uint64, error) {
-	m, err := snapshot.Shared.Acquire(snapshot.KeyForOptions(opts), snapshot.BootOptions(opts))
+	m, err := snapshot.Shared.Acquire(snapshot.KeyFor(opts), snapshot.BootOptions(opts))
 	if err != nil {
 		return 0, err
 	}

@@ -86,6 +86,15 @@ const (
 	CPoolDrop
 	CPoolEvict
 
+	// internal/store — persistent snapshot store.
+	CStoreHit
+	CStoreMiss
+	CStoreSave
+	CStoreVerifyFail
+	CStoreChunkWrite
+	CStoreChunkDedup
+	CStoreEvict
+
 	// internal/server — queue and lease lifecycle.
 	CQueueRejected
 	CLeaseIssued
@@ -147,6 +156,14 @@ var counterMetas = [NumCounters]counterMeta{
 	CPoolMiss:  {"camouflage_snapshot_pool_misses_total", "Machines served as copy-on-write forks (no idle machine available).", ""},
 	CPoolDrop:  {"camouflage_snapshot_pool_drops_total", "Released machines dropped because the per-key idle cap was reached.", ""},
 	CPoolEvict: {"camouflage_snapshot_pool_evictions_total", "Idle machines evicted from the warm pool.", ""},
+
+	CStoreHit:        {"camouflage_store_loads_total", "Snapshot loads from the persistent store by result.", `result="hit"`},
+	CStoreMiss:       {"camouflage_store_loads_total", "Snapshot loads from the persistent store by result.", `result="miss"`},
+	CStoreSave:       {"camouflage_store_saves_total", "Snapshots persisted to the store.", ""},
+	CStoreVerifyFail: {"camouflage_store_verify_failures_total", "Snapshot loads refused because hash verification failed.", ""},
+	CStoreChunkWrite: {"camouflage_store_chunks_total", "Page chunks handled on save by outcome.", `op="written"`},
+	CStoreChunkDedup: {"camouflage_store_chunks_total", "Page chunks handled on save by outcome.", `op="deduped"`},
+	CStoreEvict:      {"camouflage_store_evictions_total", "Snapshots deleted from the persistent store.", ""},
 
 	CQueueRejected:     {"camouflage_server_queue_rejected_total", "Requests fast-failed because the admission queue was full.", ""},
 	CLeaseIssued:       {"camouflage_server_leases_total", "Machine lease lifecycle events.", `event="issued"`},

@@ -28,6 +28,7 @@ import (
 	"camouflage/internal/figures"
 	"camouflage/internal/obs"
 	"camouflage/internal/snapshot"
+	"camouflage/internal/store"
 )
 
 // requestsVec counts HTTP requests by endpoint pattern and status
@@ -87,6 +88,10 @@ type Config struct {
 	// LeaseIdle is how long an untouched lease survives before the
 	// reaper returns its machine to the pool (default 10m; <0 disables).
 	LeaseIdle time.Duration
+	// Store is the persistent snapshot store behind -store-dir (nil: the
+	// daemon is memory-only and the /v1/snapshots surface answers 503).
+	// The caller wires the same store into the pools it serves.
+	Store *store.Store
 }
 
 // Server is the daemon. It implements http.Handler.
@@ -141,6 +146,11 @@ func New(cfg Config) *Server {
 		{"POST /v1/machines/{id}/reset", s.handleMachineReset},
 		{"POST /v1/machines/{id}/release", s.handleMachineRelease},
 		{"GET /v1/runs/{id}/trace", s.handleRunTrace},
+		{"GET /v1/snapshots", s.handleListSnapshots},
+		{"GET /v1/snapshots/{digest}", s.handleSnapshotManifest},
+		{"POST /v1/snapshots/{digest}/pin", s.handleSnapshotPin},
+		{"DELETE /v1/snapshots/{digest}", s.handleSnapshotDelete},
+		{"GET /v1/images", s.handleListImages},
 		{"GET /v1/stats", s.handleStats},
 		{"GET /metrics", s.handleMetrics},
 	} {
@@ -205,6 +215,10 @@ func (s *Server) Drain(ctx context.Context) error {
 		// regardless of the lease pool; drain both.
 		snapshot.Shared.EvictIdle(0)
 	}
+	// Background snapshot persists must land before the process exits,
+	// or the next start pays boots the store was meant to absorb.
+	s.cfg.Pool.WaitPersist()
+	snapshot.Shared.WaitPersist()
 	return err
 }
 
@@ -450,11 +464,11 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		Compat:           req.Compat,
 		CPUs:             req.CPUs,
 	})
-	key := snapshot.KeyForOptions(kopts)
+	key := snapshot.KeyFor(kopts)
 
 	ctx, cancel := withDeadline(r, 0)
 	defer cancel()
-	done := s.admit(ctx, w, key)
+	done := s.admit(ctx, w, key.Norm())
 	if done == nil {
 		return
 	}
@@ -477,7 +491,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, client.MachineResponse{
 		ID:         l.id,
-		Key:        key,
+		Key:        key.Norm(),
 		BootCycles: l.m.Snap.BootCycles(),
 	})
 }
@@ -526,7 +540,7 @@ func (s *Server) handleMachineRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no such machine lease")
 		return
 	}
-	done := s.admit(r.Context(), w, l.m.Key())
+	done := s.admit(r.Context(), w, l.m.Key().Norm())
 	if done == nil {
 		return
 	}
@@ -561,7 +575,7 @@ func (s *Server) handleMachineState(w http.ResponseWriter, r *http.Request) {
 		k := l.m.K
 		st := client.MachineState{
 			ID:          l.id,
-			Key:         l.m.Key(),
+			Key:         l.m.Key().Norm(),
 			PC:          k.CPU.PC,
 			SP:          [2]uint64{k.CPU.SP(0), k.CPU.SP(1)},
 			EL:          k.CPU.EL,
@@ -588,7 +602,7 @@ func (s *Server) handleMachineReset(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no such machine lease")
 		return
 	}
-	done := s.admit(r.Context(), w, l.m.Key())
+	done := s.admit(r.Context(), w, l.m.Key().Norm())
 	if done == nil {
 		return
 	}

@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -18,7 +19,7 @@ type Machine struct {
 	// snapshots or manual resets mid-use).
 	Snap *Snapshot
 
-	key  string
+	key  Key
 	pool *Pool
 	// fresh marks the just-booted origin machine: its first Acquire is
 	// part of the boot, not a boot avoided, so it is not counted as a
@@ -26,9 +27,9 @@ type Machine struct {
 	fresh bool
 }
 
-// Key returns the pool key the machine was acquired under (empty for a
+// Key returns the pool key the machine was acquired under (zero for a
 // released handle). The service daemon reports it per lease.
-func (m *Machine) Key() string { return m.key }
+func (m *Machine) Key() Key { return m.key }
 
 // Release resets the machine to its snapshot and parks it warm for the
 // next Acquire of the same key. When the key's idle list is already
@@ -78,31 +79,51 @@ func (p *Pool) release(m *Machine) {
 // first Acquire of a key pays one boot and snapshots it; later Acquires
 // reuse a reset idle machine or fork a new one in O(1). All methods are
 // safe for concurrent use; concurrent Acquires of a cold key block until
-// its one boot completes.
+// its one boot (or store load) completes.
+//
+// With Store set, a cold key consults the persistent snapshot store
+// before booting: a verified hit arms the key in milliseconds with zero
+// boots, and a miss boots once then persists the capture asynchronously
+// so the *next* process starts warm. A nil Store keeps the pool purely
+// in-memory; nothing else changes.
 type Pool struct {
 	mu      sync.Mutex
-	entries map[string]*poolEntry
+	entries map[string]*poolEntry // by Key.Digest
 
 	// MaxIdlePerKey bounds parked machines per key (further Releases
 	// drop the machine; its copy-on-write base stays shared).
 	MaxIdlePerKey int
 
-	boots   atomic.Uint64
-	reuses  atomic.Uint64
-	dropped atomic.Uint64
-	evicted atomic.Uint64
+	// Store, when non-nil, backs cold keys with persisted snapshots.
+	// Set it before first use; it must not change while the pool is
+	// live.
+	Store Store
+
+	boots    atomic.Uint64
+	reuses   atomic.Uint64
+	dropped  atomic.Uint64
+	evicted  atomic.Uint64
+	loads    atomic.Uint64
+	persists atomic.Uint64
+
+	persistWG sync.WaitGroup
 }
 
 type poolEntry struct {
 	once sync.Once
+	key  Key
 	snap *Snapshot
 	err  error
 
-	mu   sync.Mutex
-	idle []*Machine
+	mu     sync.Mutex
+	idle   []*Machine
+	pinned bool
+	// digest is the snapshot's store content digest: set synchronously
+	// on a store hit, asynchronously once a post-boot persist lands.
+	digest string
 }
 
-// NewPool returns an empty pool.
+// NewPool returns an empty in-memory pool.
 func NewPool() *Pool {
 	return &Pool{entries: make(map[string]*poolEntry), MaxIdlePerKey: 16}
 }
@@ -111,22 +132,41 @@ func NewPool() *Pool {
 // benchmarks and core.Replicate.
 var Shared = NewPool()
 
-func (p *Pool) entry(key string) *poolEntry {
+func (p *Pool) entry(key Key) *poolEntry {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	e := p.entries[key]
+	e := p.entries[key.Digest]
 	if e == nil {
-		e = &poolEntry{}
-		p.entries[key] = e
+		e = &poolEntry{key: key}
+		p.entries[key.Digest] = e
 	}
 	return e
 }
 
-// ensureBooted runs the entry's one-time boot: the booted kernel
-// becomes both the snapshot source and — since after Take it is
-// indistinguishable from a fork — the first warm machine.
-func (p *Pool) ensureBooted(e *poolEntry, key string, boot func() (*kernel.Kernel, error)) error {
+// ensureBooted runs the entry's one-time arming: a store hit serves the
+// persisted snapshot with zero boots; otherwise the one-time boot runs,
+// the booted kernel becomes both the snapshot source and — since after
+// Take it is indistinguishable from a fork — the first warm machine,
+// and the capture is persisted in the background.
+func (p *Pool) ensureBooted(e *poolEntry, key Key, boot func() (*kernel.Kernel, error)) error {
 	e.once.Do(func() {
+		if p.Store != nil {
+			snap, digest, err := p.Store.Load(key)
+			switch {
+			case err == nil:
+				p.loads.Add(1)
+				e.mu.Lock()
+				e.snap = snap
+				e.digest = digest
+				e.mu.Unlock()
+				return
+			case !errors.Is(err, ErrNotFound):
+				// A corrupt or unreadable persisted snapshot must never
+				// take the key down: the store already counted the
+				// verification failure; fall through to a fresh boot,
+				// whose persist will overwrite the bad entry.
+			}
+		}
 		k, err := boot()
 		if err != nil {
 			e.err = err
@@ -140,13 +180,33 @@ func (p *Pool) ensureBooted(e *poolEntry, key string, boot func() (*kernel.Kerne
 		e.snap = Take(k)
 		e.idle = append(e.idle, &Machine{K: k, Snap: e.snap, key: key, pool: p, fresh: true})
 		e.mu.Unlock()
+		if p.Store != nil {
+			snap := e.snap
+			p.persistWG.Add(1)
+			go func() {
+				defer p.persistWG.Done()
+				digest, err := p.Store.Save(key, snap)
+				if err != nil {
+					return // store counted the failure; pool stays warm
+				}
+				p.persists.Add(1)
+				e.mu.Lock()
+				e.digest = digest
+				e.mu.Unlock()
+			}()
+		}
 	})
 	return e.err
 }
 
+// WaitPersist blocks until every background snapshot persist issued so
+// far has finished (graceful drain and test synchronization).
+func (p *Pool) WaitPersist() { p.persistWG.Wait() }
+
 // Acquire returns a machine positioned at the post-boot snapshot for
-// key. The boot closure runs at most once per key.
-func (p *Pool) Acquire(key string, boot func() (*kernel.Kernel, error)) (*Machine, error) {
+// key. The boot closure runs at most once per key, and not at all when
+// the store already holds the key's snapshot.
+func (p *Pool) Acquire(key Key, boot func() (*kernel.Kernel, error)) (*Machine, error) {
 	e := p.entry(key)
 	if err := p.ensureBooted(e, key, boot); err != nil {
 		return nil, err
@@ -176,7 +236,7 @@ func (p *Pool) Acquire(key string, boot func() (*kernel.Kernel, error)) (*Machin
 // SnapshotFor returns the post-boot snapshot for key, booting it on
 // first use (for callers that fork directly, e.g. core.Replicate). No
 // machine is acquired: a warm key answers from the cached snapshot.
-func (p *Pool) SnapshotFor(key string, boot func() (*kernel.Kernel, error)) (*Snapshot, error) {
+func (p *Pool) SnapshotFor(key Key, boot func() (*kernel.Kernel, error)) (*Snapshot, error) {
 	e := p.entry(key)
 	if err := p.ensureBooted(e, key, boot); err != nil {
 		return nil, err
@@ -184,30 +244,89 @@ func (p *Pool) SnapshotFor(key string, boot func() (*kernel.Kernel, error)) (*Sn
 	return e.snap, nil
 }
 
-// EvictIdle trims every key's idle list down to keep parked machines
-// (keep <= 0 empties the pool), returning how many machines were let
-// go. Evictions are counted separately from Release-time drops so
-// Stats can distinguish deliberate shrinking (daemon idle reaper,
-// graceful drain) from parking pressure. The copy-on-write bases stay
-// cached: the next Acquire of an evicted key forks, it does not
+// Pin marks the snapshot with the given store content digest as pinned
+// (or unpinned): EvictIdle leaves a pinned key's warm machines parked.
+// It reports whether a resident entry matched. Pinning here is the
+// in-memory half; the store persists its own pin set for GC.
+func (p *Pool) Pin(digest string, pinned bool) bool {
+	if digest == "" {
+		return false
+	}
+	for _, e := range p.snapshotEntries() {
+		e.mu.Lock()
+		match := e.digest == digest
+		if match {
+			e.pinned = pinned
+		}
+		e.mu.Unlock()
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// EntryInfo describes one resident pool key for inspection APIs.
+type EntryInfo struct {
+	Key    Key
+	Digest string // store content digest ("" until persisted)
+	Idle   int
+	Pinned bool
+	Forks  uint64
+	Resets uint64
+}
+
+// Entries lists the pool's armed keys (booted or store-loaded).
+func (p *Pool) Entries() []EntryInfo {
+	var out []EntryInfo
+	for _, e := range p.snapshotEntries() {
+		e.mu.Lock()
+		if e.snap != nil {
+			out = append(out, EntryInfo{
+				Key:    e.key,
+				Digest: e.digest,
+				Idle:   len(e.idle),
+				Pinned: e.pinned,
+				Forks:  e.snap.Forks(),
+				Resets: e.snap.Resets(),
+			})
+		}
+		e.mu.Unlock()
+	}
+	return out
+}
+
+func (p *Pool) snapshotEntries() []*poolEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entries := make([]*poolEntry, 0, len(p.entries))
+	for _, e := range p.entries {
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// EvictIdle trims every unpinned key's idle list down to keep parked
+// machines (keep <= 0 empties them), returning how many machines were
+// let go. Pinned keys are exempt: an operator pin promises the key
+// stays warm through idle reaping and graceful drain. Evictions are
+// counted separately from Release-time drops so Stats can distinguish
+// deliberate shrinking from parking pressure. The copy-on-write bases
+// stay cached: the next Acquire of an evicted key forks, it does not
 // re-boot.
 func (p *Pool) EvictIdle(keep int) int {
 	if keep < 0 {
 		keep = 0
 	}
-	p.mu.Lock()
-	entries := make([]*poolEntry, 0, len(p.entries))
-	for _, e := range p.entries {
-		entries = append(entries, e)
-	}
-	p.mu.Unlock()
 	n := 0
-	for _, e := range entries {
+	for _, e := range p.snapshotEntries() {
 		e.mu.Lock()
-		for len(e.idle) > keep {
-			e.idle[len(e.idle)-1] = nil
-			e.idle = e.idle[:len(e.idle)-1]
-			n++
+		if !e.pinned {
+			for len(e.idle) > keep {
+				e.idle[len(e.idle)-1] = nil
+				e.idle = e.idle[:len(e.idle)-1]
+				n++
+			}
 		}
 		e.mu.Unlock()
 	}
@@ -218,19 +337,23 @@ func (p *Pool) EvictIdle(keep int) int {
 	return n
 }
 
-// Stats is a point-in-time view of pool effectiveness: every reuse or
-// fork is a full build+verify+boot avoided. A nonzero Dropped under low
-// parallelism signals misuse (reset failures); under high parallelism
-// it just means Releases exceeded MaxIdlePerKey. Evicted counts idle
-// machines deliberately let go through EvictIdle.
+// Stats is a point-in-time view of pool effectiveness: every reuse,
+// fork or store load is a full build+verify+boot avoided. A nonzero
+// Dropped under low parallelism signals misuse (reset failures); under
+// high parallelism it just means Releases exceeded MaxIdlePerKey.
+// Evicted counts idle machines deliberately let go through EvictIdle.
+// StoreLoads counts keys armed from the persistent store (zero boots);
+// StorePersists counts post-boot captures successfully written back.
 type Stats struct {
-	Keys    int    `json:"keys"`
-	Idle    int    `json:"idle"`
-	Boots   uint64 `json:"boots"`
-	Forks   uint64 `json:"forks"`
-	Reuses  uint64 `json:"reuses"`
-	Dropped uint64 `json:"dropped"`
-	Evicted uint64 `json:"evicted"`
+	Keys          int    `json:"keys"`
+	Idle          int    `json:"idle"`
+	Boots         uint64 `json:"boots"`
+	Forks         uint64 `json:"forks"`
+	Reuses        uint64 `json:"reuses"`
+	Dropped       uint64 `json:"dropped"`
+	Evicted       uint64 `json:"evicted"`
+	StoreLoads    uint64 `json:"store_loads"`
+	StorePersists uint64 `json:"store_persists"`
 }
 
 // Stats returns current counters. Forks aggregates every fork taken
@@ -241,11 +364,13 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st := Stats{
-		Keys:    len(p.entries),
-		Boots:   p.boots.Load(),
-		Reuses:  p.reuses.Load(),
-		Dropped: p.dropped.Load(),
-		Evicted: p.evicted.Load(),
+		Keys:          len(p.entries),
+		Boots:         p.boots.Load(),
+		Reuses:        p.reuses.Load(),
+		Dropped:       p.dropped.Load(),
+		Evicted:       p.evicted.Load(),
+		StoreLoads:    p.loads.Load(),
+		StorePersists: p.persists.Load(),
 	}
 	for _, e := range p.entries {
 		e.mu.Lock()

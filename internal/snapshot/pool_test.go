@@ -17,7 +17,7 @@ func TestMaxIdlePerKeyEnforcedUnderConcurrentRelease(t *testing.T) {
 	pool := NewPool()
 	pool.MaxIdlePerKey = 3
 	opts := kernel.Options{Config: codegen.ConfigBackward(), Seed: 51}
-	key := KeyForOptions(opts)
+	key := KeyFor(opts)
 
 	const machines = 12
 	ms := make([]*Machine, machines)
@@ -58,7 +58,7 @@ func TestMaxIdlePerKeyEnforcedUnderConcurrentRelease(t *testing.T) {
 func TestEvictIdle(t *testing.T) {
 	pool := NewPool()
 	opts := kernel.Options{Config: codegen.ConfigBackward(), Seed: 52}
-	key := KeyForOptions(opts)
+	key := KeyFor(opts)
 
 	ms := make([]*Machine, 4)
 	for i := range ms {
@@ -103,13 +103,118 @@ func TestEvictIdle(t *testing.T) {
 func TestMachineKey(t *testing.T) {
 	pool := NewPool()
 	opts := kernel.Options{Config: codegen.ConfigBackward(), Seed: 53}
-	key := KeyForOptions(opts)
+	key := KeyFor(opts)
 	m, err := pool.Acquire(key, BootOptions(opts))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.Key() != key {
-		t.Fatalf("Key() = %q, want %q", m.Key(), key)
+		t.Fatalf("Key() = %+v, want %+v", m.Key(), key)
 	}
 	m.Release()
+}
+
+// fakeStore is an in-memory snapshot.Store for pool-level tests: Load
+// always misses, Save hands back a fixed digest.
+type fakeStore struct {
+	mu     sync.Mutex
+	digest string
+	saves  int
+}
+
+func (f *fakeStore) Load(Key) (*Snapshot, string, error) { return nil, "", ErrNotFound }
+func (f *fakeStore) Save(Key, *Snapshot) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.saves++
+	return f.digest, nil
+}
+
+// TestPinnedKeySurvivesEvictIdle: regression test for the pinned-evict
+// race. A pinned key's idle machines must survive EvictIdle — including
+// an EvictIdle racing with concurrent Acquire/Release traffic on the
+// same key — while unpinned keys are still trimmed.
+func TestPinnedKeySurvivesEvictIdle(t *testing.T) {
+	pool := NewPool()
+	pool.Store = &fakeStore{digest: "pinned-digest"}
+	optsPinned := kernel.Options{Config: codegen.ConfigBackward(), Seed: 61}
+	optsPlain := kernel.Options{Config: codegen.ConfigBackward(), Seed: 62}
+	keyPinned, keyPlain := KeyFor(optsPinned), KeyFor(optsPlain)
+
+	mp, err := pool.Acquire(keyPinned, BootOptions(optsPinned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.WaitPersist() // digest lands asynchronously; Pin needs it
+	if !pool.Pin("pinned-digest", true) {
+		t.Fatal("Pin found no resident entry for the persisted digest")
+	}
+	mp.Release()
+	mo, err := pool.Acquire(keyPlain, BootOptions(optsPlain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo.Release()
+
+	// Race Acquire/Release of the pinned key against repeated evictions.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	evictorDone := make(chan struct{})
+	go func() {
+		defer close(evictorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				pool.EvictIdle(0)
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				m, err := pool.Acquire(keyPinned, BootOptions(optsPinned))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				m.Release()
+			}
+		}()
+	}
+	wg.Wait() // workers finish, then stop the evictor
+	close(stop)
+	<-evictorDone
+
+	pool.EvictIdle(0)
+	var pinnedIdle, plainIdle int
+	for _, e := range pool.Entries() {
+		switch e.Key {
+		case keyPinned:
+			pinnedIdle = e.Idle
+			if !e.Pinned {
+				t.Fatal("pinned entry lost its pin")
+			}
+		case keyPlain:
+			plainIdle = e.Idle
+		}
+	}
+	if pinnedIdle == 0 {
+		t.Fatal("EvictIdle(0) evicted a pinned key's idle machines")
+	}
+	if plainIdle != 0 {
+		t.Fatalf("EvictIdle(0) left %d idle machines on an unpinned key", plainIdle)
+	}
+
+	// Unpinning re-exposes the key to eviction.
+	pool.Pin("pinned-digest", false)
+	pool.EvictIdle(0)
+	for _, e := range pool.Entries() {
+		if e.Key == keyPinned && e.Idle != 0 {
+			t.Fatalf("unpinned key kept %d idle machines through EvictIdle(0)", e.Idle)
+		}
+	}
 }

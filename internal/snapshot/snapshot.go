@@ -22,13 +22,11 @@ package snapshot
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"camouflage/internal/codegen"
 	"camouflage/internal/kernel"
 	"camouflage/internal/obs"
 )
@@ -107,25 +105,6 @@ func (s *Snapshot) FrozenPages() int { return s.st.FrozenPages() }
 
 // BootCycles returns the captured machine's boot cost.
 func (s *Snapshot) BootCycles() uint64 { return s.st.BootCycles() }
-
-// KeyForOptions derives the pool key identifying machines built with the
-// given options: every field that shapes the post-boot state
-// participates, normalized exactly as kernel.New normalizes it, so two
-// option sets share a key exactly when their booted machines are
-// interchangeable.
-func KeyForOptions(opts kernel.Options) string {
-	cfg := opts.Config
-	if cfg == nil {
-		cfg = codegen.ConfigFull() // mirror kernel.New's default
-	}
-	thr := opts.FailureThreshold
-	if thr == 0 {
-		thr = kernel.DefaultFailureThreshold
-	}
-	return fmt.Sprintf("scheme=%d fwd=%t dfi=%t zmod=%t seed=%d thr=%d compat=%t v80=%t cpus=%d",
-		cfg.Scheme, cfg.ForwardCFI, cfg.DFI, cfg.ZeroModifier,
-		opts.Seed, thr, bool(opts.Compat), opts.V80, cfg.CPUs())
-}
 
 // BootOptions returns a boot closure for Pool.Acquire that builds,
 // §4.1-verifies and boots a kernel with the given options (the standard

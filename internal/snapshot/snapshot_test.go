@@ -202,7 +202,7 @@ func TestConcurrentForks(t *testing.T) {
 func TestPoolBootsOncePerKey(t *testing.T) {
 	pool := NewPool()
 	opts := kernel.Options{Config: codegen.ConfigBackward(), Seed: 47}
-	key := KeyForOptions(opts)
+	key := KeyFor(opts)
 
 	m1, err := pool.Acquire(key, BootOptions(opts))
 	if err != nil {
@@ -239,7 +239,7 @@ func TestPoolBootsOncePerKey(t *testing.T) {
 func TestPoolConcurrentAcquire(t *testing.T) {
 	pool := NewPool()
 	opts := kernel.Options{Config: codegen.ConfigFull(), Seed: 48}
-	key := KeyForOptions(opts)
+	key := KeyFor(opts)
 
 	const n = 6
 	prints := make([]fingerprint, n)

@@ -1,0 +1,692 @@
+// Package store is the content-addressed, on-disk snapshot and image
+// store behind `camouflaged -store-dir` (DESIGN.md §12): booted machine
+// snapshots persist across process restarts, so a daemon restarted
+// against a populated store serves its first experiment in milliseconds
+// — a verified load and a copy-on-write fork — instead of paying
+// codegen, the §4.1 static-analysis gate and boot again.
+//
+// Layout under the store directory:
+//
+//	chunks/<aa>/<digest>        content-addressed blobs: every frozen
+//	                            4KiB RAM page and every serialized state
+//	                            record, named by its SHA-256. Snapshots
+//	                            of the same image share almost all pages,
+//	                            so N snapshots cost ~1 image of chunks.
+//	snapshots/<digest>.json     manifests, named by the whole-snapshot
+//	                            content digest they commit to.
+//	pins/<digest>               pin markers: pinned snapshots survive GC
+//	                            and Delete.
+//
+// Nothing is trusted on the way back in. Every Load recomputes the
+// whole-snapshot digest from the manifest, the state record's SHA-256,
+// and each page chunk's SHA-256 before a single fork is served; any
+// mismatch is a typed *VerifyError and the snapshot is refused. The
+// kernel image itself is never stored — it is rebuilt deterministically
+// from the manifest's build options and §4.1-verified, exactly like a
+// fresh boot.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"camouflage/internal/kernel"
+	"camouflage/internal/mem"
+	"camouflage/internal/obs"
+	"camouflage/internal/snapshot"
+)
+
+var loadHist = obs.NewHistogram("camouflage_store_load_seconds",
+	"Latency of verified snapshot loads from the persistent store.", obs.DefaultLatencyBuckets)
+
+// manifestVersion guards the manifest schema; bump on layout changes.
+const manifestVersion = 1
+
+// PageRef binds one frozen RAM page to its content-addressed chunk.
+type PageRef struct {
+	PN    uint64 `json:"pn"`
+	Chunk string `json:"chunk"`
+}
+
+// OptionsManifest is the human-readable build-options block. The
+// authoritative options travel inside the state record; this block is
+// for operators reading manifests and for /v1/snapshots listings.
+type OptionsManifest struct {
+	Scheme       int    `json:"scheme"`
+	ForwardCFI   bool   `json:"forward_cfi"`
+	DFI          bool   `json:"dfi"`
+	ZeroModifier bool   `json:"zero_modifier"`
+	CPUs         int    `json:"cpus"`
+	Seed         uint64 `json:"seed"`
+	Compat       bool   `json:"compat"`
+	V80          bool   `json:"v80"`
+	Threshold    int    `json:"failure_threshold"`
+}
+
+// Manifest describes one persisted snapshot. Its Digest commits to the
+// key, the rebuilt image's identity, the state record and every page
+// chunk — the whole-snapshot SHA-256 that Load verifies.
+type Manifest struct {
+	Version     int             `json:"version"`
+	Digest      string          `json:"digest"`
+	KeyDigest   string          `json:"key_digest"`
+	Key         string          `json:"key"`
+	Options     OptionsManifest `json:"options"`
+	ImageDigest string          `json:"image_digest"`
+	StateChunk  string          `json:"state_chunk"`
+	StateSize   int             `json:"state_size"`
+	Pages       []PageRef       `json:"pages"`
+	CPUs        int             `json:"cpus"`
+	BootCycles  uint64          `json:"boot_cycles"`
+	CreatedUnix int64           `json:"created_unix"`
+}
+
+// contentDigest computes the whole-snapshot digest a manifest commits
+// to: a canonical byte string over the configuration identity, image
+// identity, state record and the ordered page→chunk map.
+func (m *Manifest) contentDigest() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "camouflage-snapshot-v%d\n", m.Version)
+	fmt.Fprintf(&b, "key %s\n", m.KeyDigest)
+	fmt.Fprintf(&b, "image %s\n", m.ImageDigest)
+	fmt.Fprintf(&b, "state %s %d\n", m.StateChunk, m.StateSize)
+	for _, pg := range m.Pages {
+		fmt.Fprintf(&b, "page %d %s\n", pg.PN, pg.Chunk)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// VerifyError reports an integrity failure: the named part of the
+// snapshot hashed to Got where the manifest committed to Want. A
+// snapshot that fails verification is never served.
+type VerifyError struct {
+	Digest string // snapshot content digest (as named on disk)
+	Part   string // "manifest", "state", or "page <pn>"
+	Want   string
+	Got    string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("store: snapshot %.12s: %s hash mismatch: manifest commits to %.12s, content is %.12s",
+		e.Digest, e.Part, e.Want, e.Got)
+}
+
+// Store is a content-addressed snapshot store rooted at a directory. It
+// implements snapshot.Store; all methods are safe for concurrent use,
+// including across processes sharing the directory (chunk writes are
+// idempotent, manifest writes atomic).
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	index map[string]*Manifest // key digest → newest manifest
+	byDig map[string]*Manifest // content digest → manifest
+	calls map[string]*loadCall // key digest → in-flight load
+
+	diskLoads atomic64
+}
+
+// atomic64 is a tiny wrapper so tests can count physical loads without
+// importing sync/atomic here and there.
+type atomic64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (a *atomic64) add(n uint64) { a.mu.Lock(); a.v += n; a.mu.Unlock() }
+func (a *atomic64) load() uint64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+
+type loadCall struct {
+	done   chan struct{}
+	snap   *snapshot.Snapshot
+	digest string
+	err    error
+}
+
+// Open opens (creating if needed) a store rooted at dir and indexes its
+// manifests. Unreadable or self-inconsistent manifests are skipped at
+// open — they surface as misses, and verification still guards every
+// load.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"chunks", "snapshots", "pins"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	s := &Store{
+		dir:   dir,
+		index: make(map[string]*Manifest),
+		byDig: make(map[string]*Manifest),
+		calls: make(map[string]*loadCall),
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "snapshots"))
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		m, err := s.readManifest(strings.TrimSuffix(name, ".json"))
+		if err != nil {
+			continue
+		}
+		s.admit(m)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// DiskLoads returns how many physical (non-coalesced) snapshot loads
+// have run — concurrent loads of the same key count once.
+func (s *Store) DiskLoads() uint64 { return s.diskLoads.load() }
+
+func (s *Store) admit(m *Manifest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byDig[m.Digest] = m
+	if prev := s.index[m.KeyDigest]; prev == nil || m.CreatedUnix >= prev.CreatedUnix {
+		s.index[m.KeyDigest] = m
+	}
+}
+
+func (s *Store) chunkPath(digest string) string {
+	return filepath.Join(s.dir, "chunks", digest[:2], digest)
+}
+
+func (s *Store) manifestPath(digest string) string {
+	return filepath.Join(s.dir, "snapshots", digest+".json")
+}
+
+func (s *Store) pinPath(digest string) string {
+	return filepath.Join(s.dir, "pins", digest)
+}
+
+// writeChunk stores blob under its SHA-256 unless already present,
+// reporting whether a write happened. Concurrent writers of the same
+// chunk are harmless: content-addressing makes the race write identical
+// bytes, and the tmp+rename keeps each write atomic.
+func (s *Store) writeChunk(blob []byte) (digest string, wrote bool, err error) {
+	sum := sha256.Sum256(blob)
+	digest = hex.EncodeToString(sum[:])
+	path := s.chunkPath(digest)
+	if _, err := os.Stat(path); err == nil {
+		return digest, false, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", false, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return "", false, err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", false, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", false, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", false, err
+	}
+	return digest, true, nil
+}
+
+func (s *Store) readChunk(digest string) ([]byte, error) {
+	return os.ReadFile(s.chunkPath(digest))
+}
+
+func (s *Store) readManifest(digest string) (*Manifest, error) {
+	raw, err := os.ReadFile(s.manifestPath(digest))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("store: manifest %s: %w", digest, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("store: manifest %s: version %d, want %d", digest, m.Version, manifestVersion)
+	}
+	if m.Digest != digest {
+		return nil, fmt.Errorf("store: manifest %s claims digest %s", digest, m.Digest)
+	}
+	return &m, nil
+}
+
+// Save persists the snapshot: the state record and every frozen page go
+// into the chunk store (pages already present — other snapshots of the
+// same image — are deduplicated, not rewritten), then the manifest
+// commits to the whole set under its content digest. Returns the
+// content digest. Saving an already-persisted snapshot is a cheap
+// no-op rewrite of the manifest.
+func (s *Store) Save(key snapshot.Key, snap *snapshot.Snapshot) (string, error) {
+	st := snap.State()
+	blob, err := st.Serialize()
+	if err != nil {
+		return "", fmt.Errorf("store: serialize snapshot: %w", err)
+	}
+	stateChunk, wrote, err := s.writeChunk(blob)
+	if err != nil {
+		return "", fmt.Errorf("store: write state chunk: %w", err)
+	}
+	written, deduped := uint64(0), uint64(0)
+	if wrote {
+		written++
+	} else {
+		deduped++
+	}
+	var pages []PageRef
+	var pageErr error
+	st.ForEachFrozenPage(func(pn uint64, pg *[mem.PageSize]byte) {
+		if pageErr != nil {
+			return
+		}
+		digest, wrote, err := s.writeChunk(pg[:])
+		if err != nil {
+			pageErr = err
+			return
+		}
+		if wrote {
+			written++
+		} else {
+			deduped++
+		}
+		pages = append(pages, PageRef{PN: pn, Chunk: digest})
+	})
+	if pageErr != nil {
+		return "", fmt.Errorf("store: write page chunk: %w", pageErr)
+	}
+	obs.Add(obs.CStoreChunkWrite, written)
+	obs.Add(obs.CStoreChunkDedup, deduped)
+
+	opts := st.Options()
+	m := &Manifest{
+		Version:     manifestVersion,
+		KeyDigest:   key.Digest,
+		Key:         key.Norm(),
+		ImageDigest: st.ImageDigest(),
+		StateChunk:  stateChunk,
+		StateSize:   len(blob),
+		Pages:       pages,
+		CPUs:        opts.Config.CPUs(),
+		BootCycles:  snap.BootCycles(),
+		CreatedUnix: time.Now().Unix(),
+		Options: OptionsManifest{
+			Scheme:       int(opts.Config.Scheme),
+			ForwardCFI:   opts.Config.ForwardCFI,
+			DFI:          opts.Config.DFI,
+			ZeroModifier: opts.Config.ZeroModifier,
+			CPUs:         opts.Config.CPUs(),
+			Seed:         opts.Seed,
+			Compat:       bool(opts.Compat),
+			V80:          opts.V80,
+			Threshold:    opts.FailureThreshold,
+		},
+	}
+	m.Digest = m.contentDigest()
+
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("store: encode manifest: %w", err)
+	}
+	path := s.manifestPath(m.Digest)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("store: write manifest: %w", err)
+	}
+	if _, err := tmp.Write(append(raw, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("store: write manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("store: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("store: write manifest: %w", err)
+	}
+	s.admit(m)
+	s.invalidate(key.Digest)
+	obs.Add(obs.CStoreSave, 1)
+	return m.Digest, nil
+}
+
+// invalidate drops the memoized load for a key so the next Load reads
+// the (possibly replaced) manifest from disk. In-flight loads are left
+// alone: their waiters get the result they queued for.
+func (s *Store) invalidate(keyDigest string) {
+	s.mu.Lock()
+	if c := s.calls[keyDigest]; c != nil {
+		select {
+		case <-c.done:
+			delete(s.calls, keyDigest)
+		default:
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Load returns the newest verified snapshot persisted for the key's
+// configuration, plus its content digest, or snapshot.ErrNotFound.
+// Loads of the same key — concurrent or repeated — coalesce into one
+// disk read: snapshots are immutable, so the verified result is shared
+// until a Save or Delete of the key invalidates it.
+func (s *Store) Load(key snapshot.Key) (*snapshot.Snapshot, string, error) {
+	s.mu.Lock()
+	if c := s.calls[key.Digest]; c != nil {
+		s.mu.Unlock()
+		<-c.done
+		return c.snap, c.digest, c.err
+	}
+	m := s.index[key.Digest]
+	if m == nil {
+		s.mu.Unlock()
+		obs.Add(obs.CStoreMiss, 1)
+		return nil, "", snapshot.ErrNotFound
+	}
+	c := &loadCall{done: make(chan struct{})}
+	s.calls[key.Digest] = c
+	s.mu.Unlock()
+
+	c.snap, c.digest, c.err = s.loadManifest(m)
+	if c.err != nil {
+		// Do not memoize failures: a repaired (or re-saved) store must
+		// be retryable without reopening. Waiters already queued still
+		// observe this error.
+		s.mu.Lock()
+		delete(s.calls, key.Digest)
+		s.mu.Unlock()
+	}
+	close(c.done)
+	return c.snap, c.digest, c.err
+}
+
+// LoadDigest loads (and verifies) the snapshot with the given content
+// digest regardless of which configuration it belongs to.
+func (s *Store) LoadDigest(digest string) (*snapshot.Snapshot, error) {
+	s.mu.Lock()
+	m := s.byDig[digest]
+	s.mu.Unlock()
+	if m == nil {
+		obs.Add(obs.CStoreMiss, 1)
+		return nil, snapshot.ErrNotFound
+	}
+	snap, _, err := s.loadManifest(m)
+	return snap, err
+}
+
+// loadManifest is the physical load: verify the manifest's own content
+// digest, the state record, and every page chunk, then reconstruct the
+// kernel state (rebuilding and §4.1-verifying the image from its build
+// options).
+func (s *Store) loadManifest(m *Manifest) (*snapshot.Snapshot, string, error) {
+	t0 := time.Now()
+	s.diskLoads.add(1)
+	if got := m.contentDigest(); got != m.Digest {
+		obs.Add(obs.CStoreVerifyFail, 1)
+		return nil, "", &VerifyError{Digest: m.Digest, Part: "manifest", Want: m.Digest, Got: got}
+	}
+	blob, err := s.readChunk(m.StateChunk)
+	if err != nil {
+		obs.Add(obs.CStoreVerifyFail, 1)
+		return nil, "", fmt.Errorf("store: snapshot %.12s: read state chunk: %w", m.Digest, err)
+	}
+	if sum := sha256.Sum256(blob); hex.EncodeToString(sum[:]) != m.StateChunk || len(blob) != m.StateSize {
+		obs.Add(obs.CStoreVerifyFail, 1)
+		return nil, "", &VerifyError{Digest: m.Digest, Part: "state", Want: m.StateChunk,
+			Got: hex.EncodeToString(func() []byte { h := sha256.Sum256(blob); return h[:] }())}
+	}
+	pages := make(map[uint64]*[mem.PageSize]byte, len(m.Pages))
+	for _, ref := range m.Pages {
+		raw, err := s.readChunk(ref.Chunk)
+		if err != nil {
+			obs.Add(obs.CStoreVerifyFail, 1)
+			return nil, "", fmt.Errorf("store: snapshot %.12s: read page %d: %w", m.Digest, ref.PN, err)
+		}
+		sum := sha256.Sum256(raw)
+		if got := hex.EncodeToString(sum[:]); got != ref.Chunk || len(raw) != mem.PageSize {
+			obs.Add(obs.CStoreVerifyFail, 1)
+			return nil, "", &VerifyError{Digest: m.Digest, Part: fmt.Sprintf("page %d", ref.PN), Want: ref.Chunk, Got: got}
+		}
+		var pg [mem.PageSize]byte
+		copy(pg[:], raw)
+		pages[ref.PN] = &pg
+	}
+	st, err := kernel.DeserializeState(blob, pages)
+	if err != nil {
+		obs.Add(obs.CStoreVerifyFail, 1)
+		return nil, "", fmt.Errorf("store: snapshot %.12s: %w", m.Digest, err)
+	}
+	obs.Add(obs.CStoreHit, 1)
+	loadHist.ObserveSince(t0)
+	return snapshot.FromState(st), m.Digest, nil
+}
+
+// Info summarizes one persisted snapshot for listings.
+type Info struct {
+	Digest      string `json:"digest"`
+	KeyDigest   string `json:"key_digest"`
+	Key         string `json:"key"`
+	ImageDigest string `json:"image_digest"`
+	Pages       int    `json:"pages"`
+	CPUs        int    `json:"cpus"`
+	BootCycles  uint64 `json:"boot_cycles"`
+	Pinned      bool   `json:"pinned"`
+	CreatedUnix int64  `json:"created_unix"`
+}
+
+// List returns every persisted snapshot, newest first.
+func (s *Store) List() []Info {
+	s.mu.Lock()
+	ms := make([]*Manifest, 0, len(s.byDig))
+	for _, m := range s.byDig {
+		ms = append(ms, m)
+	}
+	s.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].CreatedUnix != ms[j].CreatedUnix {
+			return ms[i].CreatedUnix > ms[j].CreatedUnix
+		}
+		return ms[i].Digest < ms[j].Digest
+	})
+	out := make([]Info, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, Info{
+			Digest:      m.Digest,
+			KeyDigest:   m.KeyDigest,
+			Key:         m.Key,
+			ImageDigest: m.ImageDigest,
+			Pages:       len(m.Pages),
+			CPUs:        m.CPUs,
+			BootCycles:  m.BootCycles,
+			Pinned:      s.Pinned(m.Digest),
+			CreatedUnix: m.CreatedUnix,
+		})
+	}
+	return out
+}
+
+// ManifestFor returns the manifest persisted under the content digest.
+func (s *Store) ManifestFor(digest string) (*Manifest, error) {
+	s.mu.Lock()
+	m := s.byDig[digest]
+	s.mu.Unlock()
+	if m == nil {
+		return nil, snapshot.ErrNotFound
+	}
+	cp := *m
+	cp.Pages = append([]PageRef(nil), m.Pages...)
+	return &cp, nil
+}
+
+// Pin marks or unmarks the snapshot as pinned. Pins persist on disk, so
+// they survive restarts and guard both Delete and GC.
+func (s *Store) Pin(digest string, pinned bool) error {
+	s.mu.Lock()
+	m := s.byDig[digest]
+	s.mu.Unlock()
+	if m == nil {
+		return snapshot.ErrNotFound
+	}
+	if pinned {
+		f, err := os.OpenFile(s.pinPath(digest), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: pin %s: %w", digest, err)
+		}
+		return f.Close()
+	}
+	if err := os.Remove(s.pinPath(digest)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: unpin %s: %w", digest, err)
+	}
+	return nil
+}
+
+// Pinned reports whether the snapshot is pinned.
+func (s *Store) Pinned(digest string) bool {
+	_, err := os.Stat(s.pinPath(digest))
+	return err == nil
+}
+
+// ErrPinned reports a Delete refused because the snapshot is pinned.
+var ErrPinned = errors.New("store: snapshot is pinned")
+
+// Delete removes the snapshot's manifest (chunks are left for GC, since
+// other snapshots may share them). Pinned snapshots are refused with
+// ErrPinned — unpin first.
+func (s *Store) Delete(digest string) error {
+	s.mu.Lock()
+	m := s.byDig[digest]
+	s.mu.Unlock()
+	if m == nil {
+		return snapshot.ErrNotFound
+	}
+	if s.Pinned(digest) {
+		return ErrPinned
+	}
+	if err := os.Remove(s.manifestPath(digest)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: delete %s: %w", digest, err)
+	}
+	s.mu.Lock()
+	delete(s.byDig, digest)
+	if idx := s.index[m.KeyDigest]; idx != nil && idx.Digest == digest {
+		delete(s.index, m.KeyDigest)
+		// Another manifest for the key may remain; re-elect the newest.
+		for _, other := range s.byDig {
+			if other.KeyDigest == m.KeyDigest {
+				if cur := s.index[m.KeyDigest]; cur == nil || other.CreatedUnix >= cur.CreatedUnix {
+					s.index[m.KeyDigest] = other
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.invalidate(m.KeyDigest)
+	obs.Add(obs.CStoreEvict, 1)
+	return nil
+}
+
+// GC deletes chunks no remaining manifest references, returning how
+// many were removed. Pinned snapshots' chunks are referenced by their
+// manifests, so pins transitively protect chunk data too.
+func (s *Store) GC() (int, error) {
+	s.mu.Lock()
+	live := make(map[string]bool)
+	for _, m := range s.byDig {
+		live[m.StateChunk] = true
+		for _, pg := range m.Pages {
+			live[pg.Chunk] = true
+		}
+	}
+	s.mu.Unlock()
+	removed := 0
+	root := filepath.Join(s.dir, "chunks")
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		return 0, fmt.Errorf("store: gc: %w", err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		ents, err := os.ReadDir(filepath.Join(root, d.Name()))
+		if err != nil {
+			return removed, fmt.Errorf("store: gc: %w", err)
+		}
+		for _, ent := range ents {
+			name := ent.Name()
+			if strings.HasPrefix(name, ".tmp-") || live[name] {
+				continue
+			}
+			if err := os.Remove(filepath.Join(root, d.Name(), name)); err != nil {
+				return removed, fmt.Errorf("store: gc: %w", err)
+			}
+			removed++
+		}
+	}
+	if removed > 0 {
+		obs.Add(obs.CStoreEvict, uint64(removed))
+	}
+	return removed, nil
+}
+
+// ImageInfo aggregates the persisted snapshots of one built image,
+// surfacing what page-level dedup saves: TotalPages across snapshots
+// versus UniqueChunks actually on disk.
+type ImageInfo struct {
+	ImageDigest  string   `json:"image_digest"`
+	Snapshots    []string `json:"snapshots"`
+	TotalPages   int      `json:"total_pages"`
+	UniqueChunks int      `json:"unique_chunks"`
+}
+
+// Images groups persisted snapshots by the image they descend from.
+func (s *Store) Images() []ImageInfo {
+	s.mu.Lock()
+	byImg := make(map[string][]*Manifest)
+	for _, m := range s.byDig {
+		byImg[m.ImageDigest] = append(byImg[m.ImageDigest], m)
+	}
+	s.mu.Unlock()
+	imgs := make([]string, 0, len(byImg))
+	for img := range byImg {
+		imgs = append(imgs, img)
+	}
+	sort.Strings(imgs)
+	out := make([]ImageInfo, 0, len(imgs))
+	for _, img := range imgs {
+		info := ImageInfo{ImageDigest: img}
+		uniq := make(map[string]bool)
+		ms := byImg[img]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Digest < ms[j].Digest })
+		for _, m := range ms {
+			info.Snapshots = append(info.Snapshots, m.Digest)
+			info.TotalPages += len(m.Pages)
+			for _, pg := range m.Pages {
+				uniq[pg.Chunk] = true
+			}
+		}
+		info.UniqueChunks = len(uniq)
+		out = append(out, info)
+	}
+	return out
+}

@@ -1,0 +1,525 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"camouflage/internal/attack"
+	"camouflage/internal/codegen"
+	"camouflage/internal/insn"
+	"camouflage/internal/kernel"
+	"camouflage/internal/snapshot"
+)
+
+func testKey(seed uint64, cpus int) snapshot.Key {
+	cfg := codegen.ConfigFull()
+	cfg.NumCPUs = cpus
+	return snapshot.KeyFor(kernel.Options{Config: cfg, Seed: seed})
+}
+
+func bootSnap(t *testing.T, key snapshot.Key) *snapshot.Snapshot {
+	t.Helper()
+	k, err := snapshot.BootOptions(key.Options)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snapshot.Take(k)
+}
+
+// fingerprint runs a syscall-heavy program on a fork and returns its
+// observable outcome, UART bytes included.
+type fingerprint struct {
+	Cycles, Retired uint64
+	Halted          bool
+	UART            string
+}
+
+func runFixture(t *testing.T, k *kernel.Kernel) fingerprint {
+	t.Helper()
+	prog, err := kernel.BuildProgram("fixture", func(u *kernel.UserASM) {
+		u.Syscall(kernel.SysOpenat, 0, kernel.PathDevZero, 0)
+		u.A.I(insn.ORRr(insn.X20, insn.XZR, insn.X0, 0))
+		u.CounterLoop("loop", insn.X21, 16, func() {
+			u.A.I(insn.ORRr(insn.X0, insn.XZR, insn.X20, 0))
+			u.MovImm(insn.X1, kernel.UserDataBase)
+			u.MovImm(insn.X2, 64)
+			u.SyscallReg(kernel.SysRead)
+			u.SyscallReg(kernel.SysGetppid)
+		})
+		u.SyscallReg(kernel.SysClose)
+		u.Exit(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterProgram(1, prog)
+	if _, err := k.Spawn(1); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(10_000_000)
+	return fingerprint{Cycles: k.CPU.Cycles, Retired: k.CPU.Retired, Halted: k.Halted, UART: k.UART.Output()}
+}
+
+// TestSaveLoadRoundTrip: a snapshot saved, then loaded by a *different*
+// store handle (fresh process analogue), forks a machine byte-identical
+// to one forked from the original capture — on uniprocessor and 2-vCPU
+// machines alike.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, cpus := range []int{1, 2} {
+		dir := t.TempDir()
+		key := testKey(101, cpus)
+		snap := bootSnap(t, key)
+
+		s1, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digest, err := s1.Save(key, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, gotDigest, err := s2.Load(key)
+		if err != nil {
+			t.Fatalf("cpus=%d: %v", cpus, err)
+		}
+		if gotDigest != digest {
+			t.Fatalf("load digest %s, saved %s", gotDigest, digest)
+		}
+
+		kFresh, err := snap.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		kLoaded, err := loaded.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runFixture(t, kFresh)
+		got := runFixture(t, kLoaded)
+		if got != want {
+			t.Fatalf("cpus=%d: fork from loaded snapshot diverges:\n loaded: %+v\n fresh:  %+v", cpus, got, want)
+		}
+	}
+}
+
+// TestSaveIsContentAddressed: saving the same configuration twice
+// yields the same content digest and re-uses every chunk; a second
+// snapshot of the same image dedups its pages against the first.
+func TestSaveIsContentAddressed(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(102, 1)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := s.Save(key, bootSnap(t, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Save(key, bootSnap(t, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("identical snapshots got digests %s and %s", d1, d2)
+	}
+	imgs := s.Images()
+	if len(imgs) != 1 {
+		t.Fatalf("Images() = %d entries, want 1", len(imgs))
+	}
+	if imgs[0].UniqueChunks > imgs[0].TotalPages {
+		t.Fatalf("unique chunks %d exceed total pages %d", imgs[0].UniqueChunks, imgs[0].TotalPages)
+	}
+}
+
+// TestTamperedSnapshotRejected: flipping one bit of any chunk, or
+// truncating it, or editing the manifest, must surface as a typed
+// verification error — never a served machine.
+func TestTamperedSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(103, 1)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := s.Save(key, bootSnap(t, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.ManifestFor(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tamper := func(t *testing.T, mutate func() (restore func())) {
+		t.Helper()
+		restore := mutate()
+		defer restore()
+		fresh, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fresh.Load(key); err == nil {
+			t.Fatal("tampered snapshot loaded without error")
+		} else if !errors.Is(err, snapshot.ErrNotFound) {
+			var ve *VerifyError
+			if !errors.As(err, &ve) && !os.IsNotExist(errors.Unwrap(err)) {
+				// Any refusal is acceptable as long as it is loud; the
+				// common paths produce *VerifyError or a read error.
+				t.Logf("refused with: %v", err)
+			}
+		}
+	}
+
+	chunkPath := filepath.Join(dir, "chunks", m.Pages[0].Chunk[:2], m.Pages[0].Chunk)
+	statePath := filepath.Join(dir, "chunks", m.StateChunk[:2], m.StateChunk)
+	maniPath := filepath.Join(dir, "snapshots", digest+".json")
+
+	t.Run("bit-flipped page chunk", func(t *testing.T) {
+		tamper(t, func() func() {
+			orig, err := os.ReadFile(chunkPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad := append([]byte(nil), orig...)
+			bad[len(bad)/2] ^= 0x01
+			if err := os.WriteFile(chunkPath, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return func() { os.WriteFile(chunkPath, orig, 0o644) }
+		})
+	})
+	t.Run("truncated state chunk", func(t *testing.T) {
+		tamper(t, func() func() {
+			orig, err := os.ReadFile(statePath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(statePath, orig[:len(orig)/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return func() { os.WriteFile(statePath, orig, 0o644) }
+		})
+	})
+	t.Run("edited manifest", func(t *testing.T) {
+		tamper(t, func() func() {
+			orig, err := os.ReadFile(maniPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var edited Manifest
+			if err := json.Unmarshal(orig, &edited); err != nil {
+				t.Fatal(err)
+			}
+			// Point page 0 at the state chunk: every chunk still hashes
+			// clean individually, but the whole-snapshot digest no
+			// longer matches the manifest's claim.
+			edited.Pages[0].Chunk = edited.StateChunk
+			raw, _ := json.Marshal(&edited)
+			if err := os.WriteFile(maniPath, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return func() { os.WriteFile(maniPath, orig, 0o644) }
+		})
+	})
+
+	// Untampered store still loads fine afterwards.
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fresh.Load(key); err != nil {
+		t.Fatalf("pristine snapshot refused after tamper tests: %v", err)
+	}
+}
+
+// TestVerifyErrorIsTyped: a bit-flip produces *VerifyError specifically
+// (clients and the daemon branch on it), naming the corrupt part.
+func TestVerifyErrorIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(104, 1)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := s.Save(key, bootSnap(t, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.ManifestFor(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunkPath := filepath.Join(dir, "chunks", m.Pages[0].Chunk[:2], m.Pages[0].Chunk)
+	raw, err := os.ReadFile(chunkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0x80
+	if err := os.WriteFile(chunkPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = fresh.Load(key)
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("Load after bit flip = %v, want *VerifyError", err)
+	}
+	if ve.Want == ve.Got {
+		t.Fatalf("VerifyError carries equal want/got hashes: %+v", ve)
+	}
+}
+
+// TestConcurrentLoadDedup: many goroutines loading the same key share
+// one physical read; everyone gets the same immutable snapshot.
+func TestConcurrentLoadDedup(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(105, 1)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(key, bootSnap(t, key)); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	snaps := make([]*snapshot.Snapshot, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sn, _, err := fresh.Load(key)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			snaps[i] = sn
+		}(i)
+	}
+	wg.Wait()
+	if got := fresh.DiskLoads(); got != 1 {
+		t.Fatalf("%d concurrent loads hit disk %d times, want 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if snaps[i] != snaps[0] {
+			t.Fatalf("concurrent loaders got distinct snapshots")
+		}
+	}
+}
+
+// TestPoolWarmStart: a store-backed pool in a fresh process arms its
+// keys from disk with zero boots, and the machines it serves are
+// byte-identical to boot-path machines.
+func TestPoolWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(106, 2)
+
+	st1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := snapshot.NewPool()
+	p1.Store = st1
+	m1, err := p1.Acquire(key, snapshot.BootOptions(key.Options))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runFixture(t, m1.K)
+	p1.WaitPersist()
+	if s := p1.Stats(); s.Boots != 1 || s.StorePersists != 1 {
+		t.Fatalf("cold pool stats = %+v, want 1 boot / 1 persist", s)
+	}
+
+	// "Restart": fresh pool, fresh store handle, same directory.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := snapshot.NewPool()
+	p2.Store = st2
+	m2, err := p2.Acquire(key, func() (*kernel.Kernel, error) {
+		t.Error("boot closure ran despite populated store")
+		return snapshot.BootOptions(key.Options)()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runFixture(t, m2.K); got != want {
+		t.Fatalf("warm-started machine diverges:\n warm: %+v\n cold: %+v", got, want)
+	}
+	if s := p2.Stats(); s.Boots != 0 || s.StoreLoads != 1 {
+		t.Fatalf("warm pool stats = %+v, want 0 boots / 1 store load", s)
+	}
+}
+
+// TestCampaignParityWarmStart: a full differential attack campaign
+// (2-vCPU cells, cross-core scenario included) run entirely from
+// store-loaded snapshots produces a byte-identical report to one run
+// from fresh boots — and pays zero boots doing it.
+func TestCampaignParityWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	campaign := attack.CampaignOptions{Mutations: 4, Seed: 9, CPUs: 2, Levels: []string{"none", "full"}}
+
+	runWith := func(p *snapshot.Pool) []byte {
+		t.Helper()
+		old := snapshot.Shared
+		snapshot.Shared = p
+		defer func() { snapshot.Shared = old }()
+		rep, err := attack.RunCampaign(campaign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	st1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := snapshot.NewPool()
+	p1.Store = st1
+	cold := runWith(p1)
+	p1.WaitPersist()
+	if s := p1.Stats(); s.Boots == 0 {
+		t.Fatal("cold campaign paid no boots — store unexpectedly warm")
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := snapshot.NewPool()
+	p2.Store = st2
+	warm := runWith(p2)
+	if s := p2.Stats(); s.Boots != 0 {
+		t.Fatalf("warm campaign paid %d boots, want 0", s.Boots)
+	}
+	if string(cold) != string(warm) {
+		t.Fatalf("warm-start campaign report differs from cold run:\n cold: %s\n warm: %s", cold, warm)
+	}
+}
+
+// TestPinDeleteGC: pinned snapshots refuse Delete; unpinned ones
+// delete; GC removes exactly the chunks no surviving manifest
+// references.
+func TestPinDeleteGC(t *testing.T) {
+	dir := t.TempDir()
+	keyA := testKey(107, 1)
+	keyB := testKey(108, 1) // different seed → different state, same image layout
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digA, err := s.Save(keyA, bootSnap(t, keyA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digB, err := s.Save(keyB, bootSnap(t, keyB))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Pin(digA, true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Pinned(digA) {
+		t.Fatal("Pinned(digA) = false after Pin")
+	}
+	if err := s.Delete(digA); !errors.Is(err, ErrPinned) {
+		t.Fatalf("Delete(pinned) = %v, want ErrPinned", err)
+	}
+	// Pins survive reopen (restart).
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Pinned(digA) {
+		t.Fatal("pin lost across reopen")
+	}
+	if err := s2.Pin(digA, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Delete(digB); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s2.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("GC removed nothing although a snapshot was deleted")
+	}
+	// A's snapshot must still load clean — GC must not have touched any
+	// chunk a surviving manifest references.
+	if _, _, err := s2.Load(keyA); err != nil {
+		t.Fatalf("surviving snapshot broken after GC: %v", err)
+	}
+	if _, _, err := s2.Load(keyB); !errors.Is(err, snapshot.ErrNotFound) {
+		t.Fatalf("deleted snapshot still loads: %v", err)
+	}
+}
+
+// TestCorruptStoreFallsBackToBoot: a store-backed pool whose persisted
+// snapshot fails verification boots fresh instead of failing the key,
+// and the re-persist overwrites cleanly.
+func TestCorruptStoreFallsBackToBoot(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(109, 1)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := s.Save(key, bootSnap(t, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.ManifestFor(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statePath := filepath.Join(dir, "chunks", m.StateChunk[:2], m.StateChunk)
+	raw, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0xFF
+	if err := os.WriteFile(statePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := snapshot.NewPool()
+	p.Store = st2
+	mach, err := p.Acquire(key, snapshot.BootOptions(key.Options))
+	if err != nil {
+		t.Fatalf("pool failed on corrupt store instead of booting: %v", err)
+	}
+	mach.Release()
+	if st := p.Stats(); st.Boots != 1 || st.StoreLoads != 0 {
+		t.Fatalf("stats = %+v, want fallback boot", st)
+	}
+}

@@ -167,7 +167,7 @@ type Result struct {
 // snapshot point, so it never leaks between cells).
 func Run(cfg func() *codegen.Config, level string, w Workload) (Result, error) {
 	opts := kernel.Options{Config: cfg(), Seed: 99}
-	m, err := snapshot.Shared.Acquire(snapshot.KeyForOptions(opts), snapshot.BootOptions(opts))
+	m, err := snapshot.Shared.Acquire(snapshot.KeyFor(opts), snapshot.BootOptions(opts))
 	if err != nil {
 		return Result{}, err
 	}
