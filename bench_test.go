@@ -22,6 +22,7 @@ import (
 	"camouflage/internal/boot"
 	"camouflage/internal/codegen"
 	"camouflage/internal/core"
+	"camouflage/internal/fault"
 	"camouflage/internal/figures"
 	"camouflage/internal/hyp"
 	"camouflage/internal/insn"
@@ -432,6 +433,65 @@ func BenchmarkObsOverhead(b *testing.B) {
 		run(b)
 		close(stop)
 		<-done
+	})
+}
+
+// BenchmarkFaultOverhead is the A/B cost measurement for the fault
+// injection layer (DESIGN.md §13): the none/fastpath ExecThroughput mix
+// run with faults disabled (the production state — one atomic pointer
+// load per injection point, all of them off the instruction loop), then
+// again with a registry armed on store/pool points that never fire
+// during execution. The armed variant's ns/op must stay within a small
+// budget of the disabled one — cmd/benchgate's -fault-overhead flag
+// gates the ratio, so injection points can never creep into the hot
+// path unnoticed.
+func BenchmarkFaultOverhead(b *testing.B) {
+	mix := func(u *kernel.UserASM) {
+		u.MovImm(insn.X5, 1<<40) // effectively endless
+		u.A.Label("loop")
+		for i := 0; i < 4; i++ {
+			u.A.I(insn.ADDi(insn.X6, insn.X6, 3))
+			u.A.I(insn.EORr(insn.X7, insn.X7, insn.X6))
+		}
+		u.SyscallReg(kernel.SysGetppid)
+		u.A.I(insn.SUBi(insn.X5, insn.X5, 1))
+		u.A.CBNZ(insn.X5, "loop")
+		u.Exit(0)
+	}
+	run := func(b *testing.B) {
+		systems, err := ReplicateSystems(LevelNone, Options{Seed: 3}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := systems[0]
+		prog, err := kernel.BuildProgram("mix", mix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Kernel.RegisterProgram(1, prog)
+		if _, err := sys.Kernel.Spawn(1); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		sys.Kernel.Run(uint64(b.N))
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	}
+	b.Run("off", func(b *testing.B) {
+		prev := fault.Active()
+		fault.Disable()
+		defer fault.Install(prev)
+		run(b)
+	})
+	b.Run("armed", func(b *testing.B) {
+		r, err := fault.ParseSpec("seed=1,store.chunk.read=all,pool.boot=all,client.reset=all")
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev := fault.Active()
+		fault.Install(r)
+		defer fault.Install(prev)
+		run(b)
 	})
 }
 

@@ -10,13 +10,19 @@ package client
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"camouflage/internal/attack"
+	"camouflage/internal/fault"
 	"camouflage/internal/figures"
 	"camouflage/internal/obs"
 	"camouflage/internal/snapshot"
@@ -223,38 +229,161 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("camouflaged: %d %s", e.Status, e.Message)
 }
 
+// RetryPolicy governs transparent request retries. Only safe requests
+// retry: GETs, and POSTs carrying an Idempotency-Key (the daemon
+// replays the stored response instead of re-running the job, so a
+// retry after a dropped response never double-runs). Retryable
+// failures are transport errors (connection reset, timeout short of
+// the context deadline) and 502/503/504 — a 503 with Retry-After (an
+// open circuit breaker, a saturated queue) waits at least that long.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per request (1 = no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff; each retry doubles it up
+	// to MaxDelay, with ±50% jitter to spread synchronized retriers.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetryPolicy is what New installs: 3 attempts, 100ms doubling
+// to 2s.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// DefaultTimeout caps one HTTP request end to end (connect through
+// body) unless the caller's context is tighter. Experiment and
+// campaign runs are minutes-long on loaded daemons; the cap exists to
+// bound a wedged connection, not a slow job.
+const DefaultTimeout = 10 * time.Minute
+
 // Client talks to one camouflaged daemon.
 type Client struct {
 	base string
-	// HTTP is the underlying client (default http.DefaultClient).
+	// HTTP is the underlying client (default: a dedicated client with
+	// DefaultTimeout; replace it to tune transport or TLS).
 	HTTP *http.Client
+	// Retry is the retry policy (default DefaultRetryPolicy; set
+	// MaxAttempts to 1 to disable).
+	Retry RetryPolicy
 }
 
 // New returns a client for the daemon at base (e.g.
 // "http://127.0.0.1:8344").
 func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
+	return &Client{
+		base:  strings.TrimRight(base, "/"),
+		HTTP:  &http.Client{Timeout: DefaultTimeout},
+		Retry: DefaultRetryPolicy(),
+	}
 }
 
+// newIdemKey mints a random Idempotency-Key for job-running POSTs.
+func newIdemKey() string {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return "" // no entropy, no idempotency — the request still runs
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// retryAfterSentinel distinguishes "no server hint" from Retry-After: 0.
+const retryAfterSentinel = time.Duration(-1)
+
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	return c.doIdem(ctx, method, path, in, out, "")
+}
+
+// doIdem is the request core: marshal once, then attempt with
+// backoff. idemKey marks a POST safe to retry; empty means only GETs
+// retry.
+func (c *Client) doIdem(ctx context.Context, method, path string, in, out any, idemKey string) error {
+	var body []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		body = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	retryable := method == http.MethodGet || idemKey != ""
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 || !retryable {
+		attempts = 1
+	}
+	var lastErr error
+	serverHint := retryAfterSentinel
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			obs.Add(obs.CClientRetry, 1)
+			select {
+			case <-time.After(c.backoff(attempt, serverHint)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		err, hint, retry := c.attempt(ctx, method, path, body, in != nil, out, idemKey)
+		if err == nil {
+			return nil
+		}
+		if !retry || ctx.Err() != nil {
+			return err
+		}
+		lastErr, serverHint = err, hint
+	}
+	return lastErr
+}
+
+// backoff computes the pre-attempt sleep: exponential with ±50%
+// jitter, floored by the server's Retry-After hint when one was given.
+func (c *Client) backoff(attempt int, serverHint time.Duration) time.Duration {
+	d := c.Retry.BaseDelay
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+	}
+	if max := c.Retry.MaxDelay; max > 0 && d > max {
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	if serverHint > d {
+		d = serverHint
+	}
+	return d
+}
+
+// attempt runs one HTTP exchange. retry reports whether the failure
+// class is safe to try again; hint carries a Retry-After the server
+// sent (retryAfterSentinel when absent).
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, hasBody bool, out any, idemKey string) (err error, hint time.Duration, retry bool) {
+	fault.SleepAt(fault.ClientStall)
+	if ferr := fault.ErrAt(fault.ClientReset); ferr != nil {
+		return fmt.Errorf("client: connection reset: %w", ferr), retryAfterSentinel, true
+	}
+	if ferr := fault.ErrAt(fault.Client5xx); ferr != nil {
+		return &APIError{Status: http.StatusServiceUnavailable, Message: ferr.Error()}, 0, true
+	}
+	var rd io.Reader
+	if hasBody {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return err, retryAfterSentinel, false
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return err
+		// Transport-level failure: nothing reached the handler (or the
+		// response was lost) — safe to retry idempotent requests.
+		return err, retryAfterSentinel, true
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
@@ -263,12 +392,26 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		apiErr := &APIError{Status: resp.StatusCode, Message: msg}
+		switch resp.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			hint = retryAfterSentinel
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+					hint = time.Duration(secs) * time.Second
+				}
+			}
+			return apiErr, hint, true
+		}
+		return apiErr, retryAfterSentinel, false
 	}
 	if out == nil {
-		return nil
+		return nil, retryAfterSentinel, false
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return err, retryAfterSentinel, false
+	}
+	return nil, retryAfterSentinel, false
 }
 
 // Experiments lists the registry.
@@ -280,19 +423,22 @@ func (c *Client) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
 	return out, nil
 }
 
-// RunExperiments runs a figures.All() selection on the daemon.
+// RunExperiments runs a figures.All() selection on the daemon. The
+// request carries a fresh Idempotency-Key, so retries after a dropped
+// response replay the original run instead of re-running it.
 func (c *Client) RunExperiments(ctx context.Context, req ExperimentsRequest) (*ExperimentsResponse, error) {
 	var out ExperimentsResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/experiments", req, &out); err != nil {
+	if err := c.doIdem(ctx, http.MethodPost, "/v1/experiments", req, &out, newIdemKey()); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// RunCampaign runs a differential attack campaign on the daemon.
+// RunCampaign runs a differential attack campaign on the daemon,
+// idempotency-keyed like RunExperiments.
 func (c *Client) RunCampaign(ctx context.Context, req CampaignRequest) (*CampaignResponse, error) {
 	var out CampaignResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/campaigns", req, &out); err != nil {
+	if err := c.doIdem(ctx, http.MethodPost, "/v1/campaigns", req, &out, newIdemKey()); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -30,6 +30,10 @@ type SnapshotInfo struct {
 	// machines.
 	Resident     bool `json:"resident"`
 	IdleMachines int  `json:"idle_machines"`
+	// Quarantined marks a snapshot whose loads failed repeatedly; the
+	// daemon fast-fails loads of it (falling back to boot) until it is
+	// re-saved or deleted.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // SnapshotsResponse is the GET /v1/snapshots reply.

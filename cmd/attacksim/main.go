@@ -17,11 +17,13 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"strings"
 
 	"camouflage/internal/attack"
+	"camouflage/internal/fault"
 	"camouflage/internal/figures"
 )
 
@@ -34,7 +36,19 @@ func main() {
 	seq := flag.Bool("seq", false, "strike forks sequentially instead of in parallel")
 	cpus := flag.Int("cpus", 1,
 		"vCPUs per campaign machine (1 = pre-SMP-identical; 2+ adds the cross-core replay cell)")
+	faults := flag.String("faults", "",
+		"deterministic fault injection spec for chaos testing, e.g. "+
+			"'seed=42,pool.boot=1,store.chunk.read=1' (empty disables)")
 	flag.Parse()
+
+	if *faults != "" {
+		r, err := fault.ParseSpec(*faults)
+		if err != nil {
+			log.Fatalf("attacksim: -faults: %v", err)
+		}
+		fault.Install(r)
+		fmt.Fprintf(os.Stderr, "attacksim: FAULT INJECTION ARMED: %s\n", r)
+	}
 
 	if *campaign {
 		var lv []string

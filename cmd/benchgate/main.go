@@ -131,6 +131,12 @@ type trajectory struct {
 	ObsOverhead float64 `json:"obs_overhead,omitempty"`
 	ObsBudget   float64 `json:"obs_budget,omitempty"`
 
+	// FaultOverhead is the armed/off ns/op ratio of
+	// BenchmarkFaultOverhead (0 when not run); FaultBudget the
+	// -fault-overhead fraction it must stay within.
+	FaultOverhead float64 `json:"fault_overhead,omitempty"`
+	FaultBudget   float64 `json:"fault_budget,omitempty"`
+
 	// Entries is the aggregated result set: one median entry per
 	// benchmark (the -count repeats collapse via benchparse.Aggregate).
 	Entries []benchparse.Entry `json:"entries"`
@@ -200,6 +206,9 @@ func main() {
 	obsOverhead := flag.Float64("obs-overhead", 0,
 		"max fractional slowdown of BenchmarkObsOverhead/scraped over /quiet (0 disables): the "+
 			"observability registry must stay off the hot path even under continuous scraping")
+	faultOverhead := flag.Float64("fault-overhead", 0,
+		"max fractional slowdown of BenchmarkFaultOverhead/armed over /off (0 disables): fault "+
+			"injection points must stay off the instruction loop, armed or not")
 	requireBaseline := flag.Bool("require-baseline", os.Getenv("CI") != "",
 		"fail hard — instead of warning and passing — when the -baseline document is missing or "+
 			"unparseable, or when a gate's benchmarks are absent from the input (the loud self-disable "+
@@ -455,6 +464,28 @@ func main() {
 		}
 	}
 
+	// Fault-injection overhead gate: every injection point is a nil
+	// atomic-pointer check off the hot path; arming a registry on points
+	// execution never reaches must not slow execution.
+	var faultRatio float64
+	if *faultOverhead > 0 {
+		off, okOff := benchparse.MinNsPerOp(entries, "BenchmarkFaultOverhead/off")
+		armed, okArmed := benchparse.MinNsPerOp(entries, "BenchmarkFaultOverhead/armed")
+		switch {
+		case !okOff || !okArmed || off <= 0:
+			disable("BenchmarkFaultOverhead pair missing; the fault overhead gate is NOT running")
+		default:
+			faultRatio = armed / off
+			fmt.Printf("benchgate: faults armed %.2f ns/op vs off %.2f (x%.3f, budget x%.3f)\n",
+				armed, off, faultRatio, 1+*faultOverhead)
+			if faultRatio > 1+*faultOverhead {
+				fmt.Printf("benchgate: FAIL — an armed fault registry slows execution beyond the %.0f%% budget\n",
+					*faultOverhead*100)
+				failed = true
+			}
+		}
+	}
+
 	doc := trajectory{
 		GeneratedUnix:  time.Now().Unix(),
 		GoVersion:      runtime.Version(),
@@ -477,6 +508,8 @@ func main() {
 		ParallelFloor:  *parallelScale,
 		ObsOverhead:    obsRatio,
 		ObsBudget:      *obsOverhead,
+		FaultOverhead:  faultRatio,
+		FaultBudget:    *faultOverhead,
 		Entries:        entries,
 	}
 	if *jsonPath != "" {

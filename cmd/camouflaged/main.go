@@ -51,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"camouflage/internal/fault"
 	"camouflage/internal/server"
 	"camouflage/internal/snapshot"
 	"camouflage/internal/store"
@@ -72,7 +73,29 @@ func main() {
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables). "+
 			"Keeps profiling off the API listener so future perf PRs can profile the daemon under load.")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute,
+		"run watchdog wall budget: an experiment/campaign past it is cancelled (504) and a "+
+			"wedged lease operation force-expired (0 disables)")
+	bootRetries := flag.Int("boot-retries", 3,
+		"boot attempts per pool key before the failure feeds the circuit breaker")
+	breakerThreshold := flag.Int("breaker-threshold", 5,
+		"consecutive boot/verify failures that open a key's circuit breaker (fast-fail 503 + Retry-After)")
+	breakerReset := flag.Duration("breaker-reset", 30*time.Second,
+		"how long an open breaker fast-fails before allowing a half-open probe boot")
+	faults := flag.String("faults", "",
+		"deterministic fault injection spec for chaos testing, e.g. "+
+			"'seed=42,store.chunk.read=2,pool.boot=every:3,client.stall=1:50ms' (empty disables). "+
+			"TESTING ONLY: injected faults fail real requests")
 	flag.Parse()
+
+	if *faults != "" {
+		r, err := fault.ParseSpec(*faults)
+		if err != nil {
+			log.Fatalf("camouflaged: -faults: %v", err)
+		}
+		fault.Install(r)
+		log.Printf("camouflaged: FAULT INJECTION ARMED: %s", r)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -102,13 +125,21 @@ func main() {
 		}
 		snapshot.Shared.Store = st
 		log.Printf("camouflaged: snapshot store at %s (%d snapshots)", *storeDir, len(st.List()))
+		if rec := st.Recovery(); rec.OrphanTmps > 0 || rec.BadManifests > 0 {
+			log.Printf("camouflaged: store recovery sweep: %d orphaned tmp files removed, %d torn manifests discarded",
+				rec.OrphanTmps, rec.BadManifests)
+		}
 	}
+	snapshot.Shared.BootAttempts = *bootRetries
+	snapshot.Shared.BreakerThreshold = *breakerThreshold
+	snapshot.Shared.BreakerReset = *breakerReset
 	srv := server.New(server.Config{
 		Concurrency: *concurrency,
 		MaxQueue:    *maxQueue,
 		MaxLeases:   *maxLeases,
 		LeaseIdle:   *leaseIdle,
 		Store:       st,
+		JobTimeout:  *jobTimeout,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
@@ -140,6 +171,9 @@ func main() {
 		ls := srv.LeaseStats()
 		log.Printf("camouflaged: done (boots %d, forks %d, reuses %d, evicted %d, store loads %d, store persists %d, leases released %d, force-expired %d)",
 			st.Boots, st.Forks, st.Reuses, st.Evicted, st.StoreLoads, st.StorePersists, ls.Released, ls.ForceExpired)
+		if r := fault.Active(); r != nil {
+			log.Printf("camouflaged: injected faults fired: %v", r.Counts())
+		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)

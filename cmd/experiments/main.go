@@ -45,6 +45,7 @@ import (
 
 	"camouflage"
 	"camouflage/client"
+	"camouflage/internal/fault"
 	"camouflage/internal/obs"
 	"camouflage/internal/snapshot"
 	"camouflage/internal/store"
@@ -91,7 +92,20 @@ func main() {
 	storeDir := flag.String("store-dir", "",
 		"warm-start from a persistent snapshot store at this directory (shared with camouflaged; "+
 			"snapshots booted by this run persist for the next one). Local runs only.")
+	faults := flag.String("faults", "",
+		"deterministic fault injection spec for chaos testing, e.g. "+
+			"'seed=42,store.chunk.read=1,client.reset=1' (empty disables). With -remote, only the "+
+			"client.* points apply in this process; arm the daemon's own -faults for the rest")
 	flag.Parse()
+
+	if *faults != "" {
+		r, err := fault.ParseSpec(*faults)
+		if err != nil {
+			log.Fatalf("experiments: -faults: %v", err)
+		}
+		fault.Install(r)
+		fmt.Fprintf(os.Stderr, "experiments: FAULT INJECTION ARMED: %s\n", r)
+	}
 
 	if *storeDir != "" && *remote == "" {
 		st, err := store.Open(*storeDir)

@@ -1,0 +1,344 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// install swaps in a registry for the test and restores the previous
+// one (tests in other packages race through the same global).
+func install(t *testing.T, r *Registry) {
+	t.Helper()
+	prev := Active()
+	Install(r)
+	t.Cleanup(func() { Install(prev) })
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	install(t, nil)
+	if Enabled() {
+		t.Fatal("Enabled() with nil registry")
+	}
+	if Fire(StoreChunkRead) {
+		t.Fatal("Fire with nil registry")
+	}
+	if err := ErrAt(StoreChunkRead); err != nil {
+		t.Fatalf("ErrAt with nil registry: %v", err)
+	}
+	data := []byte{0xAA, 0xBB}
+	if Corrupt(StoreChunkCorrupt, data) || data[0] != 0xAA || data[1] != 0xBB {
+		t.Fatal("Corrupt mutated data with nil registry")
+	}
+	SleepAt(ClientStall)
+	PanicAt(ServerJob)
+}
+
+func TestFaultDisabledZeroAllocs(t *testing.T) {
+	install(t, nil)
+	buf := []byte{1, 2, 3, 4}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if Fire(StoreChunkRead) {
+			t.Error("fired")
+		}
+		if ErrAt(StoreChunkWrite) != nil {
+			t.Error("erred")
+		}
+		Corrupt(StoreChunkCorrupt, buf)
+		SleepAt(ClientStall)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled fault checks allocate: %.1f allocs/op", allocs)
+	}
+}
+
+func TestFirstNRule(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(StoreChunkRead, Rule{First: 2})
+	install(t, r)
+	var fired int
+	for i := 0; i < 10; i++ {
+		if err := ErrAt(StoreChunkRead); err != nil {
+			fired++
+			var fe *Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("ErrAt returned %T, want *fault.Error", err)
+			}
+			if fe.Point != StoreChunkRead || fe.N != uint64(fired) {
+				t.Fatalf("error = %+v, want point=%s n=%d", fe, StoreChunkRead, fired)
+			}
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("First:2 fired %d times, want 2", fired)
+	}
+	if got := r.Fired(StoreChunkRead); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	if got := r.Checks(StoreChunkRead); got != 10 {
+		t.Fatalf("Checks = %d, want 10", got)
+	}
+}
+
+func TestEveryKRule(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(PoolBoot, Rule{Every: 3})
+	install(t, r)
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		pattern = append(pattern, Fire(PoolBoot))
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("every:3 pattern = %v, want %v", pattern, want)
+		}
+	}
+}
+
+func TestEveryWithFirstCap(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(PoolBoot, Rule{Every: 2, First: 2})
+	install(t, r)
+	var fired int
+	for i := 0; i < 20; i++ {
+		if Fire(PoolBoot) {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("every:2 capped at first 2 fired %d times", fired)
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(StoreChunkRead, Rule{})
+	install(t, r)
+	if Fire(ClientReset) {
+		t.Fatal("unarmed point fired")
+	}
+}
+
+func TestCorruptIsDeterministic(t *testing.T) {
+	base := bytes.Repeat([]byte{0x5C}, 4096)
+
+	flip := func(seed uint64) []byte {
+		r := NewRegistry(seed)
+		r.Arm(StoreChunkCorrupt, Rule{First: 1})
+		install(t, r)
+		data := append([]byte(nil), base...)
+		if !Corrupt(StoreChunkCorrupt, data) {
+			t.Fatal("Corrupt did not fire")
+		}
+		return data
+	}
+
+	a, b := flip(42), flip(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed flipped different bits")
+	}
+	if bytes.Equal(a, base) {
+		t.Fatal("Corrupt flipped nothing")
+	}
+	// Exactly one bit differs.
+	diffBits := 0
+	for i := range a {
+		x := a[i] ^ base[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("flipped %d bits, want 1", diffBits)
+	}
+	if c := flip(43); bytes.Equal(a, c) {
+		t.Fatal("different seeds flipped the same bit (possible but suspicious for 32768 positions)")
+	}
+}
+
+func TestCorruptOrdinalsDiffer(t *testing.T) {
+	r := NewRegistry(7)
+	r.Arm(StoreChunkCorrupt, Rule{First: 2})
+	install(t, r)
+	a := bytes.Repeat([]byte{0}, 512)
+	b := bytes.Repeat([]byte{0}, 512)
+	if !Corrupt(StoreChunkCorrupt, a) || !Corrupt(StoreChunkCorrupt, b) {
+		t.Fatal("corruptions did not fire")
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("consecutive corruptions flipped the same bit")
+	}
+}
+
+func TestSleepAtDelays(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(ClientStall, Rule{First: 1, Delay: 30 * time.Millisecond})
+	install(t, r)
+	start := time.Now()
+	SleepAt(ClientStall)
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("SleepAt returned after %v, want >=30ms", d)
+	}
+	// Second check doesn't fire, so no delay.
+	start = time.Now()
+	SleepAt(ClientStall)
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("exhausted SleepAt still slept %v", d)
+	}
+}
+
+func TestPanicAt(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(ServerJob, Rule{First: 1})
+	install(t, r)
+	func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Fatal("PanicAt did not panic")
+			}
+			fe, ok := v.(*Error)
+			if !ok || fe.Point != ServerJob {
+				t.Fatalf("panic value = %#v, want *fault.Error{server.job}", v)
+			}
+		}()
+		PanicAt(ServerJob)
+	}()
+	PanicAt(ServerJob) // exhausted: must not panic
+}
+
+func TestConcurrentChecksFireExactly(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(StoreChunkRead, Rule{First: 100})
+	install(t, r)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < 100; i++ {
+				if Fire(StoreChunkRead) {
+					local++
+				}
+			}
+			mu.Lock()
+			fired += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if fired != 100 {
+		t.Fatalf("First:100 under 8 goroutines fired %d times", fired)
+	}
+	if r.Checks(StoreChunkRead) != 800 {
+		t.Fatalf("checks = %d, want 800", r.Checks(StoreChunkRead))
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	r, err := ParseSpec("seed=42, store.chunk.read=2, client.stall=1:50ms, pool.boot=every:3, store.crash=all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.seed != 42 {
+		t.Fatalf("seed = %d", r.seed)
+	}
+	wantRules := map[Point]Rule{
+		StoreChunkRead: {First: 2},
+		ClientStall:    {First: 1, Delay: 50 * time.Millisecond},
+		PoolBoot:       {Every: 3},
+		StoreCrash:     {},
+	}
+	for p, want := range wantRules {
+		ru := r.rules[p]
+		if ru == nil {
+			t.Fatalf("point %s not armed", p)
+		}
+		if ru.spec != want {
+			t.Fatalf("point %s rule = %+v, want %+v", p, ru.spec, want)
+		}
+	}
+	if len(r.rules) != len(wantRules) {
+		t.Fatalf("armed %d points, want %d", len(r.rules), len(wantRules))
+	}
+}
+
+func TestParseSpecEveryWithDelay(t *testing.T) {
+	r, err := ParseSpec("pool.acquire=every:2:10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru := r.rules[PoolAcquire]
+	if ru == nil || ru.spec.Every != 2 || ru.spec.Delay != 10*time.Millisecond {
+		t.Fatalf("rule = %+v", ru)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"storechunkread",        // no =
+		"seed=abc",              // bad seed
+		"store.chunk.read=0",    // zero count
+		"store.chunk.read=x",    // bad count
+		"pool.boot=every",       // every without K
+		"pool.boot=every:0",     // zero K
+		"client.stall=1:nope",   // bad duration
+		"client.stall=1:1ms:2s", // trailing fields
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestEnableSpecEmptyIsNoop(t *testing.T) {
+	install(t, nil)
+	r, err := EnableSpec("   ")
+	if err != nil || r != nil {
+		t.Fatalf("EnableSpec(blank) = %v, %v", r, err)
+	}
+	if Enabled() {
+		t.Fatal("blank spec installed a registry")
+	}
+}
+
+func TestStringCanonical(t *testing.T) {
+	r, err := ParseSpec("seed=9,store.crash=all,client.stall=3:50ms,pool.boot=every:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.String()
+	want := "seed=9,client.stall=3:50ms,pool.boot=every:4,store.crash=all"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	// Round-trip.
+	r2, err := ParseSpec(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.String() != got {
+		t.Fatalf("round-trip = %q", r2.String())
+	}
+}
+
+func TestCountsSnapshot(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(StoreChunkRead, Rule{First: 3})
+	r.Arm(ClientReset, Rule{First: 1})
+	install(t, r)
+	for i := 0; i < 5; i++ {
+		Fire(StoreChunkRead)
+	}
+	Fire(ClientReset)
+	counts := r.Counts()
+	if counts[StoreChunkRead] != 3 || counts[ClientReset] != 1 {
+		t.Fatalf("Counts = %v", counts)
+	}
+}

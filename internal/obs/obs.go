@@ -102,6 +102,18 @@ const (
 	CLeaseExpired
 	CLeaseForceExpired
 
+	// Failure model (DESIGN.md §13): injection, recovery, degradation.
+	CFaultInjected
+	CBootRetry
+	CBreakerTrip
+	CBreakerFastFail
+	CPanicRecovered
+	CWatchdogCancel
+	CClientRetry
+	CStoreQuarantined
+	CStoreOrphanSweep
+	CIdemReplay
+
 	// NumCounters sizes every counter array; keep it last.
 	NumCounters
 )
@@ -170,6 +182,17 @@ var counterMetas = [NumCounters]counterMeta{
 	CLeaseReleased:     {"camouflage_server_leases_total", "Machine lease lifecycle events.", `event="released"`},
 	CLeaseExpired:      {"camouflage_server_leases_total", "Machine lease lifecycle events.", `event="expired"`},
 	CLeaseForceExpired: {"camouflage_server_leases_total", "Machine lease lifecycle events.", `event="force_expired"`},
+
+	CFaultInjected:    {"camouflage_faults_injected_total", "Faults fired by the deterministic injection registry.", ""},
+	CBootRetry:        {"camouflage_snapshot_pool_boot_retries_total", "Warm-pool boot attempts retried after a transient failure.", ""},
+	CBreakerTrip:      {"camouflage_snapshot_pool_breaker_events_total", "Per-key boot circuit breaker events.", `event="trip"`},
+	CBreakerFastFail:  {"camouflage_snapshot_pool_breaker_events_total", "Per-key boot circuit breaker events.", `event="fast_fail"`},
+	CPanicRecovered:   {"camouflage_server_panics_recovered_total", "In-job panics caught by the per-request recovery barrier.", ""},
+	CWatchdogCancel:   {"camouflage_server_watchdog_cancels_total", "Jobs cancelled by the run watchdog for exceeding their wall budget.", ""},
+	CClientRetry:      {"camouflage_client_retries_total", "Client requests retried by the transport retry policy.", ""},
+	CStoreQuarantined: {"camouflage_store_quarantines_total", "Snapshot digests quarantined after repeated verification failures.", ""},
+	CStoreOrphanSweep: {"camouflage_store_recovery_orphans_total", "Orphaned temp files and partial manifests removed by the startup recovery sweep.", ""},
+	CIdemReplay:       {"camouflage_server_idempotent_replays_total", "POST responses replayed from the idempotency table instead of re-running.", ""},
 }
 
 // SampleName returns the full exposition sample name of a counter

@@ -1,0 +1,173 @@
+package server
+
+// Chaos suite (DESIGN.md §13): end-to-end runs under seeded fault
+// injection must be byte-identical to quiet runs — faults may cost
+// retries, boots and latency, never bytes — and the daemon must
+// survive every injected failure. Also the drain three-way race: an
+// in-flight async persist, a wedged lease and Drain running at once
+// (exercised under -race in CI).
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"camouflage/client"
+	"camouflage/internal/fault"
+	"camouflage/internal/snapshot"
+	"camouflage/internal/store"
+)
+
+// chaosCampaign is the request both the quiet and the faulted run
+// execute: 2-vCPU machines (the cross-core scenario included), fixed
+// seed, sequential for cycle-exactness.
+var chaosCampaign = client.CampaignRequest{
+	Mutations: 3,
+	Seed:      99,
+	Levels:    []string{"backward-edge", "full"},
+	CPUs:      2,
+}
+
+// TestChaosCampaignByteIdentical: a campaign run with store, pool and
+// client faults armed — plus an injected in-job panic absorbed before
+// it — renders byte-for-byte what the quiet run rendered.
+func TestChaosCampaignByteIdentical(t *testing.T) {
+	// Quiet baseline through a daemon.
+	_, _, c := newTestServer(t, Config{Pool: snapshot.NewPool()})
+	ctx := context.Background()
+	quiet, err := c.RunCampaign(ctx, chaosCampaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chaos run: fresh daemon, persistent store behind the shared pool
+	// (campaigns always run on snapshot.Shared), faults armed. The
+	// spec's counts are chosen so every class fires at most as often as
+	// its healing layer absorbs: one boot failure (retried), one store
+	// read failure (boot fallback), one reset + one 5xx (client retry,
+	// 3 attempts), one stall (latency only), one in-job panic (consumed
+	// by the probe request below).
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevStore := snapshot.Shared.Store
+	snapshot.Shared.Store = st
+	t.Cleanup(func() {
+		snapshot.Shared.WaitPersist()
+		snapshot.Shared.Store = prevStore
+	})
+	r := withServerFaults(t,
+		"seed=42,server.job=1,pool.boot=1,store.chunk.read=1,store.persist=1,client.reset=1,client.5xx=1,client.stall=1:10ms")
+
+	pool := snapshot.NewPool()
+	pool.BootBackoff = time.Millisecond
+	snapshot.Shared.BootBackoff = time.Millisecond
+	t.Cleanup(func() { snapshot.Shared.BootBackoff = 0 })
+	_, hs, cc := newTestServer(t, Config{Pool: pool, Store: st})
+	cc.Retry.BaseDelay = time.Millisecond
+	cc.Retry.MaxDelay = 2 * time.Millisecond
+
+	// Probe: consume the armed in-job panic; the daemon answers 500 and
+	// stays up.
+	resp, _ := postJSON(t, hs.URL+"/v1/experiments", `{"ids":["keys"]}`, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic probe = %d, want 500", resp.StatusCode)
+	}
+
+	chaos, err := cc.RunCampaign(ctx, chaosCampaign)
+	if err != nil {
+		t.Fatalf("campaign under chaos: %v", err)
+	}
+	if chaos.Output != quiet.Output {
+		t.Fatalf("chaos output differs from quiet run:\n--- quiet ---\n%s\n--- chaos ---\n%s",
+			quiet.Output, chaos.Output)
+	}
+
+	// The client-transport faults fire deterministically (every request
+	// goes through the injection points); one reset and one 5xx were
+	// absorbed by retries, the panic by the barrier.
+	for _, p := range []fault.Point{fault.ClientReset, fault.Client5xx, fault.ServerJob} {
+		if r.Fired(p) != 1 {
+			t.Fatalf("fault %s fired %d times, want 1 (counts: %v)", p, r.Fired(p), r.Counts())
+		}
+	}
+
+	// And the daemon is still healthy.
+	hresp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after chaos = %d", hresp.StatusCode)
+	}
+}
+
+// TestDrainRacesPersistAndWedgedLease: Drain while (a) the boot's
+// async store persist is still in flight — slowed by injection — and
+// (b) a lease operation is wedged past the budget. Drain must finish
+// within its budget anyway: the wedged lease force-expires, the
+// persist is waited out, and the abandoned machine never re-enters the
+// pool. Run under -race in CI, this is the three-way interleaving pin.
+func TestDrainRacesPersistAndWedgedLease(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := snapshot.NewPool()
+	pool.Store = st
+	s, _, c := newTestServer(t, Config{Pool: pool, Store: st})
+	ctx := context.Background()
+
+	// The persist sleeps 80ms then fails — still in flight when Drain
+	// starts, and a persist *failure* racing drain is the nastier case.
+	withServerFaults(t, "store.persist=1:80ms")
+
+	m, err := c.Lease(ctx, client.MachineRequest{Level: "backward-edge", Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := s.leases.get(m.ID)
+	if !ok {
+		t.Fatal("lease not found")
+	}
+	l.mu.Lock() // wedge: hold the op lock like a long /run would
+	unwedged := make(chan struct{})
+	go func() {
+		<-unwedged
+		l.mu.Unlock()
+	}()
+
+	dctx, cancel := context.WithTimeout(ctx, 250*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_ = s.Drain(dctx)
+	if took := time.Since(t0); took > 5*time.Second {
+		t.Fatalf("Drain took %v with a wedged lease and in-flight persist", took)
+	}
+
+	lst := s.leases.stats()
+	if lst.Active != 0 || lst.ForceExpired != 1 {
+		t.Fatalf("lease stats after drain = %+v, want 0 active / 1 force-expired", lst)
+	}
+
+	close(unwedged)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l.mu.Lock()
+		released := l.released
+		l.mu.Unlock()
+		if released {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("wedged lease never marked released")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if idle := pool.Stats().Idle; idle != 0 {
+		t.Fatalf("abandoned machine was parked: %d idle after drain", idle)
+	}
+}

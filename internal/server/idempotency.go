@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+
+	"camouflage/internal/obs"
+)
+
+// idemTable backs the Idempotency-Key header on experiment and campaign
+// POSTs: a retried request whose original response was dropped on the
+// wire replays the stored response instead of re-running the job. Only
+// successful (2xx) responses are stored — a failed run is removed at
+// completion so the retry actually retries — which preserves both
+// halves of the contract: a success never double-runs, a failure is
+// never cached.
+//
+// Concurrent duplicates (a client retrying while the original is still
+// running) wait for the original to finish rather than racing a second
+// run.
+type idemTable struct {
+	mu      sync.Mutex
+	entries map[string]*idemEntry
+	order   []string // insertion order, for FIFO eviction
+	cap     int
+}
+
+type idemEntry struct {
+	done     chan struct{}
+	finished bool
+	status   int // 0 until a response status was recorded
+	body     []byte
+}
+
+func newIdemTable(capacity int) *idemTable {
+	return &idemTable{entries: make(map[string]*idemEntry), cap: capacity}
+}
+
+// begin claims or joins the key. owner=true means the caller runs the
+// job and must call finish with the entry; owner=false means e holds a
+// completed 2xx response to replay.
+func (t *idemTable) begin(key string) (e *idemEntry, owner bool) {
+	for {
+		t.mu.Lock()
+		cur := t.entries[key]
+		if cur == nil {
+			cur = &idemEntry{done: make(chan struct{})}
+			t.entries[key] = cur
+			t.order = append(t.order, key)
+			t.evictLocked()
+			t.mu.Unlock()
+			return cur, true
+		}
+		if cur.finished {
+			// finish only leaves 2xx entries behind.
+			t.mu.Unlock()
+			return cur, false
+		}
+		t.mu.Unlock()
+		<-cur.done
+		// The original completed while we waited: loop to either replay
+		// its stored success or claim the slot a dropped failure freed.
+	}
+}
+
+// finish records the outcome. 2xx responses stay for replay; anything
+// else — including a handler that died before writing (status 0) — is
+// dropped so the next request with this key re-runs.
+func (t *idemTable) finish(key string, e *idemEntry, status int, body []byte) {
+	t.mu.Lock()
+	e.status, e.body = status, body
+	e.finished = true
+	if status/100 != 2 && t.entries[key] == e {
+		t.dropLocked(key)
+	}
+	t.mu.Unlock()
+	close(e.done)
+}
+
+// evictLocked enforces the FIFO cap, skipping entries still in flight.
+func (t *idemTable) evictLocked() {
+	for len(t.entries) > t.cap {
+		evicted := false
+		for i, key := range t.order {
+			if e := t.entries[key]; e != nil && e.finished {
+				t.order = append(t.order[:i:i], t.order[i+1:]...)
+				delete(t.entries, key)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything in flight; over-cap transiently
+		}
+	}
+}
+
+func (t *idemTable) dropLocked(key string) {
+	delete(t.entries, key)
+	for i, k := range t.order {
+		if k == key {
+			t.order = append(t.order[:i:i], t.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// idemRecorder tees a handler's response so a 2xx can be stored for
+// replay. status stays 0 until the handler commits one, so a handler
+// that panics before writing never stores a bogus success.
+type idemRecorder struct {
+	http.ResponseWriter
+	status int
+	buf    bytes.Buffer
+}
+
+func (r *idemRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *idemRecorder) Write(p []byte) (int, error) {
+	r.buf.Write(p)
+	return r.ResponseWriter.Write(p)
+}
+
+// withIdempotency wraps an experiment/campaign handler body: replayed
+// requests answer from the table, first runs record through it. It
+// reports whether the caller should run the handler with the returned
+// writer.
+func (s *Server) withIdempotency(w http.ResponseWriter, r *http.Request) (http.ResponseWriter, func(), bool) {
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		return w, func() {}, true
+	}
+	e, owner := s.idem.begin(key)
+	if !owner {
+		obs.Add(obs.CIdemReplay, 1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Idempotency-Replay", "true")
+		w.WriteHeader(e.status)
+		_, _ = w.Write(e.body)
+		return nil, nil, false
+	}
+	rec := &idemRecorder{ResponseWriter: w}
+	return rec, func() { s.idem.finish(key, e, rec.status, rec.buf.Bytes()) }, true
+}

@@ -31,6 +31,14 @@ type lease struct {
 	mu       sync.Mutex
 	released bool
 	lastUsed atomic.Int64 // unix nanos, for the idle reaper
+
+	// opStart is non-zero while an operation holds mu (unix nanos); the
+	// run watchdog force-expires leases whose operation outlives the
+	// budget. watchdogged tells the operation, when it finally finishes,
+	// to abandon the machine instead of keeping the lease live — the
+	// lease is already gone from the table.
+	opStart     atomic.Int64
+	watchdogged atomic.Bool
 }
 
 func (l *lease) touch() { l.lastUsed.Store(time.Now().UnixNano()) }
@@ -47,6 +55,9 @@ type leaseTable struct {
 
 	maxLeases int
 	maxIdle   time.Duration
+	// runBudget is the watchdog's per-operation wall budget (0 disables):
+	// a lease whose single operation runs past it is force-expired.
+	runBudget time.Duration
 
 	issued   atomic.Uint64
 	released atomic.Uint64
@@ -57,11 +68,12 @@ type leaseTable struct {
 	forceExpired atomic.Uint64
 }
 
-func newLeaseTable(maxLeases int, maxIdle time.Duration) *leaseTable {
+func newLeaseTable(maxLeases int, maxIdle, runBudget time.Duration) *leaseTable {
 	return &leaseTable{
 		leases:    make(map[string]*lease),
 		maxLeases: maxLeases,
 		maxIdle:   maxIdle,
+		runBudget: runBudget,
 	}
 }
 
@@ -101,8 +113,11 @@ func (t *leaseTable) take(id string) (*lease, bool) {
 	return l, ok
 }
 
-// reap releases leases idle past maxIdle back to the pool.
+// reap releases leases idle past maxIdle back to the pool, after the
+// watchdog sweep has cleared any over-budget operations (a wedged op
+// holds its lease's mu; the idle reaper must not block behind it).
 func (t *leaseTable) reap() {
+	t.watchdog()
 	if t.maxIdle <= 0 {
 		return
 	}
@@ -110,7 +125,7 @@ func (t *leaseTable) reap() {
 	t.mu.Lock()
 	var stale []*lease
 	for id, l := range t.leases {
-		if l.lastUsed.Load() < cutoff {
+		if l.lastUsed.Load() < cutoff && l.opStart.Load() == 0 {
 			delete(t.leases, id)
 			stale = append(stale, l)
 		}
@@ -124,6 +139,30 @@ func (t *leaseTable) reap() {
 		t.expired.Add(1)
 		obs.Add(obs.CLeaseExpired, 1)
 	}
+}
+
+// watchdog force-expires leases whose in-flight operation has run past
+// the budget: the lease leaves the table immediately (the id answers
+// 404 from here on) and the operation, when it eventually returns,
+// abandons its machine rather than keeping the lease. It never takes a
+// lease's mu — the whole point is that the operation holding it is
+// wedged.
+func (t *leaseTable) watchdog() {
+	if t.runBudget <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-t.runBudget).UnixNano()
+	t.mu.Lock()
+	for id, l := range t.leases {
+		if start := l.opStart.Load(); start != 0 && start < cutoff {
+			delete(t.leases, id)
+			l.watchdogged.Store(true)
+			t.forceExpired.Add(1)
+			obs.Add(obs.CWatchdogCancel, 1)
+			obs.Add(obs.CLeaseForceExpired, 1)
+		}
+	}
+	t.mu.Unlock()
 }
 
 // releaseAll hands every active lease back (graceful drain), bounded

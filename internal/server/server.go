@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -25,6 +27,7 @@ import (
 	"camouflage/client"
 	"camouflage/internal/attack"
 	"camouflage/internal/core"
+	"camouflage/internal/fault"
 	"camouflage/internal/figures"
 	"camouflage/internal/obs"
 	"camouflage/internal/snapshot"
@@ -37,21 +40,32 @@ var requestsVec = obs.NewVec("camouflage_server_requests_total",
 	"HTTP requests by endpoint and status class.")
 
 // statusRecorder captures the status a handler wrote (200 when the
-// handler never called WriteHeader explicitly).
+// handler never called WriteHeader explicitly) and whether a header was
+// committed — the panic barrier must not WriteHeader twice.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with per-endpoint request accounting: a
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
+}
+
+// instrument wraps a handler with per-endpoint request accounting — a
 // requests_total{endpoint,code} counter and a latency histogram
-// labelled by the route pattern. Labels are pre-rendered at
-// registration so the request path never formats strings.
+// labelled by the route pattern, labels pre-rendered at registration so
+// the request path never formats strings — and with the per-job panic
+// barrier: a panicking handler answers 500 and is counted, the daemon
+// survives. Handler defers (queue-slot release, job end) run during the
+// unwind as usual, so a recovered panic leaks no admission state.
 func instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	hist := obs.NewHistogramLabels("camouflage_server_request_seconds",
 		"HTTP request latency by endpoint.",
@@ -63,11 +77,22 @@ func instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if v := recover(); v != nil {
+				obs.Add(obs.CPanicRecovered, 1)
+				if !rec.wrote {
+					writeErr(rec, http.StatusInternalServerError,
+						fmt.Sprintf("internal panic (recovered): %v", v))
+				} else {
+					rec.status = http.StatusInternalServerError
+				}
+			}
+			hist.ObserveSince(t0)
+			if class := rec.status / 100; class >= 1 && class <= 5 {
+				requestsVec.Cell(classLabels[class]).Add(1)
+			}
+		}()
 		h(rec, r)
-		hist.ObserveSince(t0)
-		if class := rec.status / 100; class >= 1 && class <= 5 {
-			requestsVec.Cell(classLabels[class]).Add(1)
-		}
 	}
 }
 
@@ -92,6 +117,12 @@ type Config struct {
 	// daemon is memory-only and the /v1/snapshots surface answers 503).
 	// The caller wires the same store into the pools it serves.
 	Store *store.Store
+	// JobTimeout is the run watchdog's wall budget: an experiment or
+	// campaign running past it is cancelled (504), and a lease operation
+	// past it is force-expired — its machine abandoned on completion
+	// rather than parked. 0 disables the watchdog (tests, ad-hoc use);
+	// the daemon defaults it on.
+	JobTimeout time.Duration
 }
 
 // Server is the daemon. It implements http.Handler.
@@ -100,6 +131,7 @@ type Server struct {
 	mux    *http.ServeMux
 	queue  *queue
 	leases *leaseTable
+	idem   *idemTable
 	start  time.Time
 
 	drainMu  sync.Mutex
@@ -130,13 +162,16 @@ func New(cfg Config) *Server {
 		cfg:    cfg,
 		mux:    http.NewServeMux(),
 		queue:  newQueue(cfg.Concurrency, cfg.MaxQueue),
-		leases: newLeaseTable(cfg.MaxLeases, cfg.LeaseIdle),
+		leases: newLeaseTable(cfg.MaxLeases, cfg.LeaseIdle, cfg.JobTimeout),
+		idem:   newIdemTable(256),
 		start:  time.Now(),
 	}
 	for _, route := range []struct {
 		pattern string
 		h       http.HandlerFunc
 	}{
+		{"GET /healthz", s.handleHealthz},
+		{"GET /readyz", s.handleReadyz},
 		{"GET /v1/experiments", s.handleListExperiments},
 		{"POST /v1/experiments", s.handleExperiments},
 		{"POST /v1/campaigns", s.handleCampaigns},
@@ -275,15 +310,47 @@ func withDeadline(r *http.Request, ms int64) (context.Context, context.CancelFun
 	return context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
 }
 
-// failRun maps a job error to its HTTP status: deadline expiry and
-// client cancellation are 504/499-ish (both reported 504 for
+// errWatchdog is the cancellation cause stamped by the run watchdog.
+var errWatchdog = errors.New("server: job exceeded wall budget (watchdog)")
+
+// watchJob layers the watchdog's wall budget onto a job context, with
+// errWatchdog as the cause so the error path can tell a watchdog kill
+// from a client deadline.
+func (s *Server) watchJob(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.JobTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeoutCause(ctx, s.cfg.JobTimeout, errWatchdog)
+}
+
+// failRun maps a job error to its HTTP status: an open circuit breaker
+// is 503 + Retry-After (the client's retry policy honors it), deadline
+// expiry and client cancellation are 504/499-ish (both reported 504 for
 // simplicity), everything else 500.
 func failRun(w http.ResponseWriter, err error) {
+	var be *snapshot.BreakerOpenError
+	if errors.As(err, &be) {
+		secs := int(be.RetryAfter/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		writeErr(w, http.StatusGatewayTimeout, err.Error())
 		return
 	}
 	writeErr(w, http.StatusInternalServerError, err.Error())
+}
+
+// failRunCtx is failRun plus watchdog attribution: a context the
+// watchdog cancelled reports the watchdog, not a generic timeout.
+func failRunCtx(ctx context.Context, w http.ResponseWriter, err error) {
+	if cause := context.Cause(ctx); errors.Is(cause, errWatchdog) {
+		obs.Add(obs.CWatchdogCancel, 1)
+		writeErr(w, http.StatusGatewayTimeout, errWatchdog.Error())
+		return
+	}
+	failRun(w, err)
 }
 
 // admit runs the common admission path: drain check, queue slot with
@@ -331,6 +398,11 @@ func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	w, finish, run0 := s.withIdempotency(w, r)
+	if !run0 {
+		return
+	}
+	defer finish()
 	var req client.ExperimentsRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -343,11 +415,14 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := withDeadline(r, req.DeadlineMS)
 	defer cancel()
+	ctx, cancelWatch := s.watchJob(ctx)
+	defer cancelWatch()
 	done := s.admit(ctx, w, "experiments")
 	if done == nil {
 		return
 	}
 	defer done()
+	fault.PanicAt(fault.ServerJob) // chaos probe for the panic barrier
 
 	// Sole-occupancy bracket for the Exact decision below: queue.starts
 	// already includes this job's own start, so an unchanged count at
@@ -364,7 +439,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		IDs: req.IDs, Parallel: req.Parallel, CPUs: req.CPUs, Trace: run,
 	})
 	if err != nil {
-		failRun(w, err)
+		failRunCtx(ctx, w, err)
 		return
 	}
 	// Cycle/instruction attribution in RunStats comes from process-wide
@@ -393,6 +468,11 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 // --- campaigns ---
 
 func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	w, finish, run0 := s.withIdempotency(w, r)
+	if !run0 {
+		return
+	}
+	defer finish()
 	var req client.CampaignRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -411,11 +491,14 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := withDeadline(r, req.DeadlineMS)
 	defer cancel()
+	ctx, cancelWatch := s.watchJob(ctx)
+	defer cancelWatch()
 	done := s.admit(ctx, w, "campaign")
 	if done == nil {
 		return
 	}
 	defer done()
+	fault.PanicAt(fault.ServerJob)
 
 	run := obs.BeginRun("campaign", strings.Join(req.Levels, ","))
 	defer run.End()
@@ -429,7 +512,7 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		CPUs:      req.CPUs,
 	})
 	if err != nil {
-		failRun(w, err)
+		failRunCtx(ctx, w, err)
 		return
 	}
 	run.Phase("campaign", time.Since(t0))
@@ -514,7 +597,17 @@ func (s *Server) withLease(w http.ResponseWriter, r *http.Request, f func(l *lea
 		return
 	}
 	l.touch()
+	// Publish the operation start for the run watchdog; if the watchdog
+	// force-expired the lease while f ran, the machine is abandoned (a
+	// machine mid-run never parks — and the lease is already gone from
+	// the table, so nothing else will release it).
+	l.opStart.Store(time.Now().UnixNano())
 	f(l)
+	l.opStart.Store(0)
+	if l.watchdogged.Load() {
+		l.released = true
+	}
+	l.touch()
 }
 
 // maxRunBudget caps one /run step so a single request cannot wedge a
@@ -631,6 +724,76 @@ func (s *Server) handleMachineRelease(w http.ResponseWriter, r *http.Request) {
 	s.leases.released.Add(1)
 	obs.Add(obs.CLeaseReleased, 1)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+}
+
+// --- health surface ---
+
+// handleHealthz is liveness: the process is up and serving HTTP. It
+// never degrades — a draining or saturated daemon is still alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ns": time.Since(s.start).Nanoseconds(),
+	})
+}
+
+// readyCheck is one /readyz probe result.
+type readyCheck struct {
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// handleReadyz is readiness: should a load balancer send this daemon
+// work right now? Degraded (503) while draining, while the admission
+// queue is saturated, when the snapshot store directory is unreachable,
+// or when every key with boot failures has an open circuit breaker (the
+// daemon cannot arm anything it knows about).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	checks := map[string]readyCheck{}
+
+	s.drainMu.Lock()
+	draining := s.draining
+	s.drainMu.Unlock()
+	checks["draining"] = readyCheck{OK: !draining, Detail: map[bool]string{true: "draining", false: ""}[draining]}
+
+	qs := s.queue.stats()
+	saturated := qs.Depth >= qs.MaxQueue
+	checks["queue"] = readyCheck{OK: !saturated,
+		Detail: fmt.Sprintf("%d/%d waiting, %d/%d running", qs.Depth, qs.MaxQueue, qs.Running, qs.Capacity)}
+
+	storeCheck := readyCheck{OK: true, Detail: "no store configured"}
+	if s.cfg.Store != nil {
+		if _, err := os.Stat(s.cfg.Store.Dir()); err != nil {
+			storeCheck = readyCheck{OK: false, Detail: err.Error()}
+		} else {
+			storeCheck = readyCheck{OK: true, Detail: s.cfg.Store.Dir()}
+		}
+	}
+	checks["store"] = storeCheck
+
+	breakers := s.cfg.Pool.Breakers()
+	if s.cfg.Pool != snapshot.Shared {
+		breakers = append(breakers, snapshot.Shared.Breakers()...)
+	}
+	open := 0
+	for _, b := range breakers {
+		if b.Open {
+			open++
+		}
+	}
+	allOpen := len(breakers) > 0 && open == len(breakers)
+	checks["breakers"] = readyCheck{OK: !allOpen,
+		Detail: fmt.Sprintf("%d open of %d degraded keys", open, len(breakers))}
+
+	ready := true
+	for _, c := range checks {
+		ready = ready && c.OK
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": ready, "checks": checks})
 }
 
 // --- stats ---

@@ -58,6 +58,7 @@ func (s *Server) handleListSnapshots(w http.ResponseWriter, r *http.Request) {
 			Pinned:      info.Pinned,
 			CreatedUnix: info.CreatedUnix,
 			Resident:    ok,
+			Quarantined: info.Quarantined,
 			IdleMachines: func() int {
 				if ok {
 					return e.Idle

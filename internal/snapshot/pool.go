@@ -2,9 +2,12 @@ package snapshot
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"camouflage/internal/fault"
 	"camouflage/internal/kernel"
 	"camouflage/internal/obs"
 )
@@ -99,21 +102,44 @@ type Pool struct {
 	// live.
 	Store Store
 
-	boots    atomic.Uint64
-	reuses   atomic.Uint64
-	dropped  atomic.Uint64
-	evicted  atomic.Uint64
-	loads    atomic.Uint64
-	persists atomic.Uint64
+	// BootAttempts bounds tries per arming (boot + retries); <=0 means
+	// the default of 3. Retries back off exponentially from BootBackoff
+	// (default 25ms) capped at BootBackoffMax (default 1s).
+	BootAttempts   int
+	BootBackoff    time.Duration
+	BootBackoffMax time.Duration
+
+	// BreakerThreshold consecutive failed armings open the key's
+	// circuit breaker (<=0: default 5): Acquire fast-fails with
+	// *BreakerOpenError instead of paying doomed boots, until
+	// BreakerReset (default 30s) elapses and one half-open probe boot
+	// is allowed through.
+	BreakerThreshold int
+	BreakerReset     time.Duration
+
+	boots       atomic.Uint64
+	reuses      atomic.Uint64
+	dropped     atomic.Uint64
+	evicted     atomic.Uint64
+	loads       atomic.Uint64
+	persists    atomic.Uint64
+	bootRetries atomic.Uint64
+	trips       atomic.Uint64
+	fastFails   atomic.Uint64
 
 	persistWG sync.WaitGroup
 }
 
 type poolEntry struct {
-	once sync.Once
-	key  Key
-	snap *Snapshot
-	err  error
+	key Key
+
+	// armed flips once e.snap is published; the Acquire fast path is one
+	// atomic load. armMu serializes arming attempts (store load, boot
+	// retries, half-open breaker probes) without blocking readers of the
+	// breaker state, which lives under mu.
+	armed atomic.Bool
+	armMu sync.Mutex
+	snap  *Snapshot
 
 	mu     sync.Mutex
 	idle   []*Machine
@@ -121,6 +147,10 @@ type poolEntry struct {
 	// digest is the snapshot's store content digest: set synchronously
 	// on a store hit, asynchronously once a post-boot persist lands.
 	digest string
+	// fails counts consecutive failed armings; at the breaker threshold
+	// the key opens until openUntil.
+	fails     int
+	openUntil time.Time
 }
 
 // NewPool returns an empty in-memory pool.
@@ -143,60 +173,201 @@ func (p *Pool) entry(key Key) *poolEntry {
 	return e
 }
 
-// ensureBooted runs the entry's one-time arming: a store hit serves the
-// persisted snapshot with zero boots; otherwise the one-time boot runs,
-// the booted kernel becomes both the snapshot source and — since after
-// Take it is indistinguishable from a fork — the first warm machine,
-// and the capture is persisted in the background.
+// defaults for the boot retry loop and the breaker.
+const (
+	defaultBootAttempts     = 3
+	defaultBootBackoff      = 25 * time.Millisecond
+	defaultBootBackoffMax   = time.Second
+	defaultBreakerThreshold = 5
+	defaultBreakerReset     = 30 * time.Second
+)
+
+func (p *Pool) bootAttempts() int {
+	if p.BootAttempts > 0 {
+		return p.BootAttempts
+	}
+	return defaultBootAttempts
+}
+
+func (p *Pool) bootBackoff() (base, max time.Duration) {
+	base, max = p.BootBackoff, p.BootBackoffMax
+	if base <= 0 {
+		base = defaultBootBackoff
+	}
+	if max <= 0 {
+		max = defaultBootBackoffMax
+	}
+	return base, max
+}
+
+func (p *Pool) breakerThreshold() int {
+	if p.BreakerThreshold > 0 {
+		return p.BreakerThreshold
+	}
+	return defaultBreakerThreshold
+}
+
+func (p *Pool) breakerReset() time.Duration {
+	if p.BreakerReset > 0 {
+		return p.BreakerReset
+	}
+	return defaultBreakerReset
+}
+
+// BreakerOpenError fast-fails an Acquire whose key's circuit breaker is
+// open: the last Failures armings in a row failed, and the next probe
+// boot is RetryAfter away. The daemon maps it to 503 + Retry-After.
+type BreakerOpenError struct {
+	Key        Key
+	Failures   int
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("snapshot: breaker open for key %.12s after %d consecutive boot failures (retry in %s)",
+		e.Key.Digest, e.Failures, e.RetryAfter.Round(time.Millisecond))
+}
+
+// breakerCheck gates an arming attempt: nil means proceed (closed, or
+// half-open probe), otherwise the typed fast-fail error.
+func (p *Pool) breakerCheck(e *poolEntry, key Key) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fails < p.breakerThreshold() {
+		return nil
+	}
+	if wait := time.Until(e.openUntil); wait > 0 {
+		p.fastFails.Add(1)
+		obs.Add(obs.CBreakerFastFail, 1)
+		return &BreakerOpenError{Key: key, Failures: e.fails, RetryAfter: wait}
+	}
+	// Past the reset timer: half-open. armMu already serializes, so
+	// exactly one probe boot runs; its outcome re-opens or closes.
+	return nil
+}
+
+// breakerFail records a failed arming, (re-)opening the breaker at the
+// threshold.
+func (p *Pool) breakerFail(e *poolEntry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fails++
+	if e.fails >= p.breakerThreshold() {
+		e.openUntil = time.Now().Add(p.breakerReset())
+		p.trips.Add(1)
+		obs.Add(obs.CBreakerTrip, 1)
+	}
+}
+
+// breakerOK closes the breaker after a successful arming.
+func (p *Pool) breakerOK(e *poolEntry) {
+	e.mu.Lock()
+	e.fails = 0
+	e.openUntil = time.Time{}
+	e.mu.Unlock()
+}
+
+// ensureBooted arms the entry: a store hit serves the persisted
+// snapshot with zero boots; otherwise the boot runs — retried with
+// capped exponential backoff — the booted kernel becomes both the
+// snapshot source and (since after Take it is indistinguishable from a
+// fork) the first warm machine, and the capture is persisted in the
+// background.
+//
+// Unlike the sync.Once arming this replaces, a failed arming never
+// poisons the key: the next Acquire tries again, subject to the per-key
+// circuit breaker — after BreakerThreshold consecutive failures the key
+// fast-fails with *BreakerOpenError until BreakerReset allows a
+// half-open probe.
 func (p *Pool) ensureBooted(e *poolEntry, key Key, boot func() (*kernel.Kernel, error)) error {
-	e.once.Do(func() {
-		if p.Store != nil {
-			snap, digest, err := p.Store.Load(key)
-			switch {
-			case err == nil:
-				p.loads.Add(1)
-				e.mu.Lock()
-				e.snap = snap
-				e.digest = digest
-				e.mu.Unlock()
-				return
-			case !errors.Is(err, ErrNotFound):
-				// A corrupt or unreadable persisted snapshot must never
-				// take the key down: the store already counted the
-				// verification failure; fall through to a fresh boot,
-				// whose persist will overwrite the bad entry.
+	if e.armed.Load() {
+		return nil
+	}
+	e.armMu.Lock()
+	defer e.armMu.Unlock()
+	if e.armed.Load() {
+		return nil
+	}
+	if err := p.breakerCheck(e, key); err != nil {
+		return err
+	}
+	if p.Store != nil {
+		snap, digest, err := p.Store.Load(key)
+		switch {
+		case err == nil:
+			p.loads.Add(1)
+			e.mu.Lock()
+			e.snap = snap
+			e.digest = digest
+			e.mu.Unlock()
+			p.breakerOK(e)
+			e.armed.Store(true)
+			return nil
+		case !errors.Is(err, ErrNotFound):
+			// A corrupt, unreadable or quarantined persisted snapshot
+			// must never take the key down: the store already counted
+			// the failure; fall through to a fresh boot, whose persist
+			// will overwrite the bad entry.
+		}
+	}
+	k, err := p.bootWithRetry(boot)
+	if err != nil {
+		p.breakerFail(e)
+		return err
+	}
+	p.boots.Add(1)
+	obs.Add(obs.CPoolBoot, 1)
+	// e.snap is published under e.mu as well as via e.armed: callers
+	// read it after the armed.Load fast path (release/acquire ordered),
+	// Stats reads it under e.mu only.
+	e.mu.Lock()
+	e.snap = Take(k)
+	e.idle = append(e.idle, &Machine{K: k, Snap: e.snap, key: key, pool: p, fresh: true})
+	e.mu.Unlock()
+	if p.Store != nil {
+		snap := e.snap
+		p.persistWG.Add(1)
+		go func() {
+			defer p.persistWG.Done()
+			digest, err := p.Store.Save(key, snap)
+			if err != nil {
+				return // store counted the failure; pool stays warm
+			}
+			p.persists.Add(1)
+			e.mu.Lock()
+			e.digest = digest
+			e.mu.Unlock()
+		}()
+	}
+	p.breakerOK(e)
+	e.armed.Store(true)
+	return nil
+}
+
+// bootWithRetry runs the boot closure up to BootAttempts times with
+// capped exponential backoff between tries, returning the last error.
+// Transient faults (an injected boot failure, a racing resource) heal
+// here; deterministic ones (a §4.1 verify refusal) fail every attempt
+// and feed the breaker.
+func (p *Pool) bootWithRetry(boot func() (*kernel.Kernel, error)) (*kernel.Kernel, error) {
+	backoff, max := p.bootBackoff()
+	var lastErr error
+	for attempt := 0; attempt < p.bootAttempts(); attempt++ {
+		if attempt > 0 {
+			p.bootRetries.Add(1)
+			obs.Add(obs.CBootRetry, 1)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > max {
+				backoff = max
 			}
 		}
 		k, err := boot()
-		if err != nil {
-			e.err = err
-			return
+		if err == nil {
+			return k, nil
 		}
-		p.boots.Add(1)
-		obs.Add(obs.CPoolBoot, 1)
-		// e.snap is published under e.mu as well as via once.Do: callers
-		// read it after once.Do, Stats reads it under e.mu only.
-		e.mu.Lock()
-		e.snap = Take(k)
-		e.idle = append(e.idle, &Machine{K: k, Snap: e.snap, key: key, pool: p, fresh: true})
-		e.mu.Unlock()
-		if p.Store != nil {
-			snap := e.snap
-			p.persistWG.Add(1)
-			go func() {
-				defer p.persistWG.Done()
-				digest, err := p.Store.Save(key, snap)
-				if err != nil {
-					return // store counted the failure; pool stays warm
-				}
-				p.persists.Add(1)
-				e.mu.Lock()
-				e.digest = digest
-				e.mu.Unlock()
-			}()
-		}
-	})
-	return e.err
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // WaitPersist blocks until every background snapshot persist issued so
@@ -207,6 +378,7 @@ func (p *Pool) WaitPersist() { p.persistWG.Wait() }
 // key. The boot closure runs at most once per key, and not at all when
 // the store already holds the key's snapshot.
 func (p *Pool) Acquire(key Key, boot func() (*kernel.Kernel, error)) (*Machine, error) {
+	fault.SleepAt(fault.PoolAcquire) // wedged/slow-guest injection
 	e := p.entry(key)
 	if err := p.ensureBooted(e, key, boot); err != nil {
 		return nil, err
@@ -264,6 +436,38 @@ func (p *Pool) Pin(digest string, pinned bool) bool {
 		}
 	}
 	return false
+}
+
+// BreakerInfo describes one key's circuit-breaker state for readiness
+// checks and operator inspection.
+type BreakerInfo struct {
+	Key        Key
+	Failures   int
+	Open       bool
+	RetryAfter time.Duration
+}
+
+// Breakers lists the breaker state of every key that has failed at
+// least once (healthy keys are omitted). /readyz degrades when every
+// known key is open.
+func (p *Pool) Breakers() []BreakerInfo {
+	var out []BreakerInfo
+	thr := p.breakerThreshold()
+	for _, e := range p.snapshotEntries() {
+		e.mu.Lock()
+		if e.fails > 0 {
+			info := BreakerInfo{Key: e.key, Failures: e.fails}
+			if e.fails >= thr {
+				if wait := time.Until(e.openUntil); wait > 0 {
+					info.Open = true
+					info.RetryAfter = wait
+				}
+			}
+			out = append(out, info)
+		}
+		e.mu.Unlock()
+	}
+	return out
 }
 
 // EntryInfo describes one resident pool key for inspection APIs.
@@ -354,6 +558,11 @@ type Stats struct {
 	Evicted       uint64 `json:"evicted"`
 	StoreLoads    uint64 `json:"store_loads"`
 	StorePersists uint64 `json:"store_persists"`
+	// Failure-path counters (DESIGN.md §13): boot attempts retried,
+	// breaker trips, and Acquires fast-failed by an open breaker.
+	BootRetries      uint64 `json:"boot_retries,omitempty"`
+	BreakerTrips     uint64 `json:"breaker_trips,omitempty"`
+	BreakerFastFails uint64 `json:"breaker_fast_fails,omitempty"`
 }
 
 // Stats returns current counters. Forks aggregates every fork taken
@@ -364,13 +573,16 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st := Stats{
-		Keys:          len(p.entries),
-		Boots:         p.boots.Load(),
-		Reuses:        p.reuses.Load(),
-		Dropped:       p.dropped.Load(),
-		Evicted:       p.evicted.Load(),
-		StoreLoads:    p.loads.Load(),
-		StorePersists: p.persists.Load(),
+		Keys:             len(p.entries),
+		Boots:            p.boots.Load(),
+		Reuses:           p.reuses.Load(),
+		Dropped:          p.dropped.Load(),
+		Evicted:          p.evicted.Load(),
+		StoreLoads:       p.loads.Load(),
+		StorePersists:    p.persists.Load(),
+		BootRetries:      p.bootRetries.Load(),
+		BreakerTrips:     p.trips.Load(),
+		BreakerFastFails: p.fastFails.Load(),
 	}
 	for _, e := range p.entries {
 		e.mu.Lock()

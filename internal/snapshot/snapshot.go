@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"camouflage/internal/fault"
 	"camouflage/internal/kernel"
 	"camouflage/internal/obs"
 )
@@ -114,12 +115,18 @@ func (s *Snapshot) BootCycles() uint64 { return s.st.BootCycles() }
 // warmed through core.New.
 func BootOptions(opts kernel.Options) func() (*kernel.Kernel, error) {
 	return func() (*kernel.Kernel, error) {
+		if err := fault.ErrAt(fault.PoolBoot); err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
 		k, err := kernel.New(opts)
 		if err != nil {
 			return nil, err
 		}
 		tv := time.Now()
+		if err := fault.ErrAt(fault.PoolVerify); err != nil {
+			return nil, err
+		}
 		if err := kernel.VerifyImage(k.Img); err != nil {
 			return nil, err
 		}

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"camouflage/internal/fault"
 	"camouflage/internal/kernel"
 	"camouflage/internal/mem"
 	"camouflage/internal/obs"
@@ -133,7 +134,42 @@ type Store struct {
 	byDig map[string]*Manifest // content digest → manifest
 	calls map[string]*loadCall // key digest → in-flight load
 
+	// quarFails counts consecutive load failures per content digest;
+	// at QuarantineThreshold the digest moves to quarantined and Load
+	// fast-fails with *QuarantineError instead of re-verifying a known
+	// bad snapshot forever (the pool degrades to a fresh boot).
+	quarFails   map[string]int
+	quarantined map[string]bool
+
+	recovery RecoveryStats
+
 	diskLoads atomic64
+}
+
+// RecoveryStats reports what the startup recovery sweep found: temp
+// files stranded by a crash mid-write, and manifests torn by a crash
+// mid-rename (only possible on pre-fsync stores or filesystem damage —
+// every manifest is published by atomic rename).
+type RecoveryStats struct {
+	OrphanTmps   int `json:"orphan_tmps"`
+	BadManifests int `json:"bad_manifests"`
+}
+
+// QuarantineThreshold is how many consecutive load failures quarantine
+// a snapshot digest.
+const QuarantineThreshold = 3
+
+// QuarantineError reports a load refused because the digest is
+// quarantined: it failed verification QuarantineThreshold times in a
+// row and will not be re-verified until deleted or overwritten.
+type QuarantineError struct {
+	Digest   string
+	Failures int
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("store: snapshot %.12s quarantined after %d consecutive load failures",
+		e.Digest, e.Failures)
 }
 
 // atomic64 is a tiny wrapper so tests can count physical loads without
@@ -153,10 +189,14 @@ type loadCall struct {
 	err    error
 }
 
-// Open opens (creating if needed) a store rooted at dir and indexes its
-// manifests. Unreadable or self-inconsistent manifests are skipped at
-// open — they surface as misses, and verification still guards every
-// load.
+// Open opens (creating if needed) a store rooted at dir, runs the
+// crash-recovery sweep, and indexes its manifests. The sweep removes
+// temp files stranded by a crash mid-write and manifests that no longer
+// parse (a torn write); both are safe to delete — a stranded temp was
+// never published, and chunks behind a dead manifest are reclaimed by
+// GC. Manifests that parse but are self-inconsistent are skipped, not
+// deleted (they may belong to a newer schema), and verification still
+// guards every load.
 func Open(dir string) (*Store, error) {
 	for _, sub := range []string{"chunks", "snapshots", "pins"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
@@ -164,11 +204,14 @@ func Open(dir string) (*Store, error) {
 		}
 	}
 	s := &Store{
-		dir:   dir,
-		index: make(map[string]*Manifest),
-		byDig: make(map[string]*Manifest),
-		calls: make(map[string]*loadCall),
+		dir:         dir,
+		index:       make(map[string]*Manifest),
+		byDig:       make(map[string]*Manifest),
+		calls:       make(map[string]*loadCall),
+		quarFails:   make(map[string]int),
+		quarantined: make(map[string]bool),
 	}
+	s.sweepOrphans()
 	ents, err := os.ReadDir(filepath.Join(dir, "snapshots"))
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
@@ -178,13 +221,59 @@ func Open(dir string) (*Store, error) {
 		if !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		m, err := s.readManifest(strings.TrimSuffix(name, ".json"))
+		digest := strings.TrimSuffix(name, ".json")
+		m, err := s.readManifest(digest)
 		if err != nil {
+			var torn *tornManifestError
+			if errors.As(err, &torn) {
+				if os.Remove(s.manifestPath(digest)) == nil {
+					s.recovery.BadManifests++
+				}
+			}
 			continue
 		}
 		s.admit(m)
 	}
+	if n := s.recovery.OrphanTmps + s.recovery.BadManifests; n > 0 {
+		obs.Add(obs.CStoreOrphanSweep, uint64(n))
+	}
 	return s, nil
+}
+
+// sweepOrphans removes every .tmp-* file under chunks/ and snapshots/.
+// Temp files exist only between CreateTemp and the publishing rename;
+// any found at open were stranded by a crash and hold unreferenced,
+// possibly torn bytes.
+func (s *Store) sweepOrphans() {
+	sweepDir := func(dir string) {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return
+		}
+		for _, ent := range ents {
+			if strings.HasPrefix(ent.Name(), ".tmp-") {
+				if os.Remove(filepath.Join(dir, ent.Name())) == nil {
+					s.recovery.OrphanTmps++
+				}
+			}
+		}
+	}
+	sweepDir(filepath.Join(s.dir, "snapshots"))
+	root := filepath.Join(s.dir, "chunks")
+	if dirs, err := os.ReadDir(root); err == nil {
+		for _, d := range dirs {
+			if d.IsDir() {
+				sweepDir(filepath.Join(root, d.Name()))
+			}
+		}
+	}
+}
+
+// Recovery returns what the startup sweep cleaned up.
+func (s *Store) Recovery() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
 }
 
 // Dir returns the store's root directory.
@@ -215,10 +304,55 @@ func (s *Store) pinPath(digest string) string {
 	return filepath.Join(s.dir, "pins", digest)
 }
 
+// writeFileAtomic publishes data at path crash-consistently: temp file
+// in the same directory, fsync, rename, directory fsync. A crash at any
+// point leaves either the old content or the new — never a torn file —
+// plus at worst a stranded temp for the recovery sweep. The store.crash
+// fault point models exactly that crash: it strands the temp file and
+// fails; store.rename fails the publish cleanly.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := fault.ErrAt(fault.StoreCrash); err != nil {
+		// Simulated crash-before-rename: the temp file stays behind,
+		// exactly what a process death here leaves on disk.
+		return err
+	}
+	if err := fault.ErrAt(fault.StoreRename); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
 // writeChunk stores blob under its SHA-256 unless already present,
 // reporting whether a write happened. Concurrent writers of the same
 // chunk are harmless: content-addressing makes the race write identical
-// bytes, and the tmp+rename keeps each write atomic.
+// bytes, and the atomic publish keeps each write whole.
 func (s *Store) writeChunk(blob []byte) (digest string, wrote bool, err error) {
 	sum := sha256.Sum256(blob)
 	digest = hex.EncodeToString(sum[:])
@@ -226,32 +360,36 @@ func (s *Store) writeChunk(blob []byte) (digest string, wrote bool, err error) {
 	if _, err := os.Stat(path); err == nil {
 		return digest, false, nil
 	}
+	if err := fault.ErrAt(fault.StoreChunkWrite); err != nil {
+		return "", false, err
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return "", false, err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return "", false, err
-	}
-	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return "", false, err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return "", false, err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := writeFileAtomic(path, blob); err != nil {
 		return "", false, err
 	}
 	return digest, true, nil
 }
 
 func (s *Store) readChunk(digest string) ([]byte, error) {
-	return os.ReadFile(s.chunkPath(digest))
+	if err := fault.ErrAt(fault.StoreChunkRead); err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(s.chunkPath(digest))
+	if err != nil {
+		return nil, err
+	}
+	fault.Corrupt(fault.StoreChunkCorrupt, raw)
+	return raw, nil
 }
+
+// tornManifestError marks a manifest that does not even parse — the
+// signature of a torn write, which the open-time sweep deletes.
+type tornManifestError struct{ err error }
+
+func (e *tornManifestError) Error() string { return e.err.Error() }
+func (e *tornManifestError) Unwrap() error { return e.err }
 
 func (s *Store) readManifest(digest string) (*Manifest, error) {
 	raw, err := os.ReadFile(s.manifestPath(digest))
@@ -260,7 +398,7 @@ func (s *Store) readManifest(digest string) (*Manifest, error) {
 	}
 	var m Manifest
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("store: manifest %s: %w", digest, err)
+		return nil, &tornManifestError{fmt.Errorf("store: manifest %s: %w", digest, err)}
 	}
 	if m.Version != manifestVersion {
 		return nil, fmt.Errorf("store: manifest %s: version %d, want %d", digest, m.Version, manifestVersion)
@@ -278,6 +416,9 @@ func (s *Store) readManifest(digest string) (*Manifest, error) {
 // content digest. Saving an already-persisted snapshot is a cheap
 // no-op rewrite of the manifest.
 func (s *Store) Save(key snapshot.Key, snap *snapshot.Snapshot) (string, error) {
+	if err := fault.ErrAt(fault.StorePersist); err != nil {
+		return "", err
+	}
 	st := snap.State()
 	blob, err := st.Serialize()
 	if err != nil {
@@ -347,25 +488,14 @@ func (s *Store) Save(key snapshot.Key, snap *snapshot.Snapshot) (string, error) 
 	if err != nil {
 		return "", fmt.Errorf("store: encode manifest: %w", err)
 	}
-	path := s.manifestPath(m.Digest)
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
+	if err := fault.ErrAt(fault.StoreManifestWrite); err != nil {
 		return "", fmt.Errorf("store: write manifest: %w", err)
 	}
-	if _, err := tmp.Write(append(raw, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return "", fmt.Errorf("store: write manifest: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return "", fmt.Errorf("store: write manifest: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := writeFileAtomic(s.manifestPath(m.Digest), append(raw, '\n')); err != nil {
 		return "", fmt.Errorf("store: write manifest: %w", err)
 	}
 	s.admit(m)
+	s.clearQuarantine(m.Digest)
 	s.invalidate(key.Digest)
 	obs.Add(obs.CStoreSave, 1)
 	return m.Digest, nil
@@ -404,17 +534,26 @@ func (s *Store) Load(key snapshot.Key) (*snapshot.Snapshot, string, error) {
 		obs.Add(obs.CStoreMiss, 1)
 		return nil, "", snapshot.ErrNotFound
 	}
+	if s.quarantined[m.Digest] {
+		fails := s.quarFails[m.Digest]
+		s.mu.Unlock()
+		return nil, "", &QuarantineError{Digest: m.Digest, Failures: fails}
+	}
 	c := &loadCall{done: make(chan struct{})}
 	s.calls[key.Digest] = c
 	s.mu.Unlock()
 
 	c.snap, c.digest, c.err = s.loadManifest(m)
 	if c.err != nil {
-		// Do not memoize failures: a repaired (or re-saved) store must
-		// be retryable without reopening. Waiters already queued still
-		// observe this error.
+		// Do not memoize failures: a repaired (or re-saved) store must be
+		// retryable without reopening. Waiters already queued still
+		// observe this error. Only remove the call we installed — a
+		// concurrent Save's invalidate may already have replaced it with
+		// a newer in-flight load we must not evict.
 		s.mu.Lock()
-		delete(s.calls, key.Digest)
+		if s.calls[key.Digest] == c {
+			delete(s.calls, key.Digest)
+		}
 		s.mu.Unlock()
 	}
 	close(c.done)
@@ -426,6 +565,11 @@ func (s *Store) Load(key snapshot.Key) (*snapshot.Snapshot, string, error) {
 func (s *Store) LoadDigest(digest string) (*snapshot.Snapshot, error) {
 	s.mu.Lock()
 	m := s.byDig[digest]
+	if m != nil && s.quarantined[digest] {
+		fails := s.quarFails[digest]
+		s.mu.Unlock()
+		return nil, &QuarantineError{Digest: digest, Failures: fails}
+	}
 	s.mu.Unlock()
 	if m == nil {
 		obs.Add(obs.CStoreMiss, 1)
@@ -435,11 +579,59 @@ func (s *Store) LoadDigest(digest string) (*snapshot.Snapshot, error) {
 	return snap, err
 }
 
-// loadManifest is the physical load: verify the manifest's own content
-// digest, the state record, and every page chunk, then reconstruct the
-// kernel state (rebuilding and §4.1-verifying the image from its build
-// options).
+// noteLoadFail records a failed physical load of a digest; the
+// QuarantineThreshold'th consecutive failure quarantines it.
+func (s *Store) noteLoadFail(digest string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quarFails[digest]++
+	if s.quarFails[digest] >= QuarantineThreshold && !s.quarantined[digest] {
+		s.quarantined[digest] = true
+		obs.Add(obs.CStoreQuarantined, 1)
+	}
+}
+
+// noteLoadOK resets the digest's consecutive-failure count.
+func (s *Store) noteLoadOK(digest string) {
+	s.mu.Lock()
+	delete(s.quarFails, digest)
+	s.mu.Unlock()
+}
+
+// clearQuarantine forgives a digest — a re-save published fresh content
+// under it, so the failure history no longer describes what's on disk.
+func (s *Store) clearQuarantine(digest string) {
+	s.mu.Lock()
+	delete(s.quarFails, digest)
+	delete(s.quarantined, digest)
+	s.mu.Unlock()
+}
+
+// Quarantined reports whether the snapshot digest is quarantined.
+func (s *Store) Quarantined(digest string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined[digest]
+}
+
+// loadManifest runs the physical load and keeps the quarantine ledger:
+// consecutive failures of one digest quarantine it, any success wipes
+// its record.
 func (s *Store) loadManifest(m *Manifest) (*snapshot.Snapshot, string, error) {
+	snap, digest, err := s.loadManifestPhys(m)
+	if err != nil {
+		s.noteLoadFail(m.Digest)
+	} else {
+		s.noteLoadOK(m.Digest)
+	}
+	return snap, digest, err
+}
+
+// loadManifestPhys is the physical load: verify the manifest's own
+// content digest, the state record, and every page chunk, then
+// reconstruct the kernel state (rebuilding and §4.1-verifying the image
+// from its build options).
+func (s *Store) loadManifestPhys(m *Manifest) (*snapshot.Snapshot, string, error) {
 	t0 := time.Now()
 	s.diskLoads.add(1)
 	if got := m.contentDigest(); got != m.Digest {
@@ -492,6 +684,7 @@ type Info struct {
 	CPUs        int    `json:"cpus"`
 	BootCycles  uint64 `json:"boot_cycles"`
 	Pinned      bool   `json:"pinned"`
+	Quarantined bool   `json:"quarantined,omitempty"`
 	CreatedUnix int64  `json:"created_unix"`
 }
 
@@ -520,6 +713,7 @@ func (s *Store) List() []Info {
 			CPUs:        m.CPUs,
 			BootCycles:  m.BootCycles,
 			Pinned:      s.Pinned(m.Digest),
+			Quarantined: s.Quarantined(m.Digest),
 			CreatedUnix: m.CreatedUnix,
 		})
 	}
@@ -600,6 +794,7 @@ func (s *Store) Delete(digest string) error {
 		}
 	}
 	s.mu.Unlock()
+	s.clearQuarantine(digest)
 	s.invalidate(m.KeyDigest)
 	obs.Add(obs.CStoreEvict, 1)
 	return nil

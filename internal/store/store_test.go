@@ -519,6 +519,9 @@ func TestCorruptStoreFallsBackToBoot(t *testing.T) {
 		t.Fatalf("pool failed on corrupt store instead of booting: %v", err)
 	}
 	mach.Release()
+	// The fallback boot re-persists in the background; wait so the
+	// TempDir cleanup doesn't race the manifest write.
+	p.WaitPersist()
 	if st := p.Stats(); st.Boots != 1 || st.StoreLoads != 0 {
 		t.Fatalf("stats = %+v, want fallback boot", st)
 	}
