@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestVerdictsGolden pins the §4.1 verifier's verdicts over the built
+// kernel image and the demo modules to the committed golden list. Any
+// drift — the verifier starting to reject the kernel or a benign
+// module, or accepting a key-stealing or SCTLR-tampering one — fails
+// here and in the kscan-smoke CI job.
+func TestVerdictsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeVerdicts(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("verdicts.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("verdict drift against verdicts.golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestVerdictsShape guards the semantic content independently of exact
+// error wording: the kernel image and benign module pass, both
+// malicious modules are rejected for the right reason.
+func TestVerdictsShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeVerdicts(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"kernel-image: OK",
+		"module benign-driver: OK",
+		"module key-stealer: REJECTED:",
+		"module sctlr-tamper: REJECTED:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verdicts missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "key-stealer: OK") || strings.Contains(out, "sctlr-tamper: OK") {
+		t.Errorf("a malicious module passed verification:\n%s", out)
+	}
+}

@@ -37,6 +37,8 @@ import (
 	"strconv"
 	"strings"
 
+	"camouflage/internal/metriclint"
+
 	"camouflage/client"
 )
 
@@ -118,34 +120,12 @@ func readExposition(path, url string) (string, error) {
 	return string(b), err
 }
 
-// familyOf strips the histogram/summary series suffixes so bucket, sum
-// and count samples attach to their family's HELP/TYPE declaration.
-func familyOf(name string) string {
-	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-		if f, ok := strings.CutSuffix(name, suffix); ok {
-			return f
-		}
-	}
-	return name
-}
+// familyOf and validName delegate to the shared internal/metriclint
+// rules, the same ones the camovet obscounter analyzer applies to the
+// static obs.CounterID registry.
+func familyOf(name string) string { return metriclint.FamilyOf(name) }
 
-func validName(name string) bool {
-	if name == "" {
-		return false
-	}
-	for i, r := range name {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
-		case r >= '0' && r <= '9':
-			if i == 0 {
-				return false
-			}
-		default:
-			return false
-		}
-	}
-	return true
-}
+func validName(name string) bool { return metriclint.ValidName(name) }
 
 // lint parses and structurally validates one exposition, returning the
 // samples (for -require / -prev) and every violation found.

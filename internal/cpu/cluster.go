@@ -90,6 +90,7 @@ func (cl *Cluster) noteStore(pn uint64) bool {
 // pointers held by other CPUs' blocks and memos stay meaningful.
 func (cl *Cluster) invalidateAll() {
 	cl.mu.Lock()
+	//camo:nondet atomic generation bumps commute; visit order does not affect the final counters
 	for _, g := range cl.pageGen {
 		g.Add(1)
 	}

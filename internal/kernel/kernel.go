@@ -271,6 +271,7 @@ func New(opts Options) (*Kernel, error) {
 	}
 
 	// Load the image.
+	//camo:nondet sections occupy disjoint physical ranges; write order cannot alias
 	for _, s := range img.Sections {
 		c.Bus.RAM.WriteBytes(KVAToPA(s.Base), s.Bytes)
 	}
@@ -628,6 +629,7 @@ func (k *Kernel) CallGuestRegsOn(cpuID int, fnVA uint64, regs map[insn.Reg]uint6
 		stackTop = secondaryBootStackTop(cpuID)
 	}
 	c.SetSP(1, stackTop)
+	//camo:nondet each iteration sets a distinct register; no aliasing across keys
 	for r, v := range regs {
 		c.SetReg(r, v)
 	}
@@ -1256,6 +1258,7 @@ func (k *Kernel) runParallel(maxInstrs uint64) cpu.Stop {
 			continue
 		}
 		wg.Add(1)
+		//camo:nondet opt-in truly-parallel SMP mode trades determinism for throughput by design (DESIGN.md §8)
 		go func(i int) {
 			defer wg.Done()
 			c := k.CPUs[i]

@@ -132,6 +132,7 @@ func (k *Kernel) CaptureState() *State {
 			st.currents[i] = &cp
 		}
 	}
+	//camo:nondet Clone is a pure deep copy; map-rebuild order is irrelevant to the result
 	for pid, tbl := range k.tables {
 		st.tables[pid] = tbl.Clone()
 	}
@@ -178,6 +179,7 @@ func (k *Kernel) restoreHostMirrors(st *State) {
 	k.parked = append([]bool(nil), st.parked...)
 	k.active = st.activeCPU
 	k.tables = make(map[int]*mmu.Table, len(st.tables))
+	//camo:nondet Clone is a pure deep copy; map-rebuild order is irrelevant to the result
 	for pid, tbl := range st.tables {
 		k.tables[pid] = tbl.Clone()
 	}

@@ -120,6 +120,8 @@ func (p *Phys) DirtyPages() int { return len(p.pages) }
 // falls through to the copy-on-write base and may return nil (read as
 // zero); with create=true the page is copied up into the private overlay
 // so the caller may write through it.
+//
+//camo:hotpath
 func (p *Phys) page(addr uint64, create bool) *[PageSize]byte {
 	pn := addr >> PageShift
 	if p.parallel {
@@ -132,7 +134,7 @@ func (p *Phys) page(addr uint64, create bool) *[PageSize]byte {
 	if !create {
 		return shared
 	}
-	pg := new([PageSize]byte)
+	pg := new([PageSize]byte) //camo:alloc copy-on-write materialization; once per page per fork
 	if shared != nil {
 		*pg = *shared
 	}
@@ -146,6 +148,8 @@ func (p *Phys) page(addr uint64, create bool) *[PageSize]byte {
 // RLock; copy-on-write materialization takes the write lock and
 // re-checks the overlay, so two cores faulting the same page race to
 // one canonical copy instead of losing writes to a double insert.
+//
+//camo:hotpath
 func (p *Phys) pageLocked(pn uint64, create bool) *[PageSize]byte {
 	p.mu.RLock()
 	pg := p.pages[pn]
@@ -159,11 +163,11 @@ func (p *Phys) pageLocked(pn uint64, create bool) *[PageSize]byte {
 		return p.base[pn]
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	defer p.mu.Unlock() //camo:alloc deferred unlock sits on the materialize slow path only
 	if pg := p.pages[pn]; pg != nil {
 		return pg
 	}
-	pg = new([PageSize]byte)
+	pg = new([PageSize]byte) //camo:alloc copy-on-write materialization; once per page per fork
 	if shared := p.base[pn]; shared != nil {
 		*pg = *shared
 	}
@@ -262,6 +266,8 @@ func (p *Phys) readSlow(addr uint64, n int) uint64 {
 }
 
 // Read64 loads a little-endian 64-bit value.
+//
+//camo:hotpath
 func (p *Phys) Read64(addr uint64) uint64 {
 	if addr&(PageSize-1) <= PageSize-8 {
 		if pg := p.page(addr, false); pg != nil {
@@ -274,6 +280,8 @@ func (p *Phys) Read64(addr uint64) uint64 {
 }
 
 // Write64 stores a little-endian 64-bit value.
+//
+//camo:hotpath
 func (p *Phys) Write64(addr uint64, v uint64) {
 	if addr&(PageSize-1) <= PageSize-8 {
 		pg := p.page(addr, true)
@@ -287,6 +295,8 @@ func (p *Phys) Write64(addr uint64, v uint64) {
 }
 
 // Read32 loads a little-endian 32-bit value.
+//
+//camo:hotpath
 func (p *Phys) Read32(addr uint64) uint32 {
 	if addr&(PageSize-1) <= PageSize-4 {
 		if pg := p.page(addr, false); pg != nil {
@@ -299,6 +309,8 @@ func (p *Phys) Read32(addr uint64) uint32 {
 }
 
 // Write32 stores a little-endian 32-bit value.
+//
+//camo:hotpath
 func (p *Phys) Write32(addr uint64, v uint32) {
 	if addr&(PageSize-1) <= PageSize-4 {
 		pg := p.page(addr, true)
@@ -312,6 +324,8 @@ func (p *Phys) Write32(addr uint64, v uint32) {
 }
 
 // Read8 loads one byte.
+//
+//camo:hotpath
 func (p *Phys) Read8(addr uint64) byte {
 	if pg := p.page(addr, false); pg != nil {
 		return pg[addr&(PageSize-1)]
@@ -320,6 +334,8 @@ func (p *Phys) Read8(addr uint64) byte {
 }
 
 // Write8 stores one byte.
+//
+//camo:hotpath
 func (p *Phys) Write8(addr uint64, v byte) {
 	p.page(addr, true)[addr&(PageSize-1)] = v
 }

@@ -1,0 +1,116 @@
+// Package metriclint holds the Prometheus exposition naming rules
+// shared by the cmd/metriclint exposition linter (which validates a
+// live scrape) and the camovet obscounter analyzer (which validates the
+// static obs.CounterID registry at vet time). One rule set, two
+// enforcement points: a name that would fail a scrape fails the commit
+// that introduced it.
+package metriclint
+
+import "strings"
+
+// ValidName reports whether name is a legal Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidLabelName reports whether name is a legal label name:
+// [a-zA-Z_][a-zA-Z0-9_]* and not a reserved __ prefix.
+func ValidLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// FamilyOf strips the histogram/summary series suffixes so bucket, sum
+// and count samples attach to their family's HELP/TYPE declaration.
+func FamilyOf(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if f, ok := strings.CutSuffix(name, suffix); ok {
+			return f
+		}
+	}
+	return name
+}
+
+// CounterName reports whether name follows the counter convention
+// (valid metric name ending in _total).
+func CounterName(name string) bool {
+	return ValidName(name) && strings.HasSuffix(name, "_total")
+}
+
+// CheckLabels validates a pre-rendered label set without braces, the
+// form the obs registry stores (`result="hit"` or
+// `key="IA"` — comma-separated k="v" pairs; empty means no labels).
+// It returns "" when well-formed, or a description of the first
+// problem.
+func CheckLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	for _, pair := range splitLabelPairs(labels) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return "label pair " + pair + " lacks '='"
+		}
+		if !ValidLabelName(k) {
+			return "illegal label name " + k
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return "label value for " + k + " is not quoted"
+		}
+		inner := v[1 : len(v)-1]
+		if strings.ContainsAny(inner, `"\`+"\n") {
+			return "label value for " + k + " contains unescaped quote, backslash or newline"
+		}
+	}
+	return ""
+}
+
+// splitLabelPairs splits on commas outside quotes.
+func splitLabelPairs(labels string) []string {
+	var out []string
+	var b strings.Builder
+	inQuote := false
+	for i := 0; i < len(labels); i++ {
+		c := labels[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			b.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, strings.TrimSpace(b.String()))
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	out = append(out, strings.TrimSpace(b.String()))
+	return out
+}

@@ -1,0 +1,86 @@
+package metriclint
+
+import "testing"
+
+func TestValidName(t *testing.T) {
+	good := []string{"camo_retired_total", "a", "_x", "ns:sub_total", "A9"}
+	bad := []string{"", "9lives", "bad-name", "has space", "é"}
+	for _, n := range good {
+		if !ValidName(n) {
+			t.Errorf("ValidName(%q) = false, want true", n)
+		}
+	}
+	for _, n := range bad {
+		if ValidName(n) {
+			t.Errorf("ValidName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestValidLabelName(t *testing.T) {
+	good := []string{"result", "key", "a_b9"}
+	bad := []string{"", "__reserved", "9x", "k-v", "with:colon"}
+	for _, n := range good {
+		if !ValidLabelName(n) {
+			t.Errorf("ValidLabelName(%q) = false, want true", n)
+		}
+	}
+	for _, n := range bad {
+		if ValidLabelName(n) {
+			t.Errorf("ValidLabelName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestFamilyOf(t *testing.T) {
+	cases := map[string]string{
+		"camo_lat_seconds_bucket": "camo_lat_seconds",
+		"camo_lat_seconds_sum":    "camo_lat_seconds",
+		"camo_lat_seconds_count":  "camo_lat_seconds",
+		"camo_retired_total":      "camo_retired_total",
+	}
+	for in, want := range cases {
+		if got := FamilyOf(in); got != want {
+			t.Errorf("FamilyOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCounterName(t *testing.T) {
+	if !CounterName("camo_retired_total") {
+		t.Error("legal counter name rejected")
+	}
+	for _, n := range []string{"camo_retired", "1bad_total", ""} {
+		if CounterName(n) {
+			t.Errorf("CounterName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestCheckLabels(t *testing.T) {
+	if p := CheckLabels(""); p != "" {
+		t.Errorf("empty labels: %q", p)
+	}
+	if p := CheckLabels(`result="hit"`); p != "" {
+		t.Errorf("single pair: %q", p)
+	}
+	if p := CheckLabels(`result="hit",key="IA"`); p != "" {
+		t.Errorf("two pairs: %q", p)
+	}
+	if p := CheckLabels(`v="a,b"`); p != "" {
+		t.Errorf("comma inside quotes: %q", p)
+	}
+	for labels, wantSub := range map[string]string{
+		"noequals":     "lacks '='",
+		`__r="x"`:      "illegal label name",
+		`k=unquoted`:   "not quoted",
+		`k="broken`:    "not quoted",
+		"k=\"a\nb\"":   "unescaped",
+		`k="back\slh"`: "unescaped",
+	} {
+		p := CheckLabels(labels)
+		if p == "" {
+			t.Errorf("CheckLabels(%q) passed, want problem containing %q", labels, wantSub)
+		}
+	}
+}

@@ -210,6 +210,8 @@ func (t *Table) RestoreFrom(src *Table) {
 }
 
 // Lookup returns the PTE for va.
+//
+//camo:hotpath
 func (t *Table) Lookup(va uint64) (PTE, bool) {
 	pte, ok := t.entries[va>>PageShift]
 	return pte, ok
@@ -286,6 +288,8 @@ func (s *Stage2) RestoreFrom(src *Stage2) {
 func (s *Stage2) Gen() uint64 { return s.gen }
 
 // Check reports whether the access is allowed by stage 2.
+//
+//camo:hotpath
 func (s *Stage2) Check(pa uint64, kind AccessKind) bool {
 	if !s.Enabled {
 		return true
@@ -443,6 +447,8 @@ func (m *MMU) KernelSide(va uint64) bool {
 // the physical address or a fault. It applies, in order: top-byte-ignore,
 // the canonical-address check (which is what catches PAC-poisoned
 // pointers), stage-1 lookup and permissions, then the stage-2 overlay.
+//
+//camo:hotpath
 func (m *MMU) Translate(va uint64, kind AccessKind, el int) (uint64, *Fault) {
 	if !m.Enabled {
 		return va, nil
@@ -490,11 +496,11 @@ func (m *MMU) Translate(va uint64, kind AccessKind, el int) (uint64, *Fault) {
 	}
 
 	if !m.Cfg.IsCanonical(eva) {
-		return 0, &Fault{Kind: FaultAddressSize, VA: va, Access: kind, EL: el}
+		return 0, &Fault{Kind: FaultAddressSize, VA: va, Access: kind, EL: el} //camo:alloc fault path; faults are rare and end the block
 	}
 	pte, ok := table.Lookup(eva)
 	if !ok {
-		return 0, &Fault{Kind: FaultTranslation, VA: va, Access: kind, EL: el}
+		return 0, &Fault{Kind: FaultTranslation, VA: va, Access: kind, EL: el} //camo:alloc fault path; faults are rare and end the block
 	}
 	var need Perm
 	switch {
@@ -512,12 +518,12 @@ func (m *MMU) Translate(va uint64, kind AccessKind, el int) (uint64, *Fault) {
 		need = W1
 	}
 	if pte.Perm&need != need {
-		return 0, &Fault{Kind: FaultPermission, VA: va, Access: kind, EL: el}
+		return 0, &Fault{Kind: FaultPermission, VA: va, Access: kind, EL: el} //camo:alloc fault path; faults are rare and end the block
 	}
 	pa := pte.PA | (eva & (PageSize - 1))
 	m.S2Walks++
 	if !m.S2.Check(pa, kind) {
-		return 0, &Fault{Kind: FaultStage2, VA: va, Access: kind, EL: el}
+		return 0, &Fault{Kind: FaultStage2, VA: va, Access: kind, EL: el} //camo:alloc fault path; faults are rare and end the block
 	}
 	if e != nil {
 		*e = tlbEntry{

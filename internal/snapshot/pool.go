@@ -236,6 +236,7 @@ func (p *Pool) breakerCheck(e *poolEntry, key Key) error {
 	if e.fails < p.breakerThreshold() {
 		return nil
 	}
+	//camo:nondet breaker timing is host-side resilience policy, never guest-visible state
 	if wait := time.Until(e.openUntil); wait > 0 {
 		p.fastFails.Add(1)
 		obs.Add(obs.CBreakerFastFail, 1)
@@ -253,7 +254,7 @@ func (p *Pool) breakerFail(e *poolEntry) {
 	defer e.mu.Unlock()
 	e.fails++
 	if e.fails >= p.breakerThreshold() {
-		e.openUntil = time.Now().Add(p.breakerReset())
+		e.openUntil = time.Now().Add(p.breakerReset()) //camo:nondet breaker reset deadline is host-side resilience policy
 		p.trips.Add(1)
 		obs.Add(obs.CBreakerTrip, 1)
 	}
@@ -327,6 +328,7 @@ func (p *Pool) ensureBooted(e *poolEntry, key Key, boot func() (*kernel.Kernel, 
 	if p.Store != nil {
 		snap := e.snap
 		p.persistWG.Add(1)
+		//camo:nondet async persist races only against the host store; guest state is already captured
 		go func() {
 			defer p.persistWG.Done()
 			digest, err := p.Store.Save(key, snap)
@@ -458,6 +460,7 @@ func (p *Pool) Breakers() []BreakerInfo {
 		if e.fails > 0 {
 			info := BreakerInfo{Key: e.key, Failures: e.fails}
 			if e.fails >= thr {
+				//camo:nondet reporting the live breaker deadline; diagnostics only
 				if wait := time.Until(e.openUntil); wait > 0 {
 					info.Open = true
 					info.RetryAfter = wait
@@ -584,6 +587,7 @@ func (p *Pool) Stats() Stats {
 		BreakerTrips:     p.trips.Load(),
 		BreakerFastFails: p.fastFails.Load(),
 	}
+	//camo:nondet stat sums commute; per-entry locks only guard concurrent mutation
 	for _, e := range p.entries {
 		e.mu.Lock()
 		st.Idle += len(e.idle)

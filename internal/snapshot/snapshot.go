@@ -70,7 +70,7 @@ func Take(k *kernel.Kernel) *Snapshot {
 // new CPU, bus, MMU and device mirrors; guest RAM shared copy-on-write
 // with the snapshot. No codegen, verification or boot runs.
 func (s *Snapshot) Fork() (*kernel.Kernel, error) {
-	t0 := time.Now()
+	t0 := time.Now() //camo:nondet latency histogram sample; guest state is untouched
 	k, err := kernel.NewFromState(s.st)
 	if err != nil {
 		return nil, err
@@ -86,7 +86,7 @@ func (s *Snapshot) Fork() (*kernel.Kernel, error) {
 // same built image (it was forked from this snapshot, or this snapshot
 // was taken from it).
 func (s *Snapshot) Reset(k *kernel.Kernel) error {
-	t0 := time.Now()
+	t0 := time.Now() //camo:nondet latency histogram sample; guest state is untouched
 	if err := k.RestoreState(s.st); err != nil {
 		return err
 	}
@@ -118,12 +118,12 @@ func BootOptions(opts kernel.Options) func() (*kernel.Kernel, error) {
 		if err := fault.ErrAt(fault.PoolBoot); err != nil {
 			return nil, err
 		}
-		t0 := time.Now()
+		t0 := time.Now() //camo:nondet boot latency histogram sample; guest state is untouched
 		k, err := kernel.New(opts)
 		if err != nil {
 			return nil, err
 		}
-		tv := time.Now()
+		tv := time.Now() //camo:nondet verify latency histogram sample; guest state is untouched
 		if err := fault.ErrAt(fault.PoolVerify); err != nil {
 			return nil, err
 		}
@@ -178,6 +178,7 @@ func ForEachContext(ctx context.Context, n int, parallel bool, f func(i int) err
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//camo:nondet worker pool forks independent machines; per-slot error slices keep the result order-stable
 		go func() {
 			defer wg.Done()
 			for {

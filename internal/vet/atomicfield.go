@@ -1,0 +1,223 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces the engine's atomic-publication contract
+// (DESIGN.md §14): the generation cells and caches that one goroutine
+// publishes and others validate — Cluster page/exec generations, the
+// mem.Phys generation, the fault registry pointer, the Bus last-hit
+// cache — are only sound if every access goes through sync/atomic.
+//
+// Two rules:
+//
+//  1. A struct field passed by address to a sync/atomic function
+//     (atomic.LoadUint64(&s.gen), atomic.AddUint64, …) anywhere in the
+//     module is "atomic-published": every other read, write or aliasing
+//     of that field must also be atomic, or carry a //camo:atomicok
+//     reason (e.g. a constructor that runs before the value is
+//     published).
+//  2. A field of a typed atomic (atomic.Uint64, atomic.Pointer[T], …)
+//     must never be copied by value — a copy tears the cell out of the
+//     coherence protocol — and functions must not take or return typed
+//     atomics by value.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "flags plain accesses to atomic-published struct fields and " +
+		"by-value copies of typed sync/atomic cells",
+	RunModule: runAtomicField,
+}
+
+func runAtomicField(pass *ModulePass) error {
+	m := pass.Module
+
+	// Phase 1: find every field published via function-style
+	// sync/atomic calls, remembering the sanctioned selector nodes so
+	// phase 2 does not flag the atomic accesses themselves.
+	published := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicFuncCall(m.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op.String() != "&" {
+						continue
+					}
+					sel, ok := unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if fld := fieldOf(m.Info, sel); fld != nil {
+						published[fld] = true
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 2: flag plain accesses to published fields and value
+	// copies of typed atomic fields.
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			file := f
+			walkParents(file, func(n ast.Node, stack []ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if fld := fieldOf(m.Info, n); fld != nil {
+						if published[fld] && !sanctioned[n] {
+							reportPlainAccess(pass, file, n, fld)
+						}
+						if isTypedAtomic(m.Info.TypeOf(n)) && copiesValue(stack) {
+							if !excused(m, file, n.Pos(), "atomicok") {
+								pass.Reportf(n.Pos(),
+									"field %s.%s is a typed sync/atomic cell and must not be copied by value",
+									fieldOwner(fld), fld.Name())
+							}
+						}
+					}
+				case *ast.FuncDecl:
+					checkAtomicSignature(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func reportPlainAccess(pass *ModulePass, file *ast.File, sel *ast.SelectorExpr, fld *types.Var) {
+	if excused(pass.Module, file, sel.Pos(), "atomicok") {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"field %s.%s is accessed via sync/atomic elsewhere; plain access here races with the atomic publication (use sync/atomic, or annotate //camo:atomicok <reason>)",
+		fieldOwner(fld), fld.Name())
+}
+
+// excused reports whether pos carries the named line-level directive or
+// sits in a function whose doc comment carries it.
+func excused(m *Module, file *ast.File, pos token.Pos, directive string) bool {
+	if _, ok := m.Annotated(pos, directive); ok {
+		return true
+	}
+	if fn := EnclosingFunc(file, pos); fn != nil {
+		if _, ok := m.FuncAnnotated(fn, directive); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicFuncCall reports whether call invokes a function-style
+// sync/atomic operation (LoadUint64, StoreInt32, AddUint64, SwapPointer,
+// CompareAndSwapUint64, …).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// fieldOwner names the struct type declaring fld, best-effort (the
+// receiver side of the diagnostic message).
+func fieldOwner(fld *types.Var) string {
+	if fld.Pkg() != nil {
+		return fld.Pkg().Name()
+	}
+	return "?"
+}
+
+// atomicValueTypes are the typed cells of sync/atomic; copying one by
+// value detaches it from every concurrent reader.
+var atomicValueTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// isTypedAtomic reports whether t is (an alias of) a typed sync/atomic
+// cell.
+func isTypedAtomic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicValueTypes[obj.Name()]
+}
+
+// copiesValue reports whether the innermost relevant ancestor consumes
+// the selector as a value (a copy) rather than taking its address,
+// calling a method on it, or selecting through it.
+func copiesValue(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			return p.Op != token.AND
+		case *ast.SelectorExpr:
+			// s.gen.Load() or deeper field selection: no copy.
+			return false
+		case *ast.StarExpr:
+			return false
+		default:
+			// Assignment RHS, call argument, composite-literal element,
+			// return value, binary operand: all copy.
+			return true
+		}
+	}
+	return true
+}
+
+// checkAtomicSignature flags parameters and results that pass typed
+// atomics by value.
+func checkAtomicSignature(pass *ModulePass, fn *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if t := pass.Module.Info.TypeOf(f.Type); isTypedAtomic(t) {
+				pass.Reportf(f.Type.Pos(),
+					"func %s passes a typed sync/atomic cell by value as a %s (use a pointer)",
+					fn.Name.Name, what)
+			}
+		}
+	}
+	check(fn.Type.Params, "parameter")
+	check(fn.Type.Results, "result")
+}

@@ -1,0 +1,232 @@
+package vet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"camouflage/internal/metriclint"
+)
+
+// ObsCounter validates the static observability registry (DESIGN.md
+// §11, §14): the obs.CounterID enum and its counterMetas exposition
+// table are the single source of truth for every engine counter, and
+// the registry only works if they stay in lockstep. For every
+// CounterID constant (NumCounters aside) the analyzer requires:
+//
+//   - a counterMetas entry with a non-empty family and help text;
+//   - a family name that passes the shared metriclint naming rules and
+//     ends in _total (every registry cell is a counter);
+//   - a well-formed pre-rendered label set, unique per (family, labels)
+//     pair — two IDs sharing a full sample name would silently merge in
+//     the exposition;
+//   - at least one use outside the registry table itself: an
+//     unreferenced counter is dead exposition surface. A use of a base
+//     constant in index arithmetic (CPACAuthIA + CounterID(k)) covers
+//     every constant sharing that family, which is how the per-key
+//     blocks are bumped.
+var ObsCounter = &Analyzer{
+	Name: "obscounter",
+	Doc: "checks that every obs.CounterID is registered with valid " +
+		"exposition metadata and incremented somewhere",
+	RunModule: runObsCounter,
+}
+
+func runObsCounter(pass *ModulePass) error {
+	m := pass.Module
+	obsPkg := findPackage(m, "obs", "CounterID")
+	if obsPkg == nil {
+		return nil // module has no counter registry; nothing to check
+	}
+	scope := obsPkg.Types.Scope()
+	counterID, ok := scope.Lookup("CounterID").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+
+	// Collect the CounterID constants in declaration order.
+	type counter struct {
+		obj *types.Const
+	}
+	var counters []counter
+	constObjs := make(map[types.Object]int) // object -> index in counters
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Type() != counterID.Type() || name == "NumCounters" {
+			continue
+		}
+		constObjs[c] = len(counters)
+		counters = append(counters, counter{obj: c})
+	}
+
+	// Parse the counterMetas table.
+	metasLit := findVarLiteral(m, obsPkg, "counterMetas")
+	if metasLit == nil {
+		pass.Reportf(counterID.Pos(), "CounterID registry has no counterMetas table")
+		return nil
+	}
+	type meta struct {
+		family, help, labels string
+	}
+	metas := make(map[types.Object]meta)
+	for _, elt := range metasLit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyObj := usedObject(m.Info, kv.Key)
+		lit, ok := kv.Value.(*ast.CompositeLit)
+		if !ok || keyObj == nil {
+			continue
+		}
+		var fields [3]string
+		for i, f := range lit.Elts {
+			if i >= 3 {
+				break
+			}
+			if tv, ok := m.Info.Types[f]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				fields[i] = constant.StringVal(tv.Value)
+			}
+		}
+		metas[keyObj] = meta{family: fields[0], help: fields[1], labels: fields[2]}
+	}
+
+	// Scan the whole module for uses outside the metas table.
+	used := make(map[types.Object]bool)
+	usedFamilies := make(map[string]bool) // families covered by index arithmetic
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			walkParents(f, func(n ast.Node, stack []ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := m.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				if _, isCounter := constObjs[obj]; !isCounter {
+					return true
+				}
+				if withinNode(metasLit, id.Pos()) {
+					return true
+				}
+				used[obj] = true
+				if inBinaryAddition(stack) {
+					usedFamilies[metas[obj].family] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Verdicts, in declaration order.
+	seenSample := make(map[string]types.Object)
+	for _, c := range counters {
+		mt, registered := metas[c.obj]
+		name := c.obj.Name()
+		switch {
+		case !registered || mt.family == "":
+			pass.Reportf(c.obj.Pos(), "counter %s has no exposition metadata in counterMetas", name)
+			continue
+		case mt.help == "":
+			pass.Reportf(c.obj.Pos(), "counter %s has no help text", name)
+		}
+		if !metriclint.CounterName(mt.family) {
+			pass.Reportf(c.obj.Pos(),
+				"counter %s family %q fails the metriclint naming rules (legal metric name ending in _total)",
+				name, mt.family)
+		}
+		if problem := metriclint.CheckLabels(mt.labels); problem != "" {
+			pass.Reportf(c.obj.Pos(), "counter %s labels %q: %s", name, mt.labels, problem)
+		}
+		sample := mt.family + "{" + mt.labels + "}"
+		if prev, dup := seenSample[sample]; dup {
+			pass.Reportf(c.obj.Pos(),
+				"counter %s duplicates the exposition sample of %s (%s%s)",
+				name, prev.Name(), mt.family, "{"+mt.labels+"}")
+		} else {
+			seenSample[sample] = c.obj
+		}
+		if !used[c.obj] && !usedFamilies[mt.family] {
+			pass.Reportf(c.obj.Pos(),
+				"counter %s is registered but never incremented or referenced outside the registry table",
+				name)
+		}
+	}
+	return nil
+}
+
+// findPackage locates the module package with the given name that
+// declares the given top-level identifier.
+func findPackage(m *Module, name, declares string) *Package {
+	for _, pkg := range m.Packages {
+		if pkg.Types.Name() == name && pkg.Types.Scope().Lookup(declares) != nil {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// findVarLiteral returns the composite literal initializing the named
+// package-level variable of pkg, or nil.
+func findVarLiteral(m *Module, pkg *Package, name string) *ast.CompositeLit {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name == name && i < len(vs.Values) {
+						if lit, ok := vs.Values[i].(*ast.CompositeLit); ok {
+							return lit
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// usedObject resolves an expression (identifier or pkg.Sel) to the
+// object it uses.
+func usedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// withinNode reports whether pos falls inside n.
+func withinNode(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}
+
+// inBinaryAddition reports whether the identifier's ancestors include a
+// binary + expression (index arithmetic over a counter block).
+func inBinaryAddition(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.BinaryExpr:
+			if p.Op.String() == "+" {
+				return true
+			}
+		case *ast.ParenExpr, *ast.SelectorExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+// Package a seeds violations of the atomic-publication contract for
+// the atomicfield analyzer tests.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	gen   uint64        // published via function-style atomics below
+	hits  atomic.Uint64 // typed cell: must never be copied by value
+	plain int           // never atomic; plain access is fine
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.gen, 1)
+}
+
+func read(c *counters) uint64 {
+	return atomic.LoadUint64(&c.gen)
+}
+
+func badPlainRead(c *counters) uint64 {
+	return c.gen // want `field a\.gen is accessed via sync/atomic elsewhere`
+}
+
+func badPlainWrite(c *counters) {
+	c.gen = 0 // want `field a\.gen is accessed via sync/atomic elsewhere`
+}
+
+func okInit() *counters {
+	c := &counters{}
+	c.gen = 1 //camo:atomicok constructor runs before the value is published
+	return c
+}
+
+func okPlainField(c *counters) int {
+	return c.plain // never published atomically: no finding
+}
+
+func badCopy(c *counters) {
+	cp := c.hits // want `typed sync/atomic cell and must not be copied by value`
+	_ = cp
+}
+
+func okThroughCell(c *counters) uint64 {
+	return c.hits.Load() // method call through the cell: no copy
+}
+
+func badParam(h atomic.Uint64) { // want `passes a typed sync/atomic cell by value as a parameter`
+	_ = h
+}
+
+func okPointerParam(h *atomic.Uint64) {
+	h.Add(1)
+}

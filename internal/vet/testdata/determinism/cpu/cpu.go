@@ -1,0 +1,111 @@
+// Package cpu seeds determinism violations; the package name places it
+// in the determinism-critical set.
+package cpu
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func badClock() int64 {
+	return time.Now().UnixNano() // want `wall-clock read time\.Now in determinism-critical package cpu`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time\.Since`
+}
+
+func okClockAnnotated() time.Time {
+	return time.Now() //camo:nondet host-side latency sample for this test
+}
+
+//camo:nondet whole function is host-side diagnostics
+func okClockFuncDoc() time.Time {
+	return time.Now()
+}
+
+func badRand() int {
+	return rand.Intn(6) // want `math/rand\.Intn in determinism-critical package cpu`
+}
+
+func badSpawn(f func()) {
+	go f() // want `goroutine spawn in determinism-critical package cpu`
+}
+
+func badMapOrder(m map[string]int, out *string) {
+	for k := range m { // want `map iteration with an order-sensitive body`
+		*out += k // string += is concatenation: iteration order leaks into the value
+	}
+}
+
+func okMapCollect(m map[string]int, out *[]int) {
+	for _, v := range m {
+		*out = append(*out, v) // collection; the consumer sorts
+	}
+}
+
+func okMapSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func okMapCollectSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okMapGuardedCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func okMapExists(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func okMapRebuild(m map[string]int) map[string]int {
+	cp := make(map[string]int, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}
+
+func okMapDeepCopy(m map[string]*int) map[string]*int {
+	cp := make(map[string]*int, len(m))
+	for k, v := range m {
+		c := *v
+		cp[k] = &c
+	}
+	return cp
+}
+
+func okMapFieldStore(m map[string]*struct{ done bool }) {
+	for _, e := range m {
+		e.done = true
+	}
+}
+
+func badMapCall(m map[string]func()) {
+	for _, f := range m { // want `map iteration with an order-sensitive body`
+		f()
+	}
+}

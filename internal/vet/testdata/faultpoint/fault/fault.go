@@ -1,0 +1,25 @@
+// Package fault mirrors the host engine's fault registry shape with
+// seeded violations for the faultpoint analyzer tests.
+package fault
+
+type Point string
+
+const (
+	StoreRead Point = "store.read"
+	// StoreWrite is registered first (scope iteration is sorted by
+	// name), so WDup below is the one reported as the duplicate.
+	StoreWrite   Point = "store.write"
+	WDup         Point = "store.write" // want `duplicates the name "store\.write"` `never threaded through a check site`
+	BadSpace     Point = "store read"  // want `not addressable by the -faults spec grammar`
+	NeverUsed    Point = "store.never" // want `never threaded through a check site`
+	Undocumented Point = "store.undoc" // want `missing from the DESIGN\.md §13 injection-point table`
+)
+
+// Fire and ErrAt are the check-site entry points the analyzer matches
+// by name and package.
+func Fire(p Point) bool { return p != "" }
+
+func ErrAt(p Point) error {
+	_ = p
+	return nil
+}

@@ -1,0 +1,31 @@
+// Package store threads fault points through check sites — some
+// legally, some not.
+package store
+
+import "camovettest/fault"
+
+func readChunk() error {
+	if fault.Fire(fault.StoreRead) {
+		return fault.ErrAt(fault.StoreRead)
+	}
+	return nil
+}
+
+func writeChunk() error {
+	return fault.ErrAt(fault.StoreWrite)
+}
+
+func oddball(name string) error {
+	if err := fault.ErrAt("ad.hoc"); err != nil { // want `must be a declared fault\.Point constant, not string literal`
+		return err
+	}
+	return fault.ErrAt(fault.Point(name)) // want `must be a declared fault\.Point constant, not a conversion/call expression`
+}
+
+func spaced() bool {
+	return fault.Fire(fault.BadSpace)
+}
+
+func undocumented() bool {
+	return fault.Fire(fault.Undocumented)
+}

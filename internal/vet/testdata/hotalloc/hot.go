@@ -1,0 +1,84 @@
+// Package hot seeds allocation violations inside //camo:hotpath
+// functions for the hotalloc analyzer tests.
+package hot
+
+import "fmt"
+
+type ring struct {
+	buf  [16]uint64
+	head int
+}
+
+// push is on the steady-state path.
+//
+//camo:hotpath
+func (r *ring) push(v uint64) {
+	r.buf[r.head&15] = v
+	r.head++
+}
+
+//camo:hotpath
+func badMake(n int) []byte {
+	return make([]byte, n) // want `make allocates`
+}
+
+//camo:hotpath
+func badAppend(s []int, v int) []int {
+	return append(s, v) // want `append may grow and allocate`
+}
+
+//camo:hotpath
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+//camo:hotpath
+func badAddrLit() *ring {
+	return &ring{} // want `&composite literal allocates`
+}
+
+//camo:hotpath
+func badFmt(v uint64) {
+	fmt.Println(v) // want `fmt\.Println allocates`
+}
+
+//camo:hotpath
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//camo:hotpath
+func badBytesConv(s string) []byte {
+	return []byte(s) // want `string-to-\[\]byte conversion allocates`
+}
+
+//camo:hotpath
+func badBoxing(v uint64) any {
+	return v // want `interface boxing of concrete value`
+}
+
+//camo:hotpath
+func badDefer(f func()) {
+	defer f() // want `defer allocates a frame`
+}
+
+//camo:hotpath
+func badClosure() func() int {
+	n := 0
+	return func() int { n++; return n } // want `function literal may capture and allocate`
+}
+
+//camo:hotpath
+func okExcused(n int) []byte {
+	return make([]byte, n) //camo:alloc once-per-run warmup fill for this test
+}
+
+//camo:hotpath
+func okPointerBoxing(r *ring) any {
+	return r // boxing a pointer stores the word directly; no finding
+}
+
+// notHot is unmarked: the same constructs draw no findings.
+func notHot(n int) []byte {
+	return make([]byte, n)
+}

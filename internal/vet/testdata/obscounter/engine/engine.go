@@ -1,0 +1,25 @@
+// Package engine references a subset of the obs counters so the
+// obscounter use-scan has both hits and misses to judge.
+package engine
+
+import "camovettest/obs"
+
+type local struct {
+	v [obs.NumCounters]uint64
+}
+
+func (l *local) bump() {
+	l.v[obs.CRetired]++
+	l.v[obs.CNoHelp]++
+	l.v[obs.CBadName]++
+	l.v[obs.CNotTotal]++
+	l.v[obs.CBadLabels]++
+	l.v[obs.CDup1]++
+	l.v[obs.CDup2]++
+}
+
+// bumpKey indexes a per-key counter block arithmetically; the base
+// constant's family covers every constant sharing it (CBaseIB too).
+func (l *local) bumpKey(k int) {
+	l.v[obs.CBaseIA+obs.CounterID(k)]++
+}

@@ -1,0 +1,3 @@
+module camovettest
+
+go 1.22

@@ -1,0 +1,35 @@
+// Package obs mirrors the host engine's counter registry shape with
+// seeded exposition violations for the obscounter analyzer tests.
+package obs
+
+type CounterID int
+
+const (
+	CRetired   CounterID = iota // fully registered and used: clean
+	CNoMeta                     // want `counter CNoMeta has no exposition metadata`
+	CNoHelp                     // want `counter CNoHelp has no help text`
+	CBadName                    // want `fails the metriclint naming rules`
+	CNotTotal                   // want `fails the metriclint naming rules`
+	CBadLabels                  // want `label value for key is not quoted`
+	CDup1                       // first owner of its sample: clean
+	CDup2                       // want `duplicates the exposition sample of CDup1`
+	CUnused                     // want `never incremented or referenced`
+	CBaseIA                     // bumped via index arithmetic: clean
+	CBaseIB                     // covered by the same family arithmetic: clean
+	NumCounters
+)
+
+type counterMeta struct{ family, help, labels string }
+
+var counterMetas = [NumCounters]counterMeta{
+	CRetired:   {"camo_retired_total", "instructions retired", ""},
+	CNoHelp:    {"camo_nohelp_total", "", ""},
+	CBadName:   {"1bad-name_total", "illegal characters", ""},
+	CNotTotal:  {"camo_thing", "counter family must end in _total", ""},
+	CBadLabels: {"camo_badlabels_total", "labels missing quotes", `key=IA`},
+	CDup1:      {"camo_dup_total", "first owner", `result="hit"`},
+	CDup2:      {"camo_dup_total", "same family and labels", `result="hit"`},
+	CUnused:    {"camo_unused_total", "registered but dead", ""},
+	CBaseIA:    {"camo_pac_total", "per-key block base", `key="IA"`},
+	CBaseIB:    {"camo_pac_total", "per-key block", `key="IB"`},
+}

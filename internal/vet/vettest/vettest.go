@@ -1,0 +1,124 @@
+// Package vettest is the analysistest analogue for the camovet suite:
+// it loads a self-contained module under testdata, runs analyzers over
+// it, and diffs the diagnostics against `// want "regexp"` comments in
+// the sources. Each testdata module carries its own go.mod (the go tool
+// never descends into testdata directories, so the nested modules are
+// invisible to builds of the host module) and uses only the standard
+// library, keeping the tests runnable offline.
+package vettest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"camouflage/internal/vet"
+)
+
+// wantRE matches a single expectation: `// want "regexp"` with one or
+// more space-separated quoted regexps (double- or backquoted).
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the module rooted at testdata/<name> relative to the
+// caller's directory, runs the analyzers, and reports any diagnostic
+// not matched by a want comment and any want comment not matched by a
+// diagnostic.
+func Run(t *testing.T, name string, analyzers ...*vet.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	if _, err := os.Stat(filepath.Join(dir, "go.mod")); err != nil {
+		t.Fatalf("testdata module %s has no go.mod: %v", name, err)
+	}
+
+	m, err := vet.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	diags, err := vet.RunAnalyzers(m, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers on %s: %v", name, err)
+	}
+
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unhit expectation on the diagnostic's file:line
+// whose regexp matches the message.
+func claim(wants []*expectation, d vet.Diagnostic) bool {
+	base := filepath.Base(d.File)
+	for _, w := range wants {
+		if w.hit || w.file != base || w.line != d.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants walks every .go file under dir for want comments.
+func collectWants(dir string) ([]*expectation, error) {
+	var wants []*expectation
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		base := filepath.Base(path)
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			found := false
+			for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+				pat := q[1]
+				if q[2] != "" {
+					pat = q[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp %q: %v", base, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: base, line: i + 1, re: re})
+				found = true
+			}
+			if !found {
+				return fmt.Errorf("%s:%d: want comment with no quoted regexp", base, i+1)
+			}
+		}
+		return nil
+	})
+	return wants, err
+}

@@ -1,0 +1,32 @@
+package vet
+
+import "go/ast"
+
+// walkParents traverses every node of f, invoking fn with the node and
+// its ancestor stack (stack[0] is the file, stack[len-1] is the node's
+// parent). Returning false prunes the subtree.
+func walkParents(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// unparen strips ParenExprs.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
